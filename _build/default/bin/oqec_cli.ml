@@ -1,0 +1,185 @@
+(* Command-line interface: check two QASM files for equivalence, inspect
+   or generate benchmark circuits, and run the compilation flow. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_qcec
+open Cmdliner
+
+(* ------------------------------------------------------------- Helpers *)
+
+let load path =
+  try Oqec_qasm.Qasm.circuit_of_file path
+  with Oqec_qasm.Qasm.Parse_error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 3
+
+let arch_of_string = function
+  | "manhattan" -> Some Oqec_compile.Architecture.manhattan
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "linear"; n ] -> Option.map Oqec_compile.Architecture.linear (int_of_string_opt n)
+      | [ "ring"; n ] -> Option.map Oqec_compile.Architecture.ring (int_of_string_opt n)
+      | [ "grid"; r; c ] -> (
+          match (int_of_string_opt r, int_of_string_opt c) with
+          | Some rows, Some cols -> Some (Oqec_compile.Architecture.grid ~rows ~cols)
+          | _ -> None)
+      | _ -> None)
+
+let generator_of_string ~seed ~size = function
+  | "ghz" -> Some (Oqec_workloads.Workloads.ghz size)
+  | "graphstate" -> Some (Oqec_workloads.Workloads.graph_state ~seed size)
+  | "qft" -> Some (Oqec_workloads.Workloads.qft size)
+  | "qpe" -> Some (Oqec_workloads.Workloads.qpe_exact ~seed size)
+  | "grover" -> Some (Oqec_workloads.Workloads.grover ~seed size)
+  | "qwalk" -> Some (Oqec_workloads.Workloads.random_walk ~steps:size size)
+  | "adder" -> Some (Oqec_workloads.Workloads.ripple_adder size)
+  | "urf" -> Some (Oqec_workloads.Workloads.random_reversible ~seed ~gates:(20 * size) size)
+  | _ -> None
+
+(* ------------------------------------------------------------ check cmd *)
+
+let strategy_conv =
+  let parse s =
+    match Qcec.strategy_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Qcec.strategy_to_string s))
+
+let check_cmd =
+  let file1 = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE1") in
+  let file2 = Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE2") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Qcec.Combined
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"One of reference, alternating, simulation, zx, combined.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS")
+  in
+  let tol = Arg.(value & opt (some float) None & info [ "tolerance" ] ~docv:"EPS") in
+  let sim_runs = Arg.(value & opt int 16 & info [ "sim-runs" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let approx =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "approx" ] ~docv:"FIDELITY"
+          ~doc:
+            "Approximate equivalence: accept when the Hilbert-Schmidt fidelity \
+             reaches $(docv) (uses the decision-diagram miter).")
+  in
+  let run file1 file2 strategy timeout tol sim_runs seed approx =
+    let g = load file1 and g' = load file2 in
+    let report =
+      match approx with
+      | Some threshold ->
+          let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+          let r, _fid = Dd_checker.check_approximate ?tol ?deadline ~threshold g g' in
+          r
+      | None -> Qcec.check ~strategy ?timeout ?tol ~sim_runs ~seed g g'
+    in
+    Format.printf "%a@." Equivalence.pp_report report;
+    match report.Equivalence.outcome with
+    | Equivalence.Equivalent -> exit 0
+    | Equivalence.Not_equivalent -> exit 1
+    | Equivalence.No_information | Equivalence.Timed_out -> exit 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
+    Term.(const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ approx)
+
+(* ------------------------------------------------------------- info cmd *)
+
+let info_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let c = load file in
+    Printf.printf "name:         %s\n" (Circuit.name c);
+    Printf.printf "qubits:       %d\n" (Circuit.num_qubits c);
+    Printf.printf "gates:        %d\n" (Circuit.gate_count c);
+    Printf.printf "two-qubit:    %d\n" (Circuit.two_qubit_count c);
+    Printf.printf "t-count:      %d\n" (Circuit.t_count c);
+    Printf.printf "depth:        %d\n" (Circuit.depth c);
+    (match Circuit.output_perm c with
+    | Some p -> Format.printf "output perm:  %a@." Perm.pp p
+    | None -> ())
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print statistics about a QASM circuit.") Term.(const run $ file)
+
+(* --------------------------------------------------------- generate cmd *)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND"
+          ~doc:"ghz, graphstate, qft, qpe, grover, qwalk, adder or urf.")
+  in
+  let size = Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let run kind size seed out =
+    match generator_of_string ~seed ~size kind with
+    | None ->
+        Printf.eprintf "error: unknown generator %S\n" kind;
+        exit 3
+    | Some c -> (
+        let lowered = Decompose.elementary c in
+        let text = Oqec_qasm.Qasm.to_string lowered in
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc
+        | None -> print_string text)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a benchmark circuit as OpenQASM.")
+    Term.(const run $ kind $ size $ seed $ out)
+
+(* ---------------------------------------------------------- compile cmd *)
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let arch =
+    Arg.(
+      value
+      & opt string "manhattan"
+      & info [ "a"; "arch" ] ~docv:"ARCH"
+          ~doc:"manhattan, linear:N, ring:N or grid:R:C.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  let run file arch out =
+    match arch_of_string arch with
+    | None ->
+        Printf.eprintf "error: unknown architecture %S\n" arch;
+        exit 3
+    | Some a -> (
+        let c = load file in
+        let compiled = Oqec_compile.Compile.run a c in
+        let text = Oqec_qasm.Qasm.to_string compiled in
+        match out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "compiled %s onto %s: %d gates\n" file
+              (Oqec_compile.Architecture.name a)
+              (Circuit.gate_count compiled)
+        | None -> print_string text)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a QASM circuit onto a coupling map.")
+    Term.(const run $ file $ arch $ out)
+
+let () =
+  let doc = "equivalence checking of quantum circuits (DDs vs ZX-calculus)" in
+  let main = Cmd.group (Cmd.info "oqec" ~version:"1.0.0" ~doc)
+      [ check_cmd; info_cmd; generate_cmd; compile_cmd ]
+  in
+  exit (Cmd.eval main)

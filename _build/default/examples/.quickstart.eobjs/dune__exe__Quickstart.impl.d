@@ -1,0 +1,1 @@
+examples/quickstart.ml: Architecture Circuit Compile Dmatrix Equivalence Format Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_workloads Perm Qcec Render Unitary

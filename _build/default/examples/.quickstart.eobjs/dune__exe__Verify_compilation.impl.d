@@ -1,0 +1,1 @@
+examples/verify_compilation.ml: Architecture Circuit Compile Equivalence Format Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_workloads Printf Qcec

@@ -1,0 +1,1 @@
+examples/verify_optimization.ml: Circuit Decompose Equivalence Format Optimize Oqec_circuit Oqec_compile Oqec_qcec Oqec_workloads Printf Qcec

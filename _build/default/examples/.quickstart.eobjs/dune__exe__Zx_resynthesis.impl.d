@@ -1,0 +1,1 @@
+examples/zx_resynthesis.ml: Circuit Equivalence Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_workloads Oqec_zx Printf Qcec Rng Zx_extract

@@ -1,0 +1,1 @@
+examples/zx_resynthesis.mli:

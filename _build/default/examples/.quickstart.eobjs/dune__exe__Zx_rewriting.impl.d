@@ -1,0 +1,1 @@
+examples/zx_rewriting.ml: Circuit Format Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_workloads Oqec_zx Perm Printf Zx_circuit Zx_graph Zx_simplify

@@ -1,0 +1,44 @@
+(* Use case 1 of the paper: verifying compilation-flow results.
+
+   A suite of algorithm circuits is compiled onto the 65-qubit IBM
+   Manhattan heavy-hex architecture with randomised initial layouts; each
+   result is verified against its original, and error-injected variants
+   are shown to be refuted.
+
+   Run with: dune exec examples/verify_compilation.exe *)
+
+open Oqec_circuit
+open Oqec_compile
+open Oqec_workloads.Workloads
+open Oqec_qcec
+
+let verify name g =
+  let rng = Oqec_base.Rng.make ~seed:11 in
+  let arch = Architecture.manhattan in
+  let layout = Compile.spread_layout arch rng in
+  let g' = Compile.run ~initial_layout:layout arch g in
+  Printf.printf "%-14s %3d qubits  |G| = %5d  |G'| = %5d\n%!" name
+    (Circuit.num_qubits g) (Circuit.gate_count g) (Circuit.gate_count g');
+  let ok = Qcec.check ~strategy:Qcec.Combined ~seed:5 ~timeout:60.0 g g' in
+  Format.printf "  compiled vs original : %a@." Equivalence.pp_report ok;
+  assert (ok.Equivalence.outcome = Equivalence.Equivalent);
+  (* The stabilizer tableau settles the Clifford benchmarks instantly. *)
+  let cl = Qcec.check ~strategy:Qcec.Clifford g g' in
+  (match cl.Equivalence.outcome with
+  | Equivalence.Equivalent -> Format.printf "  stabilizer tableau   : %a@." Equivalence.pp_report cl
+  | Equivalence.No_information | Equivalence.Not_equivalent | Equivalence.Timed_out -> ());
+  let missing = remove_gate ~seed:7 g' in
+  let r1 = Qcec.check ~strategy:Qcec.Combined ~seed:5 ~timeout:60.0 g missing in
+  Format.printf "  one gate missing     : %a@." Equivalence.pp_report r1;
+  let flipped = flip_cnot ~seed:7 g' in
+  let r2 = Qcec.check ~strategy:Qcec.Combined ~seed:5 ~timeout:60.0 g flipped in
+  Format.printf "  flipped CNOT         : %a@." Equivalence.pp_report r2
+
+let () =
+  verify "ghz-8" (ghz 8);
+  verify "graphstate-8" (graph_state ~seed:2 8);
+  verify "qft-6" (qft 6);
+  verify "qpe-exact-5" (qpe_exact ~seed:2 5);
+  verify "grover-4" (grover ~seed:2 4);
+  verify "qwalk-5" (random_walk ~steps:3 5);
+  print_endline "\nverify_compilation: all compiled circuits verified on ibmq-manhattan"

@@ -1,0 +1,1 @@
+lib/base/cx.ml: Complex Float Format

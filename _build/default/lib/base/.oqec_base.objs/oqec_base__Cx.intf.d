@@ -1,0 +1,1 @@
+lib/base/cx.mli: Complex Format

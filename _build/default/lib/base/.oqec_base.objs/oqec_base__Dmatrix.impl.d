@@ -1,0 +1,1 @@
+lib/base/dmatrix.ml: Array Cx Format Perm

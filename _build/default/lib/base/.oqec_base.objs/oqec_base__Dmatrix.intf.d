@@ -1,0 +1,1 @@
+lib/base/dmatrix.mli: Cx Format Perm

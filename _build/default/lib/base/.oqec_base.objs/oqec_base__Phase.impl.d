@@ -1,0 +1,1 @@
+lib/base/phase.ml: Float Format

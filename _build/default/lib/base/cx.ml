@@ -1,0 +1,36 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let minus_one = { re = -1.0; im = 0.0 }
+let i = Complex.i
+let sqrt2_inv = { re = 1.0 /. sqrt 2.0; im = 0.0 }
+let make re im = { re; im }
+let of_polar ~mag ~arg = { re = mag *. cos arg; im = mag *. sin arg }
+let e_i theta = of_polar ~mag:1.0 ~arg:theta
+let re z = z.re
+let im z = z.im
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale s z = { re = s *. z.re; im = s *. z.im }
+let mag2 z = (z.re *. z.re) +. (z.im *. z.im)
+let mag = Complex.norm
+let arg = Complex.arg
+let default_tolerance = 1e-10
+
+let approx_equal ?(tol = default_tolerance) a b =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let is_zero ?(tol = default_tolerance) z = approx_equal ~tol z zero
+let is_one ?(tol = default_tolerance) z = approx_equal ~tol z one
+
+let pp ppf z =
+  if Float.abs z.im < 1e-15 then Format.fprintf ppf "%g" z.re
+  else if Float.abs z.re < 1e-15 then Format.fprintf ppf "%gi" z.im
+  else Format.fprintf ppf "%g%+gi" z.re z.im
+
+let to_string z = Format.asprintf "%a" pp z

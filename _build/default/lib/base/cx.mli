@@ -1,0 +1,57 @@
+(** Complex numbers with tolerance-aware comparison.
+
+    Thin wrapper around [Stdlib.Complex] providing the operations needed by
+    the decision-diagram and ZX packages: polar constructors, approximate
+    equality with a configurable tolerance, and printing.  All angles are in
+    radians. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val minus_one : t
+val i : t
+
+(** [sqrt2_inv] is 1/sqrt 2, the weight showing up in Hadamard transforms. *)
+val sqrt2_inv : t
+
+val make : float -> float -> t
+
+(** [of_polar ~mag ~arg] is the complex number [mag * exp(i*arg)]. *)
+val of_polar : mag:float -> arg:float -> t
+
+(** [e_i theta] is [exp(i*theta)], a unit-magnitude phase factor. *)
+val e_i : float -> t
+
+val re : t -> float
+val im : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+(** [mag2 z] is the squared magnitude of [z]. *)
+val mag2 : t -> float
+
+val mag : t -> float
+val arg : t -> float
+
+(** [approx_equal ?tol a b] holds when both components differ by at most
+    [tol] (default {!default_tolerance}). *)
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [is_zero ?tol z] holds when [z] is within [tol] of zero. *)
+val is_zero : ?tol:float -> t -> bool
+
+(** [is_one ?tol z] holds when [z] is within [tol] of one. *)
+val is_one : ?tol:float -> t -> bool
+
+(** Default tolerance used throughout the library when comparing floating
+    point amplitudes (1e-10, mirroring the QMDD package default). *)
+val default_tolerance : float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

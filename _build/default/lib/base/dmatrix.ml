@@ -1,0 +1,115 @@
+type t = { rows : int; cols : int; data : Cx.t array }
+
+let make rows cols f =
+  let data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) in
+  { rows; cols; data }
+
+let zero rows cols = { rows; cols; data = Array.make (rows * cols) Cx.zero }
+let identity n = make n n (fun i j -> if i = j then Cx.one else Cx.zero)
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+let copy m = { m with data = Array.copy m.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Dmatrix: shape";
+  { a with data = Array.map2 f a.data b.data }
+
+let add = map2 Cx.add
+let sub = map2 Cx.sub
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Dmatrix.mul: shape";
+  let c = zero a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if not (Cx.is_zero aik) then
+        for j = 0 to b.cols - 1 do
+          set c i j (Cx.add (get c i j) (Cx.mul aik (get b k j)))
+        done
+    done
+  done;
+  c
+
+let kron a b =
+  make (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      Cx.mul (get a (i / b.rows) (j / b.cols)) (get b (i mod b.rows) (j mod b.cols)))
+
+let scale s m = { m with data = Array.map (Cx.mul s) m.data }
+let adjoint m = make m.cols m.rows (fun i j -> Cx.conj (get m j i))
+let transpose m = make m.cols m.rows (fun i j -> get m j i)
+
+let trace m =
+  let acc = ref Cx.zero in
+  for i = 0 to min m.rows m.cols - 1 do
+    acc := Cx.add !acc (get m i i)
+  done;
+  !acc
+
+let apply m v =
+  if m.cols <> Array.length v then invalid_arg "Dmatrix.apply: shape";
+  Array.init m.rows (fun i ->
+      let acc = ref Cx.zero in
+      for j = 0 to m.cols - 1 do
+        acc := Cx.add !acc (Cx.mul (get m i j) v.(j))
+      done;
+      !acc)
+
+(* Move bit [q] of the index to bit [p q]: column |i> has a single 1 in the
+   row whose bits are the permuted bits of i. *)
+let permutation_matrix p =
+  let n = Perm.size p in
+  let dim = 1 lsl n in
+  let image i =
+    let r = ref 0 in
+    for q = 0 to n - 1 do
+      if (i lsr q) land 1 = 1 then r := !r lor (1 lsl Perm.apply p q)
+    done;
+    !r
+  in
+  make dim dim (fun row col -> if row = image col then Cx.one else Cx.zero)
+
+let equal ?tol a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Cx.approx_equal ?tol x y) a.data b.data
+
+let largest_entry_index m =
+  let best = ref 0 and best_mag = ref (-1.0) in
+  Array.iteri
+    (fun k z ->
+      let mag = Cx.mag2 z in
+      if mag > !best_mag then begin
+        best := k;
+        best_mag := mag
+      end)
+    m.data;
+  !best
+
+(* The phase must be estimated from the SAME entry position in both
+   matrices; picking each matrix's own largest entry goes wrong when
+   magnitudes tie up to floating-point noise. *)
+let equal_up_to_phase ?tol a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let k = largest_entry_index a in
+  let za = a.data.(k) and zb = b.data.(k) in
+  if Cx.is_zero za || Cx.is_zero zb then equal ?tol a b
+  else
+    let phase = Cx.e_i (Cx.arg za -. Cx.arg zb) in
+    equal ?tol a (scale phase b)
+
+let is_unitary ?tol m =
+  m.rows = m.cols && equal ?tol (mul m (adjoint m)) (identity m.rows)
+
+let hilbert_schmidt a b = Cx.mag (trace (mul (adjoint a) b))
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%10s " (Cx.to_string (get m i j))
+    done;
+    Format.fprintf ppf "@]@\n"
+  done

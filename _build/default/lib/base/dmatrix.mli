@@ -1,0 +1,63 @@
+(** Dense complex matrices.
+
+    This is the brute-force reference semantics of the library: circuits,
+    decision diagrams and ZX-diagrams on a handful of qubits can all be
+    evaluated to a dense matrix and compared, which is how the sophisticated
+    representations are validated in the test suite.  Dimensions are
+    arbitrary (not restricted to powers of two) so the module can also hold
+    single-gate matrices. *)
+
+type t
+
+(** [make rows cols f] builds the matrix with entry [f i j] at row [i],
+    column [j]. *)
+val make : int -> int -> (int -> int -> Cx.t) -> t
+
+val zero : int -> int -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [mul a b] is the matrix product [a * b]. *)
+val mul : t -> t -> t
+
+(** [kron a b] is the Kronecker (tensor) product with [a]'s indices most
+    significant. *)
+val kron : t -> t -> t
+
+val scale : Cx.t -> t -> t
+
+(** [adjoint a] is the conjugate transpose of [a]. *)
+val adjoint : t -> t
+
+val transpose : t -> t
+val trace : t -> Cx.t
+
+(** [apply a v] multiplies matrix [a] with column vector [v] (given as a
+    [Cx.t array]). *)
+val apply : t -> Cx.t array -> Cx.t array
+
+(** [permutation_matrix p] is the unitary [P] with [P |i>] = [|sigma(i)>]
+    where bit [q] of the basis-state index moves to bit [Perm.apply p q]. *)
+val permutation_matrix : Perm.t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+
+(** [equal_up_to_phase ?tol a b] holds when [a = exp(i*theta) * b] for some
+    global phase [theta]. *)
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+
+(** [is_unitary ?tol a] checks [a * adjoint a = I]. *)
+val is_unitary : ?tol:float -> t -> bool
+
+(** [hilbert_schmidt a b] is [|tr(adjoint a * b)|], the similarity measure
+    used in Section 3 of the paper; it equals the dimension when the
+    matrices are equal up to global phase. *)
+val hilbert_schmidt : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

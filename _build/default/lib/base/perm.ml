@@ -1,0 +1,72 @@
+type t = int array
+
+let id n = Array.init n (fun i -> i)
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  let check x =
+    if x < 0 || x >= n then invalid_arg "Perm.of_array: out of range";
+    if seen.(x) then invalid_arg "Perm.of_array: not a bijection";
+    seen.(x) <- true
+  in
+  Array.iter check a;
+  Array.copy a
+
+let to_array p = Array.copy p
+let size = Array.length
+let apply p i = p.(i)
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let compose p q = Array.map (fun x -> p.(x)) q
+
+let swap p a b =
+  let p' = Array.copy p in
+  let t = p'.(a) in
+  p'.(a) <- p'.(b);
+  p'.(b) <- t;
+  p'
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) p;
+  !ok
+
+let equal = ( = )
+
+(* Selection-style decomposition: repeatedly move the right element into
+   position [i] by swapping, recording each swap performed. *)
+let transpositions p =
+  let cur = Array.copy (id (Array.length p)) in
+  let swaps = ref [] in
+  for i = 0 to Array.length p - 1 do
+    if cur.(i) <> p.(i) then begin
+      let j = ref i in
+      for k = i + 1 to Array.length p - 1 do
+        if cur.(k) = p.(i) then j := k
+      done;
+      let t = cur.(i) in
+      cur.(i) <- cur.(!j);
+      cur.(!j) <- t;
+      swaps := (i, !j) :: !swaps
+    end
+  done;
+  List.rev !swaps
+
+let random rng n =
+  let a = id n in
+  for i = n - 1 downto 1 do
+    let j = rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let pp ppf p =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int p)))

@@ -1,0 +1,44 @@
+(** Permutations of [0 .. n-1].
+
+    Used to model initial layouts (logical to physical qubit assignments)
+    and output permutations of compiled circuits, and to track the dynamic
+    logical-to-physical mapping as SWAP gates are absorbed during
+    equivalence checking. *)
+
+type t
+
+(** [id n] is the identity permutation on [n] elements. *)
+val id : int -> t
+
+(** [of_array a] validates that [a] is a bijection of [0..n-1] and returns
+    it as a permutation.  Raises [Invalid_argument] otherwise. *)
+val of_array : int array -> t
+
+val to_array : t -> int array
+val size : t -> int
+
+(** [apply p i] is the image of [i] under [p]. *)
+val apply : t -> int -> int
+
+val inverse : t -> t
+
+(** [compose p q] is the permutation mapping [i] to [p (q i)]. *)
+val compose : t -> t -> t
+
+(** [swap p a b] is [p] with the images of [a] and [b] exchanged. *)
+val swap : t -> int -> int -> t
+
+val is_identity : t -> bool
+val equal : t -> t -> bool
+
+(** [transpositions p] decomposes [p] into a list of swaps [(a, b)] such
+    that applying them in order to the identity yields [p].  Used to emit
+    correction SWAPs when a tracked permutation does not match the expected
+    output permutation. *)
+val transpositions : t -> (int * int) list
+
+(** [random rng n] is a uniformly random permutation (Fisher-Yates), where
+    [rng k] must return a uniform integer in [0, k). *)
+val random : (int -> int) -> int -> t
+
+val pp : Format.formatter -> t -> unit

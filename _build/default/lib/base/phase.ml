@@ -1,0 +1,129 @@
+(* Angles are [Rat (num, den)] meaning num/den * pi with den > 0,
+   gcd(num,den) = 1 and 0 <= num/den < 2 (i.e. canonical modulo 2*pi), or
+   [Approx r] for a float angle in radians canonicalised to [0, 2*pi). *)
+
+type t =
+  | Rat of int * int
+  | Approx of float
+
+let two_pi = 2.0 *. Float.pi
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let canon_float r =
+  let r = Float.rem r two_pi in
+  let r = if r < 0.0 then r +. two_pi else r in
+  if r >= two_pi then 0.0 else r
+
+(* Overflow-checked multiplication; raises [Exit] on overflow so callers can
+   degrade to the float representation. *)
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a then raise Exit else c
+
+let make_rat num den =
+  assert (den <> 0);
+  let num, den = if den < 0 then (-num, -den) else (num, den) in
+  let g = gcd (abs num) den in
+  let g = if g = 0 then 1 else g in
+  let num = num / g and den = den / g in
+  (* Reduce modulo 2*pi: num mod (2*den), mapped into [0, 2*den). *)
+  let m = 2 * den in
+  let num = ((num mod m) + m) mod m in
+  Rat (num, den)
+
+let zero = make_rat 0 1
+let pi = make_rat 1 1
+let half_pi = make_rat 1 2
+let minus_half_pi = make_rat (-1) 2
+let quarter_pi = make_rat 1 4
+let of_pi_fraction num den = make_rat num den
+
+let to_float = function
+  | Rat (num, den) -> float_of_int num /. float_of_int den *. Float.pi
+  | Approx r -> r
+
+(* Snap a float angle to an exact dyadic fraction of pi when very close. *)
+let of_float r =
+  let r = canon_float r in
+  let frac = r /. Float.pi in
+  let rec try_den den =
+    if den > 1 lsl 20 then Approx r
+    else
+      let scaled = frac *. float_of_int den in
+      let n = Float.round scaled in
+      if Float.abs (scaled -. n) < 1e-12 *. float_of_int den && Float.abs n < 1e18
+      then make_rat (int_of_float n) den
+      else try_den (den * 2)
+  in
+  try_den 1
+
+let add p q =
+  match (p, q) with
+  | Rat (n1, d1), Rat (n2, d2) -> (
+      try
+        let g = gcd d1 d2 in
+        let l = mul_exact (d1 / g) d2 in
+        let n = mul_exact n1 (l / d1) + mul_exact n2 (l / d2) in
+        make_rat n l
+      with Exit -> Approx (canon_float (to_float p +. to_float q)))
+  | _ -> Approx (canon_float (to_float p +. to_float q))
+
+let neg = function
+  | Rat (n, d) -> make_rat (-n) d
+  | Approx r -> Approx (canon_float (-.r))
+
+let sub p q = add p (neg q)
+
+let double = function
+  | Rat (n, d) -> make_rat (2 * n) d
+  | Approx r -> Approx (canon_float (2.0 *. r))
+
+let half = function
+  | Rat (n, d) -> (
+      try make_rat n (mul_exact 2 d)
+      with Exit -> Approx (canon_float (float_of_int n /. float_of_int d *. Float.pi /. 2.0)))
+  | Approx r -> Approx (canon_float (r /. 2.0))
+
+let float_is ~target r =
+  Float.abs (r -. target) < 1e-9 || Float.abs (r -. target -. two_pi) < 1e-9
+
+let is_zero = function
+  | Rat (n, _) -> n = 0
+  | Approx r -> float_is ~target:0.0 r
+
+let is_pi = function
+  | Rat (n, d) -> n = d
+  | Approx r -> float_is ~target:Float.pi r
+
+let is_pauli p = is_zero p || is_pi p
+
+let is_clifford = function
+  | Rat (_, d) -> d = 1 || d = 2
+  | Approx r ->
+      let q = r /. (Float.pi /. 2.0) in
+      Float.abs (q -. Float.round q) < 1e-9
+
+let is_proper_clifford p = is_clifford p && not (is_pauli p)
+let is_exact = function Rat _ -> true | Approx _ -> false
+
+let equal p q =
+  match (p, q) with
+  | Rat (n1, d1), Rat (n2, d2) -> n1 = n2 && d1 = d2
+  | _ ->
+      let a = canon_float (to_float p) and b = canon_float (to_float q) in
+      Float.abs (a -. b) < 1e-9 || Float.abs (Float.abs (a -. b) -. two_pi) < 1e-9
+
+let compare p q = Float.compare (to_float p) (to_float q)
+
+let pp ppf = function
+  | Rat (0, _) -> Format.pp_print_string ppf "0"
+  | Rat (1, 1) -> Format.pp_print_string ppf "pi"
+  | Rat (n, 1) -> Format.fprintf ppf "%d*pi" n
+  | Rat (1, d) -> Format.fprintf ppf "pi/%d" d
+  | Rat (n, d) -> Format.fprintf ppf "%d*pi/%d" n d
+  | Approx r -> Format.fprintf ppf "%.6f" r
+
+let to_string p = Format.asprintf "%a" pp p

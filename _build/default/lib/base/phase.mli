@@ -1,0 +1,67 @@
+(** Gate angles as exact rational multiples of pi.
+
+    The ZX-calculus side of the equivalence checker needs to decide exactly
+    whether a phase is a Pauli phase (multiple of pi) or a proper Clifford
+    phase (odd multiple of pi/2).  All angles occurring in the paper's
+    benchmark circuits (QFT, Grover, QPE, Clifford+T) are dyadic rational
+    multiples of pi, so they are representable exactly.  Angles that do not
+    fit (or whose exact arithmetic would overflow) degrade gracefully to a
+    floating-point representation, which mirrors the numerical-robustness
+    discussion in Section 6.2 of the paper.
+
+    A value represents an angle in radians, kept canonical modulo 2*pi. *)
+
+type t
+
+val zero : t
+val pi : t
+val half_pi : t
+
+(** [minus_half_pi] is -pi/2 (canonically 3*pi/2). *)
+val minus_half_pi : t
+
+val quarter_pi : t
+
+(** [of_pi_fraction num den] is the angle [num/den * pi].  [den] must be
+    non-zero. *)
+val of_pi_fraction : int -> int -> t
+
+(** [of_float radians] snaps to an exact dyadic fraction of pi when the
+    angle is within 1e-12 of one with denominator up to 2^20, and falls back
+    to the float representation otherwise. *)
+val of_float : float -> t
+
+val to_float : t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [double p] is [2 * p] modulo 2*pi. *)
+val double : t -> t
+
+(** [half p] is an angle [h] with [2 * h = p] modulo 2*pi (the other
+    solution differs by pi; gate decompositions using [half] are invariant
+    under that choice). *)
+val half : t -> t
+
+val is_zero : t -> bool
+
+(** [is_pauli p] holds when [p] is 0 or pi (modulo 2*pi). *)
+val is_pauli : t -> bool
+
+val is_pi : t -> bool
+
+(** [is_clifford p] holds when [p] is a multiple of pi/2. *)
+val is_clifford : t -> bool
+
+(** [is_proper_clifford p] holds when [p] is pi/2 or 3*pi/2. *)
+val is_proper_clifford : t -> bool
+
+(** [is_exact p] is [true] when the angle is stored as an exact rational
+    multiple of pi. *)
+val is_exact : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,8 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x5eed |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+let int t bound = Random.State.int t bound
+let bool t = Random.State.bool t
+let float t bound = Random.State.float t bound
+let bits64 t = Random.State.bits64 t

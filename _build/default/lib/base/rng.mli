@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random number generation.
+
+    A thin wrapper over [Random.State] giving every consumer an explicit,
+    seedable generator so that benchmark workloads, error injection and
+    random-stimuli simulation are reproducible run to run. *)
+
+type t
+
+val make : seed:int -> t
+
+(** [split t] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [bits64 t] returns 64 random bits. *)
+val bits64 : t -> int64

@@ -1,0 +1,1 @@
+lib/circuit/decompose.ml: Circuit Cx Dmatrix Gate List Oqec_base Phase

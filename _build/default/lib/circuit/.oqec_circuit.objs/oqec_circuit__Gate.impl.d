@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Cx Dmatrix Float Format Oqec_base Phase

@@ -1,0 +1,1 @@
+lib/circuit/gate.mli: Dmatrix Format Oqec_base Phase

@@ -1,0 +1,1 @@
+lib/circuit/render.ml: Array Buffer Circuit Format Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/render.mli: Circuit

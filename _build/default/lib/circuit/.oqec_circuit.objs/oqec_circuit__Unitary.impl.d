@@ -1,0 +1,1 @@
+lib/circuit/unitary.ml: Array Circuit Cx Dmatrix Gate List Oqec_base Printf

@@ -1,0 +1,1 @@
+lib/circuit/unitary.mli: Circuit Cx Dmatrix Oqec_base

@@ -1,0 +1,180 @@
+open Oqec_base
+
+type op =
+  | Gate of Gate.t * int
+  | Ctrl of int list * Gate.t * int
+  | Swap of int * int
+  | Barrier
+
+type t = {
+  name : string;
+  num_qubits : int;
+  rev_ops : op list;
+  n_ops : int;
+  initial_layout : Perm.t option;
+  output_perm : Perm.t option;
+}
+
+let create ?(name = "circuit") num_qubits =
+  if num_qubits < 0 then invalid_arg "Circuit.create: negative width";
+  { name; num_qubits; rev_ops = []; n_ops = 0; initial_layout = None; output_perm = None }
+
+let name c = c.name
+let num_qubits c = c.num_qubits
+let ops c = List.rev c.rev_ops
+let ops_array c = Array.of_list (ops c)
+
+let op_qubits = function
+  | Gate (_, t) -> [ t ]
+  | Ctrl (cs, _, t) -> cs @ [ t ]
+  | Swap (a, b) -> [ a; b ]
+  | Barrier -> []
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.mem x rest)) && distinct rest
+
+let validate_op num_qubits op =
+  let qs = op_qubits op in
+  if List.exists (fun q -> q < 0 || q >= num_qubits) qs then
+    invalid_arg "Circuit.add: wire index out of range";
+  if not (distinct qs) then invalid_arg "Circuit.add: colliding operands";
+  match op with
+  | Ctrl ([], _, _) -> invalid_arg "Circuit.add: empty control list"
+  | Ctrl (_, _, _) | Gate _ | Swap _ | Barrier -> ()
+
+let add c op =
+  validate_op c.num_qubits op;
+  { c with rev_ops = op :: c.rev_ops; n_ops = c.n_ops + 1 }
+
+let add_list c l = List.fold_left add c l
+let gate c g q = add c (Gate (g, q))
+let cx c a b = add c (Ctrl ([ a ], Gate.X, b))
+let cz c a b = add c (Ctrl ([ a ], Gate.Z, b))
+let ccx c a b t = add c (Ctrl ([ a; b ], Gate.X, t))
+let mcx c cs t = add c (Ctrl (cs, Gate.X, t))
+let swap c a b = add c (Swap (a, b))
+let h c q = gate c Gate.H q
+let x c q = gate c Gate.X q
+let z c q = gate c Gate.Z q
+let s c q = gate c Gate.S q
+let t_gate c q = gate c Gate.T q
+let rz c a q = gate c (Gate.Rz a) q
+let rx c a q = gate c (Gate.Rx a) q
+let ry c a q = gate c (Gate.Ry a) q
+let p c a q = gate c (Gate.P a) q
+let cp c a ctl tgt = add c (Ctrl ([ ctl ], Gate.P a, tgt))
+let with_name c name = { c with name }
+let initial_layout c = c.initial_layout
+let output_perm c = c.output_perm
+let with_initial_layout c initial_layout = { c with initial_layout }
+let with_output_perm c output_perm = { c with output_perm }
+
+let inverse_op = function
+  | Gate (g, t) -> Gate (Gate.inverse g, t)
+  | Ctrl (cs, g, t) -> Ctrl (cs, Gate.inverse g, t)
+  | Swap (a, b) -> Swap (a, b)
+  | Barrier -> Barrier
+
+let inverse c =
+  {
+    name = c.name ^ "_dg";
+    num_qubits = c.num_qubits;
+    (* Program order of the inverse is the reverse of [ops c] with each op
+       inverted; stored reversed, that is [ops c] mapped through the
+       inverse. *)
+    rev_ops = List.map inverse_op (List.rev c.rev_ops);
+    n_ops = c.n_ops;
+    initial_layout = None;
+    output_perm = None;
+  }
+
+let append a b =
+  if a.num_qubits <> b.num_qubits then invalid_arg "Circuit.append: width mismatch";
+  { a with rev_ops = b.rev_ops @ a.rev_ops; n_ops = a.n_ops + b.n_ops }
+
+let map_op_qubits f = function
+  | Gate (g, t) -> Gate (g, f t)
+  | Ctrl (cs, g, t) -> Ctrl (List.map f cs, g, f t)
+  | Swap (a, b) -> Swap (f a, f b)
+  | Barrier -> Barrier
+
+let map_qubits f c =
+  let remapped = List.rev_map (map_op_qubits f) c.rev_ops in
+  List.iter (validate_op c.num_qubits) remapped;
+  { c with rev_ops = List.rev remapped }
+
+let embed c ~num_qubits =
+  if num_qubits < c.num_qubits then invalid_arg "Circuit.embed: narrower target";
+  { c with num_qubits }
+
+let is_real_gate = function Gate _ | Ctrl _ | Swap _ -> true | Barrier -> false
+let gate_count c = List.length (List.filter is_real_gate c.rev_ops)
+
+let two_qubit_count c =
+  let multi = function
+    | Ctrl _ | Swap _ -> true
+    | Gate _ | Barrier -> false
+  in
+  List.length (List.filter multi c.rev_ops)
+
+(* Count T-type phases: T/Tdg, and rotations by odd multiples of pi/4. *)
+let t_count c =
+  let is_t_angle a =
+    Phase.equal a Phase.quarter_pi
+    || Phase.equal a (Phase.of_pi_fraction (-1) 4)
+    || Phase.equal a (Phase.of_pi_fraction 3 4)
+    || Phase.equal a (Phase.of_pi_fraction (-3) 4)
+  in
+  let count_gate = function
+    | Gate.T | Gate.Tdg -> 1
+    | Gate.Rz a | Gate.P a -> if is_t_angle a then 1 else 0
+    | Gate.I | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.Sx
+    | Gate.Sxdg | Gate.Rx _ | Gate.Ry _ | Gate.U _ ->
+        0
+  in
+  let count_op = function
+    | Gate (g, _) | Ctrl (_, g, _) -> count_gate g
+    | Swap _ | Barrier -> 0
+  in
+  List.fold_left (fun acc op -> acc + count_op op) 0 c.rev_ops
+
+let depth c =
+  let level = Array.make (max 1 c.num_qubits) 0 in
+  let advance op =
+    match op_qubits op with
+    | [] -> ()
+    | qs ->
+        let d = 1 + List.fold_left (fun m q -> max m level.(q)) 0 qs in
+        List.iter (fun q -> level.(q) <- d) qs
+  in
+  List.iter advance (ops c);
+  Array.fold_left max 0 level
+
+let used_qubits c =
+  let module S = Set.Make (Int) in
+  let add_op acc op = List.fold_left (fun s q -> S.add q s) acc (op_qubits op) in
+  S.elements (List.fold_left add_op S.empty c.rev_ops)
+
+let equal_op a b =
+  match (a, b) with
+  | Gate (g1, t1), Gate (g2, t2) -> Gate.equal g1 g2 && t1 = t2
+  | Ctrl (c1, g1, t1), Ctrl (c2, g2, t2) ->
+      List.sort compare c1 = List.sort compare c2 && Gate.equal g1 g2 && t1 = t2
+  | Swap (a1, b1), Swap (a2, b2) -> (a1, b1) = (a2, b2) || (a1, b1) = (b2, a2)
+  | Barrier, Barrier -> true
+  | (Gate _ | Ctrl _ | Swap _ | Barrier), _ -> false
+
+let pp_op ppf = function
+  | Gate (g, t) -> Format.fprintf ppf "%a q%d" Gate.pp g t
+  | Ctrl (cs, g, t) ->
+      Format.fprintf ppf "c%a %s-> q%d" Gate.pp g
+        (String.concat "" (List.map (fun q -> Printf.sprintf "q%d " q) cs))
+        t
+  | Swap (a, b) -> Format.fprintf ppf "swap q%d q%d" a b
+  | Barrier -> Format.pp_print_string ppf "barrier"
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%s: %d qubits, %d ops@," c.name c.num_qubits c.n_ops;
+  List.iter (fun op -> Format.fprintf ppf "  %a@," pp_op op) (ops c);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,112 @@
+(** Quantum circuits.
+
+    A circuit is a sequence of operations over [num_qubits] wires, plus the
+    compilation metadata needed for equivalence checking: an optional
+    initial layout (where each logical qubit starts on the physical
+    register) and an optional output permutation (where each logical qubit
+    ends up, cf. Fig. 2 of the paper). *)
+
+open Oqec_base
+
+type op =
+  | Gate of Gate.t * int  (** single-qubit gate on a target wire *)
+  | Ctrl of int list * Gate.t * int
+      (** controlled gate: non-empty control wires, base gate, target *)
+  | Swap of int * int
+  | Barrier
+
+type t
+
+(** [create ?name n] is the empty circuit on [n] qubits. *)
+val create : ?name:string -> int -> t
+
+val name : t -> string
+val num_qubits : t -> int
+
+(** [ops c] lists the operations in program order. *)
+val ops : t -> op list
+
+val ops_array : t -> op array
+
+(** [add c op] appends [op]; raises [Invalid_argument] if any wire index is
+    out of range or operands collide (e.g. control equals target). *)
+val add : t -> op -> t
+
+val add_list : t -> op list -> t
+
+(** Convenience constructors appending common gates. *)
+
+val gate : t -> Gate.t -> int -> t
+val cx : t -> int -> int -> t
+val cz : t -> int -> int -> t
+val ccx : t -> int -> int -> int -> t
+val mcx : t -> int list -> int -> t
+val swap : t -> int -> int -> t
+val h : t -> int -> t
+val x : t -> int -> t
+val z : t -> int -> t
+val s : t -> int -> t
+val t_gate : t -> int -> t
+val rz : t -> Phase.t -> int -> t
+val rx : t -> Phase.t -> int -> t
+val ry : t -> Phase.t -> int -> t
+val p : t -> Phase.t -> int -> t
+val cp : t -> Phase.t -> int -> int -> t
+
+val with_name : t -> string -> t
+
+(** Layout metadata (logical qubit [q] starts at / ends up on wire). *)
+
+val initial_layout : t -> Perm.t option
+val output_perm : t -> Perm.t option
+val with_initial_layout : t -> Perm.t option -> t
+val with_output_perm : t -> Perm.t option -> t
+
+(** [inverse c] reverses the operation order and inverts every gate, so
+    that [c] followed by [inverse c] is the identity.  Layout metadata is
+    dropped (the inverse of a compiled circuit is only used as a miter
+    half, where the checker supplies the permutations). *)
+val inverse : t -> t
+
+(** [append a b] concatenates the operations of [b] after [a] (same width
+    required); metadata of [a] is kept. *)
+val append : t -> t -> t
+
+(** [map_qubits f c] relabels every wire through [f], validating the
+    result against width [num_qubits]. *)
+val map_qubits : (int -> int) -> t -> t
+
+(** [embed c ~num_qubits] widens the register, keeping wire indices. *)
+val embed : t -> num_qubits:int -> t
+
+(** Statistics *)
+
+val gate_count : t -> int
+
+(** [two_qubit_count c] counts operations touching two or more qubits. *)
+val two_qubit_count : t -> int
+
+(** [t_count c] counts T/Tdg gates (and odd multiples of pi/4 in phase
+    rotations). *)
+val t_count : t -> int
+
+val depth : t -> int
+
+(** [op_qubits op] lists the wires an operation touches. *)
+val op_qubits : op -> int list
+
+(** [used_qubits c] is the sorted list of wires referenced by any op. *)
+val used_qubits : t -> int list
+
+(** [inverse_op op] is the inverse of a single operation.
+
+    Caveat: for {e controlled} rotation gates (Rx/Ry/Rz/U under [Ctrl])
+    the result is only the inverse up to a controlled sign, because gate
+    angles are canonical modulo 2*pi while rotations have period 4*pi.
+    Lower such operations first (see [Decompose.elementary]) when exact
+    inversion matters — the equivalence checkers do this internally. *)
+val inverse_op : op -> op
+
+val equal_op : op -> op -> bool
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,266 @@
+open Oqec_base
+
+(* All decompositions in this module are exact up to global phase; the test
+   suite checks every branch against the dense reference semantics. *)
+
+let g gate t = Circuit.Gate (gate, t)
+let cx c t = Circuit.Ctrl ([ c ], Gate.X, t)
+let cp a c t = Circuit.Ctrl ([ c ], Gate.P a, t)
+
+let swap_to_cx a b = [ cx a b; cx b a; cx a b ]
+
+(* CP(a) = P(a/2) c . P(a/2) t . CX . P(-a/2) t . CX *)
+let cp_ops a c t =
+  let h = Phase.half a in
+  [ g (Gate.P h) c; g (Gate.P h) t; cx c t; g (Gate.P (Phase.neg h)) t; cx c t ]
+
+(* crz(a) = rz(a/2) t . CX . rz(-a/2) t . CX *)
+let crz_ops a c t =
+  let h = Phase.half a in
+  [ g (Gate.Rz h) t; cx c t; g (Gate.Rz (Phase.neg h)) t; cx c t ]
+
+let cry_ops a c t =
+  let h = Phase.half a in
+  [ g (Gate.Ry h) t; cx c t; g (Gate.Ry (Phase.neg h)) t; cx c t ]
+
+let crx_ops a c t = (g Gate.H t :: crz_ops a c t) @ [ g Gate.H t ]
+
+(* qelib1's exact controlled-Hadamard sequence. *)
+let ch_ops c t =
+  [
+    g Gate.H t; g Gate.Sdg t; cx c t; g Gate.H t; g Gate.T t; cx c t; g Gate.T t;
+    g Gate.H t; g Gate.S t; g Gate.X t; g Gate.S c;
+  ]
+
+let cy_ops c t = [ g Gate.Sdg t; cx c t; g Gate.S t ]
+
+(* Sx = H P(pi/2) H exactly, so csx = H t . CP(pi/2) . H t. *)
+let csx_ops c t = [ g Gate.H t; cp Phase.half_pi c t; g Gate.H t ]
+let csxdg_ops c t = [ g Gate.H t; cp Phase.minus_half_pi c t; g Gate.H t ]
+
+(* qelib1's exact cu3 sequence.  The halved angles must be real halves of
+   the same real representatives (halving after reduction modulo 2*pi
+   introduces pi-offsets that break the identity), so this is computed in
+   the float domain. *)
+let cu3_ops theta phi lambda c t =
+  let th = Phase.to_float theta
+  and ph = Phase.to_float phi
+  and lm = Phase.to_float lambda in
+  let p x = Phase.of_float x in
+  [
+    g (Gate.P (p ((lm +. ph) /. 2.0))) c;
+    g (Gate.P (p ((lm -. ph) /. 2.0))) t;
+    cx c t;
+    g (Gate.U (p (-.th /. 2.0), Phase.zero, p (-.(ph +. lm) /. 2.0))) t;
+    cx c t;
+    g (Gate.U (p (th /. 2.0), p ph, Phase.zero)) t;
+  ]
+
+(* Standard Clifford+T Toffoli (exact). *)
+let ccx_ops a b t =
+  [
+    g Gate.H t; cx b t; g Gate.Tdg t; cx a t; g Gate.T t; cx b t; g Gate.Tdg t;
+    cx a t; g Gate.T b; g Gate.T t; g Gate.H t; cx a b; g Gate.T a; g Gate.Tdg b;
+    cx a b;
+  ]
+
+let rec last_and_front = function
+  | [] -> invalid_arg "last_and_front"
+  | [ x ] -> (x, [])
+  | x :: rest ->
+      let l, f = last_and_front rest in
+      (l, x :: f)
+
+(* C^n(X^(1/2^k)) by the ancilla-free Barenco et al. recursion.  The
+   principal root is exact with no phase correction:
+   H P(pi/2^k) H has eigenvalues 1 and e^(i pi/2^k), squaring to
+   H P(pi/2^(k-1)) H and eventually to X itself. *)
+let rec mc_xroot controls t k =
+  let root_angle = Phase.of_pi_fraction 1 (1 lsl k) in
+  match controls with
+  | [] ->
+      if k = 0 then [ g Gate.X t ]
+      else [ g Gate.H t; g (Gate.P root_angle) t; g Gate.H t ]
+  | [ c ] ->
+      if k = 0 then [ cx c t ]
+      else [ g Gate.H t; cp root_angle c t; g Gate.H t ]
+  | [ a; b ] when k = 0 -> ccx_ops a b t
+  | controls ->
+      let cn, front = last_and_front controls in
+      mc_xroot [ cn ] t (k + 1)
+      @ mc_xroot front cn 0
+      @ List.map Circuit.inverse_op (List.rev (mc_xroot [ cn ] t (k + 1)))
+      @ mc_xroot front cn 0
+      @ mc_xroot front t (k + 1)
+
+let mcx_ops controls t = mc_xroot controls t 0
+
+(* C^n(P(a)): same recursion with phase roots (exact at every level). *)
+let rec mcp_ops a controls t =
+  match controls with
+  | [] -> [ g (Gate.P a) t ]
+  | [ c ] -> [ cp a c t ]
+  | controls ->
+      let cn, front = last_and_front controls in
+      let h = Phase.half a in
+      (cp h cn t :: mcx_ops front cn)
+      @ (cp (Phase.neg h) cn t :: mcx_ops front cn)
+      @ mcp_ops h front t
+
+let mcz_ops controls t = (g Gate.H t :: mcx_ops controls t) @ [ g Gate.H t ]
+
+(* ---------------------------------------------- Arbitrary controlled-U *)
+
+(* ZYZ Euler angles: m = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta). *)
+let euler_zyz (m : Dmatrix.t) =
+  let m00 = Dmatrix.get m 0 0
+  and m01 = Dmatrix.get m 0 1
+  and m10 = Dmatrix.get m 1 0
+  and m11 = Dmatrix.get m 1 1 in
+  let det = Cx.sub (Cx.mul m00 m11) (Cx.mul m01 m10) in
+  let alpha = Cx.arg det /. 2.0 in
+  (* Reduce to SU(2). *)
+  let inv_phase = Cx.e_i (-.alpha) in
+  let v00 = Cx.mul inv_phase m00 and v10 = Cx.mul inv_phase m10 in
+  let gamma = 2.0 *. atan2 (Cx.mag v10) (Cx.mag v00) in
+  if Cx.mag v00 < 1e-12 then
+    (* Pure off-diagonal: beta - delta = 2 arg v10 + pi ambiguity folded
+       into the convention arg(v10) = (beta - delta)/2. *)
+    (alpha, 2.0 *. Cx.arg v10, gamma, 0.0)
+  else if Cx.mag v10 < 1e-12 then (alpha, -2.0 *. Cx.arg v00, gamma, 0.0)
+  else
+    let beta = Cx.arg v10 -. Cx.arg v00 in
+    let delta = -.Cx.arg v10 -. Cx.arg v00 in
+    (alpha, beta, gamma, delta)
+
+(* The standard ABC construction: CU = P(alpha)_c . A . CX . B . CX . C
+   with A = Rz(b) Ry(g/2), B = Ry(-g/2) Rz(-(d+b)/2), C = Rz((d-b)/2). *)
+let cu_ops (m : Dmatrix.t) c t =
+  let alpha, beta, gamma, delta = euler_zyz m in
+  let p x = Phase.of_float x in
+  [
+    g (Gate.Rz (p ((delta -. beta) /. 2.0))) t;
+    cx c t;
+    g (Gate.Rz (p (-.(delta +. beta) /. 2.0))) t;
+    g (Gate.Ry (p (-.gamma /. 2.0))) t;
+    cx c t;
+    g (Gate.Ry (p (gamma /. 2.0))) t;
+    g (Gate.Rz (p beta)) t;
+    g (Gate.P (p alpha)) c;
+  ]
+
+(* Principal square root of a 2x2 unitary: write m = e^{i a} (cos(h) I -
+   i sin(h) n.sigma) and halve both the phase and the rotation angle. *)
+let matrix_sqrt (m : Dmatrix.t) =
+  let m00 = Dmatrix.get m 0 0
+  and m01 = Dmatrix.get m 0 1
+  and m10 = Dmatrix.get m 1 0
+  and m11 = Dmatrix.get m 1 1 in
+  let det = Cx.sub (Cx.mul m00 m11) (Cx.mul m01 m10) in
+  let a = Cx.arg det /. 2.0 in
+  let inv = Cx.e_i (-.a) in
+  let r00 = Cx.mul inv m00
+  and r01 = Cx.mul inv m01
+  and r10 = Cx.mul inv m10
+  and r11 = Cx.mul inv m11 in
+  let cos_h = (Cx.re r00 +. Cx.re r11) /. 2.0 in
+  let sx = -.((Cx.im r01 +. Cx.im r10) /. 2.0) in
+  let sy = (Cx.re r10 -. Cx.re r01) /. 2.0 in
+  let sz = -.((Cx.im r00 -. Cx.im r11) /. 2.0) in
+  let sin_h = sqrt ((sx *. sx) +. (sy *. sy) +. (sz *. sz)) in
+  let h = atan2 sin_h cos_h in
+  let nx, ny, nz =
+    if sin_h < 1e-12 then (0.0, 0.0, 1.0) else (sx /. sin_h, sy /. sin_h, sz /. sin_h)
+  in
+  let h2 = h /. 2.0 in
+  let c2 = cos h2 and s2 = sin h2 in
+  let phase = Cx.e_i (a /. 2.0) in
+  let entry re im = Cx.mul phase (Cx.make re im) in
+  Dmatrix.make 2 2 (fun i j ->
+      match (i, j) with
+      | 0, 0 -> entry c2 (-.(nz *. s2))
+      | 0, 1 -> entry (-.(ny *. s2)) (-.(nx *. s2))
+      | 1, 0 -> entry (ny *. s2) (-.(nx *. s2))
+      | _ -> entry c2 (nz *. s2))
+
+(* Barenco et al.: C^n(U) = C(V)[cn] . C^{n-1}X . C(V+)[cn] . C^{n-1}X .
+   C^{n-1}(V) with V^2 = U, recursing on matrices so arbitrary
+   single-qubit gates gain any number of controls. *)
+let rec mcu_ops (m : Dmatrix.t) controls t =
+  match controls with
+  | [] ->
+      (* Only reached at the top level, where global phase is free. *)
+      let _, beta, gamma, delta = euler_zyz m in
+      let p x = Phase.of_float x in
+      [ g (Gate.Rz (p delta)) t; g (Gate.Ry (p gamma)) t; g (Gate.Rz (p beta)) t ]
+  | [ c ] -> cu_ops m c t
+  | controls ->
+      let cn, front = last_and_front controls in
+      let v = matrix_sqrt m in
+      cu_ops v cn t
+      @ mcx_ops front cn
+      @ cu_ops (Dmatrix.adjoint v) cn t
+      @ mcx_ops front cn
+      @ mcu_ops v front t
+
+(* Expansion of one op into the elementary set. *)
+let elementary_op (op : Circuit.op) : Circuit.op list =
+  match op with
+  | Circuit.Gate _ | Circuit.Swap _ | Circuit.Barrier -> [ op ]
+  | Circuit.Ctrl ([ _ ], (Gate.X | Gate.Z | Gate.P _), _) -> [ op ]
+  | Circuit.Ctrl ([ c ], gate, t) -> (
+      match gate with
+      | Gate.I -> []
+      | Gate.Y -> cy_ops c t
+      | Gate.H -> ch_ops c t
+      | Gate.S -> [ cp Phase.half_pi c t ]
+      | Gate.Sdg -> [ cp Phase.minus_half_pi c t ]
+      | Gate.T -> [ cp Phase.quarter_pi c t ]
+      | Gate.Tdg -> [ cp (Phase.neg Phase.quarter_pi) c t ]
+      | Gate.Sx -> csx_ops c t
+      | Gate.Sxdg -> csxdg_ops c t
+      | Gate.Rx a -> crx_ops a c t
+      | Gate.Ry a -> cry_ops a c t
+      | Gate.Rz a -> crz_ops a c t
+      | Gate.U (theta, phi, lambda) -> cu3_ops theta phi lambda c t
+      | Gate.X | Gate.Z | Gate.P _ -> assert false)
+  | Circuit.Ctrl (cs, gate, t) -> (
+      match gate with
+      | Gate.I -> []
+      | Gate.X -> mcx_ops cs t
+      | Gate.Z -> mcz_ops cs t
+      | Gate.P a -> mcp_ops a cs t
+      | Gate.S -> mcp_ops Phase.half_pi cs t
+      | Gate.Sdg -> mcp_ops Phase.minus_half_pi cs t
+      | Gate.T -> mcp_ops Phase.quarter_pi cs t
+      | Gate.Tdg -> mcp_ops (Phase.neg Phase.quarter_pi) cs t
+      | Gate.Rz a -> (
+          (* C^n Rz(a) = C^n P(a) times C^(n-1) P(-a/2) on the controls. *)
+          match cs with
+          | first :: rest ->
+              mcp_ops a cs t @ mcp_ops (Phase.neg (Phase.half a)) rest first
+          | [] -> assert false)
+      | Gate.Y | Gate.H | Gate.Sx | Gate.Sxdg | Gate.Rx _ | Gate.Ry _ | Gate.U _ ->
+          mcu_ops (Gate.matrix gate) cs t)
+
+let expand f c =
+  let n = Circuit.num_qubits c in
+  let add acc op = List.fold_left Circuit.add acc (f op) in
+  let c' = List.fold_left add (Circuit.create ~name:(Circuit.name c) n) (Circuit.ops c) in
+  let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
+  Circuit.with_output_perm c' (Circuit.output_perm c)
+
+let elementary c = expand elementary_op c
+
+let to_cx_basis ?(keep_swaps = true) c =
+  let lower op =
+    List.concat_map
+      (fun op ->
+        match op with
+        | Circuit.Ctrl ([ c ], Gate.Z, t) -> [ g Gate.H t; cx c t; g Gate.H t ]
+        | Circuit.Ctrl ([ c ], Gate.P a, t) -> cp_ops a c t
+        | Circuit.Swap (a, b) when not keep_swaps -> swap_to_cx a b
+        | Circuit.Gate _ | Circuit.Ctrl _ | Circuit.Swap _ | Circuit.Barrier -> [ op ])
+      (elementary_op op)
+  in
+  expand lower c

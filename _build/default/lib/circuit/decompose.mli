@@ -1,0 +1,34 @@
+(** Gate decomposition passes.
+
+    Lowers the rich gate alphabet to small primitive sets, exactly (up to
+    global phase): multi-controlled gates expand via the ancilla-free
+    Barenco et al. recursion with controlled roots, exotic controlled
+    gates via their standard qelib1 sequences.  Used by the ZX translation
+    (which only understands single-qubit gates, CX, CZ and SWAP) and by
+    the compilation flow (device basis of arbitrary single-qubit rotations
+    plus CX, as in the paper's setup). *)
+
+
+(** Every controlled gate decomposes: phase-type gates through exact
+    rational recursions, arbitrary single-qubit gates through the ZYZ/ABC
+    construction and matrix square roots (float angles, exact up to
+    global phase). *)
+
+(** [elementary c] removes every multi-controlled gate (two or more
+    controls) and every controlled gate other than CX / CZ / controlled
+    phase, producing ops from: single-qubit gates, [Ctrl([c],X,_)],
+    [Ctrl([c],Z,_)], [Ctrl([c],P _,_)], [Swap], [Barrier]. *)
+val elementary : Circuit.t -> Circuit.t
+
+(** [to_cx_basis ?keep_swaps c] lowers further so that the only multi-qubit
+    operation is CX (controlled phases become CX + rotations, CZ becomes
+    H-conjugated CX).  SWAPs are kept as primitive when [keep_swaps] is
+    [true] (default), otherwise expanded into three CX. *)
+val to_cx_basis : ?keep_swaps:bool -> Circuit.t -> Circuit.t
+
+(** [swap_to_cx a b] is the 3-CNOT expansion of a SWAP. *)
+val swap_to_cx : int -> int -> Circuit.op list
+
+(** [cp_ops alpha ctl tgt] is the exact CX + phase expansion of a
+    controlled phase gate. *)
+val cp_ops : Oqec_base.Phase.t -> int -> int -> Circuit.op list

@@ -1,0 +1,135 @@
+open Oqec_base
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Sxdg
+  | Rx of Phase.t
+  | Ry of Phase.t
+  | Rz of Phase.t
+  | P of Phase.t
+  | U of Phase.t * Phase.t * Phase.t
+
+let of_entries a b c d =
+  let entries = [| [| a; b |]; [| c; d |] |] in
+  Dmatrix.make 2 2 (fun i j -> entries.(i).(j))
+
+(* u(theta, phi, lambda) as defined by OpenQASM / qiskit:
+   [[cos(t/2), -e^{i l} sin(t/2)], [e^{i p} sin(t/2), e^{i(p+l)} cos(t/2)]] *)
+let u_matrix theta phi lambda =
+  let t2 = Phase.to_float theta /. 2.0 in
+  let ct = cos t2 and st = sin t2 in
+  let p = Phase.to_float phi and l = Phase.to_float lambda in
+  of_entries (Cx.make ct 0.0)
+    (Cx.neg (Cx.scale st (Cx.e_i l)))
+    (Cx.scale st (Cx.e_i p))
+    (Cx.scale ct (Cx.e_i (p +. l)))
+
+let matrix = function
+  | I -> Dmatrix.identity 2
+  | X -> of_entries Cx.zero Cx.one Cx.one Cx.zero
+  | Y -> of_entries Cx.zero (Cx.neg Cx.i) Cx.i Cx.zero
+  | Z -> of_entries Cx.one Cx.zero Cx.zero Cx.minus_one
+  | H ->
+      let h = Cx.sqrt2_inv in
+      of_entries h h h (Cx.neg h)
+  | S -> of_entries Cx.one Cx.zero Cx.zero Cx.i
+  | Sdg -> of_entries Cx.one Cx.zero Cx.zero (Cx.neg Cx.i)
+  | T -> of_entries Cx.one Cx.zero Cx.zero (Cx.e_i (Float.pi /. 4.0))
+  | Tdg -> of_entries Cx.one Cx.zero Cx.zero (Cx.e_i (-.Float.pi /. 4.0))
+  | Sx ->
+      (* sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]] *)
+      let a = Cx.make 0.5 0.5 and b = Cx.make 0.5 (-0.5) in
+      of_entries a b b a
+  | Sxdg ->
+      let a = Cx.make 0.5 (-0.5) and b = Cx.make 0.5 0.5 in
+      of_entries a b b a
+  | Rx a ->
+      let t2 = Phase.to_float a /. 2.0 in
+      let c = Cx.make (cos t2) 0.0 and s = Cx.make 0.0 (-.sin t2) in
+      of_entries c s s c
+  | Ry a ->
+      let t2 = Phase.to_float a /. 2.0 in
+      let c = Cx.make (cos t2) 0.0 and s = Cx.make (sin t2) 0.0 in
+      of_entries c (Cx.neg s) s c
+  | Rz a ->
+      let t2 = Phase.to_float a /. 2.0 in
+      of_entries (Cx.e_i (-.t2)) Cx.zero Cx.zero (Cx.e_i t2)
+  | P a -> of_entries Cx.one Cx.zero Cx.zero (Cx.e_i (Phase.to_float a))
+  | U (theta, phi, lambda) -> u_matrix theta phi lambda
+
+let inverse = function
+  | I -> I
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | H -> H
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Sx -> Sxdg
+  | Sxdg -> Sx
+  | Rx a -> Rx (Phase.neg a)
+  | Ry a -> Ry (Phase.neg a)
+  | Rz a -> Rz (Phase.neg a)
+  | P a -> P (Phase.neg a)
+  | U (theta, phi, lambda) -> U (Phase.neg theta, Phase.neg lambda, Phase.neg phi)
+
+let is_clifford = function
+  | I | X | Y | Z | H | S | Sdg | Sx | Sxdg -> true
+  | T | Tdg -> false
+  | Rx a | Ry a | Rz a | P a -> Phase.is_clifford a
+  | U (theta, phi, lambda) ->
+      Phase.is_clifford theta && Phase.is_clifford phi && Phase.is_clifford lambda
+
+let is_diagonal = function
+  | I | Z | S | Sdg | T | Tdg | Rz _ | P _ -> true
+  | X | Y | H | Sx | Sxdg | Rx _ | Ry _ | U _ -> false
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y | P x, P y -> Phase.equal x y
+  | U (a1, a2, a3), U (b1, b2, b3) ->
+      Phase.equal a1 b1 && Phase.equal a2 b2 && Phase.equal a3 b3
+  | I, I | X, X | Y, Y | Z, Z | H, H | S, S | Sdg, Sdg | T, T | Tdg, Tdg
+  | Sx, Sx | Sxdg, Sxdg ->
+      true
+  | ( ( I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx _ | Ry _ | Rz _
+      | P _ | U _ ),
+      _ ) ->
+      false
+
+let name = function
+  | I -> "id"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | H -> "h"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Sx -> "sx"
+  | Sxdg -> "sxdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | P _ -> "p"
+  | U _ -> "u"
+
+let pp ppf g =
+  match g with
+  | Rx a | Ry a | Rz a | P a -> Format.fprintf ppf "%s(%a)" (name g) Phase.pp a
+  | U (t, p, l) ->
+      Format.fprintf ppf "u(%a,%a,%a)" Phase.pp t Phase.pp p Phase.pp l
+  | I | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg ->
+      Format.pp_print_string ppf (name g)

@@ -1,0 +1,50 @@
+(** Single-qubit gate alphabet.
+
+    Multi-qubit operations are built in {!Circuit} by adding controls to
+    these base gates (plus SWAP).  The alphabet covers the discrete
+    Clifford+T gates and the parameterised rotations appearing in the
+    paper's benchmark set (QFT, QPE, Grover, compiled circuits). *)
+
+open Oqec_base
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Sx
+  | Sxdg
+  | Rx of Phase.t
+  | Ry of Phase.t
+  | Rz of Phase.t
+  | P of Phase.t  (** phase gate diag(1, e^{i a}) *)
+  | U of Phase.t * Phase.t * Phase.t
+      (** generic single-qubit gate u(theta, phi, lambda) as in OpenQASM *)
+
+(** [matrix g] is the 2x2 unitary of [g]. *)
+val matrix : t -> Dmatrix.t
+
+(** [inverse g] satisfies [matrix (inverse g) * matrix g = I] up to a global
+    phase.  (The phase slack arises because {!Oqec_base.Phase} canonicalises
+    angles modulo 2*pi while rotation gates have period 4*pi; equivalence of
+    circuits is defined up to global phase anyway.) *)
+val inverse : t -> t
+
+(** [is_clifford g] holds for gates in the Clifford group (exact phases
+    only; rotations with non-Clifford angles return [false]). *)
+val is_clifford : t -> bool
+
+(** [is_diagonal g] holds when [matrix g] is diagonal. *)
+val is_diagonal : t -> bool
+
+(** [equal a b] is structural equality of the gate description (not of the
+    unitary: [Rz a] and [P a] differ). *)
+val equal : t -> t -> bool
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* Grid-based drawing: wire q lives on text row 2q, the rows between carry
+   the vertical connectors of multi-qubit gates. *)
+
+let label_of_gate g =
+  match g with
+  | Gate.I | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+  | Gate.Tdg | Gate.Sx | Gate.Sxdg ->
+      String.uppercase_ascii (Gate.name g)
+  | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.P _ | Gate.U _ ->
+      Format.asprintf "%a" Gate.pp g
+
+let to_ascii c =
+  let n = Circuit.num_qubits c in
+  if n = 0 then ""
+  else begin
+    (* Greedy column packing, as in depth computation. *)
+    let columns : (int * Circuit.op) list ref = ref [] in
+    (* (column, op) *)
+    let level = Array.make n 0 in
+    let place op =
+      match Circuit.op_qubits op with
+      | [] -> ()
+      | qs ->
+          let lo = List.fold_left min n qs and hi = List.fold_left max 0 qs in
+          (* A multi-qubit gate blocks every wire it spans. *)
+          let col = ref 0 in
+          for q = lo to hi do
+            col := max !col level.(q)
+          done;
+          for q = lo to hi do
+            level.(q) <- !col + 1
+          done;
+          columns := (!col, op) :: !columns
+    in
+    List.iter place (Circuit.ops c);
+    let n_cols = Array.fold_left max 0 level in
+    (* Determine each column's width from its widest label. *)
+    let width = Array.make (max 1 n_cols) 1 in
+    let cell_label op q =
+      match op with
+      | Circuit.Gate (g, t) when t = q -> Some (Printf.sprintf "[%s]" (label_of_gate g))
+      | Circuit.Ctrl (cs, _, _) when List.mem q cs -> Some "o"
+      | Circuit.Ctrl (_, g, t) when t = q -> (
+          match g with
+          | Gate.X -> Some "(+)"
+          | _ -> Some (Printf.sprintf "[%s]" (label_of_gate g)))
+      | Circuit.Swap (a, b) when q = a || q = b -> Some "x"
+      | Circuit.Gate _ | Circuit.Ctrl _ | Circuit.Swap _ | Circuit.Barrier -> None
+    in
+    List.iter
+      (fun (col, op) ->
+        List.iter
+          (fun q ->
+            match cell_label op q with
+            | Some s -> width.(col) <- max width.(col) (String.length s)
+            | None -> ())
+          (Circuit.op_qubits op))
+      !columns;
+    let rows = (2 * n) - 1 in
+    let prefix q = Printf.sprintf "q%-2d: " q in
+    let prefix_len = String.length (prefix 0) in
+    let total =
+      prefix_len + Array.fold_left (fun acc w -> acc + w + 2) 0 (Array.sub width 0 n_cols) + 1
+    in
+    let grid = Array.make_matrix rows total ' ' in
+    (* Horizontal wires. *)
+    for q = 0 to n - 1 do
+      let p = prefix q in
+      String.iteri (fun i ch -> grid.((2 * q)).(i) <- ch) p;
+      for x = prefix_len to total - 1 do
+        grid.(2 * q).(x) <- '-'
+      done
+    done;
+    let col_start = Array.make (max 1 n_cols) prefix_len in
+    for cidx = 1 to n_cols - 1 do
+      col_start.(cidx) <- col_start.(cidx - 1) + width.(cidx - 1) + 2
+    done;
+    let put_string row x s = String.iteri (fun i ch -> grid.(row).(x + i) <- ch) s in
+    let draw (col, op) =
+      let qs = Circuit.op_qubits op in
+      let x = col_start.(col) + 1 in
+      (match qs with
+      | [] -> ()
+      | _ ->
+          let lo = List.fold_left min n qs and hi = List.fold_left max 0 qs in
+          (* Vertical connector spanning the involved wires. *)
+          if hi > lo then
+            for row = (2 * lo) + 1 to (2 * hi) - 1 do
+              grid.(row).(x) <- '|'
+            done);
+      List.iter
+        (fun q ->
+          match cell_label op q with
+          | Some s -> put_string (2 * q) x s
+          | None -> ())
+        qs
+    in
+    List.iter draw (List.rev !columns);
+    let buf = Buffer.create (rows * total) in
+    for r = 0 to rows - 1 do
+      let line = String.init total (fun i -> grid.(r).(i)) in
+      (* Trim trailing blanks on connector rows. *)
+      let rec trim i = if i > 0 && line.[i - 1] = ' ' then trim (i - 1) else i in
+      Buffer.add_string buf (String.sub line 0 (trim total));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end
+
+let print c = print_string (to_ascii c)

@@ -1,0 +1,9 @@
+(** ASCII rendering of circuits in the usual wire notation (Section 2.1):
+    time flows left to right, controls are drawn as [o] connected to their
+    targets, boxed labels carry gate names and angles. *)
+
+(** [to_ascii c] draws the circuit.  Operations are packed greedily into
+    columns (parallel gates share a column). *)
+val to_ascii : Circuit.t -> string
+
+val print : Circuit.t -> unit

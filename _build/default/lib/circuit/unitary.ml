@@ -1,0 +1,81 @@
+open Oqec_base
+
+let max_qubits = 14
+
+let check_width n =
+  if n > max_qubits then
+    invalid_arg
+      (Printf.sprintf "Unitary: %d qubits exceeds the dense limit of %d" n max_qubits)
+
+(* Apply a 2x2 matrix to bit [t] of the index, restricted to indices where
+   all bits in [cs] are set. *)
+let apply_single n m cs t v =
+  let mask_ctrl = List.fold_left (fun acc c -> acc lor (1 lsl c)) 0 cs in
+  let bit = 1 lsl t in
+  let m00 = Dmatrix.get m 0 0
+  and m01 = Dmatrix.get m 0 1
+  and m10 = Dmatrix.get m 1 0
+  and m11 = Dmatrix.get m 1 1 in
+  for i = 0 to (1 lsl n) - 1 do
+    if i land bit = 0 && i land mask_ctrl = mask_ctrl then begin
+      let j = i lor bit in
+      let a = v.(i) and b = v.(j) in
+      v.(i) <- Cx.add (Cx.mul m00 a) (Cx.mul m01 b);
+      v.(j) <- Cx.add (Cx.mul m10 a) (Cx.mul m11 b)
+    end
+  done
+
+let apply_op_to_vector n op v =
+  check_width n;
+  match op with
+  | Circuit.Gate (g, t) -> apply_single n (Gate.matrix g) [] t v
+  | Circuit.Ctrl (cs, g, t) -> apply_single n (Gate.matrix g) cs t v
+  | Circuit.Swap (a, b) ->
+      let ba = 1 lsl a and bb = 1 lsl b in
+      for i = 0 to (1 lsl n) - 1 do
+        if i land ba = ba && i land bb = 0 then begin
+          let j = (i lxor ba) lor bb in
+          let t = v.(i) in
+          v.(i) <- v.(j);
+          v.(j) <- t
+        end
+      done
+  | Circuit.Barrier -> ()
+
+let apply_to_vector c v =
+  let n = Circuit.num_qubits c in
+  List.iter (fun op -> apply_op_to_vector n op v) (Circuit.ops c)
+
+let basis_state n i =
+  let v = Array.make (1 lsl n) Cx.zero in
+  v.(i) <- Cx.one;
+  v
+
+let unitary c =
+  let n = Circuit.num_qubits c in
+  check_width n;
+  let dim = 1 lsl n in
+  let m = Dmatrix.zero dim dim in
+  for j = 0 to dim - 1 do
+    let v = basis_state n j in
+    apply_to_vector c v;
+    for i = 0 to dim - 1 do
+      Dmatrix.set m i j v.(i)
+    done
+  done;
+  m
+
+let effective_unitary c =
+  let u = unitary c in
+  let with_in =
+    match Circuit.initial_layout c with
+    | None -> u
+    | Some l -> Dmatrix.mul u (Dmatrix.permutation_matrix l)
+  in
+  match Circuit.output_perm c with
+  | None -> with_in
+  | Some o -> Dmatrix.mul (Dmatrix.adjoint (Dmatrix.permutation_matrix o)) with_in
+
+let equivalent ?tol a b =
+  Circuit.num_qubits a = Circuit.num_qubits b
+  && Dmatrix.equal_up_to_phase ?tol (effective_unitary a) (effective_unitary b)

@@ -1,0 +1,40 @@
+(** Dense reference semantics of circuits.
+
+    Builds the full 2^n x 2^n system matrix of a circuit (Section 2.1 of
+    the paper).  Exponential, intended for small widths: the test suite
+    uses it as ground truth to validate the decision-diagram and
+    ZX-calculus representations, and the figure demos print it for the
+    3-qubit GHZ example.
+
+    Convention: qubit [q] is bit [q] of the basis-state index (qubit 0 is
+    the least significant bit). *)
+
+open Oqec_base
+
+(** Hard cap on the width accepted by [unitary] and [apply_to_vector]
+    (14 qubits); wider circuits raise [Invalid_argument]. *)
+val max_qubits : int
+
+(** [apply_op_to_vector n op v] applies one operation to a state vector of
+    length [2^n], in place. *)
+val apply_op_to_vector : int -> Circuit.op -> Cx.t array -> unit
+
+(** [apply_to_vector c v] applies the whole circuit to [v] in place. *)
+val apply_to_vector : Circuit.t -> Cx.t array -> unit
+
+(** [basis_state n i] is the computational basis vector [|i>]. *)
+val basis_state : int -> int -> Cx.t array
+
+(** [unitary c] is the system matrix of [c] (ignoring layout metadata). *)
+val unitary : Circuit.t -> Dmatrix.t
+
+(** [effective_unitary c] is the system matrix of [c] adjusted for its
+    layout metadata: input wires are re-indexed by the initial layout and
+    the output permutation is undone, so that two circuits implementing
+    the same computation have effective unitaries equal up to global
+    phase. *)
+val effective_unitary : Circuit.t -> Dmatrix.t
+
+(** [equivalent ?tol a b] compares effective unitaries up to global phase
+    (reference equivalence check used to validate the real checkers). *)
+val equivalent : ?tol:float -> Circuit.t -> Circuit.t -> bool

@@ -1,0 +1,1 @@
+lib/compile/architecture.ml: Array Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/compile/compile.ml: Architecture Decompose Optimize Oqec_base Oqec_circuit Perm Rng Route

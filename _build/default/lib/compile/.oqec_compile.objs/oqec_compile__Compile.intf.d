@@ -1,0 +1,1 @@
+lib/compile/compile.mli: Architecture Circuit Oqec_base Oqec_circuit Perm Rng

@@ -1,0 +1,1 @@
+lib/compile/optimize.ml: Array Circuit Gate List Option Oqec_base Oqec_circuit Phase

@@ -1,0 +1,1 @@
+lib/compile/optimize.mli: Circuit Oqec_circuit

@@ -1,0 +1,1 @@
+lib/compile/route.ml: Architecture Array Circuit List Oqec_base Oqec_circuit Perm Printf

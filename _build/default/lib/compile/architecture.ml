@@ -1,0 +1,119 @@
+type t = {
+  name : string;
+  num_qubits : int;
+  edges : (int * int) list;
+  adjacency : int list array;
+  (* All-pairs BFS predecessors, computed lazily per source. *)
+  bfs_cache : (int, int array) Hashtbl.t;
+}
+
+let make ~name ~num_qubits edge_list =
+  let adjacency = Array.make num_qubits [] in
+  let seen = Hashtbl.create 64 in
+  let canon (a, b) = if a < b then (a, b) else (b, a) in
+  let edges =
+    List.filter
+      (fun (a, b) ->
+        if a = b || a < 0 || b < 0 || a >= num_qubits || b >= num_qubits then
+          invalid_arg "Architecture.make: bad edge";
+        let c = canon (a, b) in
+        if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.replace seen c ();
+          true
+        end)
+      edge_list
+  in
+  List.iter
+    (fun (a, b) ->
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    edges;
+  { name; num_qubits; edges; adjacency; bfs_cache = Hashtbl.create 16 }
+
+let name a = a.name
+let num_qubits a = a.num_qubits
+let edges a = a.edges
+let neighbours a q = a.adjacency.(q)
+let connected a p q = List.mem q a.adjacency.(p)
+
+(* Parent array of a BFS tree rooted at [src]; -1 for unreachable/self. *)
+let bfs a src =
+  match Hashtbl.find_opt a.bfs_cache src with
+  | Some parents -> parents
+  | None ->
+      let parents = Array.make a.num_qubits (-1) in
+      let visited = Array.make a.num_qubits false in
+      visited.(src) <- true;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        List.iter
+          (fun w ->
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              parents.(w) <- v;
+              Queue.add w queue
+            end)
+          a.adjacency.(v)
+      done;
+      Hashtbl.replace a.bfs_cache src parents;
+      parents
+
+let shortest_path a p q =
+  if p = q then [ p ]
+  else begin
+    let parents = bfs a p in
+    if q <> p && parents.(q) = -1 then
+      invalid_arg (Printf.sprintf "Architecture: %d and %d are disconnected" p q);
+    let rec walk v acc = if v = p then p :: acc else walk parents.(v) (v :: acc) in
+    walk q []
+  end
+
+let distance a p q = List.length (shortest_path a p q) - 1
+let linear n = make ~name:(Printf.sprintf "linear-%d" n) ~num_qubits:n
+    (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let ring n =
+  let base = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in
+  let edges = if n > 2 then (n - 1, 0) :: base else base in
+  make ~name:(Printf.sprintf "ring-%d" n) ~num_qubits:n edges
+
+let grid ~rows ~cols =
+  let idx r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (idx r c, idx r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (idx r c, idx (r + 1) c) :: !edges
+    done
+  done;
+  make ~name:(Printf.sprintf "grid-%dx%d" rows cols) ~num_qubits:(rows * cols) !edges
+
+(* IBM Manhattan: five rows of qubits joined by bridge qubits in the
+   heavy-hex pattern. *)
+let manhattan =
+  let row lo hi = List.init (hi - lo) (fun i -> (lo + i, lo + i + 1)) in
+  let edges =
+    row 0 9            (* 0..9 *)
+    @ row 13 23        (* 13..23 *)
+    @ row 27 37        (* 27..37 *)
+    @ row 41 51        (* 41..51 *)
+    @ row 55 64        (* 55..64 *)
+    @ [
+        (0, 10); (10, 13);
+        (4, 11); (11, 17);
+        (8, 12); (12, 21);
+        (15, 24); (24, 29);
+        (19, 25); (25, 33);
+        (23, 26); (26, 37);
+        (27, 38); (38, 41);
+        (31, 39); (39, 45);
+        (35, 40); (40, 49);
+        (43, 52); (52, 56);
+        (47, 53); (53, 60);
+        (51, 54); (54, 64);
+      ]
+  in
+  make ~name:"ibmq-manhattan" ~num_qubits:65 edges

@@ -1,0 +1,33 @@
+(** Quantum device coupling maps.
+
+    An architecture restricts which physical qubit pairs two-qubit gates
+    may act on (Section 2.2 of the paper).  Provided topologies: linear
+    chains, rings, 2D grids and the heavy-hex lattice of IBM's 65-qubit
+    Manhattan device used in the paper's compiled-circuits use case. *)
+
+type t
+
+val make : name:string -> num_qubits:int -> (int * int) list -> t
+val name : t -> string
+val num_qubits : t -> int
+
+(** [edges a] lists each undirected coupling once. *)
+val edges : t -> (int * int) list
+
+val connected : t -> int -> int -> bool
+val neighbours : t -> int -> int list
+
+(** [distance a p q] is the hop count of a shortest coupling path. *)
+val distance : t -> int -> int -> int
+
+(** [shortest_path a p q] includes both endpoints. *)
+val shortest_path : t -> int -> int -> int list
+
+(** [linear n] is the chain 0 - 1 - ... - n-1 (cf. Fig. 2). *)
+val linear : int -> t
+
+val ring : int -> t
+val grid : rows:int -> cols:int -> t
+
+(** The 65-qubit heavy-hex coupling map of IBM Manhattan. *)
+val manhattan : t

@@ -1,0 +1,9 @@
+open Oqec_base
+open Oqec_circuit
+
+let run ?initial_layout ?(optimize = true) arch c =
+  let lowered = Decompose.to_cx_basis ~keep_swaps:false c in
+  let routed = Route.route arch ?initial_layout lowered in
+  if optimize then Optimize.optimize routed else routed
+
+let spread_layout arch rng = Perm.random (Rng.int rng) (Architecture.num_qubits arch)

@@ -1,0 +1,22 @@
+(** The compilation flow: decomposition to the device gate set followed by
+    layout and SWAP routing, mirroring the paper's first use case
+    (qiskit level-O1 compilation onto IBM Manhattan).
+
+    The result operates on the architecture's full register and carries
+    the initial layout and output permutation as metadata, which the
+    equivalence checkers consume. *)
+
+open Oqec_base
+open Oqec_circuit
+
+(** [run ?initial_layout ?optimize arch c] compiles [c] onto [arch]:
+    multi-qubit gates are lowered to CX (the paper's device basis is
+    arbitrary single-qubit rotations plus CNOT), the circuit is routed,
+    and with [optimize] (default [true]) a light peephole pass removes
+    the redundancies routing introduced. *)
+val run : ?initial_layout:Perm.t -> ?optimize:bool -> Architecture.t -> Circuit.t -> Circuit.t
+
+(** [spread_layout arch rng] draws a uniformly random initial layout over
+    the architecture's register — used by benchmarks to exercise
+    non-trivial layouts and output permutations. *)
+val spread_layout : Architecture.t -> Rng.t -> Perm.t

@@ -1,0 +1,232 @@
+open Oqec_base
+open Oqec_circuit
+
+(* ------------------------------------------------------------ Analysis *)
+
+let diag_phase_of = function
+  | Gate.Z -> Some Phase.pi
+  | Gate.S -> Some Phase.half_pi
+  | Gate.Sdg -> Some Phase.minus_half_pi
+  | Gate.T -> Some Phase.quarter_pi
+  | Gate.Tdg -> Some (Phase.neg Phase.quarter_pi)
+  | Gate.Rz a | Gate.P a -> Some a
+  | Gate.I | Gate.X | Gate.Y | Gate.H | Gate.Sx | Gate.Sxdg | Gate.Rx _
+  | Gate.Ry _ | Gate.U _ ->
+      None
+
+let xlike_angle_of = function
+  | Gate.X -> Some Phase.pi
+  | Gate.Sx -> Some Phase.half_pi
+  | Gate.Sxdg -> Some Phase.minus_half_pi
+  | Gate.Rx a -> Some a
+  | Gate.I | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.Rz _ | Gate.P _ | Gate.Ry _ | Gate.U _ ->
+      None
+
+let cp_angle_of = function
+  | Circuit.Ctrl ([ c ], Gate.Z, t) -> Some (Phase.pi, c, t)
+  | Circuit.Ctrl ([ c ], Gate.P a, t) -> Some (a, c, t)
+  | Circuit.Ctrl (_, _, _) | Circuit.Gate _ | Circuit.Swap _ | Circuit.Barrier -> None
+
+(* Does [op] act diagonally on wire [q]? *)
+let diagonal_on op q =
+  match op with
+  | Circuit.Gate (g, t) -> t = q && diag_phase_of g <> None
+  | Circuit.Ctrl (cs, g, t) ->
+      List.mem q cs || (t = q && (diag_phase_of g <> None || Gate.is_diagonal g))
+  | Circuit.Swap _ | Circuit.Barrier -> false
+
+(* Does [op] act as a pure X-basis operation on wire [q]? *)
+let xlike_on op q =
+  match op with
+  | Circuit.Gate (g, t) -> t = q && xlike_angle_of g <> None
+  | Circuit.Ctrl ([ _ ], Gate.X, t) -> t = q
+  | Circuit.Ctrl (_, _, _) | Circuit.Swap _ | Circuit.Barrier -> false
+
+(* [a] and [b] may be reordered across wire [q]. *)
+let commute_on a b q =
+  (diagonal_on a q && diagonal_on b q) || (xlike_on a q && xlike_on b q)
+
+let is_identity_op = function
+  | Circuit.Gate (Gate.I, _) -> true
+  | Circuit.Gate ((Gate.Rz a | Gate.Rx a | Gate.Ry a | Gate.P a), _) -> Phase.is_zero a
+  | Circuit.Gate (Gate.U (t, p, l), _) ->
+      Phase.is_zero t && Phase.is_zero p && Phase.is_zero l
+  | Circuit.Ctrl (_, Gate.I, _) -> true
+  | Circuit.Ctrl (_, (Gate.Rz a | Gate.P a), _) -> Phase.is_zero a
+  | Circuit.Gate _ | Circuit.Ctrl _ | Circuit.Swap _ | Circuit.Barrier -> false
+
+(* --------------------------------------------------------- Cancel pass *)
+
+type cell = {
+  mutable op : Circuit.op;
+  mutable alive : bool;
+  prevs : (int * int) list;  (* wire -> index of the previous op on it *)
+}
+
+let support op = List.sort_uniq compare (Circuit.op_qubits op)
+
+(* Controlled rotations do not invert exactly through [Circuit.inverse_op]
+   (angles are canonical modulo 2*pi while rotations have period 4*pi, so
+   the would-be inverse differs by a controlled sign); cancelling such a
+   pair would be unsound. *)
+let exactly_invertible = function
+  | Circuit.Ctrl (_, (Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.U _), _) -> false
+  | Circuit.Ctrl _ | Circuit.Gate _ | Circuit.Swap _ | Circuit.Barrier -> true
+
+(* Merge two operations acting on the same support, when possible.  The
+   result replaces the earlier one; soundness of moving the later one
+   backwards is guaranteed by the commutation scan in the caller. *)
+let merge_ops earlier later =
+  match (earlier, later) with
+  | Circuit.Gate (g1, q1), Circuit.Gate (g2, q2) when q1 = q2 -> (
+      match (diag_phase_of g1, diag_phase_of g2) with
+      | Some a, Some b -> Some (Circuit.Gate (Gate.P (Phase.add a b), q1))
+      | _ -> (
+          match (xlike_angle_of g1, xlike_angle_of g2) with
+          | Some a, Some b -> Some (Circuit.Gate (Gate.Rx (Phase.add a b), q1))
+          | _ -> (
+              match (g1, g2) with
+              | Gate.Ry a, Gate.Ry b -> Some (Circuit.Gate (Gate.Ry (Phase.add a b), q1))
+              | _ -> None)))
+  | _ -> (
+      match (cp_angle_of earlier, cp_angle_of later) with
+      | Some (a, c1, t1), Some (b, c2, t2)
+        when (c1, t1) = (c2, t2) || (c1, t1) = (t2, c2) ->
+          Some (Circuit.Ctrl ([ c1 ], Gate.P (Phase.add a b), t1))
+      | _ -> None)
+
+let cancel_pass c =
+  let ops = List.filter (fun op -> op <> Circuit.Barrier) (Circuit.ops c) in
+  let n = Circuit.num_qubits c in
+  let last = Array.make n (-1) in
+  let cells : cell array =
+    Array.make (List.length ops)
+      { op = Circuit.Barrier; alive = false; prevs = [] }
+  in
+  let n_cells = ref 0 in
+  let prev_on cell q = Option.value ~default:(-1) (List.assoc_opt q cell.prevs) in
+  (* First alive op on wire [q] at or before index [i]. *)
+  let rec alive_at q i =
+    if i < 0 then -1
+    else if cells.(i).alive then i
+    else alive_at q (prev_on cells.(i) q)
+  in
+  let push op =
+    let s = support op in
+    let prevs = List.map (fun q -> (q, last.(q))) s in
+    let i = !n_cells in
+    cells.(i) <- { op; alive = true; prevs };
+    incr n_cells;
+    List.iter (fun q -> last.(q) <- i) s
+  in
+  (* Scan backwards through the operations touching [op]'s support, in
+     program order.  The scan may step over an intervening op only when
+     [op] commutes with it on every wire they share; the first op with
+     equal support that is the inverse of [op] (or merges with it) is the
+     partner. *)
+  let find_partner op s =
+    let cursors = Array.of_list (List.map (fun q -> (q, last.(q))) s) in
+    let rec search () =
+      Array.iteri (fun i (q, c) -> cursors.(i) <- (q, alive_at q c)) cursors;
+      let k = Array.fold_left (fun acc (_, c) -> max acc c) (-1) cursors in
+      if k < 0 then None
+      else begin
+        let kop = cells.(k).op in
+        let kill_or_merge =
+          support kop = s
+          && ((exactly_invertible op && Circuit.equal_op kop (Circuit.inverse_op op))
+             || merge_ops kop op <> None)
+        in
+        if kill_or_merge then Some k
+        else begin
+          let shared = Array.to_list cursors |> List.filter (fun (_, c) -> c = k) in
+          if List.for_all (fun (q, _) -> commute_on op kop q) shared then begin
+            Array.iteri
+              (fun i (q, c) -> if c = k then cursors.(i) <- (q, prev_on cells.(k) q))
+              cursors;
+            search ()
+          end
+          else None
+        end
+      end
+    in
+    search ()
+  in
+  let try_insert op =
+    if is_identity_op op then ()
+    else begin
+      let s = support op in
+      match if s = [] then None else find_partner op s with
+      | Some j ->
+          let cand = cells.(j) in
+          if exactly_invertible op && Circuit.equal_op cand.op (Circuit.inverse_op op)
+          then cand.alive <- false
+          else begin
+            match merge_ops cand.op op with
+            | Some merged ->
+                if is_identity_op merged then cand.alive <- false else cand.op <- merged
+            | None -> assert false
+          end
+      | None -> push op
+    end
+  in
+  List.iter try_insert ops;
+  let result = ref (Circuit.create ~name:(Circuit.name c) n) in
+  for i = 0 to !n_cells - 1 do
+    if cells.(i).alive then result := Circuit.add !result cells.(i).op
+  done;
+  let r = Circuit.with_initial_layout !result (Circuit.initial_layout c) in
+  Circuit.with_output_perm r (Circuit.output_perm c)
+
+let optimize c =
+  let rec fix c rounds =
+    if rounds = 0 then c
+    else
+      let c' = cancel_pass c in
+      if Circuit.gate_count c' = Circuit.gate_count c then c' else fix c' (rounds - 1)
+  in
+  fix c 10
+
+(* --------------------------------------------------- SWAP reconstruction *)
+
+let reconstruct_swaps c =
+  let ops = Array.of_list (Circuit.ops c) in
+  let alive = Array.make (Array.length ops) true in
+  let touches op a b =
+    List.exists (fun q -> q = a || q = b) (Circuit.op_qubits op)
+  in
+  let next_touching i a b =
+    let rec go j =
+      if j >= Array.length ops then -1
+      else if alive.(j) && touches ops.(j) a b then j
+      else go (j + 1)
+    in
+    go (i + 1)
+  in
+  Array.iteri
+    (fun i op ->
+      if alive.(i) then
+        match op with
+        | Circuit.Ctrl ([ a ], Gate.X, b) -> (
+            let j = next_touching i a b in
+            if j >= 0 then
+              match ops.(j) with
+              | Circuit.Ctrl ([ b' ], Gate.X, a') when a' = a && b' = b -> (
+                  let k = next_touching j a b in
+                  if k >= 0 then
+                    match ops.(k) with
+                    | Circuit.Ctrl ([ a'' ], Gate.X, b'') when a'' = a && b'' = b ->
+                        ops.(i) <- Circuit.Swap (a, b);
+                        alive.(j) <- false;
+                        alive.(k) <- false
+                    | _ -> ()
+                  else ())
+              | _ -> ()
+            else ())
+        | Circuit.Gate _ | Circuit.Ctrl _ | Circuit.Swap _ | Circuit.Barrier -> ())
+    ops;
+  let result = ref (Circuit.create ~name:(Circuit.name c) (Circuit.num_qubits c)) in
+  Array.iteri (fun i op -> if alive.(i) then result := Circuit.add !result op) ops;
+  let r = Circuit.with_initial_layout !result (Circuit.initial_layout c) in
+  Circuit.with_output_perm r (Circuit.output_perm c)

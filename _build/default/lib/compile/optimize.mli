@@ -1,0 +1,29 @@
+(** Peephole circuit optimisation.
+
+    Provides the "optimized circuit" instances of the paper's second use
+    case.  The passes preserve the unitary up to a global phase:
+
+    - cancellation of an operation with its inverse, looking through
+      intervening operations that commute on the shared wires (diagonal
+      gates slide across CX controls, X-like gates across CX targets);
+    - merging of same-axis single-qubit rotations (diagonal gates collapse
+      into one phase gate, X-like gates into one Rx) and of controlled
+      phases on the same wire pair;
+    - removal of identities and zero-angle rotations;
+    - reconstruction of SWAP gates from three alternating CNOTs (used by
+      the DD checker to turn SWAPs back into permutation bookkeeping,
+      Section 4.1). *)
+
+open Oqec_circuit
+
+(** [optimize c] runs cancellation, merging and identity removal to a
+    fixpoint.  Layout metadata is preserved. *)
+val optimize : Circuit.t -> Circuit.t
+
+(** [reconstruct_swaps c] replaces each CX(a,b) CX(b,a) CX(a,b) pattern
+    (allowing no intervening ops on either wire) with a SWAP. *)
+val reconstruct_swaps : Circuit.t -> Circuit.t
+
+(** [cancel_pass c] is a single cancellation/merge sweep (exposed for
+    testing). *)
+val cancel_pass : Circuit.t -> Circuit.t

@@ -1,0 +1,54 @@
+open Oqec_base
+open Oqec_circuit
+
+let route arch ?initial_layout c =
+  let n = Circuit.num_qubits c in
+  let big_n = Architecture.num_qubits arch in
+  if n > big_n then
+    invalid_arg
+      (Printf.sprintf "Route.route: %d qubits do not fit on %s" n (Architecture.name arch));
+  let layout = match initial_layout with Some p -> p | None -> Perm.id big_n in
+  if Perm.size layout <> big_n then
+    invalid_arg "Route.route: layout must cover the whole architecture";
+  (* pos.(logical) = physical wire currently holding that logical qubit. *)
+  let pos = Perm.to_array layout in
+  let occupant = Array.make big_n 0 in
+  Array.iteri (fun l p -> occupant.(p) <- l) pos;
+  let out = ref (Circuit.create ~name:(Circuit.name c ^ "@" ^ Architecture.name arch) big_n) in
+  let emit op = out := Circuit.add !out op in
+  let apply_swap p q =
+    emit (Circuit.Swap (p, q));
+    let lp = occupant.(p) and lq = occupant.(q) in
+    occupant.(p) <- lq;
+    occupant.(q) <- lp;
+    pos.(lp) <- q;
+    pos.(lq) <- p
+  in
+  (* Walk the coupling path, swapping the control's qubit forward until it
+     neighbours the target. *)
+  let make_adjacent a b =
+    let path = Architecture.shortest_path arch pos.(a) pos.(b) in
+    let rec hop = function
+      | p :: (q :: _ as rest) when List.length rest > 1 ->
+          apply_swap p q;
+          hop rest
+      | _ -> ()
+    in
+    hop path
+  in
+  let handle op =
+    match op with
+    | Circuit.Barrier -> emit Circuit.Barrier
+    | Circuit.Gate (g, t) -> emit (Circuit.Gate (g, pos.(t)))
+    | Circuit.Ctrl ([ ctl ], g, t) ->
+        if not (Architecture.connected arch pos.(ctl) pos.(t)) then make_adjacent ctl t;
+        emit (Circuit.Ctrl ([ pos.(ctl) ], g, pos.(t)))
+    | Circuit.Swap (a, b) ->
+        if not (Architecture.connected arch pos.(a) pos.(b)) then make_adjacent a b;
+        emit (Circuit.Swap (pos.(a), pos.(b)))
+    | Circuit.Ctrl (_, _, _) ->
+        invalid_arg "Route.route: lower multi-controlled gates before routing"
+  in
+  List.iter handle (Circuit.ops c);
+  let routed = Circuit.with_initial_layout !out (Some layout) in
+  Circuit.with_output_perm routed (Some (Perm.of_array (Array.copy pos)))

@@ -1,0 +1,24 @@
+(** SWAP-insertion routing onto a coupling map.
+
+    Takes a circuit whose operations touch at most two qubits (lower
+    multi-controlled gates with [Decompose] first) and produces an
+    equivalent circuit on the architecture's full register in which every
+    two-qubit operation acts on coupled physical qubits.  Qubits are moved
+    with SWAP chains along shortest coupling paths, updating the tracked
+    logical-to-physical mapping (Example 3 of the paper).
+
+    The result carries the initial layout and the final output permutation
+    as circuit metadata: logical qubit [q] starts on wire
+    [initial_layout q] and is measured on wire [output_perm q]. *)
+
+open Oqec_base
+open Oqec_circuit
+
+(** [route arch ?initial_layout c] routes [c] onto [arch].
+
+    [initial_layout] is a permutation of the architecture's qubits
+    (logical to physical, logicals beyond [Circuit.num_qubits c] are
+    padding); it defaults to the identity.  Raises [Invalid_argument] when
+    the circuit is wider than the architecture or contains an operation on
+    three or more qubits. *)
+val route : Architecture.t -> ?initial_layout:Perm.t -> Circuit.t -> Circuit.t

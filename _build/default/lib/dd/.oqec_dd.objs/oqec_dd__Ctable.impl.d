@@ -1,0 +1,1 @@
+lib/dd/ctable.ml: Cx Float Hashtbl List Oqec_base

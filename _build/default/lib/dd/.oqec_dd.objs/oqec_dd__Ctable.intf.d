@@ -1,0 +1,1 @@
+lib/dd/ctable.mli: Cx Oqec_base

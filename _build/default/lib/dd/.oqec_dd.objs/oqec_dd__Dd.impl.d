@@ -1,0 +1,1 @@
+lib/dd/dd.ml: Array Ctable Cx Float Format Hashtbl Oqec_base

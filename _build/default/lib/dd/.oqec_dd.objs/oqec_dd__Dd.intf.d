@@ -1,0 +1,1 @@
+lib/dd/dd.mli: Cx Format Oqec_base

@@ -1,0 +1,1 @@
+lib/dd/dd_circuit.ml: Array Circuit Dd Dmatrix Gate List Oqec_base Oqec_circuit

@@ -1,0 +1,1 @@
+lib/dd/dd_circuit.mli: Circuit Dd Dmatrix Oqec_base Oqec_circuit

@@ -1,0 +1,1 @@
+lib/dd/dd_export.ml: Array Buffer Cx Dd Dmatrix Float Format Hashtbl Oqec_base Printf

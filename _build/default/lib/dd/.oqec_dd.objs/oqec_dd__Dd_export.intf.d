@@ -1,0 +1,1 @@
+lib/dd/dd_export.mli: Cx Dd Dmatrix Format Oqec_base

@@ -1,0 +1,52 @@
+open Oqec_base
+
+(* Real components are interned individually: each float is assigned to the
+   bucket [round (v / tol)]; on lookup the neighbouring buckets are probed
+   too, so any two values within [tol] of a stored representative collapse
+   onto it. *)
+
+type t = { tol : float; tbl : (int, float) Hashtbl.t }
+
+let seed_float t v =
+  let b = int_of_float (Float.round (v /. t.tol)) in
+  if not (Hashtbl.mem t.tbl b) then Hashtbl.replace t.tbl b v
+
+let seed t =
+  let s = 1.0 /. sqrt 2.0 in
+  List.iter (seed_float t) [ 0.0; 1.0; -1.0; 0.5; -0.5; s; -.s ]
+
+let create ~tol =
+  if tol <= 0.0 then invalid_arg "Ctable.create: tolerance must be positive";
+  let t = { tol; tbl = Hashtbl.create 4096 } in
+  seed t;
+  t
+
+let tolerance t = t.tol
+
+let intern_float t v =
+  (* Normalise negative zero so that structural equality and hashing agree. *)
+  let v = if v = 0.0 then 0.0 else v in
+  let b = int_of_float (Float.round (v /. t.tol)) in
+  let probe k =
+    match Hashtbl.find_opt t.tbl k with
+    | Some r when Float.abs (r -. v) <= t.tol -> Some r
+    | Some _ | None -> None
+  in
+  match probe b with
+  | Some r -> r
+  | None -> (
+      match probe (b - 1) with
+      | Some r -> r
+      | None -> (
+          match probe (b + 1) with
+          | Some r -> r
+          | None ->
+              Hashtbl.replace t.tbl b v;
+              v))
+
+let intern t (z : Cx.t) = Cx.make (intern_float t z.Cx.re) (intern_float t z.Cx.im)
+let size t = Hashtbl.length t.tbl
+
+let clear t =
+  Hashtbl.clear t.tbl;
+  seed t

@@ -1,0 +1,30 @@
+(** Tolerance-bucketed interning of complex numbers.
+
+    The QMDD package relies on physically shared sub-diagrams; two
+    sub-matrices can only be shared if their edge weights compare equal.
+    Interning every weight through this table snaps numerically-close
+    values to a single canonical representative, which is what makes the
+    diagrams (pseudo-)canonical under floating-point noise.  The bucket
+    width is configurable: Section 6.2 of the paper discusses how circuits
+    with very small rotation angles defeat this mechanism, an effect the
+    ablation benchmark reproduces by tightening the tolerance. *)
+
+open Oqec_base
+
+type t
+
+(** [create ~tol] makes an empty table with bucket width [tol]. *)
+val create : tol:float -> t
+
+val tolerance : t -> float
+
+(** [intern t z] returns the canonical representative of [z]: an existing
+    stored value within [tol] per component, or [z] itself (with negative
+    zeros normalised away) after storing it.  Interned values can be
+    compared with structural equality. *)
+val intern : t -> Cx.t -> Cx.t
+
+(** Number of distinct representatives stored. *)
+val size : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,314 @@
+open Oqec_base
+
+type node = { id : int; var : int; edges : edge array }
+and edge = { node : node; w : Cx.t }
+
+let terminal = { id = 0; var = -1; edges = [||] }
+let is_terminal n = n.var = -1
+let zero_edge = { node = terminal; w = Cx.zero }
+let one_edge = { node = terminal; w = Cx.one }
+let is_zero_edge e = e.w.Cx.re = 0.0 && e.w.Cx.im = 0.0
+
+(* Unique-table key: level plus child ids and interned weights.  Interned
+   weights make structural equality and hashing reliable. *)
+type ukey = { kvar : int; kids : int array; kre : float array; kim : float array }
+
+type pkg = {
+  ctab : Ctable.t;
+  mutable next_id : int;
+  unique : (ukey, node) Hashtbl.t;
+  mm_cache : (int * int, edge) Hashtbl.t;
+  mv_cache : (int * int, edge) Hashtbl.t;
+  add_cache : (int * int * float * float, edge) Hashtbl.t;
+  adj_cache : (int, edge) Hashtbl.t;
+  inner_cache : (int * int, Cx.t) Hashtbl.t;
+}
+
+let create ?(tol = Cx.default_tolerance) () =
+  {
+    ctab = Ctable.create ~tol;
+    next_id = 1;
+    unique = Hashtbl.create 65536;
+    mm_cache = Hashtbl.create 16384;
+    mv_cache = Hashtbl.create 16384;
+    add_cache = Hashtbl.create 16384;
+    adj_cache = Hashtbl.create 1024;
+    inner_cache = Hashtbl.create 1024;
+  }
+
+let tolerance pkg = Ctable.tolerance pkg.ctab
+let intern pkg z = Ctable.intern pkg.ctab z
+
+let edge_of pkg ~w node =
+  let w = intern pkg w in
+  if Cx.mag2 w = 0.0 then zero_edge else { node; w }
+
+let scale pkg z e = if is_zero_edge e then zero_edge else edge_of pkg ~w:(Cx.mul z e.w) e.node
+
+let key_of var (edges : edge array) =
+  {
+    kvar = var;
+    kids = Array.map (fun e -> e.node.id) edges;
+    kre = Array.map (fun e -> e.w.Cx.re) edges;
+    kim = Array.map (fun e -> e.w.Cx.im) edges;
+  }
+
+(* Normalising constructor: extract the weight of the first maximal-
+   magnitude edge, so that equal-up-to-scalar sub-matrices share a node. *)
+let make_node pkg var (edges : edge array) =
+  assert (var >= 0);
+  let best = ref (-1) and best_mag = ref 0.0 in
+  Array.iteri
+    (fun i e ->
+      let m = Cx.mag2 e.w in
+      if m > !best_mag then begin
+        best := i;
+        best_mag := m
+      end)
+    edges;
+  if !best < 0 then zero_edge
+  else begin
+    let top = edges.(!best).w in
+    let normalise i (e : edge) =
+      if is_zero_edge e then zero_edge
+      else if i = !best then { node = e.node; w = Cx.one }
+      else edge_of pkg ~w:(Cx.div e.w top) e.node
+    in
+    let edges = Array.mapi normalise edges in
+    let key = key_of var edges in
+    let node =
+      match Hashtbl.find_opt pkg.unique key with
+      | Some n -> n
+      | None ->
+          let n = { id = pkg.next_id; var; edges } in
+          pkg.next_id <- pkg.next_id + 1;
+          Hashtbl.replace pkg.unique key n;
+          n
+    in
+    { node; w = intern pkg top }
+  end
+
+let cofactors e v =
+  if is_zero_edge e then [| zero_edge; zero_edge; zero_edge; zero_edge |]
+  else begin
+    assert (e.node.var = v);
+    Array.map
+      (fun (c : edge) ->
+        if is_zero_edge c then zero_edge else { node = c.node; w = Cx.mul e.w c.w })
+      e.node.edges
+  end
+
+let vcofactors e v =
+  if is_zero_edge e then [| zero_edge; zero_edge |]
+  else begin
+    assert (e.node.var = v);
+    Array.map
+      (fun (c : edge) ->
+        if is_zero_edge c then zero_edge else { node = c.node; w = Cx.mul e.w c.w })
+      e.node.edges
+  end
+
+let identity pkg n =
+  let rec build v acc =
+    if v >= n then acc
+    else build (v + 1) (make_node pkg v [| acc; zero_edge; zero_edge; acc |])
+  in
+  build 0 one_edge
+
+let is_identity ?(up_to_phase = true) pkg n e =
+  let id = identity pkg n in
+  e.node == id.node
+  &&
+  if up_to_phase then Float.abs (Cx.mag e.w -. 1.0) <= 1e-8
+  else Cx.approx_equal ~tol:1e-8 e.w Cx.one
+
+let trace e =
+  let cache : (int, Cx.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec node_trace n =
+    if is_terminal n then Cx.one
+    else
+      match Hashtbl.find_opt cache n.id with
+      | Some t -> t
+      | None ->
+          let sub (c : edge) =
+            if is_zero_edge c then Cx.zero else Cx.mul c.w (node_trace c.node)
+          in
+          let t = Cx.add (sub n.edges.(0)) (sub n.edges.(3)) in
+          Hashtbl.replace cache n.id t;
+          t
+  in
+  if is_zero_edge e then Cx.zero else Cx.mul e.w (node_trace e.node)
+
+(* Computed in floats: [2^n] overflows native integers beyond 62 qubits
+   (the Manhattan register has 65). *)
+let fidelity_to_identity ~n e = Cx.mag (trace e) /. Float.pow 2.0 (float_of_int n)
+
+(* ------------------------------------------------------------ Arithmetic *)
+
+let float_key (z : Cx.t) = (z.Cx.re, z.Cx.im)
+
+let rec add pkg (e1 : edge) (e2 : edge) =
+  if is_zero_edge e1 then e2
+  else if is_zero_edge e2 then e1
+  else if e1.node == e2.node then edge_of pkg ~w:(Cx.add e1.w e2.w) e1.node
+  else begin
+    (* Commutative: order the operands deterministically. *)
+    let e1, e2 =
+      if e1.node.id <= e2.node.id then (e1, e2) else (e2, e1)
+    in
+    let ratio = intern pkg (Cx.div e2.w e1.w) in
+    let kre, kim = float_key ratio in
+    let key = (e1.node.id, e2.node.id, kre, kim) in
+    let base =
+      match Hashtbl.find_opt pkg.add_cache key with
+      | Some r -> r
+      | None ->
+          let r =
+            if is_terminal e1.node then begin
+              assert (is_terminal e2.node);
+              edge_of pkg ~w:(Cx.add Cx.one ratio) terminal
+            end
+            else begin
+              let v = max e1.node.var e2.node.var in
+              let c1 = cofactors { e1 with w = Cx.one } v
+              and c2 = cofactors { e2 with w = ratio } v in
+              let width = Array.length e1.node.edges in
+              assert (Array.length e2.node.edges = width);
+              if width = 4 then
+                make_node pkg v (Array.init 4 (fun i -> add pkg c1.(i) c2.(i)))
+              else
+                make_node pkg v (Array.init 2 (fun i -> add pkg c1.(i) c2.(i)))
+            end
+          in
+          Hashtbl.replace pkg.add_cache key r;
+          r
+    in
+    scale pkg e1.w base
+  end
+
+let rec mul pkg (e1 : edge) (e2 : edge) =
+  if is_zero_edge e1 || is_zero_edge e2 then zero_edge
+  else if is_terminal e1.node && is_terminal e2.node then
+    edge_of pkg ~w:(Cx.mul e1.w e2.w) terminal
+  else begin
+    assert (e1.node.var = e2.node.var);
+    let v = e1.node.var in
+    let key = (e1.node.id, e2.node.id) in
+    let base =
+      match Hashtbl.find_opt pkg.mm_cache key with
+      | Some r -> r
+      | None ->
+          let a = cofactors { e1 with w = Cx.one } v
+          and b = cofactors { e2 with w = Cx.one } v in
+          let entry i j =
+            add pkg
+              (mul pkg a.((2 * i) + 0) b.((2 * 0) + j))
+              (mul pkg a.((2 * i) + 1) b.((2 * 1) + j))
+          in
+          let r = make_node pkg v [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |] in
+          Hashtbl.replace pkg.mm_cache key r;
+          r
+    in
+    scale pkg (Cx.mul e1.w e2.w) base
+  end
+
+let rec mul_vec pkg (m : edge) (v : edge) =
+  if is_zero_edge m || is_zero_edge v then zero_edge
+  else if is_terminal m.node && is_terminal v.node then
+    edge_of pkg ~w:(Cx.mul m.w v.w) terminal
+  else begin
+    assert (m.node.var = v.node.var);
+    let lvl = m.node.var in
+    let key = (m.node.id, v.node.id) in
+    let base =
+      match Hashtbl.find_opt pkg.mv_cache key with
+      | Some r -> r
+      | None ->
+          let a = cofactors { m with w = Cx.one } lvl
+          and x = vcofactors { v with w = Cx.one } lvl in
+          let entry i =
+            add pkg (mul_vec pkg a.((2 * i) + 0) x.(0)) (mul_vec pkg a.((2 * i) + 1) x.(1))
+          in
+          let r = make_node pkg lvl [| entry 0; entry 1 |] in
+          Hashtbl.replace pkg.mv_cache key r;
+          r
+    in
+    scale pkg (Cx.mul m.w v.w) base
+  end
+
+let rec adjoint pkg (e : edge) =
+  if is_zero_edge e then zero_edge
+  else if is_terminal e.node then edge_of pkg ~w:(Cx.conj e.w) terminal
+  else begin
+    let base =
+      match Hashtbl.find_opt pkg.adj_cache e.node.id with
+      | Some r -> r
+      | None ->
+          let v = e.node.var in
+          let c = cofactors { e with w = Cx.one } v in
+          (* Transpose the block structure and conjugate recursively. *)
+          let r =
+            make_node pkg v
+              [| adjoint pkg c.(0); adjoint pkg c.(2); adjoint pkg c.(1); adjoint pkg c.(3) |]
+          in
+          Hashtbl.replace pkg.adj_cache e.node.id r;
+          r
+    in
+    scale pkg (Cx.conj e.w) base
+  end
+
+let rec inner pkg (e1 : edge) (e2 : edge) =
+  if is_zero_edge e1 || is_zero_edge e2 then Cx.zero
+  else if is_terminal e1.node && is_terminal e2.node then Cx.mul (Cx.conj e1.w) e2.w
+  else begin
+    assert (e1.node.var = e2.node.var);
+    let v = e1.node.var in
+    let key = (e1.node.id, e2.node.id) in
+    let base =
+      match Hashtbl.find_opt pkg.inner_cache key with
+      | Some r -> r
+      | None ->
+          let a = vcofactors { e1 with w = Cx.one } v
+          and b = vcofactors { e2 with w = Cx.one } v in
+          let r = Cx.add (inner pkg a.(0) b.(0)) (inner pkg a.(1) b.(1)) in
+          Hashtbl.replace pkg.inner_cache key r;
+          r
+    in
+    Cx.mul (Cx.mul (Cx.conj e1.w) e2.w) base
+  end
+
+let kets_bits pkg n bit =
+  let rec build v acc =
+    if v >= n then acc
+    else
+      let edges = if bit v then [| zero_edge; acc |] else [| acc; zero_edge |] in
+      build (v + 1) (make_node pkg v edges)
+  in
+  build 0 one_edge
+
+let kets pkg n i = kets_bits pkg n (fun v -> (i lsr v) land 1 = 1)
+
+(* ------------------------------------------------------------ Diagnostics *)
+
+let node_count e =
+  let seen = Hashtbl.create 256 in
+  let rec visit n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.replace seen n.id ();
+      Array.iter (fun (c : edge) -> visit c.node) n.edges
+    end
+  in
+  visit e.node;
+  Hashtbl.length seen
+
+let allocated pkg = pkg.next_id - 1
+
+let clear_caches pkg =
+  Hashtbl.reset pkg.mm_cache;
+  Hashtbl.reset pkg.mv_cache;
+  Hashtbl.reset pkg.add_cache;
+  Hashtbl.reset pkg.adj_cache;
+  Hashtbl.reset pkg.inner_cache
+
+let pp_edge ppf e =
+  Format.fprintf ppf "edge(w=%a, nodes=%d)" Cx.pp e.w (node_count e)

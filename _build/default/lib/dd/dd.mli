@@ -1,0 +1,119 @@
+(** Quantum multiple-valued decision diagrams (QMDDs).
+
+    A matrix DD node at level [v] splits a [2^(v+1)]-dimensional operator
+    into four equally sized sub-matrices (Section 4 of the paper); a vector
+    DD node splits a state vector into two halves.  Sub-diagrams identical
+    up to a constant factor are shared: the factors live on the edges,
+    nodes are normalised (the first edge of maximal magnitude carries
+    weight 1) and hash-consed in a unique table, making the representation
+    canonical up to the interning tolerance.
+
+    Levels run from [n-1] at the root down to [0]; edges with weight zero
+    point directly at the terminal.  All operations are memoised in
+    per-package compute tables. *)
+
+open Oqec_base
+
+type node = private {
+  id : int;
+  var : int;  (** level; [-1] for the terminal *)
+  edges : edge array;  (** 4 entries for matrices, 2 for vectors, 0 terminal *)
+}
+
+and edge = { node : node; w : Cx.t }
+
+type pkg
+
+(** [create ?tol ()] makes a fresh package (unique table, complex table,
+    compute caches).  [tol] is the weight-interning tolerance, default
+    {!Cx.default_tolerance}. *)
+val create : ?tol:float -> unit -> pkg
+
+val tolerance : pkg -> float
+val terminal : node
+val is_terminal : node -> bool
+
+(** The all-zero edge (weight 0 into the terminal). *)
+val zero_edge : edge
+
+(** The scalar 1 (weight 1 into the terminal). *)
+val one_edge : edge
+
+val is_zero_edge : edge -> bool
+val intern : pkg -> Cx.t -> Cx.t
+
+(** [edge_of ~w node] builds an edge, snapping zero weights onto the
+    terminal so that zero tests are structural. *)
+val edge_of : pkg -> w:Cx.t -> node -> edge
+
+(** [scale pkg z e] multiplies the edge weight by [z]. *)
+val scale : pkg -> Cx.t -> edge -> edge
+
+(** [make_node pkg v edges] is the normalising, hash-consing node
+    constructor: returns an edge carrying the extracted common factor.
+    [edges] must all be rooted strictly below [v] (or be zero). *)
+val make_node : pkg -> int -> edge array -> edge
+
+(** [cofactors e v] views edge [e] as a matrix node at level [v] and
+    returns its four weighted sub-edges (zero edges expand to four zero
+    edges). *)
+val cofactors : edge -> int -> edge array
+
+(** [vcofactors e v] is the vector analogue, returning two sub-edges. *)
+val vcofactors : edge -> int -> edge array
+
+(** [identity pkg n] is the identity matrix on [n] qubits (a linear-size
+    chain, cf. Fig. 3b of the paper). *)
+val identity : pkg -> int -> edge
+
+(** [is_identity ?up_to_phase pkg n e] decides structurally whether [e] is
+    the [n]-qubit identity.  With [up_to_phase] (default [true]) the root
+    weight may be any unit-magnitude number. *)
+val is_identity : ?up_to_phase:bool -> pkg -> int -> edge -> bool
+
+(** [trace e] is the trace of the represented matrix — linear in the number
+    of nodes. *)
+val trace : edge -> Cx.t
+
+(** [fidelity_to_identity pkg ~n e] is [|tr e| / 2^n], the normalised
+    Hilbert-Schmidt overlap with the identity (Section 3). *)
+val fidelity_to_identity : n:int -> edge -> float
+
+(** Arithmetic (all memoised). *)
+
+val add : pkg -> edge -> edge -> edge
+
+(** [mul pkg a b] multiplies two matrix DDs rooted at the same level. *)
+val mul : pkg -> edge -> edge -> edge
+
+(** [mul_vec pkg m v] applies matrix [m] to vector [v]. *)
+val mul_vec : pkg -> edge -> edge -> edge
+
+(** [adjoint pkg m] is the conjugate transpose. *)
+val adjoint : pkg -> edge -> edge
+
+(** [inner pkg a b] is the inner product <a|b> of two vector DDs rooted at
+    the same level. *)
+val inner : pkg -> edge -> edge -> Cx.t
+
+(** [kets pkg n i] is the computational basis vector |i> on [n] qubits. *)
+val kets : pkg -> int -> int -> edge
+
+(** [kets_bits pkg n bit] is the basis vector whose qubit [q] is [bit q] —
+    usable beyond the native-integer width. *)
+val kets_bits : pkg -> int -> (int -> bool) -> edge
+
+(** Diagnostics. *)
+
+(** [node_count e] counts the distinct nodes reachable from [e] (terminal
+    excluded). *)
+val node_count : edge -> int
+
+(** [allocated pkg] is the total number of nodes ever hash-consed — the
+    "peak size" proxy reported by the benchmarks. *)
+val allocated : pkg -> int
+
+(** [clear_caches pkg] drops the compute tables (not the unique table). *)
+val clear_caches : pkg -> unit
+
+val pp_edge : Format.formatter -> edge -> unit

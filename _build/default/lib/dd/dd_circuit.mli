@@ -1,0 +1,33 @@
+(** Bridging circuits and decision diagrams: gate-DD construction,
+    left/right application and whole-circuit functionality. *)
+
+open Oqec_base
+open Oqec_circuit
+
+(** [gate_dd pkg n ~controls ~target u] is the DD of the 2x2 unitary [u]
+    applied to wire [target], controlled on [controls], embedded in an
+    [n]-qubit register. *)
+val gate_dd : Dd.pkg -> int -> controls:int list -> target:int -> Dmatrix.t -> Dd.edge
+
+(** [op_dds pkg n op] lists the gate DDs an operation expands to (SWAP
+    becomes three CNOTs, barriers vanish). *)
+val op_dds : Dd.pkg -> int -> Circuit.op -> Dd.edge list
+
+(** [apply_op pkg n dd op] is [U_op * dd] (the gate applied "from the
+    right side of the circuit", i.e. matrix product on the left). *)
+val apply_op : Dd.pkg -> int -> Dd.edge -> Circuit.op -> Dd.edge
+
+(** [apply_op_left pkg n dd op] is [dd * U_op]. *)
+val apply_op_left : Dd.pkg -> int -> Dd.edge -> Circuit.op -> Dd.edge
+
+(** [apply_op_vec pkg n v op] applies an operation to a state-vector DD. *)
+val apply_op_vec : Dd.pkg -> int -> Dd.edge -> Circuit.op -> Dd.edge
+
+(** [of_circuit pkg c] builds the full system-matrix DD of [c] by
+    sequential gate application (the straightforward strategy that the
+    alternating checker improves upon). *)
+val of_circuit : Dd.pkg -> Circuit.t -> Dd.edge
+
+(** [simulate pkg c ~input] runs the circuit on basis state [|input>]
+    and returns the output state-vector DD. *)
+val simulate : Dd.pkg -> Circuit.t -> input:int -> Dd.edge

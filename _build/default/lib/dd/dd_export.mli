@@ -1,0 +1,20 @@
+(** Dense conversion and debug output for decision diagrams. *)
+
+open Oqec_base
+
+(** [to_dmatrix e ~n] expands a matrix DD rooted at level [n-1] into the
+    dense [2^n x 2^n] matrix it represents (exponential; tests and figure
+    demos only). *)
+val to_dmatrix : Dd.edge -> n:int -> Dmatrix.t
+
+(** [to_vector e ~n] expands a vector DD into its [2^n] amplitudes. *)
+val to_vector : Dd.edge -> n:int -> Cx.t array
+
+(** [dump ppf e ~n] prints the diagram structure level by level: node ids,
+    edge weights and targets — the textual analogue of Fig. 3. *)
+val dump : Format.formatter -> Dd.edge -> n:int -> unit
+
+(** [to_dot e ~n] renders the diagram in Graphviz DOT syntax (edge
+    thickness encodes magnitude, colour encodes the weight's phase,
+    following the visualisation of ref. [37]). *)
+val to_dot : Dd.edge -> n:int -> string

@@ -1,0 +1,1 @@
+lib/qasm/qasm.ml: Array Buffer Circuit Float Gate Hashtbl List Oqec_base Oqec_circuit Perm Phase Printf Qasm_ast Qasm_lexer Qasm_parser String

@@ -1,0 +1,1 @@
+lib/qasm/qasm.mli: Circuit Oqec_circuit

@@ -1,0 +1,1 @@
+lib/qasm/qasm_lexer.ml: Printf String

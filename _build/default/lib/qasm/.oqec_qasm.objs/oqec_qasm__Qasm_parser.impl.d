@@ -1,0 +1,1 @@
+lib/qasm/qasm_parser.ml: List Printf Qasm_ast Qasm_lexer

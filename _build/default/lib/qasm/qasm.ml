@@ -1,0 +1,492 @@
+open Oqec_base
+open Oqec_circuit
+
+exception Parse_error of string
+
+type t = { circuit : Circuit.t; measures : (int * int) list }
+
+(* ------------------------------------------------------------ Evaluation *)
+
+let rec eval_expr env (e : Qasm_ast.expr) : float =
+  match e with
+  | Qasm_ast.Num f -> f
+  | Qasm_ast.Pi -> Float.pi
+  | Qasm_ast.Ident name -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "unbound parameter %S" name)))
+  | Qasm_ast.Neg e -> -.eval_expr env e
+  | Qasm_ast.Binop (op, a, b) -> (
+      let a = eval_expr env a and b = eval_expr env b in
+      match op with
+      | '+' -> a +. b
+      | '-' -> a -. b
+      | '*' -> a *. b
+      | '/' -> a /. b
+      | '^' -> Float.pow a b
+      | c -> raise (Parse_error (Printf.sprintf "unknown operator %C" c)))
+  | Qasm_ast.Call (f, e) -> (
+      let v = eval_expr env e in
+      match f with
+      | "sin" -> sin v
+      | "cos" -> cos v
+      | "tan" -> tan v
+      | "exp" -> exp v
+      | "ln" -> log v
+      | "sqrt" -> sqrt v
+      | _ -> raise (Parse_error (Printf.sprintf "unknown function %S" f)))
+
+(* ------------------------------------------------------- Builtin gates *)
+
+(* Each builtin maps evaluated parameters and resolved wires to ops.
+   [arity] is (number of parameters, number of qubit arguments). *)
+
+let single g = fun _ wires ->
+  match wires with [ q ] -> [ Circuit.Gate (g, q) ] | _ -> assert false
+
+let single1 mk = fun ps wires ->
+  match (ps, wires) with
+  | [ a ], [ q ] -> [ Circuit.Gate (mk a, q) ]
+  | _ -> assert false
+
+let ctrl1 g = fun _ wires ->
+  match wires with [ c; t ] -> [ Circuit.Ctrl ([ c ], g, t) ] | _ -> assert false
+
+let ctrl1p mk = fun ps wires ->
+  match (ps, wires) with
+  | [ a ], [ c; t ] -> [ Circuit.Ctrl ([ c ], mk a, t) ]
+  | _ -> assert false
+
+let builtins :
+    (string * (int * int * (Phase.t list -> int list -> Circuit.op list))) list =
+  [
+    ("id", (0, 1, single Gate.I));
+    ("x", (0, 1, single Gate.X));
+    ("y", (0, 1, single Gate.Y));
+    ("z", (0, 1, single Gate.Z));
+    ("h", (0, 1, single Gate.H));
+    ("s", (0, 1, single Gate.S));
+    ("sdg", (0, 1, single Gate.Sdg));
+    ("t", (0, 1, single Gate.T));
+    ("tdg", (0, 1, single Gate.Tdg));
+    ("sx", (0, 1, single Gate.Sx));
+    ("sxdg", (0, 1, single Gate.Sxdg));
+    ("rx", (1, 1, single1 (fun a -> Gate.Rx a)));
+    ("ry", (1, 1, single1 (fun a -> Gate.Ry a)));
+    ("rz", (1, 1, single1 (fun a -> Gate.Rz a)));
+    ("p", (1, 1, single1 (fun a -> Gate.P a)));
+    ("u1", (1, 1, single1 (fun a -> Gate.P a)));
+    ( "u2",
+      ( 2,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b ], [ q ] -> [ Circuit.Gate (Gate.U (Phase.half_pi, a, b), q) ]
+          | _ -> assert false ) );
+    ( "u3",
+      ( 3,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ q ] -> [ Circuit.Gate (Gate.U (a, b, c), q) ]
+          | _ -> assert false ) );
+    ( "u",
+      ( 3,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ q ] -> [ Circuit.Gate (Gate.U (a, b, c), q) ]
+          | _ -> assert false ) );
+    ("cx", (0, 2, ctrl1 Gate.X));
+    ("CX", (0, 2, ctrl1 Gate.X));
+    ("cy", (0, 2, ctrl1 Gate.Y));
+    ("cz", (0, 2, ctrl1 Gate.Z));
+    ("ch", (0, 2, ctrl1 Gate.H));
+    ("csx", (0, 2, ctrl1 Gate.Sx));
+    ("cp", (1, 2, ctrl1p (fun a -> Gate.P a)));
+    ("cu1", (1, 2, ctrl1p (fun a -> Gate.P a)));
+    ("crx", (1, 2, ctrl1p (fun a -> Gate.Rx a)));
+    ("cry", (1, 2, ctrl1p (fun a -> Gate.Ry a)));
+    ("crz", (1, 2, ctrl1p (fun a -> Gate.Rz a)));
+    ( "cu3",
+      ( 3,
+        2,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ ctl; tgt ] -> [ Circuit.Ctrl ([ ctl ], Gate.U (a, b, c), tgt) ]
+          | _ -> assert false ) );
+    ( "swap",
+      ( 0,
+        2,
+        fun _ wires ->
+          match wires with [ a; b ] -> [ Circuit.Swap (a, b) ] | _ -> assert false ) );
+    ( "ccx",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ a; b; t ] -> [ Circuit.Ctrl ([ a; b ], Gate.X, t) ]
+          | _ -> assert false ) );
+    ( "ccz",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ a; b; t ] -> [ Circuit.Ctrl ([ a; b ], Gate.Z, t) ]
+          | _ -> assert false ) );
+    ( "cswap",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ c; a; b ] ->
+              (* Fredkin = CX(b,a) . CCX(c,a,b) . CX(b,a) *)
+              [
+                Circuit.Ctrl ([ b ], Gate.X, a);
+                Circuit.Ctrl ([ c; a ], Gate.X, b);
+                Circuit.Ctrl ([ b ], Gate.X, a);
+              ]
+          | _ -> assert false ) );
+    ( "c3x",
+      ( 0,
+        4,
+        fun _ wires ->
+          match wires with
+          | [ a; b; c; t ] -> [ Circuit.Ctrl ([ a; b; c ], Gate.X, t) ]
+          | _ -> assert false ) );
+    ( "c4x",
+      ( 0,
+        5,
+        fun _ wires ->
+          match wires with
+          | [ a; b; c; d; t ] -> [ Circuit.Ctrl ([ a; b; c; d ], Gate.X, t) ]
+          | _ -> assert false ) );
+  ]
+
+(* ------------------------------------------------------------ Elaboration *)
+
+type env = {
+  mutable qregs : (string * int) list;  (* name -> offset *)
+  mutable qreg_sizes : (string * int) list;
+  mutable cregs : (string * int) list;
+  mutable creg_sizes : (string * int) list;
+  mutable n_qubits : int;
+  mutable n_clbits : int;
+  defs : (string, Qasm_ast.gate_def) Hashtbl.t;
+  mutable ops : Circuit.op list;  (* reversed *)
+  mutable measures : (int * int) list;  (* reversed *)
+}
+
+let resolve_q env (a : Qasm_ast.arg) : int list =
+  match List.assoc_opt a.Qasm_ast.reg env.qregs with
+  | None -> raise (Parse_error (Printf.sprintf "unknown quantum register %S" a.Qasm_ast.reg))
+  | Some offset -> (
+      let size = List.assoc a.Qasm_ast.reg env.qreg_sizes in
+      match a.Qasm_ast.index with
+      | Some i ->
+          if i < 0 || i >= size then
+            raise (Parse_error (Printf.sprintf "index %d out of range for %S" i a.Qasm_ast.reg));
+          [ offset + i ]
+      | None -> List.init size (fun i -> offset + i))
+
+let resolve_c env (a : Qasm_ast.arg) : int list =
+  match List.assoc_opt a.Qasm_ast.reg env.cregs with
+  | None -> raise (Parse_error (Printf.sprintf "unknown classical register %S" a.Qasm_ast.reg))
+  | Some offset -> (
+      let size = List.assoc a.Qasm_ast.reg env.creg_sizes in
+      match a.Qasm_ast.index with
+      | Some i ->
+          if i < 0 || i >= size then
+            raise (Parse_error (Printf.sprintf "index %d out of range for %S" i a.Qasm_ast.reg));
+          [ offset + i ]
+      | None -> List.init size (fun i -> offset + i))
+
+(* Broadcast register arguments: all whole-register args must have the same
+   length; indexed args are repeated. *)
+let broadcast (arg_wires : int list list) : int list list =
+  let lengths = List.filter (fun ws -> List.length ws > 1) arg_wires in
+  match lengths with
+  | [] -> [ List.map (function [ w ] -> w | _ -> assert false) arg_wires ]
+  | ws :: rest ->
+      let n = List.length ws in
+      if List.exists (fun l -> List.length l <> n) rest then
+        raise (Parse_error "mismatched register sizes in broadcast");
+      List.init n (fun i ->
+          List.map (fun l -> if List.length l = 1 then List.hd l else List.nth l i) arg_wires)
+
+let rec apply_gate env (app : Qasm_ast.gate_app) (param_env : (string * float) list)
+    (qarg_env : (string * int) list option) =
+  let params = List.map (eval_expr param_env) app.Qasm_ast.params in
+  let phases = List.map Phase.of_float params in
+  let wires_of_arg (a : Qasm_ast.arg) : int list =
+    match qarg_env with
+    | Some bindings -> (
+        (* Inside a gate body: arguments are formal names, no indices. *)
+        match List.assoc_opt a.Qasm_ast.reg bindings with
+        | Some w -> [ w ]
+        | None -> raise (Parse_error (Printf.sprintf "unbound gate argument %S" a.Qasm_ast.reg)))
+    | None -> resolve_q env a
+  in
+  let arg_wires = List.map wires_of_arg app.Qasm_ast.args in
+  let instances = broadcast arg_wires in
+  let emit wires =
+    match List.assoc_opt app.Qasm_ast.gate_name builtins with
+    | Some (n_params, n_qargs, build) ->
+        if List.length params <> n_params then
+          raise
+            (Parse_error
+               (Printf.sprintf "%s expects %d parameter(s)" app.Qasm_ast.gate_name n_params));
+        if List.length wires <> n_qargs then
+          raise
+            (Parse_error
+               (Printf.sprintf "%s expects %d qubit argument(s)" app.Qasm_ast.gate_name n_qargs));
+        List.iter (fun op -> env.ops <- op :: env.ops) (build phases wires)
+    | None -> (
+        match Hashtbl.find_opt env.defs app.Qasm_ast.gate_name with
+        | None ->
+            raise (Parse_error (Printf.sprintf "unknown gate %S" app.Qasm_ast.gate_name))
+        | Some def ->
+            if List.length params <> List.length def.Qasm_ast.def_params then
+              raise (Parse_error (Printf.sprintf "%s: wrong parameter count" def.Qasm_ast.def_name));
+            if List.length wires <> List.length def.Qasm_ast.def_qargs then
+              raise (Parse_error (Printf.sprintf "%s: wrong argument count" def.Qasm_ast.def_name));
+            let params_bound = List.combine def.Qasm_ast.def_params params in
+            let qargs_bound = List.combine def.Qasm_ast.def_qargs wires in
+            List.iter
+              (fun inner -> apply_gate env inner params_bound (Some qargs_bound))
+              def.Qasm_ast.def_body)
+  in
+  List.iter emit instances
+
+let elaborate (program : Qasm_ast.program) : t =
+  let env =
+    {
+      qregs = [];
+      qreg_sizes = [];
+      cregs = [];
+      creg_sizes = [];
+      n_qubits = 0;
+      n_clbits = 0;
+      defs = Hashtbl.create 16;
+      ops = [];
+      measures = [];
+    }
+  in
+  let handle = function
+    | Qasm_ast.Include _ -> ()
+    | Qasm_ast.Qreg (name, size) ->
+        if List.mem_assoc name env.qregs then
+          raise (Parse_error (Printf.sprintf "duplicate register %S" name));
+        env.qregs <- (name, env.n_qubits) :: env.qregs;
+        env.qreg_sizes <- (name, size) :: env.qreg_sizes;
+        env.n_qubits <- env.n_qubits + size
+    | Qasm_ast.Creg (name, size) ->
+        if List.mem_assoc name env.cregs then
+          raise (Parse_error (Printf.sprintf "duplicate register %S" name));
+        env.cregs <- (name, env.n_clbits) :: env.cregs;
+        env.creg_sizes <- (name, size) :: env.creg_sizes;
+        env.n_clbits <- env.n_clbits + size
+    | Qasm_ast.Gate_def def -> Hashtbl.replace env.defs def.Qasm_ast.def_name def
+    | Qasm_ast.App app -> apply_gate env app [] None
+    | Qasm_ast.Barrier _ -> env.ops <- Circuit.Barrier :: env.ops
+    | Qasm_ast.Measure (qa, ca) ->
+        let qs = resolve_q env qa and cs = resolve_c env ca in
+        if List.length qs <> List.length cs then
+          raise (Parse_error "measure: register size mismatch");
+        List.iter2 (fun q c -> env.measures <- (q, c) :: env.measures) qs cs
+    | Qasm_ast.Reset _ -> raise (Parse_error "reset is not supported")
+  in
+  List.iter handle program;
+  let circuit =
+    List.fold_left Circuit.add (Circuit.create env.n_qubits) (List.rev env.ops)
+  in
+  let measures = List.rev env.measures in
+  (* When measurements cover every qubit bijectively, record them as the
+     output permutation: logical qubit [c] sits on wire [q] at the end. *)
+  let circuit =
+    if
+      List.length measures = env.n_qubits
+      && env.n_qubits > 0
+      && List.for_all (fun (_, c) -> c < env.n_qubits) measures
+    then begin
+      let a = Array.make env.n_qubits (-1) in
+      List.iter (fun (q, c) -> if c < env.n_qubits then a.(c) <- q) measures;
+      if Array.for_all (fun x -> x >= 0) a then
+        match Perm.of_array a with
+        | p -> Circuit.with_output_perm circuit (Some p)
+        | exception Invalid_argument _ -> circuit
+      else circuit
+    end
+    else circuit
+  in
+  { circuit; measures }
+
+(* Recover an initial layout persisted as "// oqec:layout 2,0,1". *)
+let layout_comment src =
+  let prefix = "// oqec:layout " in
+  let lines = String.split_on_char '\n' src in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then
+        let rest = String.sub line (String.length prefix) (String.length line - String.length prefix) in
+        try
+          Some
+            (Perm.of_array
+               (Array.of_list (List.map int_of_string (String.split_on_char ',' (String.trim rest)))))
+        with Failure _ | Invalid_argument _ -> None
+      else None)
+    lines
+
+let parse_string src =
+  let result =
+    try elaborate (Qasm_parser.parse_program src) with
+    | Qasm_parser.Error (msg, line) ->
+        raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+    | Qasm_lexer.Error (msg, line) ->
+        raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+  in
+  match layout_comment src with
+  | Some l when Perm.size l = Circuit.num_qubits result.circuit ->
+      { result with circuit = Circuit.with_initial_layout result.circuit (Some l) }
+  | Some _ | None -> result
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src
+
+let circuit_of_string src = (parse_string src).circuit
+let circuit_of_file path = (parse_file path).circuit
+
+(* --------------------------------------------------------------- Writer *)
+
+let phase_to_qasm (a : Phase.t) : string =
+  let r = Phase.to_float a in
+  if Phase.is_exact a then begin
+    (* Reconstruct the fraction from a canonical exact phase. *)
+    let frac = r /. Float.pi in
+    let rec find_den den =
+      if den > 1 lsl 30 then Printf.sprintf "%.17g" r
+      else
+        let scaled = frac *. float_of_int den in
+        let n = Float.round scaled in
+        if Float.abs (scaled -. n) < 1e-12 *. float_of_int den then
+          let n = int_of_float n in
+          if n = 0 then "0"
+          else if den = 1 then if n = 1 then "pi" else Printf.sprintf "%d*pi" n
+          else if n = 1 then Printf.sprintf "pi/%d" den
+          else Printf.sprintf "%d*pi/%d" n den
+        else find_den (den * 2)
+    in
+    find_den 1
+  end
+  else Printf.sprintf "%.17g" r
+
+let op_to_qasm op =
+  let q i = Printf.sprintf "q[%d]" i in
+  let simple name wires = Printf.sprintf "%s %s;" name (String.concat "," (List.map q wires)) in
+  let param name ps wires =
+    Printf.sprintf "%s(%s) %s;" name
+      (String.concat "," (List.map phase_to_qasm ps))
+      (String.concat "," (List.map q wires))
+  in
+  match op with
+  | Circuit.Barrier -> "barrier q;"
+  | Circuit.Swap (a, b) -> simple "swap" [ a; b ]
+  | Circuit.Gate (g, t) -> (
+      match g with
+      | Gate.I -> simple "id" [ t ]
+      | Gate.X -> simple "x" [ t ]
+      | Gate.Y -> simple "y" [ t ]
+      | Gate.Z -> simple "z" [ t ]
+      | Gate.H -> simple "h" [ t ]
+      | Gate.S -> simple "s" [ t ]
+      | Gate.Sdg -> simple "sdg" [ t ]
+      | Gate.T -> simple "t" [ t ]
+      | Gate.Tdg -> simple "tdg" [ t ]
+      | Gate.Sx -> simple "sx" [ t ]
+      | Gate.Sxdg -> simple "sxdg" [ t ]
+      | Gate.Rx a -> param "rx" [ a ] [ t ]
+      | Gate.Ry a -> param "ry" [ a ] [ t ]
+      | Gate.Rz a -> param "rz" [ a ] [ t ]
+      | Gate.P a -> param "p" [ a ] [ t ]
+      | Gate.U (a, b, c) -> param "u" [ a; b; c ] [ t ])
+  | Circuit.Ctrl ([ c ], g, t) -> (
+      match g with
+      | Gate.X -> simple "cx" [ c; t ]
+      | Gate.Y -> simple "cy" [ c; t ]
+      | Gate.Z -> simple "cz" [ c; t ]
+      | Gate.H -> simple "ch" [ c; t ]
+      | Gate.Sx -> simple "csx" [ c; t ]
+      | Gate.S -> param "cp" [ Phase.half_pi ] [ c; t ]
+      | Gate.Sdg -> param "cp" [ Phase.minus_half_pi ] [ c; t ]
+      | Gate.T -> param "cp" [ Phase.quarter_pi ] [ c; t ]
+      | Gate.Tdg -> param "cp" [ Phase.neg Phase.quarter_pi ] [ c; t ]
+      | Gate.P a -> param "cp" [ a ] [ c; t ]
+      | Gate.Rx a -> param "crx" [ a ] [ c; t ]
+      | Gate.Ry a -> param "cry" [ a ] [ c; t ]
+      | Gate.Rz a -> param "crz" [ a ] [ c; t ]
+      | Gate.U (a, b, cc) -> param "cu3" [ a; b; cc ] [ c; t ]
+      | Gate.I -> simple "id" [ t ]
+      | Gate.Sxdg ->
+          invalid_arg "Qasm.to_string: controlled sxdg has no qelib1 spelling")
+  | Circuit.Ctrl ([ c1; c2 ], Gate.X, t) -> simple "ccx" [ c1; c2; t ]
+  | Circuit.Ctrl ([ c1; c2 ], Gate.Z, t) -> simple "ccz" [ c1; c2; t ]
+  | Circuit.Ctrl ([ _; _ ], g, _) ->
+      invalid_arg
+        (Printf.sprintf "Qasm.to_string: doubly-controlled %s not representable" (Gate.name g))
+  | Circuit.Ctrl (cs, Gate.X, t) when List.length cs = 3 ->
+      simple "c3x" (cs @ [ t ])
+  | Circuit.Ctrl (cs, Gate.X, t) when List.length cs = 4 ->
+      simple "c4x" (cs @ [ t ])
+  | Circuit.Ctrl (cs, g, _) ->
+      invalid_arg
+        (Printf.sprintf "Qasm.to_string: %d-controlled %s not representable; decompose first"
+           (List.length cs) (Gate.name g))
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  (* The initial layout has no QASM-2 syntax; persist it as a structured
+     comment the parser recognises. *)
+  (match Circuit.initial_layout c with
+  | Some l when not (Perm.is_identity l) ->
+      let parts = Array.to_list (Array.map string_of_int (Perm.to_array l)) in
+      Buffer.add_string buf (Printf.sprintf "// oqec:layout %s\n" (String.concat "," parts))
+  | Some _ | None -> ());
+  (* ccz is not part of qelib1; define it when used. *)
+  let uses_ccz =
+    List.exists
+      (function Circuit.Ctrl ([ _; _ ], Gate.Z, _) -> true | _ -> false)
+      (Circuit.ops c)
+  in
+  if uses_ccz then
+    Buffer.add_string buf "gate ccz a,b,c { h c; ccx a,b,c; h c; }\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" (Circuit.num_qubits c));
+  (match Circuit.output_perm c with
+  | Some _ -> Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" (Circuit.num_qubits c))
+  | None -> ());
+  List.iter
+    (fun op ->
+      Buffer.add_string buf (op_to_qasm op);
+      Buffer.add_char buf '\n')
+    (Circuit.ops c);
+  (* Output permutations round-trip through measurement targets: logical
+     qubit [q] is read from wire [output_perm q]. *)
+  (match Circuit.output_perm c with
+  | Some p ->
+      for q = 0 to Circuit.num_qubits c - 1 do
+        Buffer.add_string buf (Printf.sprintf "measure q[%d] -> c[%d];\n" (Perm.apply p q) q)
+      done
+  | None -> ());
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

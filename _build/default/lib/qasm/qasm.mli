@@ -1,0 +1,46 @@
+(** OpenQASM 2.0 reader and writer.
+
+    QASM serves as the common interchange format between the benchmark
+    generators, the compiler and both equivalence checkers, exactly as in
+    the paper's experimental setup (Section 6.1).
+
+    Supported subset: version header, [include] (recorded and ignored;
+    the qelib1 gate vocabulary is built in), [qreg]/[creg], gate
+    applications with parameter expressions over [pi], user [gate]
+    definitions (expanded as macros), register broadcasting, [barrier],
+    [measure] and [reset] (recorded; resets are rejected mid-circuit).
+    Classical control ([if]) is not supported. *)
+
+open Oqec_circuit
+
+exception Parse_error of string
+(** Raised with a human-readable message including a line number. *)
+
+type t = {
+  circuit : Circuit.t;
+  measures : (int * int) list;
+      (** pairs (qubit wire, classical bit) in program order *)
+}
+
+(** [parse_string src] elaborates a QASM program into a circuit.  When the
+    measurements form a permutation pattern covering all qubits, the
+    circuit's output permutation metadata is set accordingly (classical
+    bit [c] holds logical qubit [c], measured on wire [q]). *)
+val parse_string : string -> t
+
+val parse_file : string -> t
+
+(** [circuit_of_string src] is [ (parse_string src).circuit ]. *)
+val circuit_of_string : string -> Circuit.t
+
+val circuit_of_file : string -> Circuit.t
+
+(** [to_string c] renders a circuit as OpenQASM 2.0.  Operations without a
+    qelib1 spelling (controlled gates with five or more controls) raise
+    [Invalid_argument]; decompose them first (see [Oqec_compile]).  The
+    output round-trips through [parse_string], including layout metadata:
+    the output permutation is expressed through measurement targets and
+    the initial layout through an [// oqec:layout] comment. *)
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

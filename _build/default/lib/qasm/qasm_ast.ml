@@ -1,0 +1,37 @@
+(* Abstract syntax of the supported OpenQASM 2.0 subset. *)
+
+type expr =
+  | Num of float
+  | Pi
+  | Ident of string  (* gate parameter reference inside a gate body *)
+  | Neg of expr
+  | Binop of char * expr * expr  (* '+', '-', '*', '/', '^' *)
+  | Call of string * expr  (* sin, cos, tan, exp, ln, sqrt *)
+
+(* A quantum argument: a whole register [q] or one element [q[i]]. *)
+type arg = { reg : string; index : int option }
+
+type gate_app = {
+  gate_name : string;
+  params : expr list;
+  args : arg list;
+}
+
+type stmt =
+  | Qreg of string * int
+  | Creg of string * int
+  | Gate_def of gate_def
+  | App of gate_app
+  | Barrier of arg list
+  | Measure of arg * arg
+  | Reset of arg
+  | Include of string
+
+and gate_def = {
+  def_name : string;
+  def_params : string list;
+  def_qargs : string list;
+  def_body : gate_app list;  (* barriers inside bodies are dropped *)
+}
+
+type program = stmt list

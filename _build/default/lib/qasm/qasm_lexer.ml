@@ -1,0 +1,216 @@
+(* Hand-written lexer for the OpenQASM 2.0 subset. *)
+
+type token =
+  | OPENQASM
+  | INCLUDE
+  | QREG
+  | CREG
+  | GATE
+  | BARRIER
+  | MEASURE
+  | RESET
+  | IF
+  | PI
+  | ID of string
+  | NUM of float
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ARROW
+  | EQEQ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | EOF
+
+exception Error of string * int  (* message, line *)
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let make src = { src; pos = 0; line = 1 }
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some _ | None -> ()
+
+let lex_while lx pred =
+  let start = lx.pos in
+  let rec go () =
+    match peek_char lx with
+    | Some c when pred c ->
+        advance lx;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub lx.src start (lx.pos - start)
+
+let keyword = function
+  | "OPENQASM" -> Some OPENQASM
+  | "include" -> Some INCLUDE
+  | "qreg" -> Some QREG
+  | "creg" -> Some CREG
+  | "gate" -> Some GATE
+  | "barrier" -> Some BARRIER
+  | "measure" -> Some MEASURE
+  | "reset" -> Some RESET
+  | "if" -> Some IF
+  | "pi" -> Some PI
+  | _ -> None
+
+let next lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_id_start c -> (
+      let word = lex_while lx is_id_char in
+      match keyword word with Some t -> t | None -> ID word)
+  | Some c when is_digit c || c = '.' ->
+      let text =
+        lex_while lx (fun c ->
+            is_digit c || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-')
+      in
+      (* The greedy scan above can swallow a trailing +/- that is not part of
+         an exponent; numbers in QASM never end with a sign, so back up. *)
+      let text =
+        let n = String.length text in
+        if n > 0 && (text.[n - 1] = '+' || text.[n - 1] = '-') then begin
+          lx.pos <- lx.pos - 1;
+          String.sub text 0 (n - 1)
+        end
+        else text
+      in
+      if String.contains text '.' || String.contains text 'e' || String.contains text 'E'
+      then
+        match float_of_string_opt text with
+        | Some f -> NUM f
+        | None -> raise (Error (Printf.sprintf "bad number %S" text, lx.line))
+      else (
+        match int_of_string_opt text with
+        | Some i -> INT i
+        | None -> raise (Error (Printf.sprintf "bad integer %S" text, lx.line)))
+  | Some '"' ->
+      advance lx;
+      let s = lex_while lx (fun c -> c <> '"') in
+      (match peek_char lx with
+      | Some '"' -> advance lx
+      | Some _ | None -> raise (Error ("unterminated string", lx.line)));
+      STRING s
+  | Some '{' ->
+      advance lx;
+      LBRACE
+  | Some '}' ->
+      advance lx;
+      RBRACE
+  | Some '(' ->
+      advance lx;
+      LPAREN
+  | Some ')' ->
+      advance lx;
+      RPAREN
+  | Some '[' ->
+      advance lx;
+      LBRACKET
+  | Some ']' ->
+      advance lx;
+      RBRACKET
+  | Some ';' ->
+      advance lx;
+      SEMI
+  | Some ',' ->
+      advance lx;
+      COMMA
+  | Some '+' ->
+      advance lx;
+      PLUS
+  | Some '*' ->
+      advance lx;
+      STAR
+  | Some '/' ->
+      advance lx;
+      SLASH
+  | Some '^' ->
+      advance lx;
+      CARET
+  | Some '-' ->
+      advance lx;
+      if peek_char lx = Some '>' then begin
+        advance lx;
+        ARROW
+      end
+      else MINUS
+  | Some '=' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        EQEQ
+      end
+      else raise (Error ("lone '='", lx.line))
+  | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, lx.line))
+
+let token_to_string = function
+  | OPENQASM -> "OPENQASM"
+  | INCLUDE -> "include"
+  | QREG -> "qreg"
+  | CREG -> "creg"
+  | GATE -> "gate"
+  | BARRIER -> "barrier"
+  | MEASURE -> "measure"
+  | RESET -> "reset"
+  | IF -> "if"
+  | PI -> "pi"
+  | ID s -> s
+  | NUM f -> string_of_float f
+  | INT i -> string_of_int i
+  | STRING s -> Printf.sprintf "%S" s
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ARROW -> "->"
+  | EQEQ -> "=="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | CARET -> "^"
+  | EOF -> "<eof>"

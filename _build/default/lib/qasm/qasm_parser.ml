@@ -1,0 +1,303 @@
+(* Recursive-descent parser for the OpenQASM 2.0 subset. *)
+
+open Qasm_ast
+
+exception Error of string * int
+
+type parser_state = {
+  lx : Qasm_lexer.lexer;
+  mutable tok : Qasm_lexer.token;
+}
+
+let fail st msg = raise (Error (msg, st.lx.Qasm_lexer.line))
+
+let make src =
+  let lx = Qasm_lexer.make src in
+  try { lx; tok = Qasm_lexer.next lx }
+  with Qasm_lexer.Error (m, l) -> raise (Error (m, l))
+
+let advance st =
+  try st.tok <- Qasm_lexer.next st.lx
+  with Qasm_lexer.Error (m, l) -> raise (Error (m, l))
+
+let expect st t =
+  if st.tok = t then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s"
+         (Qasm_lexer.token_to_string t)
+         (Qasm_lexer.token_to_string st.tok))
+
+let expect_id st =
+  match st.tok with
+  | Qasm_lexer.ID s ->
+      advance st;
+      s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (Qasm_lexer.token_to_string t))
+
+let expect_int st =
+  match st.tok with
+  | Qasm_lexer.INT i ->
+      advance st;
+      i
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (Qasm_lexer.token_to_string t))
+
+(* ---------------------------------------------------------- Expressions *)
+
+let known_funcs = [ "sin"; "cos"; "tan"; "exp"; "ln"; "sqrt" ]
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match st.tok with
+    | Qasm_lexer.PLUS ->
+        advance st;
+        lhs := Binop ('+', !lhs, parse_multiplicative st);
+        loop ()
+    | Qasm_lexer.MINUS ->
+        advance st;
+        lhs := Binop ('-', !lhs, parse_multiplicative st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match st.tok with
+    | Qasm_lexer.STAR ->
+        advance st;
+        lhs := Binop ('*', !lhs, parse_unary st);
+        loop ()
+    | Qasm_lexer.SLASH ->
+        advance st;
+        lhs := Binop ('/', !lhs, parse_unary st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match st.tok with
+  | Qasm_lexer.MINUS ->
+      advance st;
+      Neg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_atom st in
+  match st.tok with
+  | Qasm_lexer.CARET ->
+      advance st;
+      Binop ('^', base, parse_unary st)
+  | _ -> base
+
+and parse_atom st =
+  match st.tok with
+  | Qasm_lexer.NUM f ->
+      advance st;
+      Num f
+  | Qasm_lexer.INT i ->
+      advance st;
+      Num (float_of_int i)
+  | Qasm_lexer.PI ->
+      advance st;
+      Pi
+  | Qasm_lexer.ID name when List.mem name known_funcs ->
+      advance st;
+      expect st Qasm_lexer.LPAREN;
+      let e = parse_expr st in
+      expect st Qasm_lexer.RPAREN;
+      Call (name, e)
+  | Qasm_lexer.ID name ->
+      advance st;
+      Ident name
+  | Qasm_lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Qasm_lexer.RPAREN;
+      e
+  | t -> fail st (Printf.sprintf "expected expression, found %s" (Qasm_lexer.token_to_string t))
+
+(* ------------------------------------------------------------ Arguments *)
+
+let parse_arg st =
+  let reg = expect_id st in
+  match st.tok with
+  | Qasm_lexer.LBRACKET ->
+      advance st;
+      let i = expect_int st in
+      expect st Qasm_lexer.RBRACKET;
+      { reg; index = Some i }
+  | _ -> { reg; index = None }
+
+let parse_arg_list st =
+  let rec loop acc =
+    let a = parse_arg st in
+    match st.tok with
+    | Qasm_lexer.COMMA ->
+        advance st;
+        loop (a :: acc)
+    | _ -> List.rev (a :: acc)
+  in
+  loop []
+
+let parse_params st =
+  match st.tok with
+  | Qasm_lexer.LPAREN ->
+      advance st;
+      if st.tok = Qasm_lexer.RPAREN then begin
+        advance st;
+        []
+      end
+      else begin
+        let rec loop acc =
+          let e = parse_expr st in
+          match st.tok with
+          | Qasm_lexer.COMMA ->
+              advance st;
+              loop (e :: acc)
+          | _ ->
+              expect st Qasm_lexer.RPAREN;
+              List.rev (e :: acc)
+        in
+        loop []
+      end
+  | _ -> []
+
+let parse_app st name =
+  let params = parse_params st in
+  let args = parse_arg_list st in
+  expect st Qasm_lexer.SEMI;
+  { gate_name = name; params; args }
+
+(* ------------------------------------------------------------ Statements *)
+
+let parse_id_list st =
+  let rec loop acc =
+    let x = expect_id st in
+    match st.tok with
+    | Qasm_lexer.COMMA ->
+        advance st;
+        loop (x :: acc)
+    | _ -> List.rev (x :: acc)
+  in
+  loop []
+
+let parse_gate_def st =
+  let def_name = expect_id st in
+  let def_params =
+    match st.tok with
+    | Qasm_lexer.LPAREN ->
+        advance st;
+        if st.tok = Qasm_lexer.RPAREN then begin
+          advance st;
+          []
+        end
+        else begin
+          let ps = parse_id_list st in
+          expect st Qasm_lexer.RPAREN;
+          ps
+        end
+    | _ -> []
+  in
+  let def_qargs = parse_id_list st in
+  expect st Qasm_lexer.LBRACE;
+  let body = ref [] in
+  let rec loop () =
+    match st.tok with
+    | Qasm_lexer.RBRACE -> advance st
+    | Qasm_lexer.BARRIER ->
+        advance st;
+        let _ = parse_arg_list st in
+        expect st Qasm_lexer.SEMI;
+        loop ()
+    | Qasm_lexer.ID name ->
+        advance st;
+        body := parse_app st name :: !body;
+        loop ()
+    | t ->
+        fail st
+          (Printf.sprintf "unexpected %s in gate body" (Qasm_lexer.token_to_string t))
+  in
+  loop ();
+  Gate_def { def_name; def_params; def_qargs; def_body = List.rev !body }
+
+let parse_reg st kind =
+  let name = expect_id st in
+  expect st Qasm_lexer.LBRACKET;
+  let size = expect_int st in
+  expect st Qasm_lexer.RBRACKET;
+  expect st Qasm_lexer.SEMI;
+  match kind with `Q -> Qreg (name, size) | `C -> Creg (name, size)
+
+let parse_program src =
+  let st = make src in
+  (* Optional version header. *)
+  if st.tok = Qasm_lexer.OPENQASM then begin
+    advance st;
+    (match st.tok with
+    | Qasm_lexer.NUM _ | Qasm_lexer.INT _ -> advance st
+    | t -> fail st (Printf.sprintf "expected version number, found %s" (Qasm_lexer.token_to_string t)));
+    expect st Qasm_lexer.SEMI
+  end;
+  let stmts = ref [] in
+  let push s = stmts := s :: !stmts in
+  let rec loop () =
+    match st.tok with
+    | Qasm_lexer.EOF -> ()
+    | Qasm_lexer.INCLUDE ->
+        advance st;
+        (match st.tok with
+        | Qasm_lexer.STRING file ->
+            advance st;
+            expect st Qasm_lexer.SEMI;
+            push (Include file)
+        | t -> fail st (Printf.sprintf "expected file name, found %s" (Qasm_lexer.token_to_string t)));
+        loop ()
+    | Qasm_lexer.QREG ->
+        advance st;
+        push (parse_reg st `Q);
+        loop ()
+    | Qasm_lexer.CREG ->
+        advance st;
+        push (parse_reg st `C);
+        loop ()
+    | Qasm_lexer.GATE ->
+        advance st;
+        push (parse_gate_def st);
+        loop ()
+    | Qasm_lexer.BARRIER ->
+        advance st;
+        let args = parse_arg_list st in
+        expect st Qasm_lexer.SEMI;
+        push (Barrier args);
+        loop ()
+    | Qasm_lexer.MEASURE ->
+        advance st;
+        let src_arg = parse_arg st in
+        expect st Qasm_lexer.ARROW;
+        let dst = parse_arg st in
+        expect st Qasm_lexer.SEMI;
+        push (Measure (src_arg, dst));
+        loop ()
+    | Qasm_lexer.RESET ->
+        advance st;
+        let a = parse_arg st in
+        expect st Qasm_lexer.SEMI;
+        push (Reset a);
+        loop ()
+    | Qasm_lexer.IF -> fail st "classical conditioning (if) is not supported"
+    | Qasm_lexer.ID name ->
+        advance st;
+        push (App (parse_app st name));
+        loop ()
+    | t -> fail st (Printf.sprintf "unexpected %s" (Qasm_lexer.token_to_string t))
+  in
+  loop ();
+  List.rev !stmts

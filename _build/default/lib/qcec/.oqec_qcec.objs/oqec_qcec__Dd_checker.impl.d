@@ -1,0 +1,1 @@
+lib/qcec/dd_checker.ml: Array Circuit Cx Dd Dd_circuit Decompose Equivalence Flatten Float List Oqec_base Oqec_circuit Oqec_dd Printf Unix

@@ -1,0 +1,1 @@
+lib/qcec/dd_checker.mli: Circuit Equivalence Oqec_circuit

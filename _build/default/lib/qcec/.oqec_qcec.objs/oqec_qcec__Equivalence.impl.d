@@ -1,0 +1,1 @@
+lib/qcec/equivalence.ml: Format Printf Unix

@@ -1,0 +1,1 @@
+lib/qcec/flatten.ml: Array Circuit Fun List Optimize Oqec_base Oqec_circuit Oqec_compile Perm

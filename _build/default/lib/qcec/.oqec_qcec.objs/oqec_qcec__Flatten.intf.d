@@ -1,0 +1,1 @@
+lib/qcec/flatten.mli: Circuit Oqec_circuit

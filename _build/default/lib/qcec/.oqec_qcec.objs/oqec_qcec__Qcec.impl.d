@@ -1,0 +1,1 @@
+lib/qcec/qcec.ml: Dd_checker Equivalence Float Option Sim_checker Stab_checker Unix Zx_checker

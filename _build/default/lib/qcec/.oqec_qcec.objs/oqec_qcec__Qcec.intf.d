@@ -1,0 +1,1 @@
+lib/qcec/qcec.mli: Circuit Dd_checker Equivalence Oqec_circuit

@@ -1,0 +1,1 @@
+lib/qcec/sim_checker.ml: Array Circuit Cx Dd Dd_circuit Equivalence Flatten List Oqec_base Oqec_circuit Oqec_dd Oqec_workloads Printf Rng Unix Workloads

@@ -1,0 +1,1 @@
+lib/qcec/sim_checker.mli: Circuit Equivalence Oqec_circuit

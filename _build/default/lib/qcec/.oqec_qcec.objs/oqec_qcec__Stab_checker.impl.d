@@ -1,0 +1,1 @@
+lib/qcec/stab_checker.ml: Circuit Equivalence Flatten Oqec_circuit Oqec_stab Printf Tableau Unix

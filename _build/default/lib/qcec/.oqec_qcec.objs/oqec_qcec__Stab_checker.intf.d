@@ -1,0 +1,1 @@
+lib/qcec/stab_checker.mli: Circuit Equivalence Oqec_circuit

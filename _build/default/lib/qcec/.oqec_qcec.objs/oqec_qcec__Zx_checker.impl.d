@@ -1,0 +1,1 @@
+lib/qcec/zx_checker.ml: Equivalence Flatten Oqec_base Oqec_zx Perm Printf Unix Zx_circuit Zx_graph Zx_simplify

@@ -1,0 +1,1 @@
+lib/qcec/zx_checker.mli: Circuit Equivalence Oqec_circuit

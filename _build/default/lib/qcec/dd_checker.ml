@@ -1,0 +1,147 @@
+open Oqec_base
+open Oqec_circuit
+open Oqec_dd
+
+(* Equivalence of unitaries is decided on the miter DD: structural
+   identity up to phase, with the Hilbert-Schmidt overlap |tr D| / 2^n as
+   the tolerance-aware fallback (Section 3). *)
+let fidelity_threshold = 1.0 -. 1e-9
+
+let conclude pkg n d =
+  if Dd.is_identity ~up_to_phase:true pkg n d then Equivalence.Equivalent
+  else if Dd.fidelity_to_identity ~n d >= fidelity_threshold then Equivalence.Equivalent
+  else Equivalence.Not_equivalent
+
+let finish ~start ~method_used ~pkg ~n d =
+  let outcome = conclude pkg n d in
+  {
+    Equivalence.outcome;
+    method_used;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = Dd.allocated pkg;
+    final_size = Dd.node_count d;
+    simulations = 0;
+    note = "";
+  }
+
+type oracle = Proportional | Lookahead
+
+(* Shared miter construction for the exact and approximate checkers.
+
+   The circuits are lowered to elementary gates first: the alternating
+   scheme inverts operation by operation, and controlled rotations only
+   invert exactly after decomposition (their inverse-angle form differs
+   by a controlled sign, rotation angles being canonical modulo 2*pi). *)
+let build_miter ~oracle ?tol ?trace ?deadline g g' =
+  let g, g' = Flatten.align g g' in
+  let a = Decompose.elementary (Flatten.flatten g)
+  and b = Decompose.elementary (Flatten.flatten g') in
+  let n = Circuit.num_qubits a in
+  let pkg = Dd.create ?tol () in
+  let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
+  let ka = Array.length ops_a and kb = Array.length ops_b in
+  let d = ref (Dd.identity pkg n) in
+  let ia = ref 0 and ib = ref 0 in
+  let record () = match trace with Some f -> f (Dd.node_count !d) | None -> () in
+  record ();
+  (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D. *)
+  let apply_a () = Dd_circuit.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
+  let apply_b () = Dd_circuit.apply_op pkg n !d ops_b.(!ib) in
+  while !ia < ka || !ib < kb do
+    Equivalence.guard deadline;
+    if !ia >= ka then begin
+      d := apply_b ();
+      incr ib
+    end
+    else if !ib >= kb then begin
+      d := apply_a ();
+      incr ia
+    end
+    else begin
+      match oracle with
+      | Proportional ->
+          (* Advance the side that lags behind relative to its total gate
+             count, keeping the product balanced around the identity. *)
+          if !ia * kb <= !ib * ka then begin
+            d := apply_a ();
+            incr ia
+          end
+          else begin
+            d := apply_b ();
+            incr ib
+          end
+      | Lookahead ->
+          (* Apply one gate from each side speculatively; commit to the
+             smaller resulting diagram (hash-consing makes the discarded
+             candidate cheap to abandon). *)
+          let cand_a = apply_a () in
+          let cand_b = apply_b () in
+          if Dd.node_count cand_a <= Dd.node_count cand_b then begin
+            d := cand_a;
+            incr ia
+          end
+          else begin
+            d := cand_b;
+            incr ib
+          end
+    end;
+    record ()
+  done;
+  (pkg, n, !d)
+
+let check_alternating ?(oracle = Proportional) ?tol ?trace ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let pkg, n, d = build_miter ~oracle ?tol ?trace ?deadline g g' in
+  finish ~start ~method_used:Equivalence.Alternating_dd ~pkg ~n d
+
+let check_approximate ?tol ?deadline ~threshold g g' =
+  let start = Unix.gettimeofday () in
+  let pkg, n, d = build_miter ~oracle:Proportional ?tol ?deadline g g' in
+  let fidelity = Dd.fidelity_to_identity ~n d in
+  let outcome =
+    if fidelity >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
+  in
+  ( {
+      Equivalence.outcome;
+      method_used = Equivalence.Alternating_dd;
+      elapsed = Unix.gettimeofday () -. start;
+      peak_size = Dd.allocated pkg;
+      final_size = Dd.node_count d;
+      simulations = 0;
+      note = Printf.sprintf "(fidelity %.9f, threshold %g)" fidelity threshold;
+    },
+    fidelity )
+
+let check_reference ?tol ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let g, g' = Flatten.align g g' in
+  let a = Flatten.flatten g and b = Flatten.flatten g' in
+  let n = Circuit.num_qubits a in
+  let pkg = Dd.create ?tol () in
+  let build c =
+    List.fold_left
+      (fun acc op ->
+        Equivalence.guard deadline;
+        Dd_circuit.apply_op pkg n acc op)
+      (Dd.identity pkg n) (Circuit.ops c)
+  in
+  let da = build a and db = build b in
+  let outcome =
+    if da.Dd.node == db.Dd.node && Float.abs (Cx.mag da.Dd.w -. Cx.mag db.Dd.w) < 1e-9
+    then Equivalence.Equivalent
+    else begin
+      (* Canonicity says different roots mean different matrices, but
+         close-to-tolerance cases deserve the numeric check. *)
+      let miter = Dd.mul pkg (Dd.adjoint pkg da) db in
+      conclude pkg n miter
+    end
+  in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Reference_dd;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = Dd.allocated pkg;
+    final_size = Dd.node_count da + Dd.node_count db;
+    simulations = 0;
+    note = "";
+  }

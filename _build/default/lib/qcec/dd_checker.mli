@@ -1,0 +1,49 @@
+(** Decision-diagram equivalence checking (Section 4.1).
+
+    Both strategies decide [G ~ G'] up to global phase, honouring layout
+    metadata and absorbing SWAPs via {!Flatten}. *)
+
+open Oqec_circuit
+
+(** Gate-scheduling oracles for the alternating scheme ([20]):
+    [Proportional] advances the side that lags relative to its total gate
+    count; [Lookahead] applies one gate from each side speculatively and
+    commits to whichever keeps the diagram smaller (more bookkeeping per
+    step, but it adapts when the two circuits' structures do not line up
+    proportionally). *)
+type oracle = Proportional | Lookahead
+
+(** [check_alternating ?oracle ?tol ?trace ?deadline g g'] builds the
+    miter [U(G') * U(G)^dagger] starting from the identity, taking gates
+    from both circuits so the intermediate diagram stays close to the
+    identity.  [tol] is the DD package's interning tolerance; [trace]
+    receives the intermediate node count after every gate application
+    (used by the Fig. 4 demo and the ablations). *)
+val check_alternating :
+  ?oracle:oracle ->
+  ?tol:float ->
+  ?trace:(int -> unit) ->
+  ?deadline:float ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report
+
+(** [check_reference ?tol ?deadline g g'] constructs both system-matrix
+    DDs independently and compares root pointers (canonicity makes this a
+    constant-time comparison once built). *)
+val check_reference :
+  ?tol:float -> ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report
+
+(** [check_approximate ?tol ?deadline ~threshold g g'] decides approximate
+    equivalence in the sense of the paper's reference [16]: the miter is
+    built with the alternating scheme and the circuits count as equivalent
+    when the normalised Hilbert-Schmidt overlap [|tr (U^dag V)| / 2^n]
+    reaches [threshold].  Returns the report together with the measured
+    fidelity. *)
+val check_approximate :
+  ?tol:float ->
+  ?deadline:float ->
+  threshold:float ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report * float

@@ -1,0 +1,50 @@
+type outcome = Equivalent | Not_equivalent | No_information | Timed_out
+
+type method_used =
+  | Reference_dd
+  | Alternating_dd
+  | Simulation
+  | Zx_calculus
+  | Combined
+  | Stabilizer
+
+type report = {
+  outcome : outcome;
+  method_used : method_used;
+  elapsed : float;
+  peak_size : int;
+  final_size : int;
+  simulations : int;
+  note : string;
+}
+
+exception Timeout
+
+let guard = function
+  | None -> ()
+  | Some deadline -> if Unix.gettimeofday () > deadline then raise Timeout
+
+let stopper deadline () =
+  match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+
+let outcome_to_string = function
+  | Equivalent -> "equivalent"
+  | Not_equivalent -> "not equivalent"
+  | No_information -> "no information"
+  | Timed_out -> "timeout"
+
+let method_to_string = function
+  | Reference_dd -> "reference-dd"
+  | Alternating_dd -> "alternating-dd"
+  | Simulation -> "simulation"
+  | Zx_calculus -> "zx-calculus"
+  | Combined -> "combined"
+  | Stabilizer -> "stabilizer"
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s [%s, %.3fs, peak %d, final %d%s]%s"
+    (outcome_to_string r.outcome)
+    (method_to_string r.method_used)
+    r.elapsed r.peak_size r.final_size
+    (if r.simulations > 0 then Printf.sprintf ", %d sims" r.simulations else "")
+    (if r.note = "" then "" else " " ^ r.note)

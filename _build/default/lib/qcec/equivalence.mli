@@ -1,0 +1,47 @@
+(** Result types shared by all equivalence-checking strategies. *)
+
+type outcome =
+  | Equivalent  (** proven equivalent up to global phase *)
+  | Not_equivalent  (** proven non-equivalent (counterexample or mismatch) *)
+  | No_information
+      (** the procedure terminated without a proof either way — e.g. the
+          ZX rewriting got stuck, which Section 6.2 notes is a strong
+          indication (but no proof) of non-equivalence *)
+  | Timed_out
+
+type method_used =
+  | Reference_dd  (** build both DDs and compare roots *)
+  | Alternating_dd  (** the miter scheme of Section 4.1 *)
+  | Simulation  (** random-stimuli runs *)
+  | Zx_calculus  (** graph-like rewriting of Section 5.1 *)
+  | Combined  (** simulation + alternating DD, as evaluated in the paper *)
+  | Stabilizer
+      (** Heisenberg-tableau comparison, complete for the Clifford
+          fragment (extension beyond the paper) *)
+
+type report = {
+  outcome : outcome;
+  method_used : method_used;
+  elapsed : float;  (** seconds *)
+  peak_size : int;
+      (** DD methods: nodes allocated in the package; ZX: spiders in the
+          initial miter diagram *)
+  final_size : int;
+      (** DD: nodes in the final diagram; ZX: spiders left after
+          reduction *)
+  simulations : int;  (** random-stimuli runs actually performed *)
+  note : string;
+}
+
+exception Timeout
+
+(** [guard deadline] raises {!Timeout} once [Unix.gettimeofday] passes the
+    deadline (no-op for [None]). *)
+val guard : float option -> unit
+
+(** [stopper deadline] is a polling function for ZX's [should_stop]. *)
+val stopper : float option -> unit -> bool
+
+val outcome_to_string : outcome -> string
+val method_to_string : method_used -> string
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,69 @@
+open Oqec_base
+open Oqec_circuit
+open Oqec_compile
+
+(* Invariant maintained below: U(prefix) . P(layout) = P(pi) . U(emitted),
+   where pi is the tracked logical-to-wire assignment.  Gates on wires
+   [ws] therefore re-emit on logicals [inv ws]; SWAPs update pi only.  At
+   the end, Eff(c) = P(inv output_perm . pi) . U(emitted), and that
+   residual permutation is realised by explicit SWAP gates. *)
+let flatten ?(reconstruct_swaps = true) c =
+  let c = if reconstruct_swaps then Optimize.reconstruct_swaps c else c in
+  let n = Circuit.num_qubits c in
+  (* Layouts recorded on a circuit narrower than its final width (after
+     [align]) are padded with the identity on the remaining wires. *)
+  let extend p =
+    if Perm.size p = n then p
+    else begin
+      let a = Array.make n (-1) in
+      Array.iteri (fun l w -> a.(l) <- w) (Perm.to_array p);
+      let used = Array.make n false in
+      Array.iter (fun w -> if w >= 0 then used.(w) <- true) a;
+      let free = ref (List.filter (fun w -> not used.(w)) (List.init n Fun.id)) in
+      Array.iteri
+        (fun l w ->
+          if w < 0 then
+            match !free with
+            | f :: rest ->
+                a.(l) <- f;
+                free := rest
+            | [] -> assert false)
+        a;
+      Perm.of_array a
+    end
+  in
+  let layout =
+    match Circuit.initial_layout c with Some l -> extend l | None -> Perm.id n
+  in
+  let pi = Perm.to_array layout in
+  let inv = Array.make n 0 in
+  Array.iteri (fun l w -> inv.(w) <- l) pi;
+  let out = ref (Circuit.create ~name:(Circuit.name c ^ "~flat") n) in
+  let handle op =
+    match op with
+    | Circuit.Barrier -> ()
+    | Circuit.Swap (w1, w2) ->
+        let l1 = inv.(w1) and l2 = inv.(w2) in
+        pi.(l1) <- w2;
+        pi.(l2) <- w1;
+        inv.(w1) <- l2;
+        inv.(w2) <- l1
+    | Circuit.Gate (g, t) -> out := Circuit.add !out (Circuit.Gate (g, inv.(t)))
+    | Circuit.Ctrl (cs, g, t) ->
+        out :=
+          Circuit.add !out (Circuit.Ctrl (List.map (fun q -> inv.(q)) cs, g, inv.(t)))
+  in
+  List.iter handle (Circuit.ops c);
+  let output =
+    match Circuit.output_perm c with Some o -> extend o | None -> Perm.id n
+  in
+  let residual = Perm.compose (Perm.inverse output) (Perm.of_array pi) in
+  if not (Perm.is_identity residual) then begin
+    let swaps = List.rev (Perm.transpositions residual) in
+    List.iter (fun (a, b) -> out := Circuit.add !out (Circuit.Swap (a, b))) swaps
+  end;
+  !out
+
+let align a b =
+  let n = max (Circuit.num_qubits a) (Circuit.num_qubits b) in
+  (Circuit.embed a ~num_qubits:n, Circuit.embed b ~num_qubits:n)

@@ -1,0 +1,25 @@
+(** Absorbing SWAPs and layout metadata into permutation bookkeeping.
+
+    Compiled circuits differ from their high-level originals by an initial
+    layout, inserted SWAP gates and an output permutation (Section 3).
+    [flatten] tracks the dynamic logical-to-physical assignment through
+    the circuit — every SWAP becomes an update of the tracked permutation
+    rather than three gate applications, exactly as in Section 4.1 — and
+    returns a plain circuit without SWAPs or metadata whose unitary equals
+    the circuit's effective unitary (validated against
+    {!Oqec_circuit.Unitary.effective_unitary} in the test suite).
+
+    Any residual mismatch between the tracked permutation and the
+    expected output permutation is corrected with explicit SWAP gates at
+    the end, as the paper describes (the only SWAPs remaining in the
+    output). *)
+
+open Oqec_circuit
+
+(** [flatten ?reconstruct_swaps c] eliminates SWAPs and layouts.
+    [reconstruct_swaps] (default [true]) first re-assembles SWAPs from
+    CX triples to maximise what can be absorbed. *)
+val flatten : ?reconstruct_swaps:bool -> Circuit.t -> Circuit.t
+
+(** [align a b] widens the narrower circuit so both have equal width. *)
+val align : Circuit.t -> Circuit.t -> Circuit.t * Circuit.t

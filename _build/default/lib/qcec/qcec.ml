@@ -1,0 +1,85 @@
+type strategy = Reference | Alternating | Simulation | Zx | Combined | Clifford
+
+let strategy_to_string = function
+  | Reference -> "reference"
+  | Alternating -> "alternating"
+  | Simulation -> "simulation"
+  | Zx -> "zx"
+  | Combined -> "combined"
+  | Clifford -> "clifford"
+
+let strategy_of_string = function
+  | "reference" -> Some Reference
+  | "alternating" -> Some Alternating
+  | "simulation" -> Some Simulation
+  | "zx" -> Some Zx
+  | "combined" -> Some Combined
+  | "clifford" -> Some Clifford
+  | _ -> None
+
+let timed_out_report ~method_used ~start =
+  {
+    Equivalence.outcome = Equivalence.Timed_out;
+    method_used;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = 0;
+    final_size = 0;
+    simulations = 0;
+    note = "";
+  }
+
+let check ?(strategy = Combined) ?timeout ?tol ?(sim_runs = 16) ?(seed = 1)
+    ?(oracle = Dd_checker.Proportional) g g' =
+  let start = Unix.gettimeofday () in
+  let deadline = Option.map (fun t -> start +. t) timeout in
+  let run method_used f = try f () with Equivalence.Timeout -> timed_out_report ~method_used ~start in
+  match strategy with
+  | Reference ->
+      run Equivalence.Reference_dd (fun () -> Dd_checker.check_reference ?tol ?deadline g g')
+  | Alternating ->
+      run Equivalence.Alternating_dd (fun () ->
+          Dd_checker.check_alternating ~oracle ?tol ?deadline g g')
+  | Simulation ->
+      run Equivalence.Simulation (fun () ->
+          Sim_checker.check ?tol ~runs:sim_runs ~seed ?deadline g g')
+  | Zx -> run Equivalence.Zx_calculus (fun () -> Zx_checker.check ?deadline g g')
+  | Clifford -> run Equivalence.Stabilizer (fun () -> Stab_checker.check ?deadline g g')
+  | Combined ->
+      run Equivalence.Combined (fun () ->
+          (* Sequential emulation of the paper's parallel configuration:
+             a short random-stimuli screen runs first (in the parallel
+             original, the alternating checker would terminate the
+             remaining simulations anyway), the completeness argument
+             second.  The screen gets its own small time slice: on
+             simulation-hostile circuits (QFT-like output states have
+             exponential vector DDs) the parallel original would simply
+             cancel the simulations, so blocking on them here would
+             distort the comparison. *)
+          let screen = min sim_runs 8 in
+          let screen_deadline =
+            let cap =
+              match timeout with Some t -> Float.min 5.0 (t /. 10.0) | None -> 5.0
+            in
+            let d = start +. cap in
+            match deadline with Some d' -> Some (Float.min d d') | None -> Some d
+          in
+          let sim =
+            try Sim_checker.check ?tol ~runs:screen ~seed ?deadline:screen_deadline g g'
+            with Equivalence.Timeout ->
+              timed_out_report ~method_used:Equivalence.Simulation ~start
+          in
+          match sim.Equivalence.outcome with
+          | Equivalence.Not_equivalent ->
+              {
+                sim with
+                Equivalence.method_used = Equivalence.Combined;
+                elapsed = Unix.gettimeofday () -. start;
+              }
+          | Equivalence.No_information | Equivalence.Equivalent | Equivalence.Timed_out ->
+              let dd = Dd_checker.check_alternating ~oracle ?tol ?deadline g g' in
+              {
+                dd with
+                Equivalence.method_used = Equivalence.Combined;
+                elapsed = Unix.gettimeofday () -. start;
+                simulations = sim.Equivalence.simulations;
+              })

@@ -1,0 +1,54 @@
+(** Equivalence checking of quantum circuits — the library facade.
+
+    Reproduces the two paradigms compared by Peham, Burgholzer and Wille
+    (DAC 2022): decision diagrams (the QCEC approach) and the ZX-calculus
+    (the PyZX approach).
+
+    {[
+      let g  = Oqec_workloads.Workloads.ghz 3 in
+      let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.linear 5) g in
+      let report = Qcec.check ~strategy:Qcec.Combined g g' in
+      assert (report.Equivalence.outcome = Equivalence.Equivalent)
+    ]}
+
+    Equivalence means equality of the circuits' effective unitaries up to
+    a global phase, where initial layouts, SWAP insertions and output
+    permutations of compiled circuits are accounted for (Section 3). *)
+
+open Oqec_circuit
+
+type strategy =
+  | Reference  (** build both DDs and compare (canonicity argument) *)
+  | Alternating  (** miter DD kept near the identity (Section 4.1) *)
+  | Simulation  (** random stimuli only: refutation or no information *)
+  | Zx  (** graph-like ZX rewriting (Section 5.1) *)
+  | Combined
+      (** the paper's QCEC configuration: random-stimuli refutation
+          followed by the alternating scheme (a sequential emulation of
+          the parallel setup of Section 6.1) *)
+  | Clifford
+      (** stabilizer-tableau comparison — complete and polynomial for
+          Clifford-only circuits, [No_information] otherwise (extension
+          beyond the paper) *)
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+
+(** [check ?strategy ?timeout ?tol ?sim_runs ?seed g g'] decides whether
+    the circuits are equivalent up to global phase and layout metadata.
+
+    [timeout] is wall-clock seconds for the whole check (default: none);
+    [tol] the DD weight-interning tolerance; [sim_runs] the number of
+    random stimuli (default 16, as in the paper's setup); [seed] makes
+    stimuli reproducible; [oracle] selects the alternating scheme's gate
+    scheduling (default [Proportional]). *)
+val check :
+  ?strategy:strategy ->
+  ?timeout:float ->
+  ?tol:float ->
+  ?sim_runs:int ->
+  ?seed:int ->
+  ?oracle:Dd_checker.oracle ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report

@@ -1,0 +1,77 @@
+open Oqec_base
+open Oqec_circuit
+open Oqec_dd
+open Oqec_workloads
+
+let check_states ?tol ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let g, g' = Flatten.align g g' in
+  let a = Flatten.flatten g and b = Flatten.flatten g' in
+  let n = Circuit.num_qubits a in
+  let pkg = Dd.create ?tol () in
+  let run c =
+    List.fold_left
+      (fun acc op ->
+        Equivalence.guard deadline;
+        Dd_circuit.apply_op_vec pkg n acc op)
+      (Dd.kets_bits pkg n (fun _ -> false))
+      (Circuit.ops c)
+  in
+  let va = run a and vb = run b in
+  let fidelity = Cx.mag (Dd.inner pkg va vb) in
+  let outcome =
+    if fidelity >= 1.0 -. 1e-9 then Equivalence.Equivalent else Equivalence.Not_equivalent
+  in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Simulation;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = Dd.allocated pkg;
+    final_size = Dd.node_count va + Dd.node_count vb;
+    simulations = 1;
+    note = Printf.sprintf "(state fidelity %.9f)" fidelity;
+  }
+
+let check ?tol ?(runs = 16) ?(seed = 1) ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let g, g' = Flatten.align g g' in
+  let a = Flatten.flatten g and b = Flatten.flatten g' in
+  let n = Circuit.num_qubits a in
+  let pkg = Dd.create ?tol () in
+  let rng = Rng.make ~seed in
+  (* Build every gate DD once; the runs only pay for state evolution. *)
+  let dds c = List.concat_map (Dd_circuit.op_dds pkg n) (Circuit.ops c) in
+  let dds_a = dds a and dds_b = dds b in
+  let apply gs v =
+    List.fold_left
+      (fun acc gdd ->
+        Equivalence.guard deadline;
+        Dd.mul_vec pkg gdd acc)
+      v gs
+  in
+  let rec run k =
+    if k > runs then (Equivalence.No_information, k - 1)
+    else begin
+      let bits = Workloads.random_bits rng n in
+      let input () = Dd.kets_bits pkg n (fun q -> bits.(q)) in
+      let va = apply dds_a (input ()) in
+      let vb = apply dds_b (input ()) in
+      let fidelity = Cx.mag (Dd.inner pkg va vb) in
+      if fidelity < 1.0 -. 1e-9 then (Equivalence.Not_equivalent, k)
+      else run (k + 1)
+    end
+  in
+  let outcome, performed = run 1 in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Simulation;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = Dd.allocated pkg;
+    final_size = 0;
+    simulations = performed;
+    note =
+      (match outcome with
+      | Equivalence.No_information ->
+          Printf.sprintf "(all %d random stimuli agreed)" performed
+      | Equivalence.Not_equivalent | Equivalence.Equivalent | Equivalence.Timed_out -> "");
+  }

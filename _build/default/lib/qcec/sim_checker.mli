@@ -1,0 +1,26 @@
+(** Random-stimuli simulation (the non-equivalence detector of [20]/[45]).
+
+    Runs both circuits on random computational basis states with
+    decision-diagram simulation and compares output states by fidelity.
+    A single mismatch proves non-equivalence; agreement on all runs
+    yields [No_information] (strong evidence, not proof). *)
+
+open Oqec_circuit
+
+val check :
+  ?tol:float ->
+  ?runs:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report
+
+(** [check_states ?tol ?deadline g g'] decides whether the two circuits
+    prepare the same state from |0...0> up to global phase — a weaker
+    relation than unitary equivalence (e.g. the GHZ fan-out and chain
+    preparations agree as state preparations but not as unitaries).
+    Unlike random-stimuli checking this is a decision procedure: the two
+    output state-vector DDs are compared by exact fidelity. *)
+val check_states :
+  ?tol:float -> ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report

@@ -1,0 +1,26 @@
+open Oqec_circuit
+open Oqec_stab
+
+let check ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let g, g' = Flatten.align g g' in
+  let a = Flatten.flatten g and b = Flatten.flatten g' in
+  let n = Circuit.num_qubits a in
+  let outcome, note =
+    match (Tableau.of_circuit a, Tableau.of_circuit b) with
+    | ta, tb ->
+        Equivalence.guard deadline;
+        if Tableau.equal ta tb then (Equivalence.Equivalent, "")
+        else (Equivalence.Not_equivalent, "(conjugation tableaus differ)")
+    | exception Tableau.Not_clifford what ->
+        (Equivalence.No_information, Printf.sprintf "(not a Clifford circuit: %s)" what)
+  in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Stabilizer;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = 2 * n;
+    final_size = 2 * n;
+    simulations = 0;
+    note;
+  }

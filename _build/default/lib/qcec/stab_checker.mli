@@ -1,0 +1,12 @@
+(** Stabilizer-tableau equivalence checking for the Clifford fragment.
+
+    A complete, polynomial-time decision procedure for circuits composed
+    entirely of Clifford gates (the fragment for which the paper notes
+    the basic ZX ruleset is complete): both circuits' Heisenberg
+    conjugation tableaus are built and compared.  Non-Clifford gates
+    yield [No_information].  Extension beyond the paper's two paradigms;
+    see DESIGN.md. *)
+
+open Oqec_circuit
+
+val check : ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report

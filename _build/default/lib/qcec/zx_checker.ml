@@ -1,0 +1,32 @@
+open Oqec_base
+open Oqec_zx
+
+let check ?deadline g g' =
+  let start = Unix.gettimeofday () in
+  let g, g' = Flatten.align g g' in
+  let a = Flatten.flatten g and b = Flatten.flatten g' in
+  let diagram = Zx_circuit.of_miter a b in
+  let before = Zx_graph.spider_count diagram in
+  let completed = Zx_simplify.full_reduce ~should_stop:(Equivalence.stopper deadline) diagram in
+  let after = Zx_graph.spider_count diagram in
+  let outcome =
+    if not completed then Equivalence.Timed_out
+    else
+      match Zx_simplify.extract_permutation diagram with
+      | Some p when Perm.is_identity p -> Equivalence.Equivalent
+      | Some _ -> Equivalence.Not_equivalent
+      | None -> Equivalence.No_information
+  in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Zx_calculus;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = before;
+    final_size = after;
+    simulations = 0;
+    note =
+      (match outcome with
+      | Equivalence.No_information ->
+          Printf.sprintf "(%d spiders remain; strong indication of non-equivalence)" after
+      | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out -> "");
+  }

@@ -1,0 +1,11 @@
+(** ZX-calculus equivalence checking (Section 5.1).
+
+    Composes [G'] with the inverse of [G], rewrites the diagram to
+    graph-like form and reduces it with the full PyZX-style procedure.
+    Bare wires with the identity permutation prove equivalence; a
+    non-identity permutation proves non-equivalence; remaining spiders
+    yield [No_information]. *)
+
+open Oqec_circuit
+
+val check : ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report

@@ -1,0 +1,1 @@
+lib/stab/tableau.ml: Array Buffer Circuit Format Gate List Oqec_base Oqec_circuit Phase Printf

@@ -1,0 +1,1 @@
+lib/stab/tableau.mli: Circuit Format Oqec_circuit

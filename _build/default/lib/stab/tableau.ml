@@ -1,0 +1,145 @@
+open Oqec_base
+open Oqec_circuit
+
+exception Not_clifford of string
+
+(* Row i is the image of X_i, row n+i the image of Z_i: a Hermitian Pauli
+   string with a sign.  Appending a gate conjugates every row by it. *)
+type row = { x : bool array; z : bool array; mutable neg : bool }
+type t = { n : int; rows : row array }
+
+let identity n =
+  let make_row i kind =
+    let x = Array.make n false and z = Array.make n false in
+    (match kind with `X -> x.(i) <- true | `Z -> z.(i) <- true);
+    { x; z; neg = false }
+  in
+  {
+    n;
+    rows =
+      Array.init (2 * n) (fun k ->
+          if k < n then make_row k `X else make_row (k - n) `Z);
+  }
+
+let num_qubits t = t.n
+
+let apply_h t q =
+  Array.iter
+    (fun row ->
+      if row.x.(q) && row.z.(q) then row.neg <- not row.neg;
+      let tmp = row.x.(q) in
+      row.x.(q) <- row.z.(q);
+      row.z.(q) <- tmp)
+    t.rows
+
+let apply_s t q =
+  Array.iter
+    (fun row ->
+      if row.x.(q) && row.z.(q) then row.neg <- not row.neg;
+      row.z.(q) <- row.z.(q) <> row.x.(q))
+    t.rows
+
+let apply_cx t ~ctl ~tgt =
+  Array.iter
+    (fun row ->
+      if row.x.(ctl) && row.z.(tgt) && row.x.(tgt) = row.z.(ctl) then
+        row.neg <- not row.neg;
+      row.x.(tgt) <- row.x.(tgt) <> row.x.(ctl);
+      row.z.(ctl) <- row.z.(ctl) <> row.z.(tgt))
+    t.rows
+
+let not_clifford fmt = Printf.ksprintf (fun s -> raise (Not_clifford s)) fmt
+
+(* Express derived Clifford gates through H/S/CX. *)
+let rec apply_op t (op : Circuit.op) =
+  let h q = apply_h t q and s q = apply_s t q in
+  let sdg q = s q; s q; s q in
+  let z q = s q; s q in
+  let x q = h q; z q; h q in
+  let rz_clifford a q =
+    if Phase.is_zero a then ()
+    else if Phase.equal a Phase.half_pi then s q
+    else if Phase.is_pi a then z q
+    else if Phase.equal a Phase.minus_half_pi then sdg q
+    else not_clifford "rotation by %s" (Phase.to_string a)
+  in
+  let rx_clifford a q = h q; rz_clifford a q; h q in
+  let ry_clifford a q =
+    (* Ry(a) = Rz(pi/2) Rx(a) Rz(-pi/2), applied right to left. *)
+    rz_clifford Phase.minus_half_pi q;
+    rx_clifford a q;
+    rz_clifford Phase.half_pi q
+  in
+  match op with
+  | Circuit.Barrier -> ()
+  | Circuit.Swap (a, b) ->
+      apply_cx t ~ctl:a ~tgt:b;
+      apply_cx t ~ctl:b ~tgt:a;
+      apply_cx t ~ctl:a ~tgt:b
+  | Circuit.Gate (g, q) -> (
+      match g with
+      | Gate.I -> ()
+      | Gate.H -> h q
+      | Gate.S -> s q
+      | Gate.Sdg -> sdg q
+      | Gate.Z -> z q
+      | Gate.X -> x q
+      | Gate.Y -> z q; x q
+      | Gate.Sx -> h q; s q; h q
+      | Gate.Sxdg -> h q; sdg q; h q
+      | Gate.T | Gate.Tdg -> not_clifford "%s gate" (Gate.name g)
+      | Gate.Rz a | Gate.P a -> rz_clifford a q
+      | Gate.Rx a -> rx_clifford a q
+      | Gate.Ry a -> ry_clifford a q
+      | Gate.U (theta, phi, lambda) ->
+          rz_clifford lambda q;
+          ry_clifford theta q;
+          rz_clifford phi q)
+  | Circuit.Ctrl ([ c ], Gate.X, tgt) -> apply_cx t ~ctl:c ~tgt
+  | Circuit.Ctrl ([ c ], Gate.Z, tgt) ->
+      h tgt;
+      apply_cx t ~ctl:c ~tgt;
+      h tgt
+  | Circuit.Ctrl ([ c ], Gate.P a, tgt) when Phase.is_pi a ->
+      apply_op t (Circuit.Ctrl ([ c ], Gate.Z, tgt))
+  | Circuit.Ctrl ([ c ], Gate.Rz a, tgt) when Phase.is_pauli a ->
+      (* CRz(pi) = diag(1,1,-i,i) = Sdg(control) . CZ, which is Clifford. *)
+      if Phase.is_pi a then begin
+        sdg c;
+        apply_op t (Circuit.Ctrl ([ c ], Gate.Z, tgt))
+      end
+  | Circuit.Ctrl (_, g, _) -> not_clifford "controlled %s" (Gate.name g)
+
+let of_circuit c =
+  let t = identity (Circuit.num_qubits c) in
+  List.iter (apply_op t) (Circuit.ops c);
+  t
+
+let row_eq a b = a.neg = b.neg && a.x = b.x && a.z = b.z
+
+let equal a b =
+  a.n = b.n && Array.for_all2 row_eq a.rows b.rows
+
+let row_x t q = (Array.copy t.rows.(q).x, Array.copy t.rows.(q).z, t.rows.(q).neg)
+
+let row_z t q =
+  (Array.copy t.rows.(t.n + q).x, Array.copy t.rows.(t.n + q).z, t.rows.(t.n + q).neg)
+
+let pp ppf t =
+  let pauli row =
+    let buf = Buffer.create t.n in
+    Buffer.add_char buf (if row.neg then '-' else '+');
+    for q = 0 to t.n - 1 do
+      Buffer.add_char buf
+        (match (row.x.(q), row.z.(q)) with
+        | false, false -> 'I'
+        | true, false -> 'X'
+        | false, true -> 'Z'
+        | true, true -> 'Y')
+    done;
+    Buffer.contents buf
+  in
+  for q = 0 to t.n - 1 do
+    Format.fprintf ppf "X%-3d -> %s@." q (pauli t.rows.(q));
+    Format.fprintf ppf "Z%-3d -> %s@." q (pauli t.rows.(t.n + q))
+  done

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Circuit Float Gate List Oqec_base Oqec_circuit Phase Printf Rng

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Circuit Oqec_base Oqec_circuit Rng

@@ -1,0 +1,423 @@
+open Oqec_base
+open Oqec_circuit
+
+(* ------------------------------------------------------------ Algorithms *)
+
+let ghz n =
+  let c = Circuit.h (Circuit.create ~name:(Printf.sprintf "ghz-%d" n) n) 0 in
+  let rec fan c q = if q >= n then c else fan (Circuit.cx c 0 q) (q + 1) in
+  fan c 1
+
+let graph_state ~seed n =
+  let rng = Rng.make ~seed in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "graphstate-%d" n) n) in
+  for q = 0 to n - 1 do
+    c := Circuit.h !c q
+  done;
+  (* Ring plus random chords: about 1.5 edges per vertex, as in typical
+     graph-state benchmarks. *)
+  for q = 0 to n - 1 do
+    c := Circuit.cz !c q ((q + 1) mod n)
+  done;
+  for _ = 1 to n / 2 do
+    let a = Rng.int rng n in
+    let b = Rng.int rng n in
+    if a <> b && b <> (a + 1) mod n && a <> (b + 1) mod n then c := Circuit.cz !c a b
+  done;
+  !c
+
+let qft ?(with_swaps = true) n =
+  let c = ref (Circuit.create ~name:(Printf.sprintf "qft-%d" n) n) in
+  for i = n - 1 downto 0 do
+    c := Circuit.h !c i;
+    for j = i - 1 downto 0 do
+      c := Circuit.cp !c (Phase.of_pi_fraction 1 (1 lsl (i - j))) j i
+    done
+  done;
+  if with_swaps then
+    for k = 0 to (n / 2) - 1 do
+      c := Circuit.swap !c k (n - 1 - k)
+    done;
+  !c
+
+let qpe_exact ~seed n =
+  let rng = Rng.make ~seed in
+  (* The estimated phase is theta = m / 2^n with odd m, so the n-bit
+     estimate is exact and the algorithm's output is deterministic. *)
+  let m = (2 * Rng.int rng (1 lsl (n - 1))) + 1 in
+  let target = n in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "qpeexact-%d" (n + 1)) (n + 1)) in
+  c := Circuit.x !c target;
+  for k = 0 to n - 1 do
+    c := Circuit.h !c k;
+    (* controlled-U^(2^k) with U = P(2 pi m / 2^n). *)
+    c := Circuit.cp !c (Phase.of_pi_fraction (2 * m) (1 lsl (n - k))) k target
+  done;
+  (* Inverse QFT on the evaluation register (wires 0..n-1 of the wider
+     circuit, so the ops embed unchanged). *)
+  let iqft = Circuit.inverse (qft ~with_swaps:true n) in
+  List.iter (fun op -> c := Circuit.add !c op) (Circuit.ops iqft);
+  !c
+
+let grover ?iterations ~seed n =
+  let rng = Rng.make ~seed in
+  let marked = Rng.int rng (1 lsl n) in
+  let iterations =
+    match iterations with
+    | Some k -> k
+    | None ->
+        max 1 (int_of_float (Float.round (Float.pi /. 4.0 *. sqrt (float_of_int (1 lsl n)))))
+  in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "grover-%d" n) n) in
+  let all_h () =
+    for q = 0 to n - 1 do
+      c := Circuit.h !c q
+    done
+  in
+  let mcz () =
+    if n = 1 then c := Circuit.z !c 0
+    else c := Circuit.add !c (Circuit.Ctrl (List.init (n - 1) (fun i -> i), Gate.Z, n - 1))
+  in
+  let flip_zeros v =
+    for q = 0 to n - 1 do
+      if (v lsr q) land 1 = 0 then c := Circuit.x !c q
+    done
+  in
+  all_h ();
+  for _ = 1 to iterations do
+    (* Oracle: phase-flip the marked element. *)
+    flip_zeros marked;
+    mcz ();
+    flip_zeros marked;
+    (* Diffusion. *)
+    all_h ();
+    flip_zeros 0;
+    mcz ();
+    flip_zeros 0;
+    all_h ()
+  done;
+  !c
+
+(* Ripple increment: the most significant bit flips first (conditioned on
+   all lower bits), the least significant bit flips last. *)
+let increment_ops ~extra_controls pos =
+  let k = Array.length pos in
+  let cascade =
+    List.init (k - 1) (fun idx ->
+        let i = k - 1 - idx in
+        let controls = extra_controls @ Array.to_list (Array.sub pos 0 i) in
+        Circuit.Ctrl (controls, Gate.X, pos.(i)))
+  in
+  let low =
+    match extra_controls with
+    | [] -> Circuit.Gate (Gate.X, pos.(0))
+    | cs -> Circuit.Ctrl (cs, Gate.X, pos.(0))
+  in
+  cascade @ [ low ]
+
+let random_walk ~steps n =
+  if n < 2 then invalid_arg "Workloads.random_walk: needs a coin and a position";
+  let coin = n - 1 in
+  let pos = Array.init (n - 1) (fun i -> i) in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "qwalk-%d" n) n) in
+  let inc = increment_ops ~extra_controls:[ coin ] pos in
+  let dec = List.rev inc in
+  for _ = 1 to steps do
+    c := Circuit.h !c coin;
+    List.iter (fun op -> c := Circuit.add !c op) inc;
+    c := Circuit.x !c coin;
+    List.iter (fun op -> c := Circuit.add !c op) dec;
+    c := Circuit.x !c coin
+  done;
+  !c
+
+(* ------------------------------------------------------------ Reversible *)
+
+(* Cuccaro ripple-carry adder: wires are cin=0, a_i = 1+i, b_i = 1+n+i,
+   cout = 2n+1; computes b := a + b with the carry in cout. *)
+let ripple_adder n =
+  let cin = 0 and a i = 1 + i and b i = 1 + n + i in
+  let cout = (2 * n) + 1 in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "rippleadd-%d" ((2 * n) + 2)) ((2 * n) + 2)) in
+  let maj x y z =
+    c := Circuit.cx !c z y;
+    c := Circuit.cx !c z x;
+    c := Circuit.ccx !c x y z
+  in
+  let uma x y z =
+    c := Circuit.ccx !c x y z;
+    c := Circuit.cx !c z x;
+    c := Circuit.cx !c x y
+  in
+  maj cin (b 0) (a 0);
+  for i = 1 to n - 1 do
+    maj (a (i - 1)) (b i) (a i)
+  done;
+  c := Circuit.cx !c (a (n - 1)) cout;
+  for i = n - 1 downto 1 do
+    uma (a (i - 1)) (b i) (a i)
+  done;
+  uma cin (b 0) (a 0);
+  !c
+
+let const_adder_mod ~bits ~constant =
+  let reg = Array.init bits (fun i -> i) in
+  let c =
+    ref
+      (Circuit.create
+         ~name:(Printf.sprintf "plus%dmod%d" constant (1 lsl bits))
+         bits)
+  in
+  (* Adding 2^j modulo 2^bits is a ripple increment on wires j..bits-1. *)
+  for j = 0 to bits - 1 do
+    if (constant lsr j) land 1 = 1 then begin
+      let window = Array.sub reg j (bits - j) in
+      List.iter (fun op -> c := Circuit.add !c op) (increment_ops ~extra_controls:[] window)
+    end
+  done;
+  !c
+
+let random_reversible ~seed ~gates n =
+  let rng = Rng.make ~seed in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "urf-%d" n) n) in
+  let distinct k =
+    let picked = Array.make k (-1) in
+    for i = 0 to k - 1 do
+      let rec draw () =
+        let q = Rng.int rng n in
+        if Array.exists (( = ) q) picked then draw () else q
+      in
+      picked.(i) <- draw ()
+    done;
+    Array.to_list picked
+  in
+  for _ = 1 to gates do
+    match Rng.int rng 7 with
+    | 0 -> c := Circuit.x !c (Rng.int rng n)
+    | 1 | 2 -> (
+        match distinct 2 with
+        | [ a; b ] -> c := Circuit.cx !c a b
+        | _ -> assert false)
+    | 3 | 4 | 5 -> (
+        match distinct 3 with
+        | [ a; b; t ] -> c := Circuit.ccx !c a b t
+        | _ -> assert false)
+    | _ ->
+        if n >= 4 then (
+          match distinct 4 with
+          | [ a; b; d; t ] -> c := Circuit.mcx !c [ a; b; d ] t
+          | _ -> assert false)
+        else c := Circuit.x !c (Rng.int rng n)
+  done;
+  !c
+
+(* Comparator: MAJ chain of (NOT a) + b; the carry lands in the result
+   wire, the chain is uncomputed.  Computes result = [a <= b] (validated
+   against the dense semantics in the tests). *)
+let comparator n =
+  let cin = 0 and a i = 1 + i and b i = 1 + n + i in
+  let result = (2 * n) + 1 in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "comparator-%d" ((2 * n) + 2)) ((2 * n) + 2)) in
+  let maj x y z =
+    c := Circuit.cx !c z y;
+    c := Circuit.cx !c z x;
+    c := Circuit.ccx !c x y z
+  in
+  let maj_inv x y z =
+    c := Circuit.ccx !c x y z;
+    c := Circuit.cx !c z x;
+    c := Circuit.cx !c z y
+  in
+  c := Circuit.x !c cin;
+  for i = 0 to n - 1 do
+    c := Circuit.x !c (a i)
+  done;
+  maj cin (b 0) (a 0);
+  for i = 1 to n - 1 do
+    maj (a (i - 1)) (b i) (a i)
+  done;
+  c := Circuit.cx !c (a (n - 1)) result;
+  for i = n - 1 downto 1 do
+    maj_inv (a (i - 1)) (b i) (a i)
+  done;
+  maj_inv cin (b 0) (a 0);
+  for i = 0 to n - 1 do
+    c := Circuit.x !c (a i)
+  done;
+  c := Circuit.x !c cin;
+  !c
+
+(* ------------------------------------------------ Extended algorithms *)
+
+let bernstein_vazirani ~secret n =
+  if secret < 0 || secret >= 1 lsl n then invalid_arg "Workloads.bernstein_vazirani";
+  let anc = n in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "bv-%d" n) (n + 1)) in
+  c := Circuit.x !c anc;
+  for q = 0 to n do
+    c := Circuit.h !c q
+  done;
+  for q = 0 to n - 1 do
+    if (secret lsr q) land 1 = 1 then c := Circuit.cx !c q anc
+  done;
+  for q = 0 to n - 1 do
+    c := Circuit.h !c q
+  done;
+  !c
+
+let deutsch_jozsa ~seed ~balanced n =
+  let rng = Rng.make ~seed in
+  let anc = n in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "dj-%d" n) (n + 1)) in
+  c := Circuit.x !c anc;
+  for q = 0 to n do
+    c := Circuit.h !c q
+  done;
+  if balanced then begin
+    (* f(x) = mask . x for a random non-zero mask is balanced. *)
+    let mask = 1 + Rng.int rng ((1 lsl n) - 1) in
+    for q = 0 to n - 1 do
+      if (mask lsr q) land 1 = 1 then c := Circuit.cx !c q anc
+    done
+  end
+  else if Rng.bool rng then c := Circuit.x !c anc;
+  for q = 0 to n - 1 do
+    c := Circuit.h !c q
+  done;
+  !c
+
+(* Peel amplitude 1/sqrt n off wire k at each step, then shift the
+   excitation with a CX. *)
+let w_state n =
+  if n < 1 then invalid_arg "Workloads.w_state";
+  let c = ref (Circuit.x (Circuit.create ~name:(Printf.sprintf "wstate-%d" n) n) 0) in
+  for k = 0 to n - 2 do
+    let stay = sqrt (1.0 /. float_of_int (n - k)) in
+    let theta = Phase.of_float (2.0 *. acos stay) in
+    c := Circuit.add !c (Circuit.Ctrl ([ k ], Gate.Ry theta, k + 1));
+    c := Circuit.cx !c (k + 1) k
+  done;
+  !c
+
+let hidden_weighted_bit n =
+  if n < 2 then invalid_arg "Workloads.hidden_weighted_bit";
+  let rec bits_for k acc = if k = 0 then max acc 1 else bits_for (k lsr 1) (acc + 1) in
+  let b = bits_for n 0 in
+  let width = n + b in
+  let weight = Array.init b (fun i -> n + i) in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "hwb-%d" n) width) in
+  let emit ops = List.iter (fun op -> c := Circuit.add !c op) ops in
+  let count_weight () =
+    for i = 0 to n - 1 do
+      emit (increment_ops ~extra_controls:[ i ] weight)
+    done
+  in
+  let uncount_weight () =
+    for i = n - 1 downto 0 do
+      emit (List.rev (increment_ops ~extra_controls:[ i ] weight))
+    done
+  in
+  (* Controlled cyclic shift of the data register by one position (the
+     value on wire i moves to wire i+1 mod n), as a chain of Fredkin
+     gates. *)
+  let controlled_rot1 ctl =
+    for i = n - 2 downto 0 do
+      (* cswap ctl (i) (i+1) = cx b a; ccx ctl a b; cx b a *)
+      let a = i and bq = i + 1 in
+      emit
+        [
+          Circuit.Ctrl ([ bq ], Gate.X, a);
+          Circuit.Ctrl ([ ctl; a ], Gate.X, bq);
+          Circuit.Ctrl ([ bq ], Gate.X, a);
+        ]
+    done
+  in
+  count_weight ();
+  for j = 0 to b - 1 do
+    let reps = 1 lsl j mod n in
+    for _ = 1 to reps do
+      controlled_rot1 weight.(j)
+    done
+  done;
+  uncount_weight ();
+  !c
+
+let vqe_ansatz ~seed ~layers n =
+  let rng = Rng.make ~seed in
+  let angle () = Phase.of_float (Rng.float rng (2.0 *. Float.pi)) in
+  let c = ref (Circuit.create ~name:(Printf.sprintf "vqe-%d" n) n) in
+  for _ = 1 to layers do
+    for q = 0 to n - 1 do
+      c := Circuit.ry !c (angle ()) q;
+      c := Circuit.rz !c (angle ()) q
+    done;
+    for q = 0 to n - 2 do
+      c := Circuit.cx !c q (q + 1)
+    done;
+    if n > 2 then c := Circuit.cx !c (n - 1) 0
+  done;
+  (* Final rotation layer. *)
+  for q = 0 to n - 1 do
+    c := Circuit.ry !c (angle ()) q
+  done;
+  !c
+
+(* -------------------------------------------------------- Error injection *)
+
+let remove_gate ~seed c =
+  let rng = Rng.make ~seed in
+  let ops = Circuit.ops c in
+  let gate_indices =
+    List.filteri (fun _ op -> op <> Circuit.Barrier) ops |> List.length
+  in
+  if gate_indices = 0 then invalid_arg "Workloads.remove_gate: empty circuit";
+  let victim = Rng.int rng gate_indices in
+  let counter = ref (-1) in
+  let keep op =
+    if op = Circuit.Barrier then true
+    else begin
+      incr counter;
+      !counter <> victim
+    end
+  in
+  let kept = List.filter keep ops in
+  let c' =
+    List.fold_left Circuit.add
+      (Circuit.create ~name:(Circuit.name c ^ "-missing") (Circuit.num_qubits c))
+      kept
+  in
+  let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
+  Circuit.with_output_perm c' (Circuit.output_perm c)
+
+let flip_cnot ~seed c =
+  let rng = Rng.make ~seed in
+  let ops = Circuit.ops c in
+  let is_cnot = function Circuit.Ctrl ([ _ ], Gate.X, _) -> true | _ -> false in
+  let total = List.length (List.filter is_cnot ops) in
+  if total = 0 then invalid_arg "Workloads.flip_cnot: no CNOT to flip";
+  let victim = Rng.int rng total in
+  let counter = ref (-1) in
+  let flip op =
+    match op with
+    | Circuit.Ctrl ([ ctl ], Gate.X, tgt) ->
+        incr counter;
+        if !counter = victim then Circuit.Ctrl ([ tgt ], Gate.X, ctl) else op
+    | _ -> op
+  in
+  let c' =
+    List.fold_left Circuit.add
+      (Circuit.create ~name:(Circuit.name c ^ "-flipped") (Circuit.num_qubits c))
+      (List.map flip ops)
+  in
+  let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
+  Circuit.with_output_perm c' (Circuit.output_perm c)
+
+let random_basis_state rng n =
+  if n > 62 then invalid_arg "Workloads.random_basis_state: use random_bits beyond 62 qubits";
+  let r = ref 0 in
+  for q = 0 to n - 1 do
+    if Rng.bool rng then r := !r lor (1 lsl q)
+  done;
+  !r
+
+let random_bits rng n = Array.init n (fun _ -> Rng.bool rng)

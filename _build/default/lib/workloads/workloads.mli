@@ -1,0 +1,105 @@
+(** Benchmark circuit generators for the paper's Table 1.
+
+    Quantum algorithms: GHZ preparation, graph states, QFT, exact quantum
+    phase estimation, Grover search and discrete-time quantum random
+    walks.  Reversible circuits: ripple-carry adders, modular constant
+    adders (the "plus63mod4096" class), random reversible Toffoli networks
+    (the "urf" class) and a structured comparator network (the "example2"
+    stand-in).  RevLib's original files are not redistributable here, so
+    the reversible circuits are generated with comparable structure and
+    size — the property the paper's analysis depends on is that they are
+    exactly representable over Clifford+T, which these are.
+
+    Error injection produces the "1 Gate Missing" and "Flipped CNOT"
+    configurations. *)
+
+open Oqec_base
+open Oqec_circuit
+
+(** [ghz n] prepares the n-qubit GHZ state (Fig. 1a). *)
+val ghz : int -> Circuit.t
+
+(** [graph_state ~seed n] applies H everywhere and CZ along the edges of a
+    random degree-ish-3 graph. *)
+val graph_state : seed:int -> int -> Circuit.t
+
+(** [qft ?with_swaps n] is the quantum Fourier transform; [with_swaps]
+    (default true) appends the bit-reversal SWAP network. *)
+val qft : ?with_swaps:bool -> int -> Circuit.t
+
+(** [qpe_exact ~seed n] is quantum phase estimation with [n] evaluation
+    qubits of a phase gate whose angle has an exact [n]-bit binary
+    expansion (the paper's "QPE-Exact"); one extra eigenstate qubit. *)
+val qpe_exact : seed:int -> int -> Circuit.t
+
+(** [grover ~seed ?iterations n] searches for a random marked element on
+    [n] qubits; [iterations] defaults to the optimal
+    [pi/4 * sqrt 2^n] count. *)
+val grover : ?iterations:int -> seed:int -> int -> Circuit.t
+
+(** [random_walk ~steps n] is a discrete-time quantum walk on a cycle of
+    [2^(n-1)] nodes with one coin qubit. *)
+val random_walk : steps:int -> int -> Circuit.t
+
+(** [ripple_adder n] adds two [n]-bit registers (CDKM-style with
+    majority/unmajority blocks); width is [2n + 2]. *)
+val ripple_adder : int -> Circuit.t
+
+(** [const_adder_mod ~bits ~constant] adds a classical constant modulo
+    [2^bits] with one multi-controlled ripple increment per set constant
+    bit (no ancillas; width is [bits]).  The "plus63mod4096" class
+    corresponds to [~bits:12 ~constant:63]. *)
+val const_adder_mod : bits:int -> constant:int -> Circuit.t
+
+(** [random_reversible ~seed ~gates n] is a random network of NOT, CNOT,
+    Toffoli and C3X gates — the "urf" stand-in. *)
+val random_reversible : seed:int -> gates:int -> int -> Circuit.t
+
+(** [comparator n] computes a greater-than comparison of two [n]-bit
+    registers into a result qubit (the "example2" stand-in); width is
+    [2n + 2]. *)
+val comparator : int -> Circuit.t
+
+(** Additional algorithm families beyond the paper's Table 1, used by the
+    extended benchmark suite and the examples. *)
+
+(** [bernstein_vazirani ~secret n] recovers an [n]-bit secret with one
+    oracle query; width is [n + 1] (ancilla on the top wire). *)
+val bernstein_vazirani : secret:int -> int -> Circuit.t
+
+(** [deutsch_jozsa ~seed ~balanced n] distinguishes a constant from a
+    balanced oracle; width is [n + 1]. *)
+val deutsch_jozsa : seed:int -> balanced:bool -> int -> Circuit.t
+
+(** [w_state n] prepares the n-qubit W state (uniform superposition of
+    one-hot basis states). *)
+val w_state : int -> Circuit.t
+
+(** [hidden_weighted_bit n] is the reversible hidden-weighted-bit
+    benchmark class: the input register is cyclically rotated by its own
+    Hamming weight.  Width is [n] plus a [ceil log2 (n+1)]-bit weight
+    register (computed and uncomputed in place). *)
+val hidden_weighted_bit : int -> Circuit.t
+
+(** [vqe_ansatz ~seed ~layers n] is a hardware-efficient variational
+    ansatz: layers of Ry/Rz rotations with uniformly random (non-dyadic)
+    angles and a CX entangling ring — the "arbitrary rotation angle"
+    region where Section 6.2 locates the DD's numerical fragility. *)
+val vqe_ansatz : seed:int -> layers:int -> int -> Circuit.t
+
+(** Error injection (Section 6.1's faulty configurations). *)
+
+(** [remove_gate ~seed c] deletes one random (non-barrier) operation. *)
+val remove_gate : seed:int -> Circuit.t -> Circuit.t
+
+(** [flip_cnot ~seed c] exchanges control and target of one random CNOT;
+    raises [Invalid_argument] if the circuit has none. *)
+val flip_cnot : seed:int -> Circuit.t -> Circuit.t
+
+(** [random_basis_state rng n] draws a basis-state index for random
+    stimuli simulation ([n] at most 62). *)
+val random_basis_state : Rng.t -> int -> int
+
+(** [random_bits rng n] draws a basis state as a bit array — usable beyond
+    the native-integer width (e.g. the 65-qubit Manhattan register). *)
+val random_bits : Rng.t -> int -> bool array

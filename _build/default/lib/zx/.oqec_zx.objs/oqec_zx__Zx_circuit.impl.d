@@ -1,0 +1,1 @@
+lib/zx/zx_circuit.ml: Array Circuit Decompose Gate List Oqec_base Oqec_circuit Phase Zx_graph

@@ -1,0 +1,1 @@
+lib/zx/zx_circuit.mli: Circuit Oqec_circuit Zx_graph

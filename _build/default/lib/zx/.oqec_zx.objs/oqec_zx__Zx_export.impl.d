@@ -1,0 +1,1 @@
+lib/zx/zx_export.ml: Buffer List Oqec_base Phase Printf Zx_graph

@@ -1,0 +1,1 @@
+lib/zx/zx_export.mli: Zx_graph

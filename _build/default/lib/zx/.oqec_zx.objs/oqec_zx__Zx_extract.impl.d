@@ -1,0 +1,1 @@
+lib/zx/zx_extract.ml: Array Circuit Format Gate Hashtbl List Oqec_base Oqec_circuit Perm Phase Printf Sys Zx_circuit Zx_graph Zx_simplify

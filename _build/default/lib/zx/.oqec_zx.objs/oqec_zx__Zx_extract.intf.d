@@ -1,0 +1,1 @@
+lib/zx/zx_extract.mli: Circuit Oqec_circuit Zx_graph

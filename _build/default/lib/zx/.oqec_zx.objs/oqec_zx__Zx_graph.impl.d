@@ -1,0 +1,1 @@
+lib/zx/zx_graph.ml: Format Hashtbl List Oqec_base Phase Printf

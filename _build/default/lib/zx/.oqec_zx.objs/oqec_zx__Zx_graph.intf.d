@@ -1,0 +1,1 @@
+lib/zx/zx_graph.mli: Format Oqec_base Phase

@@ -1,0 +1,1 @@
+lib/zx/zx_simplify.ml: Array Hashtbl List Oqec_base Perm Phase Zx_graph

@@ -1,0 +1,1 @@
+lib/zx/zx_simplify.mli: Oqec_base Perm Zx_graph

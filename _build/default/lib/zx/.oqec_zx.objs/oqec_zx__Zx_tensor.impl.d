@@ -1,0 +1,1 @@
+lib/zx/zx_tensor.ml: Array Cx Dmatrix Hashtbl List Option Oqec_base Phase Printf Zx_graph

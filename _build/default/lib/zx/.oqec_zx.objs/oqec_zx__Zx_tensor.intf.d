@@ -1,0 +1,1 @@
+lib/zx/zx_tensor.mli: Dmatrix Oqec_base Zx_graph

@@ -1,0 +1,110 @@
+open Oqec_base
+open Oqec_circuit
+
+type builder = {
+  graph : Zx_graph.t;
+  cur : int array;  (* current open endpoint of each wire *)
+  pending : bool array;  (* a Hadamard is waiting on this wire *)
+}
+
+let make_builder n =
+  let graph = Zx_graph.create () in
+  let cur =
+    Array.init n (fun q -> Zx_graph.add_vertex graph (Zx_graph.B_in q) ~phase:Phase.zero)
+  in
+  { graph; cur; pending = Array.make n false }
+
+let edge_type b q = if b.pending.(q) then Zx_graph.Had else Zx_graph.Simple
+
+(* Append a spider on wire [q], consuming any pending Hadamard. *)
+let add_spider b kind ph q =
+  let v = Zx_graph.add_vertex b.graph kind ~phase:ph in
+  Zx_graph.add_edge b.graph b.cur.(q) v (edge_type b q);
+  b.pending.(q) <- false;
+  b.cur.(q) <- v;
+  v
+
+let z_spider b ph q = ignore (add_spider b Zx_graph.Z ph q)
+let x_spider b ph q = ignore (add_spider b Zx_graph.X ph q)
+
+let rec emit b (op : Circuit.op) =
+  match op with
+  | Circuit.Barrier -> ()
+  | Circuit.Swap (a, c) ->
+      let t = b.cur.(a) in
+      b.cur.(a) <- b.cur.(c);
+      b.cur.(c) <- t;
+      let p = b.pending.(a) in
+      b.pending.(a) <- b.pending.(c);
+      b.pending.(c) <- p
+  | Circuit.Gate (g, q) -> (
+      match g with
+      | Gate.I -> ()
+      | Gate.H -> b.pending.(q) <- not b.pending.(q)
+      | Gate.Z -> z_spider b Phase.pi q
+      | Gate.S -> z_spider b Phase.half_pi q
+      | Gate.Sdg -> z_spider b Phase.minus_half_pi q
+      | Gate.T -> z_spider b Phase.quarter_pi q
+      | Gate.Tdg -> z_spider b (Phase.neg Phase.quarter_pi) q
+      | Gate.Rz a | Gate.P a -> z_spider b a q
+      | Gate.X -> x_spider b Phase.pi q
+      | Gate.Sx -> x_spider b Phase.half_pi q
+      | Gate.Sxdg -> x_spider b Phase.minus_half_pi q
+      | Gate.Rx a -> x_spider b a q
+      | Gate.Y ->
+          z_spider b Phase.pi q;
+          x_spider b Phase.pi q
+      | Gate.Ry a ->
+          (* Ry(a) = Rz(pi/2) Rx(a) Rz(-pi/2), applied right to left. *)
+          z_spider b Phase.minus_half_pi q;
+          x_spider b a q;
+          z_spider b Phase.half_pi q
+      | Gate.U (theta, phi, lambda) ->
+          (* u3 = Rz(phi) Ry(theta) Rz(lambda) up to a global phase. *)
+          z_spider b lambda q;
+          z_spider b Phase.minus_half_pi q;
+          x_spider b theta q;
+          z_spider b Phase.half_pi q;
+          z_spider b phi q)
+  | Circuit.Ctrl ([ c ], Gate.X, t) ->
+      let zc = add_spider b Zx_graph.Z Phase.zero c in
+      let xt = add_spider b Zx_graph.X Phase.zero t in
+      Zx_graph.add_edge b.graph zc xt Zx_graph.Simple
+  | Circuit.Ctrl ([ c ], Gate.Z, t) ->
+      let zc = add_spider b Zx_graph.Z Phase.zero c in
+      let zt = add_spider b Zx_graph.Z Phase.zero t in
+      Zx_graph.add_edge b.graph zc zt Zx_graph.Had
+  | Circuit.Ctrl ([ c ], Gate.P a, t) -> List.iter (emit b) (Decompose.cp_ops a c t)
+  | Circuit.Ctrl (_, _, _) ->
+      invalid_arg "Zx_circuit: circuit must be lowered with Decompose.elementary first"
+
+(* Lower to the ZX-native op set: singles, CX, CZ, SWAP (controlled
+   phases expand exactly).  Idempotent. *)
+let lower c =
+  let c = Decompose.elementary c in
+  let expand op =
+    match op with
+    | Circuit.Ctrl ([ ctl ], Gate.P a, tgt) -> Decompose.cp_ops a ctl tgt
+    | Circuit.Gate _ | Circuit.Ctrl _ | Circuit.Swap _ | Circuit.Barrier -> [ op ]
+  in
+  List.fold_left
+    (fun acc op -> List.fold_left Circuit.add acc (expand op))
+    (Circuit.create ~name:(Circuit.name c) (Circuit.num_qubits c))
+    (Circuit.ops c)
+
+let of_circuit c =
+  let c = lower c in
+  let n = Circuit.num_qubits c in
+  let b = make_builder n in
+  List.iter (emit b) (Circuit.ops c);
+  for q = 0 to n - 1 do
+    let out = Zx_graph.add_vertex b.graph (Zx_graph.B_out q) ~phase:Phase.zero in
+    Zx_graph.add_edge b.graph b.cur.(q) out (edge_type b q)
+  done;
+  b.graph
+
+(* Decompose BEFORE inverting: equivalence-checking tools receive
+   already-lowered circuits whose adjoint mirrors the gate list, so the
+   junction of the miter cancels gate by gate — this is what keeps the
+   rewriting tractable on circuits with large reversible parts. *)
+let of_miter g g' = of_circuit (Circuit.append (lower g') (Circuit.inverse (lower g)))

@@ -1,0 +1,18 @@
+(** Translation of quantum circuits into ZX-diagrams.
+
+    Every gate is first lowered to the ZX-native set (Z/X phase spiders,
+    Hadamard wires, CX, CZ; controlled phases expand exactly through
+    {!Oqec_circuit.Decompose}); Hadamards are tracked per wire and become
+    Hadamard edges, as in Fig. 6 of the paper.  The denotation of the
+    resulting diagram equals the circuit unitary up to a global scalar. *)
+
+open Oqec_circuit
+
+(** [of_circuit c] translates a circuit (layout metadata is ignored; the
+    equivalence checker accounts for it separately). *)
+val of_circuit : Circuit.t -> Zx_graph.t
+
+(** [of_miter g g'] translates [g'] followed by [inverse g] into a single
+    diagram — the composition whose reduction to bare wires witnesses
+    equivalence (Section 5.1). *)
+val of_miter : Circuit.t -> Circuit.t -> Zx_graph.t

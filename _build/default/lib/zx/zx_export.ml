@@ -1,0 +1,44 @@
+open Oqec_base
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph zx {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  let vertex v =
+    let phase = Zx_graph.phase g v in
+    let phase_label = if Phase.is_zero phase then "" else Phase.to_string phase in
+    match Zx_graph.kind g v with
+    | Zx_graph.B_in q ->
+        Printf.sprintf
+          "  v%d [shape=plaintext, label=\"in%d\"];\n" v q
+    | Zx_graph.B_out q ->
+        Printf.sprintf
+          "  v%d [shape=plaintext, label=\"out%d\"];\n" v q
+    | Zx_graph.Z ->
+        Printf.sprintf
+          "  v%d [shape=circle, style=filled, fillcolor=\"#ccffcc\", label=\"%s\"];\n" v
+          phase_label
+    | Zx_graph.X ->
+        Printf.sprintf
+          "  v%d [shape=circle, style=filled, fillcolor=\"#ffcccc\", label=\"%s\"];\n" v
+          phase_label
+  in
+  List.iter (fun v -> Buffer.add_string buf (vertex v)) (List.sort compare (Zx_graph.vertices g));
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (u, ty) ->
+          if u > v then
+            Buffer.add_string buf
+              (match ty with
+              | Zx_graph.Simple -> Printf.sprintf "  v%d -- v%d;\n" v u
+              | Zx_graph.Had ->
+                  Printf.sprintf "  v%d -- v%d [style=dashed, color=blue];\n" v u))
+        (Zx_graph.neighbours g v))
+    (Zx_graph.vertices g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot path g =
+  let oc = open_out path in
+  output_string oc (to_dot g);
+  close_out oc

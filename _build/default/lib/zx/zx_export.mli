@@ -1,0 +1,6 @@
+(** Graphviz output for ZX-diagrams: green Z-spiders, red X-spiders,
+    square boundaries, dashed blue Hadamard wires — the usual rendering
+    conventions of ZX papers (cf. Fig. 6). *)
+
+val to_dot : Zx_graph.t -> string
+val write_dot : string -> Zx_graph.t -> unit

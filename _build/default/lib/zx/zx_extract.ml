@@ -1,0 +1,246 @@
+open Oqec_base
+open Oqec_circuit
+
+exception Extraction_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Extraction_failed s)) fmt
+
+let is_spider g v =
+  match Zx_graph.kind g v with
+  | Zx_graph.Z | Zx_graph.X -> true
+  | Zx_graph.B_in _ | Zx_graph.B_out _ -> false
+
+let is_input g v =
+  match Zx_graph.kind g v with
+  | Zx_graph.B_in _ -> true
+  | Zx_graph.B_out _ | Zx_graph.Z | Zx_graph.X -> false
+
+(* Re-wire every input so it reaches its first spider through a plain
+   wire into a fresh phase-0 spider, keeping all spider-spider wires
+   Hadamard; this makes the frontier's linear algebra uniform. *)
+let normalise_inputs g =
+  List.iter
+    (fun (_, b) ->
+      match Zx_graph.neighbours g b with
+      | [ (s, ty) ] when is_spider g s ->
+          Zx_graph.remove_edge g b s;
+          let d1 = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+          Zx_graph.add_edge g b d1 Zx_graph.Simple;
+          (match ty with
+          | Zx_graph.Had -> Zx_graph.add_edge g d1 s Zx_graph.Had
+          | Zx_graph.Simple ->
+              let d2 = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+              Zx_graph.add_edge g d1 d2 Zx_graph.Had;
+              Zx_graph.add_edge g d2 s Zx_graph.Had)
+      | [ (_, _) ] -> ()  (* input wired straight to another boundary *)
+      | _ -> fail "input with degree <> 1")
+    (Zx_graph.inputs g)
+
+let extract g =
+  (* The diagram must be graph-like first. *)
+  ignore (Zx_simplify.spider_simp g);
+  Zx_simplify.to_gh g;
+  ignore (Zx_simplify.spider_simp g);
+  normalise_inputs g;
+  let outs = Zx_graph.outputs g in
+  let n = List.length outs in
+  let output = Array.make n 0 in
+  List.iter (fun (q, o) -> output.(q) <- o) outs;
+  (* Gates are emitted from the output side inwards, so the accumulated
+     list is already in circuit order (innermost first at the head end
+     after all emissions). *)
+  let emitted = ref [] in
+  let emit op = emitted := op :: !emitted in
+  let frontier = Array.make n (-1) in
+  (* Consume a Hadamard on the wire between output q and its neighbour. *)
+  let consume_had q v ty =
+    match ty with
+    | Zx_graph.Simple -> ()
+    | Zx_graph.Had ->
+        emit (Circuit.Gate (Gate.H, q));
+        Zx_graph.remove_edge g output.(q) v;
+        Zx_graph.add_edge g output.(q) v Zx_graph.Simple
+  in
+  Array.iteri
+    (fun q o ->
+      match Zx_graph.neighbours g o with
+      | [ (v, ty) ] ->
+          consume_had q v ty;
+          frontier.(q) <- v
+      | _ -> fail "output with degree <> 1")
+    output;
+  let wire_of = Hashtbl.create 16 in
+  let reset_wires () =
+    Hashtbl.reset wire_of;
+    Array.iteri
+      (fun q v ->
+        if Hashtbl.mem wire_of v then fail "spider adjacent to two outputs";
+        Hashtbl.replace wire_of v q)
+      frontier
+  in
+  let done_ () = Array.for_all (fun v -> is_input g v) frontier in
+  let steps = ref 0 in
+  while not (done_ ()) do
+    incr steps;
+    if !steps > 10000 then fail "no progress (diagram without flow?)";
+    reset_wires ();
+    (* 1. Phases on the frontier become phase gates. *)
+    Array.iteri
+      (fun q v ->
+        if is_spider g v && not (Phase.is_zero (Zx_graph.phase g v)) then begin
+          emit (Circuit.Gate (Gate.P (Zx_graph.phase g v), q));
+          Zx_graph.set_phase g v Phase.zero
+        end)
+      frontier;
+    (* 2. Wires inside the frontier become CZs. *)
+    Array.iteri
+      (fun q v ->
+        if is_spider g v then
+          List.iter
+            (fun (u, ty) ->
+              match Hashtbl.find_opt wire_of u with
+              | Some r when r > q ->
+                  if ty <> Zx_graph.Had then fail "plain wire inside the frontier";
+                  emit (Circuit.Ctrl ([ q ], Gate.Z, r));
+                  Zx_graph.remove_edge g v u
+              | Some _ | None -> ())
+            (Zx_graph.neighbours g v))
+      frontier;
+    (* 3. Spiders left with only the output and an input disappear. *)
+    Array.iteri
+      (fun q v ->
+        if is_spider g v && Zx_graph.degree g v = 2 && Phase.is_zero (Zx_graph.phase g v)
+        then begin
+          match
+            List.filter (fun (u, _) -> u <> output.(q)) (Zx_graph.neighbours g v)
+          with
+          | [ (b, ty) ] when is_input g b ->
+              Zx_graph.remove_vertex g v;
+              Zx_graph.add_edge g output.(q) b ty;
+              consume_had q b ty;
+              frontier.(q) <- b
+          | _ -> ()
+        end)
+      frontier;
+    if not (done_ ()) then begin
+      (* 4. Bring the frontier/next-layer biadjacency to reduced row
+         echelon form with CNOTs, then pull single-neighbour frontier
+         spiders through their Hadamard wire. *)
+      let rows = ref [] in
+      Array.iteri (fun q v -> if is_spider g v then rows := q :: !rows) frontier;
+      let rows = Array.of_list (List.rev !rows) in
+      let cols = Hashtbl.create 32 in
+      let col_list = ref [] in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun u ->
+              if
+                is_spider g u
+                && (not (Hashtbl.mem wire_of u))
+                && u <> output.(q)
+                && not (Hashtbl.mem cols u)
+              then begin
+                Hashtbl.replace cols u (List.length !col_list);
+                col_list := u :: !col_list
+              end)
+            (Zx_graph.neighbour_ids g frontier.(q)))
+        rows;
+      let col_arr = Array.of_list (List.rev !col_list) in
+      let nc = Array.length col_arr in
+      if nc = 0 then fail "stuck frontier (no next layer)";
+      let m = Array.make_matrix (Array.length rows) nc false in
+      Array.iteri
+        (fun ri q ->
+          List.iter
+            (fun u ->
+              match Hashtbl.find_opt cols u with
+              | Some ci -> m.(ri).(ci) <- true
+              | None -> ())
+            (Zx_graph.neighbour_ids g frontier.(q)))
+        rows;
+      (* Row operation: row [src] is added into row [dst]; on the diagram
+         this toggles dst's wires to src's neighbours, and on the circuit
+         it is a CNOT. *)
+      let row_add src dst =
+        for ci = 0 to nc - 1 do
+          if m.(src).(ci) then begin
+            m.(dst).(ci) <- not m.(dst).(ci);
+            Zx_graph.toggle_edge g frontier.(rows.(dst)) col_arr.(ci) Zx_graph.Had
+          end
+        done;
+        emit (Circuit.Ctrl ([ rows.(dst) ], Gate.X, rows.(src)))
+      in
+      (* Gauss-Jordan over GF(2).  No physical row swaps: instead each row
+         serves as a pivot at most once, otherwise its earlier leading
+         column would be smeared back into the other rows. *)
+      let used = Array.make (Array.length rows) false in
+      for ci = 0 to nc - 1 do
+        let found = ref (-1) in
+        for ri = 0 to Array.length rows - 1 do
+          if !found < 0 && (not used.(ri)) && m.(ri).(ci) then found := ri
+        done;
+        if !found >= 0 then begin
+          let p = !found in
+          used.(p) <- true;
+          for ri = 0 to Array.length rows - 1 do
+            if ri <> p && m.(ri).(ci) then row_add p ri
+          done
+        end
+      done;
+      (* Pull every row with exactly one remaining neighbour (each column
+         at most once per round, so two wires never claim one spider). *)
+      let pulled = ref 0 in
+      let claimed = Array.make nc false in
+      Array.iteri
+        (fun ri q ->
+          let ones = ref [] in
+          Array.iteri (fun ci b -> if b then ones := ci :: !ones) m.(ri);
+          match !ones with
+          | [ ci ] when not claimed.(ci) ->
+              let w = col_arr.(ci) in
+              let v = frontier.(q) in
+              if Zx_graph.degree g v = 2 && Phase.is_zero (Zx_graph.phase g v) then begin
+                (* v connects only to its output and to w. *)
+                Zx_graph.remove_vertex g v;
+                Zx_graph.add_edge g output.(q) w Zx_graph.Simple;
+                emit (Circuit.Gate (Gate.H, q));
+                frontier.(q) <- w;
+                claimed.(ci) <- true;
+                incr pulled;
+                m.(ri).(ci) <- false
+              end
+          | _ -> ())
+        rows;
+      if !pulled = 0 then begin
+        if Sys.getenv_opt "OQEC_EXTRACT_DEBUG" <> None then begin
+          Format.eprintf "stuck state:@.%a@." Zx_graph.pp g;
+          Array.iteri (fun q v -> Format.eprintf "frontier %d = %d@." q v) frontier
+        end;
+        fail "no extractable vertex (phase gadget left?)"
+      end
+    end
+  done;
+  (* Leftover: a permutation of plain wires from inputs to outputs. *)
+  let image = Array.make n (-1) in
+  Array.iteri
+    (fun q v ->
+      match Zx_graph.kind g v with
+      | Zx_graph.B_in i -> image.(i) <- q
+      | Zx_graph.B_out _ | Zx_graph.Z | Zx_graph.X -> fail "leftover is not a wire")
+    frontier;
+  let perm = Perm.of_array image in
+  let prefix =
+    if Perm.is_identity perm then []
+    else
+      List.rev (List.map (fun (a, b) -> Circuit.Swap (a, b)) (Perm.transpositions perm))
+  in
+  let c = Circuit.create ~name:"extracted" n in
+  let c = List.fold_left Circuit.add c prefix in
+  List.fold_left Circuit.add c !emitted
+
+let resynthesize circuit =
+  let g = Zx_circuit.of_circuit circuit in
+  ignore (Zx_simplify.interior_clifford_simp g);
+  let out = extract g in
+  Circuit.with_name out (Circuit.name circuit ^ "~zx")

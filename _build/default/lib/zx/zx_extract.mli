@@ -1,0 +1,26 @@
+(** Circuit extraction from graph-like ZX-diagrams ("there and back
+    again", the paper's reference [40]).
+
+    Turns a graph-like diagram back into a circuit over {P, H, CZ, CX,
+    SWAP}, processing the diagram from its outputs: frontier phases
+    become phase gates, frontier-frontier wires become CZs, and the
+    biadjacency between the frontier and the next layer is brought to
+    row-echelon form over GF(2) with CNOTs until a vertex can be pulled
+    through a Hadamard wire.  Diagrams produced from circuits by Clifford
+    simplification admit extraction (they have a generalised flow);
+    diagrams containing phase gadgets are not supported and raise
+    {!Extraction_failed}. *)
+
+open Oqec_circuit
+
+exception Extraction_failed of string
+
+(** [extract g] returns a circuit whose unitary equals the diagram's
+    semantics up to a global scalar.  [g] is consumed (mutated). *)
+val extract : Zx_graph.t -> Circuit.t
+
+(** [resynthesize c] round-trips a circuit through the ZX-calculus:
+    translate, Clifford-simplify, extract.  The result is equivalent to
+    [c] up to global phase and often uses fewer gates on
+    Clifford-dominated circuits. *)
+val resynthesize : Circuit.t -> Circuit.t

@@ -1,0 +1,148 @@
+open Oqec_base
+
+type vkind = B_in of int | B_out of int | Z | X
+type etype = Simple | Had
+
+type vertex = {
+  mutable vk : vkind;
+  mutable ph : Phase.t;
+  adj : (int, etype) Hashtbl.t;
+}
+
+type t = { mutable next : int; vs : (int, vertex) Hashtbl.t }
+
+let create () = { next = 0; vs = Hashtbl.create 256 }
+
+let add_vertex g vk ~phase =
+  let id = g.next in
+  g.next <- id + 1;
+  Hashtbl.replace g.vs id { vk; ph = phase; adj = Hashtbl.create 4 };
+  id
+
+let vertex g v =
+  match Hashtbl.find_opt g.vs v with
+  | Some vx -> vx
+  | None -> invalid_arg (Printf.sprintf "Zx_graph: dead vertex %d" v)
+
+let kind g v = (vertex g v).vk
+let phase g v = (vertex g v).ph
+let set_phase g v p = (vertex g v).ph <- p
+let add_to_phase g v p = let vx = vertex g v in vx.ph <- Phase.add vx.ph p
+let set_kind g v k = (vertex g v).vk <- k
+let vertices g = Hashtbl.fold (fun id _ acc -> id :: acc) g.vs []
+let num_vertices g = Hashtbl.length g.vs
+
+let spider_count g =
+  Hashtbl.fold
+    (fun _ vx acc -> match vx.vk with Z | X -> acc + 1 | B_in _ | B_out _ -> acc)
+    g.vs 0
+
+let mem g v = Hashtbl.mem g.vs v
+let connected g u v = Hashtbl.find_opt (vertex g u).adj v
+let neighbours g v = Hashtbl.fold (fun u ty acc -> (u, ty) :: acc) (vertex g v).adj []
+let neighbour_ids g v = Hashtbl.fold (fun u _ acc -> u :: acc) (vertex g v).adj []
+let degree g v = Hashtbl.length (vertex g v).adj
+
+let add_edge g u v ty =
+  if u = v then invalid_arg "Zx_graph.add_edge: self-loop";
+  if connected g u v <> None then invalid_arg "Zx_graph.add_edge: parallel edge";
+  Hashtbl.replace (vertex g u).adj v ty;
+  Hashtbl.replace (vertex g v).adj u ty
+
+let remove_edge g u v =
+  Hashtbl.remove (vertex g u).adj v;
+  Hashtbl.remove (vertex g v).adj u
+
+let is_spider g v = match kind g v with Z | X -> true | B_in _ | B_out _ -> false
+
+let same_color a b =
+  match (a, b) with
+  | Z, Z | X, X -> true
+  | Z, X | X, Z -> false
+  | (B_in _ | B_out _), _ | _, (B_in _ | B_out _) ->
+      invalid_arg "Zx_graph: boundary in smart edge resolution"
+
+(* Parallel-edge and self-loop resolution, all verified against the tensor
+   semantics (up to scalar):
+   - self-loop, plain wire on a spider: disappears;
+   - self-loop, Hadamard wire: adds pi to the spider's phase;
+   - same colour, both plain: a single plain wire (fusion absorbs it);
+   - same colour, both Hadamard: both disappear (Hopf);
+   - same colour, mixed: one plain wire plus pi on a phase;
+   - different colour, both plain: both disappear (Hopf, colour-changed);
+   - different colour, both Hadamard: a single Hadamard wire;
+   - different colour, mixed: one Hadamard wire plus pi on a phase. *)
+let add_edge_smart g u v ty =
+  if u = v then begin
+    match ty with
+    | Simple -> ()
+    | Had -> add_to_phase g u Phase.pi
+  end
+  else
+    match connected g u v with
+    | None -> add_edge g u v ty
+    | Some existing ->
+        if not (is_spider g u && is_spider g v) then
+          invalid_arg "Zx_graph.add_edge_smart: parallel edge at a boundary";
+        let same = same_color (kind g u) (kind g v) in
+        (match (existing, ty) with
+        | Simple, Simple -> if not same then remove_edge g u v
+        | Had, Had -> if same then remove_edge g u v
+        | Simple, Had | Had, Simple ->
+            let final = if same then Simple else Had in
+            Hashtbl.replace (vertex g u).adj v final;
+            Hashtbl.replace (vertex g v).adj u final;
+            add_to_phase g u Phase.pi)
+
+let toggle_edge g u v ty =
+  match connected g u v with
+  | None -> add_edge g u v ty
+  | Some existing ->
+      assert (existing = ty);
+      remove_edge g u v
+
+let remove_vertex g v =
+  let vx = vertex g v in
+  Hashtbl.iter (fun u _ -> Hashtbl.remove (vertex g u).adj v) vx.adj;
+  Hashtbl.remove g.vs v
+
+let is_boundary g v = match kind g v with B_in _ | B_out _ -> true | Z | X -> false
+
+let is_interior g v =
+  is_spider g v && List.for_all (fun u -> is_spider g u) (neighbour_ids g v)
+
+let collect_boundaries g f =
+  Hashtbl.fold
+    (fun id vx acc -> match f vx.vk with Some q -> (q, id) :: acc | None -> acc)
+    g.vs []
+  |> List.sort compare
+
+let inputs g = collect_boundaries g (function B_in q -> Some q | B_out _ | Z | X -> None)
+let outputs g = collect_boundaries g (function B_out q -> Some q | B_in _ | Z | X -> None)
+
+let copy g =
+  let vs = Hashtbl.create (Hashtbl.length g.vs) in
+  Hashtbl.iter
+    (fun id vx -> Hashtbl.replace vs id { vx with adj = Hashtbl.copy vx.adj })
+    g.vs;
+  { next = g.next; vs }
+
+let pp ppf g =
+  let kind_str = function
+    | B_in q -> Printf.sprintf "in%d" q
+    | B_out q -> Printf.sprintf "out%d" q
+    | Z -> "Z"
+    | X -> "X"
+  in
+  Format.fprintf ppf "@[<v>zx graph: %d vertices@," (num_vertices g);
+  List.iter
+    (fun v ->
+      let vx = vertex g v in
+      Format.fprintf ppf "  %d: %s(%a) --" v (kind_str vx.vk) Phase.pp vx.ph;
+      Hashtbl.iter
+        (fun u ty ->
+          Format.fprintf ppf " %s%d" (match ty with Simple -> "" | Had -> "h") u)
+        vx.adj;
+      Format.fprintf ppf "@,")
+    (List.sort compare (vertices g));
+  Format.fprintf ppf "@]"

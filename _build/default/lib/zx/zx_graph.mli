@@ -1,0 +1,88 @@
+(** Open graphs for the ZX-calculus.
+
+    Vertices are Z-spiders, X-spiders or boundaries (circuit inputs and
+    outputs); edges are plain wires or Hadamard wires.  The structure is
+    mutable — simplification passes rewrite it in place.  At most one edge
+    exists between any two vertices: {!add_edge_smart} resolves parallel
+    edges and self-loops on the fly using the (tensor-verified) spider
+    fusion, Hopf and self-loop laws, dropping global scalar factors (all
+    equalities in the ZX-calculus here hold up to a non-zero scalar, which
+    is irrelevant for equivalence up to global phase). *)
+
+open Oqec_base
+
+type vkind =
+  | B_in of int  (** circuit input for qubit [q] *)
+  | B_out of int  (** circuit output for qubit [q] *)
+  | Z
+  | X
+
+type etype = Simple | Had
+
+type t
+
+val create : unit -> t
+
+(** [add_vertex g kind ~phase] returns the fresh vertex id. *)
+val add_vertex : t -> vkind -> phase:Phase.t -> int
+
+val kind : t -> int -> vkind
+val phase : t -> int -> Phase.t
+val set_phase : t -> int -> Phase.t -> unit
+val add_to_phase : t -> int -> Phase.t -> unit
+val set_kind : t -> int -> vkind -> unit
+
+(** [vertices g] lists live vertex ids (unspecified order). *)
+val vertices : t -> int list
+
+val num_vertices : t -> int
+
+(** [spider_count g] counts Z and X vertices (the diagram-size measure
+    whose non-growth Section 5.1 of the paper emphasises). *)
+val spider_count : t -> int
+
+val mem : t -> int -> bool
+
+(** [connected g u v] is the edge type between [u] and [v], if any. *)
+val connected : t -> int -> int -> etype option
+
+(** [neighbours g v] lists [(u, etype)] pairs. *)
+val neighbours : t -> int -> (int * etype) list
+
+val neighbour_ids : t -> int -> int list
+val degree : t -> int -> int
+
+(** [add_edge g u v ty] adds an edge that must not already exist
+    ([u <> v]); raises [Invalid_argument] otherwise. *)
+val add_edge : t -> int -> int -> etype -> unit
+
+(** [add_edge_smart g u v ty] adds an edge between spiders, resolving an
+    existing parallel edge or a self-loop by the appropriate rewrite law
+    (possibly adding pi to a phase or removing both edges).  Both
+    endpoints must be spiders unless no edge is present. *)
+val add_edge_smart : t -> int -> int -> etype -> unit
+
+(** [toggle_edge g u v ty] removes the edge if present (it must have type
+    [ty]) and adds it otherwise — the neighbourhood-complementation step
+    of local complementation and pivoting. *)
+val toggle_edge : t -> int -> int -> etype -> unit
+
+val remove_edge : t -> int -> int -> unit
+
+(** [remove_vertex g v] deletes [v] and all incident edges. *)
+val remove_vertex : t -> int -> unit
+
+(** [is_boundary g v] holds for input/output vertices. *)
+val is_boundary : t -> int -> bool
+
+(** [is_interior g v] holds for spiders all of whose neighbours are
+    spiders. *)
+val is_interior : t -> int -> bool
+
+val inputs : t -> (int * int) list
+(** [(qubit, vertex)] pairs, sorted by qubit. *)
+
+val outputs : t -> (int * int) list
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,153 @@
+open Oqec_base
+
+let max_free_classes = 16
+
+(* An endpoint behaves "Z-like" when its leg value equals the vertex bit
+   directly: Z-spiders and boundaries.  X-spider legs see the bit through a
+   Hadamard.  An edge then acts as a delta (forcing equal bits) or as a
+   Hadamard factor, depending on its type and whether the endpoints mix
+   colours. *)
+let zlike = function
+  | Zx_graph.Z | Zx_graph.B_in _ | Zx_graph.B_out _ -> true
+  | Zx_graph.X -> false
+
+let hadamard_entry bu bv =
+  let s = 1.0 /. sqrt 2.0 in
+  if bu = 1 && bv = 1 then Cx.make (-.s) 0.0 else Cx.make s 0.0
+
+(* Delta edges are contracted with a union-find, so the summation only
+   ranges over the remaining free classes — this keeps the evaluator fast
+   enough for property-based testing. *)
+let matrix g =
+  let ins = Zx_graph.inputs g and outs = Zx_graph.outputs g in
+  let n_in = List.length ins and n_out = List.length outs in
+  let expect_positions l =
+    List.iteri
+      (fun i (q, _) ->
+        if q <> i then invalid_arg "Zx_tensor.matrix: qubit indices must be 0..n-1")
+      l
+  in
+  expect_positions ins;
+  expect_positions outs;
+  let verts = Zx_graph.vertices g in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) verts;
+  let nv = List.length verts in
+  let parent = Array.init nv (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let idx v = Hashtbl.find index v in
+  (* Classify each edge once. *)
+  let had_edges = ref [] in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (u, ty) ->
+          if u > v then begin
+            let mixed = zlike (Zx_graph.kind g u) <> zlike (Zx_graph.kind g v) in
+            let is_delta = (ty = Zx_graph.Simple) <> mixed in
+            if is_delta then union (idx u) (idx v)
+            else had_edges := (idx u, idx v) :: !had_edges
+          end)
+        (Zx_graph.neighbours g v))
+    verts;
+  (* Partition classes into boundary-pinned and free. *)
+  let pinned = Hashtbl.create 16 in
+  (* root -> boundary list *)
+  let record_boundary (q, v) which =
+    let r = find (idx v) in
+    let l = Option.value ~default:[] (Hashtbl.find_opt pinned r) in
+    Hashtbl.replace pinned r ((which, q) :: l)
+  in
+  List.iter (fun b -> record_boundary b `In) ins;
+  List.iter (fun b -> record_boundary b `Out) outs;
+  let roots =
+    List.sort_uniq compare (List.init nv find)
+  in
+  let free_roots = List.filter (fun r -> not (Hashtbl.mem pinned r)) roots in
+  let f = List.length free_roots in
+  if f > max_free_classes then
+    invalid_arg (Printf.sprintf "Zx_tensor.matrix: %d free classes exceed the limit" f);
+  let free_pos = Hashtbl.create 16 in
+  List.iteri (fun i r -> Hashtbl.replace free_pos r i) free_roots;
+  let spiders =
+    List.filter_map
+      (fun v ->
+        match Zx_graph.kind g v with
+        | Zx_graph.Z | Zx_graph.X ->
+            let p = Zx_graph.phase g v in
+            if Phase.is_zero p then None else Some (find (idx v), p)
+        | Zx_graph.B_in _ | Zx_graph.B_out _ -> None)
+      verts
+  in
+  let entry row col =
+    let boundary_bit = function
+      | `In, q -> (col lsr q) land 1
+      | `Out, q -> (row lsr q) land 1
+    in
+    (* Check consistency of multiply-pinned classes and compute their bit. *)
+    let pinned_bit = Hashtbl.create 16 in
+    let consistent = ref true in
+    Hashtbl.iter
+      (fun r bs ->
+        match List.map boundary_bit bs with
+        | [] -> assert false
+        | b :: rest ->
+            if List.for_all (fun x -> x = b) rest then Hashtbl.replace pinned_bit r b
+            else consistent := false)
+      pinned;
+    if not !consistent then Cx.zero
+    else begin
+      let total = ref Cx.zero in
+      for assignment = 0 to (1 lsl f) - 1 do
+        let bit_of_root r =
+          match Hashtbl.find_opt pinned_bit r with
+          | Some b -> b
+          | None -> (assignment lsr Hashtbl.find free_pos r) land 1
+        in
+        let term = ref Cx.one in
+        List.iter
+          (fun (iu, iv) ->
+            term := Cx.mul !term (hadamard_entry (bit_of_root (find iu)) (bit_of_root (find iv))))
+          !had_edges;
+        List.iter
+          (fun (r, p) ->
+            if bit_of_root r = 1 then term := Cx.mul !term (Cx.e_i (Phase.to_float p)))
+          spiders;
+        total := Cx.add !total !term
+      done;
+      !total
+    end
+  in
+  Dmatrix.make (1 lsl n_out) (1 lsl n_in) entry
+
+let proportional ?(tol = 1e-8) a b =
+  Dmatrix.rows a = Dmatrix.rows b
+  && Dmatrix.cols a = Dmatrix.cols b
+  &&
+  let best = ref (0, 0) and best_mag = ref (-1.0) in
+  for i = 0 to Dmatrix.rows a - 1 do
+    for j = 0 to Dmatrix.cols a - 1 do
+      let m = Cx.mag2 (Dmatrix.get a i j) in
+      if m > !best_mag then begin
+        best := (i, j);
+        best_mag := m
+      end
+    done
+  done;
+  let i, j = !best in
+  let za = Dmatrix.get a i j and zb = Dmatrix.get b i j in
+  if Cx.mag za <= tol then
+    Dmatrix.equal ~tol (Dmatrix.zero (Dmatrix.rows b) (Dmatrix.cols b)) b
+  else if Cx.mag zb <= tol *. Cx.mag za then false
+  else
+    let c = Cx.div za zb in
+    Dmatrix.equal ~tol a (Dmatrix.scale c b)

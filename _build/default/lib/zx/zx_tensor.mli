@@ -1,0 +1,24 @@
+(** Brute-force semantics of ZX-diagrams.
+
+    Evaluates a diagram to the dense matrix it denotes, by summing over one
+    boolean variable per spider (a Z-spider's tensor is diagonal, so a
+    single bit per vertex with delta/Hadamard edge factors reproduces the
+    standard semantics; X-spiders contribute Hadamard-conjugated factors).
+    Exponential in the number of spiders — used only by the test suite and
+    the figure demos to certify the rewrite rules.
+
+    All comparisons against circuit semantics hold up to one global
+    non-zero scalar, because rewrite rules here drop scalar factors. *)
+
+open Oqec_base
+
+(** [matrix g] is the [2^out x 2^in] matrix of the diagram; requires every
+    qubit index in [0, n) to appear exactly once among inputs and once
+    among outputs.  Delta-like edges are contracted away first, so the
+    cost is exponential only in the number of remaining free vertex
+    classes; raises [Invalid_argument] beyond 16 of them. *)
+val matrix : Zx_graph.t -> Dmatrix.t
+
+(** [proportional ?tol a b] holds when [a = c * b] for some non-zero
+    complex scalar [c]. *)
+val proportional : ?tol:float -> Dmatrix.t -> Dmatrix.t -> bool

@@ -1,0 +1,14 @@
+  $ oqec generate ghz -n 3 -o ghz.qasm
+  $ cat ghz.qasm
+  $ oqec info ghz.qasm
+  $ oqec compile ghz.qasm -a linear:5 -o ghz_lin.qasm
+  $ grep -c measure ghz_lin.qasm
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s zx > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s combined > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s reference > /dev/null
+  $ sed 's/cx q\[1\],q\[2\];/cx q[2],q[1];/' ghz_lin.qasm > broken.qasm
+  $ oqec check ghz.qasm broken.qasm -s combined > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s simulation > /dev/null
+  $ printf 'OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n' > bad.qasm
+  $ oqec check bad.qasm bad.qasm 2>&1

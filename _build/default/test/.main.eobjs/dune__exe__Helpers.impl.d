@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cx Dmatrix Oqec_base Phase QCheck QCheck_alcotest Rng

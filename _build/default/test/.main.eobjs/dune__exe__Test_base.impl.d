@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Cx Dmatrix Float Format Helpers List Oqec_base Perm Phase QCheck Rng

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Cx Dmatrix Format Gate Helpers List Oqec_base Oqec_circuit Perm Phase QCheck Render Rng String Unitary

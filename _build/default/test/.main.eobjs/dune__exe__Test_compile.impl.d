@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Architecture Circuit Compile Dmatrix Gen Helpers List Optimize Oqec_base Oqec_circuit Oqec_compile Perm Phase QCheck Rng Route Unitary

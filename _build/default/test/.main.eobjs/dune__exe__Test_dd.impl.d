@@ -1,0 +1,1 @@
+test/test_dd.ml: Alcotest Array Circuit Ctable Cx Dd Dd_circuit Dd_export Dmatrix Gate Gen Helpers Oqec_base Oqec_circuit Oqec_dd Phase Printf QCheck Rng Unitary

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Circuit Decompose Dmatrix Gate Gen Helpers List Oqec_base Oqec_circuit Phase Printf QCheck Rng Unitary

@@ -1,0 +1,1 @@
+test/test_differential.ml: Circuit Equivalence Gen Helpers List Oqec_base Oqec_circuit Oqec_qcec Oqec_workloads Phase Printf QCheck Qcec Rng Unitary

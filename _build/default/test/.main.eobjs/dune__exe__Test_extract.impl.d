@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Circuit Gen Helpers Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_zx Phase QCheck Rng Unitary Zx_extract Zx_graph Zx_tensor

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Architecture Circuit Dmatrix Format Gate Gen Helpers List Oqec_base Oqec_circuit Oqec_compile Oqec_qasm Oqec_qcec Oqec_stab Phase QCheck Rng String Unitary

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Array Circuit Cx Dmatrix Gate Gen Helpers List Oqec_base Oqec_circuit Oqec_qasm Perm Phase QCheck Qasm Rng Unitary

@@ -1,0 +1,1 @@
+test/test_stab.ml: Alcotest Circuit Dmatrix Equivalence Format Gate Gen Helpers Oqec_base Oqec_circuit Oqec_compile Oqec_qcec Oqec_stab Oqec_workloads Phase QCheck Qcec Rng Tableau Unitary

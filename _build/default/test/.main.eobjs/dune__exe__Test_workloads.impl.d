@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Circuit Cx Dmatrix Float Gate Gen Helpers List Oqec_base Oqec_circuit Oqec_workloads Phase Printf QCheck Unitary

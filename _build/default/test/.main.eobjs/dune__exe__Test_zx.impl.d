@@ -1,0 +1,1 @@
+test/test_zx.ml: Alcotest Circuit Format Gate Gen Helpers List Oqec_base Oqec_circuit Oqec_dd Oqec_zx Perm Phase Printf QCheck Rng String Unitary Zx_circuit Zx_export Zx_graph Zx_simplify Zx_tensor

@@ -1,0 +1,53 @@
+The oqec command-line tool: generate, inspect, compile and check circuits.
+
+  $ oqec generate ghz -n 3 -o ghz.qasm
+  $ cat ghz.qasm
+  OPENQASM 2.0;
+  include "qelib1.inc";
+  qreg q[3];
+  h q[0];
+  cx q[0],q[1];
+  cx q[0],q[2];
+
+  $ oqec info ghz.qasm
+  name:         circuit
+  qubits:       3
+  gates:        3
+  two-qubit:    2
+  t-count:      0
+  depth:        3
+
+Compile onto a 5-qubit linear architecture (Fig. 2 of the paper):
+
+  $ oqec compile ghz.qasm -a linear:5 -o ghz_lin.qasm
+  compiled ghz.qasm onto linear-5: 4 gates
+
+The compiled circuit records its output permutation through measurements:
+
+  $ grep -c measure ghz_lin.qasm
+  5
+
+Verification succeeds with every strategy (exit code 0):
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s zx > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s combined > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s reference > /dev/null
+
+A corrupted circuit is refuted (exit code 1):
+
+  $ sed 's/cx q\[1\],q\[2\];/cx q[2],q[1];/' ghz_lin.qasm > broken.qasm
+  $ oqec check ghz.qasm broken.qasm -s combined > /dev/null
+  [1]
+
+Simulation alone cannot prove equivalence (exit code 2):
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s simulation > /dev/null
+  [2]
+
+Unknown gates produce a parse error:
+
+  $ printf 'OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n' > bad.qasm
+  $ oqec check bad.qasm bad.qasm 2>&1
+  error: bad.qasm: unknown gate "bogus"
+  [3]

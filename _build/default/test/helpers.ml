@@ -1,0 +1,25 @@
+(* Shared test utilities. *)
+
+open Oqec_base
+
+let cx_testable =
+  Alcotest.testable Cx.pp (fun a b -> Cx.approx_equal ~tol:1e-9 a b)
+
+let phase_testable = Alcotest.testable Phase.pp Phase.equal
+
+let dmatrix_testable =
+  Alcotest.testable Dmatrix.pp (fun a b -> Dmatrix.equal ~tol:1e-9 a b)
+
+let dmatrix_up_to_phase =
+  Alcotest.testable Dmatrix.pp (fun a b -> Dmatrix.equal_up_to_phase ~tol:1e-9 a b)
+
+let check_matrix msg expected actual = Alcotest.check dmatrix_testable msg expected actual
+
+let check_matrix_up_to_phase msg expected actual =
+  Alcotest.check dmatrix_up_to_phase msg expected actual
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* A deterministic RNG for generators used inside tests. *)
+let test_rng () = Rng.make ~seed:42

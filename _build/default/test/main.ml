@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "oqec"
+    [
+      ("base", Test_base.suite);
+      ("circuit", Test_circuit.suite);
+      ("qasm", Test_qasm.suite);
+      ("dd", Test_dd.suite);
+      ("decompose", Test_decompose.suite);
+      ("zx", Test_zx.suite);
+      ("compile", Test_compile.suite);
+      ("workloads", Test_workloads.suite);
+      ("qcec", Test_qcec.suite);
+      ("regressions", Test_regressions.suite);
+      ("stab", Test_stab.suite);
+      ("extract", Test_extract.suite);
+      ("differential", Test_differential.suite);
+      ("misc", Test_misc.suite);
+    ]

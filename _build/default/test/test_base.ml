@@ -1,0 +1,208 @@
+(* Unit and property tests for the numeric base: Cx, Phase, Perm, Dmatrix. *)
+
+open Oqec_base
+open Helpers
+
+(* ------------------------------------------------------------------ Cx *)
+
+let test_cx_basic () =
+  Alcotest.check cx_testable "add" (Cx.make 3.0 4.0)
+    (Cx.add (Cx.make 1.0 1.0) (Cx.make 2.0 3.0));
+  Alcotest.check cx_testable "mul i*i" Cx.minus_one (Cx.mul Cx.i Cx.i);
+  Alcotest.check cx_testable "conj" (Cx.make 1.0 (-2.0)) (Cx.conj (Cx.make 1.0 2.0));
+  Alcotest.check cx_testable "e_i pi" Cx.minus_one (Cx.e_i Float.pi);
+  Alcotest.(check bool) "is_zero" true (Cx.is_zero (Cx.make 1e-12 (-1e-12)));
+  Alcotest.(check bool) "not is_zero" false (Cx.is_zero (Cx.make 1e-3 0.0));
+  Alcotest.(check (float 1e-12)) "mag2" 25.0 (Cx.mag2 (Cx.make 3.0 4.0))
+
+let test_cx_polar () =
+  let z = Cx.of_polar ~mag:2.0 ~arg:(Float.pi /. 3.0) in
+  Alcotest.(check (float 1e-12)) "mag" 2.0 (Cx.mag z);
+  Alcotest.(check (float 1e-12)) "arg" (Float.pi /. 3.0) (Cx.arg z)
+
+(* --------------------------------------------------------------- Phase *)
+
+let test_phase_canonical () =
+  Alcotest.check phase_testable "2pi = 0" Phase.zero (Phase.of_pi_fraction 2 1);
+  Alcotest.check phase_testable "-pi/2 = 3pi/2" Phase.minus_half_pi
+    (Phase.of_pi_fraction 3 2);
+  Alcotest.check phase_testable "4/8 = 1/2" Phase.half_pi (Phase.of_pi_fraction 4 8);
+  Alcotest.check phase_testable "add" Phase.pi
+    (Phase.add Phase.half_pi Phase.half_pi);
+  Alcotest.check phase_testable "sub to zero" Phase.zero
+    (Phase.sub Phase.quarter_pi Phase.quarter_pi)
+
+let test_phase_predicates () =
+  Alcotest.(check bool) "0 pauli" true (Phase.is_pauli Phase.zero);
+  Alcotest.(check bool) "pi pauli" true (Phase.is_pauli Phase.pi);
+  Alcotest.(check bool) "pi/2 not pauli" false (Phase.is_pauli Phase.half_pi);
+  Alcotest.(check bool) "pi/2 proper clifford" true
+    (Phase.is_proper_clifford Phase.half_pi);
+  Alcotest.(check bool) "-pi/2 proper clifford" true
+    (Phase.is_proper_clifford Phase.minus_half_pi);
+  Alcotest.(check bool) "pi not proper" false (Phase.is_proper_clifford Phase.pi);
+  Alcotest.(check bool) "pi/4 not clifford" false (Phase.is_clifford Phase.quarter_pi);
+  Alcotest.(check bool) "pi/4 exact" true (Phase.is_exact Phase.quarter_pi)
+
+let test_phase_of_float () =
+  Alcotest.check phase_testable "snap pi/2" Phase.half_pi
+    (Phase.of_float (Float.pi /. 2.0));
+  Alcotest.check phase_testable "snap -pi/4" (Phase.of_pi_fraction 7 4)
+    (Phase.of_float (-.Float.pi /. 4.0));
+  Alcotest.(check bool) "irrational stays approx" false (Phase.is_exact (Phase.of_float 1.0));
+  Alcotest.(check (float 1e-9)) "approx roundtrip" 1.0
+    (Phase.to_float (Phase.of_float 1.0))
+
+let test_phase_overflow_fallback () =
+  (* Adding huge-denominator angles must not overflow: falls back to float. *)
+  let a = Phase.of_pi_fraction 1 ((1 lsl 40) + 1) in
+  let b = Phase.of_pi_fraction 1 ((1 lsl 40) - 1) in
+  let s = Phase.add a b in
+  Alcotest.(check (float 1e-9))
+    "value preserved"
+    (Phase.to_float a +. Phase.to_float b)
+    (Phase.to_float s)
+
+let phase_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun n d -> Phase.of_pi_fraction n (1 lsl d)) (int_range (-32) 32) (int_range 0 6);
+        map Phase.of_float (float_range (-10.0) 10.0);
+      ])
+
+let phase_arb = QCheck.make ~print:Phase.to_string phase_gen
+
+let prop_phase_neg_add =
+  qtest "phase: p + (-p) = 0" phase_arb (fun p ->
+      Phase.is_zero (Phase.add p (Phase.neg p)))
+
+let prop_phase_float_consistent =
+  qtest "phase: add consistent with float add mod 2pi"
+    QCheck.(pair phase_arb phase_arb)
+    (fun (p, q) ->
+      let s = Phase.to_float (Phase.add p q) in
+      let expect = Phase.to_float p +. Phase.to_float q in
+      let d = Float.rem (s -. expect) (4.0 *. Float.pi) in
+      let d = Float.abs d in
+      let two_pi = 2.0 *. Float.pi in
+      d < 1e-6 || Float.abs (d -. two_pi) < 1e-6 || Float.abs (d -. (2.0 *. two_pi)) < 1e-6)
+
+(* ---------------------------------------------------------------- Perm *)
+
+let test_perm_basic () =
+  let p = Perm.of_array [| 2; 0; 1 |] in
+  Alcotest.(check int) "apply" 2 (Perm.apply p 0);
+  Alcotest.(check bool) "id is id" true (Perm.is_identity (Perm.id 4));
+  Alcotest.(check bool) "p not id" false (Perm.is_identity p);
+  let q = Perm.inverse p in
+  Alcotest.(check bool) "p . p^-1 = id" true (Perm.is_identity (Perm.compose p q))
+
+let test_perm_invalid () =
+  Alcotest.check_raises "not a bijection" (Invalid_argument "Perm.of_array: not a bijection")
+    (fun () -> ignore (Perm.of_array [| 0; 0; 1 |]))
+
+let test_perm_transpositions () =
+  let p = Perm.of_array [| 3; 1; 0; 2 |] in
+  let swaps = Perm.transpositions p in
+  let rebuilt =
+    List.fold_left (fun acc (a, b) -> Perm.swap acc a b) (Perm.id 4) swaps
+  in
+  Alcotest.(check bool) "rebuild" true (Perm.equal p rebuilt)
+
+let perm_arb =
+  QCheck.make
+    ~print:(fun p -> Format.asprintf "%a" Perm.pp p)
+    QCheck.Gen.(
+      int_range 1 8 >>= fun n ->
+      map
+        (fun seed ->
+          let rng = Rng.make ~seed in
+          Perm.random (Rng.int rng) n)
+        int)
+
+let prop_perm_transpositions =
+  qtest "perm: transpositions rebuild the permutation" perm_arb (fun p ->
+      let rebuilt =
+        List.fold_left
+          (fun acc (a, b) -> Perm.swap acc a b)
+          (Perm.id (Perm.size p))
+          (Perm.transpositions p)
+      in
+      Perm.equal p rebuilt)
+
+let prop_perm_compose_assoc =
+  qtest "perm: inverse . p = id" perm_arb (fun p ->
+      Perm.is_identity (Perm.compose (Perm.inverse p) p))
+
+(* ------------------------------------------------------------- Dmatrix *)
+
+let test_dmatrix_mul_identity () =
+  let m = Dmatrix.make 4 4 (fun i j -> Cx.make (float_of_int ((i * 4) + j)) 1.0) in
+  check_matrix "I*m = m" m (Dmatrix.mul (Dmatrix.identity 4) m);
+  check_matrix "m*I = m" m (Dmatrix.mul m (Dmatrix.identity 4))
+
+let test_dmatrix_kron () =
+  let x = Dmatrix.make 2 2 (fun i j -> if i <> j then Cx.one else Cx.zero) in
+  let i2 = Dmatrix.identity 2 in
+  let xi = Dmatrix.kron x i2 in
+  (* X (x) I swaps the high bit: entry (0, 2) must be 1. *)
+  Alcotest.check cx_testable "entry" Cx.one (Dmatrix.get xi 0 2);
+  Alcotest.check cx_testable "zero entry" Cx.zero (Dmatrix.get xi 0 1)
+
+let test_dmatrix_unitarity () =
+  let h =
+    Dmatrix.make 2 2 (fun i j ->
+        Cx.scale (if i = 1 && j = 1 then -1.0 else 1.0) Cx.sqrt2_inv)
+  in
+  Alcotest.(check bool) "H unitary" true (Dmatrix.is_unitary h);
+  Alcotest.(check bool) "H*H = I" true
+    (Dmatrix.equal ~tol:1e-9 (Dmatrix.mul h h) (Dmatrix.identity 2))
+
+let test_dmatrix_phase_equal () =
+  let m = Dmatrix.identity 4 in
+  let m' = Dmatrix.scale (Cx.e_i 0.7) m in
+  Alcotest.(check bool) "equal up to phase" true (Dmatrix.equal_up_to_phase m m');
+  Alcotest.(check bool) "not exactly equal" false (Dmatrix.equal m m');
+  Alcotest.(check (float 1e-9)) "hilbert-schmidt" 4.0 (Dmatrix.hilbert_schmidt m m')
+
+let test_permutation_matrix () =
+  (* Swap bits 0 and 1 on 2 qubits: |01> (index 1) -> |10> (index 2). *)
+  let p = Perm.of_array [| 1; 0 |] in
+  let m = Dmatrix.permutation_matrix p in
+  Alcotest.check cx_testable "maps |1> to |2>" Cx.one (Dmatrix.get m 2 1);
+  Alcotest.(check bool) "unitary" true (Dmatrix.is_unitary m)
+
+let prop_permutation_matrix_compose =
+  qtest "dmatrix: P(p) * P(q) = P(p . q)"
+    QCheck.(pair perm_arb perm_arb)
+    (fun (p, q) ->
+      QCheck.assume (Perm.size p = Perm.size q);
+      let lhs =
+        Dmatrix.mul (Dmatrix.permutation_matrix p) (Dmatrix.permutation_matrix q)
+      in
+      let rhs = Dmatrix.permutation_matrix (Perm.compose p q) in
+      Dmatrix.equal ~tol:1e-9 lhs rhs)
+
+let suite =
+  [
+    Alcotest.test_case "cx basic ops" `Quick test_cx_basic;
+    Alcotest.test_case "cx polar" `Quick test_cx_polar;
+    Alcotest.test_case "phase canonicalisation" `Quick test_phase_canonical;
+    Alcotest.test_case "phase predicates" `Quick test_phase_predicates;
+    Alcotest.test_case "phase of_float snapping" `Quick test_phase_of_float;
+    Alcotest.test_case "phase overflow fallback" `Quick test_phase_overflow_fallback;
+    prop_phase_neg_add;
+    prop_phase_float_consistent;
+    Alcotest.test_case "perm basics" `Quick test_perm_basic;
+    Alcotest.test_case "perm validation" `Quick test_perm_invalid;
+    Alcotest.test_case "perm transpositions" `Quick test_perm_transpositions;
+    prop_perm_transpositions;
+    prop_perm_compose_assoc;
+    Alcotest.test_case "dmatrix identity" `Quick test_dmatrix_mul_identity;
+    Alcotest.test_case "dmatrix kron" `Quick test_dmatrix_kron;
+    Alcotest.test_case "dmatrix unitarity" `Quick test_dmatrix_unitarity;
+    Alcotest.test_case "dmatrix equal up to phase" `Quick test_dmatrix_phase_equal;
+    Alcotest.test_case "permutation matrix" `Quick test_permutation_matrix;
+    prop_permutation_matrix_compose;
+  ]

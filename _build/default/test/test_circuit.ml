@@ -1,0 +1,248 @@
+(* Tests for the circuit IR and its dense reference semantics. *)
+
+open Oqec_base
+open Oqec_circuit
+open Helpers
+
+(* ---------------------------------------------------------------- Gate *)
+
+let all_fixed_gates =
+  Gate.[ I; X; Y; Z; H; S; Sdg; T; Tdg; Sx; Sxdg ]
+
+let some_param_gates =
+  Gate.
+    [
+      Rx Phase.quarter_pi;
+      Ry (Phase.of_pi_fraction 3 8);
+      Rz Phase.half_pi;
+      P (Phase.of_pi_fraction (-1) 3);
+      U (Phase.quarter_pi, Phase.half_pi, Phase.pi);
+      U (Phase.of_float 0.3, Phase.of_float 1.1, Phase.of_float (-0.7));
+    ]
+
+let test_gates_unitary () =
+  let check g =
+    Alcotest.(check bool)
+      (Format.asprintf "%a unitary" Gate.pp g)
+      true
+      (Dmatrix.is_unitary ~tol:1e-9 (Gate.matrix g))
+  in
+  List.iter check (all_fixed_gates @ some_param_gates)
+
+let test_gate_inverses () =
+  let check g =
+    let m = Dmatrix.mul (Gate.matrix (Gate.inverse g)) (Gate.matrix g) in
+    Alcotest.(check bool)
+      (Format.asprintf "%a inverse" Gate.pp g)
+      true
+      (Dmatrix.equal_up_to_phase ~tol:1e-9 m (Dmatrix.identity 2))
+  in
+  List.iter check (all_fixed_gates @ some_param_gates)
+
+let test_gate_identities () =
+  let m g = Gate.matrix g in
+  check_matrix "S = P(pi/2)" (m Gate.S) (m (Gate.P Phase.half_pi));
+  check_matrix "T = P(pi/4)" (m Gate.T) (m (Gate.P Phase.quarter_pi));
+  check_matrix_up_to_phase "Z = Rz(pi)" (m Gate.Z) (m (Gate.Rz Phase.pi));
+  check_matrix_up_to_phase "X = Rx(pi)" (m Gate.X) (m (Gate.Rx Phase.pi));
+  check_matrix_up_to_phase "H = u(pi/2, 0, pi)"
+    (m Gate.H)
+    (m (Gate.U (Phase.half_pi, Phase.zero, Phase.pi)));
+  check_matrix "HZH = X"
+    (m Gate.X)
+    (Dmatrix.mul (m Gate.H) (Dmatrix.mul (m Gate.Z) (m Gate.H)))
+
+let test_gate_clifford () =
+  Alcotest.(check bool) "H clifford" true (Gate.is_clifford Gate.H);
+  Alcotest.(check bool) "T not clifford" false (Gate.is_clifford Gate.T);
+  Alcotest.(check bool) "Rz(pi/2) clifford" true (Gate.is_clifford (Gate.Rz Phase.half_pi));
+  Alcotest.(check bool) "Rz(pi/4) not" false (Gate.is_clifford (Gate.Rz Phase.quarter_pi))
+
+(* ------------------------------------------------------------- Circuit *)
+
+let ghz3 =
+  let c = Circuit.create ~name:"ghz3" 3 in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cx c 0 1 in
+  Circuit.cx c 0 2
+
+let test_circuit_counts () =
+  Alcotest.(check int) "gates" 3 (Circuit.gate_count ghz3);
+  Alcotest.(check int) "2q" 2 (Circuit.two_qubit_count ghz3);
+  Alcotest.(check int) "depth" 3 (Circuit.depth ghz3);
+  Alcotest.(check int) "t-count 0" 0 (Circuit.t_count ghz3);
+  let c = Circuit.t_gate (Circuit.rz ghz3 Phase.quarter_pi 1) 0 in
+  Alcotest.(check int) "t-count 2" 2 (Circuit.t_count c)
+
+let test_circuit_validation () =
+  let c = Circuit.create 2 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Circuit.add: wire index out of range") (fun () ->
+      ignore (Circuit.h c 2));
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Circuit.add: colliding operands") (fun () ->
+      ignore (Circuit.cx c 1 1));
+  Alcotest.check_raises "empty controls"
+    (Invalid_argument "Circuit.add: empty control list") (fun () ->
+      ignore (Circuit.add c (Circuit.Ctrl ([], Gate.X, 0))))
+
+let test_ghz_state () =
+  let v = Unitary.basis_state 3 0 in
+  Unitary.apply_to_vector ghz3 v;
+  Alcotest.check cx_testable "amp |000>" Cx.sqrt2_inv v.(0);
+  Alcotest.check cx_testable "amp |111>" Cx.sqrt2_inv v.(7);
+  Alcotest.check cx_testable "amp |001>" Cx.zero v.(1)
+
+(* Fig. 1b of the paper: the GHZ system matrix. *)
+let test_ghz_system_matrix () =
+  let u = Unitary.unitary ghz3 in
+  let s = 1.0 /. sqrt 2.0 in
+  Alcotest.check cx_testable "(0,0)" (Cx.make s 0.0) (Dmatrix.get u 0 0);
+  Alcotest.check cx_testable "(7,0)" (Cx.make s 0.0) (Dmatrix.get u 7 0);
+  Alcotest.check cx_testable "(0,1)" (Cx.make s 0.0) (Dmatrix.get u 0 1);
+  Alcotest.check cx_testable "(7,1)" (Cx.make (-.s) 0.0) (Dmatrix.get u 7 1);
+  Alcotest.(check bool) "unitary" true (Dmatrix.is_unitary u)
+
+let test_circuit_inverse () =
+  let c = Circuit.t_gate (Circuit.cx (Circuit.h (Circuit.create 2) 0) 0 1) 1 in
+  let both = Circuit.append c (Circuit.inverse c) in
+  check_matrix "c . c^-1 = I" (Dmatrix.identity 4) (Unitary.unitary both);
+  (* Inversion must reverse the op order, not just invert gates in place. *)
+  let asym = Circuit.cx (Circuit.h (Circuit.create 2) 0) 0 1 in
+  (match Circuit.ops (Circuit.inverse asym) with
+  | [ Circuit.Ctrl ([ 0 ], Gate.X, 1); Circuit.Gate (Gate.H, 0) ] -> ()
+  | _ -> Alcotest.fail "inverse did not reverse op order")
+
+let test_swap_semantics () =
+  let c = Circuit.swap (Circuit.create 2) 0 1 in
+  let expected = Dmatrix.permutation_matrix (Perm.of_array [| 1; 0 |]) in
+  check_matrix "swap = P(0 1)" expected (Unitary.unitary c)
+
+let test_swap_is_three_cnots () =
+  let sw = Circuit.swap (Circuit.create 2) 0 1 in
+  let three =
+    let c = Circuit.create 2 in
+    let c = Circuit.cx c 0 1 in
+    let c = Circuit.cx c 1 0 in
+    Circuit.cx c 0 1
+  in
+  check_matrix "swap = cx cx cx" (Unitary.unitary sw) (Unitary.unitary three)
+
+let test_mcx () =
+  let c = Circuit.mcx (Circuit.create 3) [ 0; 1 ] 2 in
+  let u = Unitary.unitary c in
+  (* Toffoli: |011> (3) <-> |111> (7), everything else fixed. *)
+  Alcotest.check cx_testable "maps 3 -> 7" Cx.one (Dmatrix.get u 7 3);
+  Alcotest.check cx_testable "maps 7 -> 3" Cx.one (Dmatrix.get u 3 7);
+  Alcotest.check cx_testable "fixes 5" Cx.one (Dmatrix.get u 5 5)
+
+let test_effective_unitary_layout () =
+  (* A bare SWAP with matching output permutation is an effective identity. *)
+  let c = Circuit.swap (Circuit.create 2) 0 1 in
+  let c = Circuit.with_output_perm c (Some (Perm.of_array [| 1; 0 |])) in
+  check_matrix "swap with perm metadata = I" (Dmatrix.identity 4)
+    (Unitary.effective_unitary c)
+
+let test_equivalent_reference () =
+  let c1 = ghz3 in
+  (* Same unitary with the last CNOT conjugated by SWAPs:
+     swap12 . cx(0,1) . swap12 = cx(0,2). *)
+  let c2 =
+    let c = Circuit.create ~name:"ghz-swapped" 3 in
+    let c = Circuit.h c 0 in
+    let c = Circuit.cx c 0 1 in
+    let c = Circuit.swap c 1 2 in
+    let c = Circuit.cx c 0 1 in
+    Circuit.swap c 1 2
+  in
+  Alcotest.(check bool) "fanout vs swap-conjugated" true (Unitary.equivalent c1 c2);
+  let c3 = Circuit.x c2 0 in
+  Alcotest.(check bool) "broken not equivalent" false (Unitary.equivalent c1 c3)
+
+(* Random circuit generator for property tests. *)
+let random_circuit rng n n_ops =
+  let c = ref (Circuit.create n) in
+  for _ = 1 to n_ops do
+    let choice = Rng.int rng 5 in
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+    (match choice with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> c := Circuit.t_gate !c q
+    | 2 -> c := Circuit.cx !c q q2
+    | 3 -> c := Circuit.rz !c (Phase.of_pi_fraction (Rng.int rng 16) 8) q
+    | 4 -> c := Circuit.swap !c q q2
+    | _ -> assert false)
+  done;
+  !c
+
+let circuit_arb =
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Circuit.pp c)
+    QCheck.Gen.(
+      int_range 2 4 >>= fun n ->
+      int_range 0 12 >>= fun n_ops ->
+      map
+        (fun seed ->
+          let rng = Rng.make ~seed in
+          random_circuit rng n n_ops)
+        int)
+
+let prop_circuit_unitary =
+  qtest ~count:50 "circuit: system matrix is unitary" circuit_arb (fun c ->
+      Dmatrix.is_unitary ~tol:1e-8 (Unitary.unitary c))
+
+let prop_inverse_cancels =
+  qtest ~count:50 "circuit: c . inverse c = I (up to phase)" circuit_arb (fun c ->
+      let both = Circuit.append c (Circuit.inverse c) in
+      Dmatrix.equal_up_to_phase ~tol:1e-8 (Unitary.unitary both)
+        (Dmatrix.identity (1 lsl Circuit.num_qubits c)))
+
+let prop_depth_le_count =
+  qtest ~count:50 "circuit: depth <= gate count" circuit_arb (fun c ->
+      Circuit.depth c <= Circuit.gate_count c)
+
+let test_render () =
+  let text = Render.to_ascii ghz3 in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check int) "5 wire+gap rows (plus trailing)" 6 (List.length lines);
+  let contains needle =
+    let rec search i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || search (i + 1))
+    in
+    search 0
+  in
+  Alcotest.(check bool) "hadamard box" true (contains "[H]");
+  Alcotest.(check bool) "control dot" true (contains "o");
+  Alcotest.(check bool) "target" true (contains "(+)");
+  Alcotest.(check bool) "connector" true (contains "|");
+  (* Rendering must not raise on every op kind. *)
+  let c = Circuit.create 4 in
+  let c = Circuit.swap c 0 3 in
+  let c = Circuit.ccx c 0 1 3 in
+  let c = Circuit.rz c Phase.quarter_pi 2 in
+  let c = Circuit.add c Circuit.Barrier in
+  Alcotest.(check bool) "renders" true (String.length (Render.to_ascii c) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "ascii rendering" `Quick test_render;
+    Alcotest.test_case "gates are unitary" `Quick test_gates_unitary;
+    Alcotest.test_case "gate inverses" `Quick test_gate_inverses;
+    Alcotest.test_case "gate identities" `Quick test_gate_identities;
+    Alcotest.test_case "clifford detection" `Quick test_gate_clifford;
+    Alcotest.test_case "circuit counts" `Quick test_circuit_counts;
+    Alcotest.test_case "circuit validation" `Quick test_circuit_validation;
+    Alcotest.test_case "ghz state preparation" `Quick test_ghz_state;
+    Alcotest.test_case "ghz system matrix (fig 1b)" `Quick test_ghz_system_matrix;
+    Alcotest.test_case "circuit inverse" `Quick test_circuit_inverse;
+    Alcotest.test_case "swap semantics" `Quick test_swap_semantics;
+    Alcotest.test_case "swap = 3 cnots" `Quick test_swap_is_three_cnots;
+    Alcotest.test_case "toffoli semantics" `Quick test_mcx;
+    Alcotest.test_case "effective unitary with layout" `Quick test_effective_unitary_layout;
+    Alcotest.test_case "reference equivalence" `Quick test_equivalent_reference;
+    prop_circuit_unitary;
+    prop_inverse_cancels;
+    prop_depth_le_count;
+  ]

@@ -1,0 +1,236 @@
+(* Compilation flow tests: architectures, routing, optimisation. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_compile
+open Helpers
+
+(* ---------------------------------------------------------- Architecture *)
+
+let test_linear () =
+  let a = Architecture.linear 5 in
+  Alcotest.(check int) "qubits" 5 (Architecture.num_qubits a);
+  Alcotest.(check bool) "0-1" true (Architecture.connected a 0 1);
+  Alcotest.(check bool) "0-2" false (Architecture.connected a 0 2);
+  Alcotest.(check int) "distance" 4 (Architecture.distance a 0 4);
+  Alcotest.(check (list int)) "path" [ 1; 2; 3 ] (Architecture.shortest_path a 1 3)
+
+let test_ring_grid () =
+  let r = Architecture.ring 6 in
+  Alcotest.(check int) "ring distance wraps" 1 (Architecture.distance r 0 5);
+  let g = Architecture.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "grid qubits" 12 (Architecture.num_qubits g);
+  Alcotest.(check int) "grid manhattan distance" 5 (Architecture.distance g 0 11)
+
+let test_manhattan () =
+  let m = Architecture.manhattan in
+  Alcotest.(check int) "65 qubits" 65 (Architecture.num_qubits m);
+  Alcotest.(check int) "72 couplings" 72 (List.length (Architecture.edges m));
+  (* Heavy-hex degree bound: no qubit exceeds degree 3, and the lattice is
+     connected. *)
+  let max_degree = ref 0 in
+  for q = 0 to 64 do
+    max_degree := max !max_degree (List.length (Architecture.neighbours m q))
+  done;
+  Alcotest.(check int) "degree <= 3" 3 !max_degree;
+  for q = 1 to 64 do
+    Alcotest.(check bool) "connected" true (Architecture.distance m 0 q > 0)
+  done
+
+(* --------------------------------------------------------------- Routing *)
+
+let ghz n =
+  let c = ref (Circuit.h (Circuit.create ~name:"ghz" n) 0) in
+  for q = 1 to n - 1 do
+    c := Circuit.cx !c 0 q
+  done;
+  !c
+
+let respects_coupling arch c =
+  List.for_all
+    (fun op ->
+      match op with
+      | Circuit.Ctrl ([ a ], _, b) | Circuit.Swap (a, b) -> Architecture.connected arch a b
+      | Circuit.Gate _ | Circuit.Barrier -> true
+      | Circuit.Ctrl (_, _, _) -> false)
+    (Circuit.ops c)
+
+let test_route_ghz_linear () =
+  (* Example 3 of the paper: GHZ(3) on linear(5) needs one SWAP. *)
+  let arch = Architecture.linear 5 in
+  let routed = Route.route arch (ghz 3) in
+  Alcotest.(check bool) "coupling respected" true (respects_coupling arch routed);
+  let swaps =
+    List.length
+      (List.filter (function Circuit.Swap _ -> true | _ -> false) (Circuit.ops routed))
+  in
+  Alcotest.(check int) "one swap" 1 swaps;
+  (* Functional equivalence via the dense reference. *)
+  let embedded = Circuit.embed (ghz 3) ~num_qubits:5 in
+  Alcotest.(check bool) "equivalent" true (Unitary.equivalent embedded routed)
+
+let test_route_layout () =
+  let arch = Architecture.linear 4 in
+  let layout = Perm.of_array [| 2; 0; 3; 1 |] in
+  let c = Circuit.cx (Circuit.cx (ghz 3) 1 2) 2 0 in
+  let routed = Route.route arch ~initial_layout:layout c in
+  Alcotest.(check bool) "coupling respected" true (respects_coupling arch routed);
+  Alcotest.(check bool) "equivalent" true
+    (Unitary.equivalent (Circuit.embed c ~num_qubits:4) routed)
+
+let prop_routing_preserves =
+  qtest ~count:30 "route: equivalence on random circuits and layouts"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      let n = 3 + Rng.int rng 2 in
+      let extra = Rng.int rng 2 in
+      let arch =
+        if Rng.bool rng then Architecture.linear (n + extra)
+        else Architecture.ring (n + extra)
+      in
+      let c = ref (Circuit.create n) in
+      for _ = 1 to 10 do
+        let q = Rng.int rng n in
+        let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+        match Rng.int rng 4 with
+        | 0 -> c := Circuit.h !c q
+        | 1 -> c := Circuit.t_gate !c q
+        | 2 -> c := Circuit.cx !c q q2
+        | _ -> c := Circuit.cz !c q q2
+      done;
+      let layout = Perm.random (Rng.int rng) (Architecture.num_qubits arch) in
+      let routed = Route.route arch ~initial_layout:layout !c in
+      respects_coupling arch routed
+      && Unitary.equivalent (Circuit.embed !c ~num_qubits:(Architecture.num_qubits arch)) routed)
+
+(* ---------------------------------------------------------- Optimisation *)
+
+let test_cancel_pairs () =
+  let c = Circuit.h (Circuit.h (Circuit.create 1) 0) 0 in
+  Alcotest.(check int) "h h cancels" 0 (Circuit.gate_count (Optimize.optimize c));
+  let c2 = Circuit.cx (Circuit.cx (Circuit.create 2) 0 1) 0 1 in
+  Alcotest.(check int) "cx cx cancels" 0 (Circuit.gate_count (Optimize.optimize c2))
+
+let test_merge_rotations () =
+  let c = Circuit.t_gate (Circuit.t_gate (Circuit.create 1) 0) 0 in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "t t merges" 1 (Circuit.gate_count o);
+  check_matrix_up_to_phase "t t = s" (Unitary.unitary c) (Unitary.unitary o)
+
+let test_cancel_through_commuting () =
+  (* rz on the control cancels across a CX. *)
+  let c = Circuit.create 2 in
+  let c = Circuit.rz c Phase.quarter_pi 0 in
+  let c = Circuit.cx c 0 1 in
+  let c = Circuit.rz c (Phase.neg Phase.quarter_pi) 0 in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "only the cx remains" 1 (Circuit.gate_count o);
+  check_matrix_up_to_phase "semantics" (Unitary.unitary c) (Unitary.unitary o)
+
+let test_no_unsound_cancel () =
+  (* rz on the TARGET must not cancel across a CX. *)
+  let c = Circuit.create 2 in
+  let c = Circuit.rz c Phase.quarter_pi 1 in
+  let c = Circuit.cx c 0 1 in
+  let c = Circuit.rz c (Phase.neg Phase.quarter_pi) 1 in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "nothing cancels" 3 (Circuit.gate_count o)
+
+let test_reconstruct_swaps () =
+  let c = Circuit.create 2 in
+  let c = Circuit.cx c 0 1 in
+  let c = Circuit.cx c 1 0 in
+  let c = Circuit.cx c 0 1 in
+  let r = Optimize.reconstruct_swaps c in
+  (match Circuit.ops r with
+  | [ Circuit.Swap (0, 1) ] -> ()
+  | _ -> Alcotest.fail "expected a single swap");
+  check_matrix_up_to_phase "swap semantics" (Unitary.unitary c) (Unitary.unitary r)
+
+let test_swap_not_reconstructed_when_blocked () =
+  let c = Circuit.create 2 in
+  let c = Circuit.cx c 0 1 in
+  let c = Circuit.cx c 1 0 in
+  let c = Circuit.h c 1 in
+  let c = Circuit.cx c 0 1 in
+  let r = Optimize.reconstruct_swaps c in
+  Alcotest.(check bool) "no swap introduced" true
+    (List.for_all (function Circuit.Swap _ -> false | _ -> true) (Circuit.ops r))
+
+let random_opt_circuit seed =
+  let rng = Rng.make ~seed in
+  let n = 2 + Rng.int rng 3 in
+  let c = ref (Circuit.create n) in
+  for _ = 1 to 25 do
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+    match Rng.int rng 8 with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> c := Circuit.t_gate !c q
+    | 2 -> c := Circuit.s !c q
+    | 3 -> c := Circuit.x !c q
+    | 4 -> c := Circuit.rz !c (Phase.of_pi_fraction (Rng.int rng 16) 8) q
+    | 5 -> c := Circuit.cx !c q q2
+    | 6 -> c := Circuit.cz !c q q2
+    | _ -> c := Circuit.swap !c q q2
+  done;
+  !c
+
+let prop_optimize_preserves =
+  qtest ~count:40 "optimize: preserves the unitary up to phase"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let c = random_opt_circuit seed in
+      let o = Optimize.optimize c in
+      Circuit.gate_count o <= Circuit.gate_count c
+      && Dmatrix.equal_up_to_phase ~tol:1e-8 (Unitary.unitary c) (Unitary.unitary o))
+
+let prop_optimize_shrinks_padded =
+  qtest ~count:20 "optimize: removes an inserted inverse pair"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let c = random_opt_circuit seed in
+      let padded = Circuit.h (Circuit.h c 0) 0 in
+      Circuit.gate_count (Optimize.optimize padded) <= Circuit.gate_count (Optimize.optimize c))
+
+(* ------------------------------------------------------------- Pipeline *)
+
+let test_compile_pipeline () =
+  let arch = Architecture.linear 5 in
+  let c = ghz 4 in
+  let compiled = Compile.run arch c in
+  Alcotest.(check bool) "coupling respected" true (respects_coupling arch compiled);
+  Alcotest.(check bool) "has layout metadata" true (Circuit.initial_layout compiled <> None);
+  Alcotest.(check bool) "has output perm" true (Circuit.output_perm compiled <> None);
+  Alcotest.(check bool) "equivalent" true
+    (Unitary.equivalent (Circuit.embed c ~num_qubits:5) compiled)
+
+let test_compile_toffoli_manhattan_subset () =
+  (* A Toffoli routed on a ring still matches the reference semantics. *)
+  let arch = Architecture.ring 5 in
+  let c = Circuit.ccx (Circuit.create 3) 0 1 2 in
+  let compiled = Compile.run arch c in
+  Alcotest.(check bool) "coupling respected" true (respects_coupling arch compiled);
+  Alcotest.(check bool) "equivalent" true
+    (Unitary.equivalent (Circuit.embed c ~num_qubits:5) compiled)
+
+let suite =
+  [
+    Alcotest.test_case "linear architecture" `Quick test_linear;
+    Alcotest.test_case "ring and grid" `Quick test_ring_grid;
+    Alcotest.test_case "manhattan heavy-hex" `Quick test_manhattan;
+    Alcotest.test_case "route ghz on linear(5) (fig 2)" `Quick test_route_ghz_linear;
+    Alcotest.test_case "route with layout" `Quick test_route_layout;
+    prop_routing_preserves;
+    Alcotest.test_case "cancel inverse pairs" `Quick test_cancel_pairs;
+    Alcotest.test_case "merge rotations" `Quick test_merge_rotations;
+    Alcotest.test_case "cancel through commuting" `Quick test_cancel_through_commuting;
+    Alcotest.test_case "no unsound cancellation" `Quick test_no_unsound_cancel;
+    Alcotest.test_case "swap reconstruction" `Quick test_reconstruct_swaps;
+    Alcotest.test_case "blocked swap reconstruction" `Quick test_swap_not_reconstructed_when_blocked;
+    prop_optimize_preserves;
+    prop_optimize_shrinks_padded;
+    Alcotest.test_case "compile pipeline" `Quick test_compile_pipeline;
+    Alcotest.test_case "compile toffoli on ring" `Quick test_compile_toffoli_manhattan_subset;
+  ]

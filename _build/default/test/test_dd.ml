@@ -1,0 +1,203 @@
+(* Tests for the QMDD package, validated against dense matrices. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_dd
+open Helpers
+
+let ghz3 =
+  let c = Circuit.create ~name:"ghz3" 3 in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cx c 0 1 in
+  Circuit.cx c 0 2
+
+let test_ctable () =
+  let t = Ctable.create ~tol:1e-10 in
+  let a = Ctable.intern t (Cx.make 0.5 0.0) in
+  let b = Ctable.intern t (Cx.make (0.5 +. 1e-12) 0.0) in
+  Alcotest.(check bool) "snapped" true (a = b);
+  let c = Ctable.intern t (Cx.make 0.5001 0.0) in
+  Alcotest.(check bool) "distinct" true (a <> c);
+  let z = Ctable.intern t (Cx.make (-0.0) 0.0) in
+  Alcotest.(check bool) "negative zero normalised" true (1.0 /. z.Cx.re = infinity)
+
+let test_identity_dd () =
+  let pkg = Dd.create () in
+  let id = Dd.identity pkg 5 in
+  Alcotest.(check int) "linear size" 5 (Dd.node_count id);
+  Alcotest.(check bool) "is identity" true (Dd.is_identity pkg 5 id);
+  check_matrix "dense" (Dmatrix.identity 32) (Dd_export.to_dmatrix id ~n:5);
+  Alcotest.(check (float 1e-9)) "trace" 32.0 (Cx.mag (Dd.trace id));
+  Alcotest.(check (float 1e-9)) "fidelity" 1.0 (Dd.fidelity_to_identity ~n:5 id)
+
+let test_hash_consing () =
+  let pkg = Dd.create () in
+  let a = Dd.identity pkg 3 in
+  let b = Dd.identity pkg 3 in
+  Alcotest.(check bool) "same node" true (a.Dd.node == b.Dd.node)
+
+let test_gate_dd_dense () =
+  let pkg = Dd.create () in
+  let check name n controls target g =
+    let dd = Dd_circuit.gate_dd pkg n ~controls ~target (Gate.matrix g) in
+    let c = Circuit.create n in
+    let c =
+      if controls = [] then Circuit.gate c g target
+      else Circuit.add c (Circuit.Ctrl (controls, g, target))
+    in
+    check_matrix name (Unitary.unitary c) (Dd_export.to_dmatrix dd ~n)
+  in
+  check "h on 1 of 3" 3 [] 1 Gate.H;
+  check "t on 0 of 2" 2 [] 0 Gate.T;
+  check "cx 0->1" 2 [ 0 ] 1 Gate.X;
+  check "cx 1->0" 2 [ 1 ] 0 Gate.X;
+  check "cx 2->0 of 3" 3 [ 2 ] 0 Gate.X;
+  check "ccx" 3 [ 0; 1 ] 2 Gate.X;
+  check "ccx mixed order" 3 [ 2; 0 ] 1 Gate.X;
+  check "cccz" 4 [ 0; 1; 3 ] 2 Gate.Z;
+  check "controlled rz" 3 [ 1 ] 2 (Gate.Rz Phase.quarter_pi)
+
+let test_ghz_dd () =
+  let pkg = Dd.create () in
+  let dd = Dd_circuit.of_circuit pkg ghz3 in
+  check_matrix "ghz matrix" (Unitary.unitary ghz3) (Dd_export.to_dmatrix dd ~n:3);
+  (* Fig. 3a: the GHZ DD is compact — 5 nodes (1 + 2 + 2 across the three
+     levels) instead of the 64 entries of the dense matrix. *)
+  Alcotest.(check int) "compact" 5 (Dd.node_count dd)
+
+let test_mul_add_adjoint_dense () =
+  let pkg = Dd.create () in
+  let c1 = Circuit.cx (Circuit.h (Circuit.create 2) 0) 0 1 in
+  let c2 = Circuit.t_gate (Circuit.cx (Circuit.create 2) 1 0) 0 in
+  let d1 = Dd_circuit.of_circuit pkg c1 and d2 = Dd_circuit.of_circuit pkg c2 in
+  let m1 = Unitary.unitary c1 and m2 = Unitary.unitary c2 in
+  check_matrix "mul" (Dmatrix.mul m1 m2) (Dd_export.to_dmatrix (Dd.mul pkg d1 d2) ~n:2);
+  check_matrix "add" (Dmatrix.add m1 m2) (Dd_export.to_dmatrix (Dd.add pkg d1 d2) ~n:2);
+  check_matrix "adjoint" (Dmatrix.adjoint m1)
+    (Dd_export.to_dmatrix (Dd.adjoint pkg d1) ~n:2)
+
+let test_gdg_g_is_identity () =
+  let pkg = Dd.create () in
+  let c = ghz3 in
+  let miter = Circuit.append c (Circuit.inverse c) in
+  let dd = Dd_circuit.of_circuit pkg miter in
+  Alcotest.(check bool) "identity" true (Dd.is_identity pkg 3 dd);
+  Alcotest.(check (float 1e-9)) "fidelity 1" 1.0 (Dd.fidelity_to_identity ~n:3 dd)
+
+let test_simulation () =
+  let pkg = Dd.create () in
+  let v = Dd_circuit.simulate pkg ghz3 ~input:0 in
+  let dense = Dd_export.to_vector v ~n:3 in
+  let expect = Unitary.basis_state 3 0 in
+  Unitary.apply_to_vector ghz3 expect;
+  Array.iteri
+    (fun i amp -> Alcotest.check cx_testable (Printf.sprintf "amp %d" i) expect.(i) amp)
+    dense
+
+let test_inner_product () =
+  let pkg = Dd.create () in
+  let v0 = Dd_circuit.simulate pkg ghz3 ~input:0 in
+  Alcotest.(check (float 1e-9)) "normalised" 1.0 (Cx.mag (Dd.inner pkg v0 v0));
+  let v1 = Dd_circuit.simulate pkg ghz3 ~input:1 in
+  Alcotest.(check (float 1e-9)) "orthogonal" 0.0 (Cx.mag (Dd.inner pkg v0 v1));
+  let k3 = Dd.kets pkg 3 3 in
+  let k3' = Dd.kets pkg 3 3 in
+  Alcotest.(check (float 1e-9)) "kets self" 1.0 (Cx.mag (Dd.inner pkg k3 k3'))
+
+let test_kets () =
+  let pkg = Dd.create () in
+  let v = Dd_export.to_vector (Dd.kets pkg 3 5) ~n:3 in
+  Alcotest.check cx_testable "amp 5" Cx.one v.(5);
+  Alcotest.check cx_testable "amp 0" Cx.zero v.(0)
+
+(* Canonicity: the same unitary built along different op orders must be
+   physically the same node. *)
+let test_canonicity () =
+  let pkg = Dd.create () in
+  let c1 = Circuit.cx (Circuit.h (Circuit.create 2) 0) 0 1 in
+  (* Same unitary: H = S . Sx . S up to phase?  Use a simpler identity:
+     build c1 as one product vs the product of two halves. *)
+  let d_whole = Dd_circuit.of_circuit pkg c1 in
+  let h_dd = Dd_circuit.of_circuit pkg (Circuit.h (Circuit.create 2) 0) in
+  let cx_dd = Dd_circuit.of_circuit pkg (Circuit.cx (Circuit.create 2) 0 1) in
+  let d_split = Dd.mul pkg cx_dd h_dd in
+  Alcotest.(check bool) "same node" true (d_whole.Dd.node == d_split.Dd.node);
+  Alcotest.(check bool) "same weight" true (Cx.approx_equal d_whole.Dd.w d_split.Dd.w)
+
+let random_clifford_t_circuit seed n n_ops =
+  let rng = Rng.make ~seed in
+  let c = ref (Circuit.create n) in
+  for _ = 1 to n_ops do
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+    match Rng.int rng 6 with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> c := Circuit.t_gate !c q
+    | 2 -> c := Circuit.s !c q
+    | 3 -> c := Circuit.cx !c q q2
+    | 4 -> c := Circuit.rz !c (Phase.of_pi_fraction (Rng.int rng 16) 8) q
+    | _ -> c := Circuit.swap !c q q2
+  done;
+  !c
+
+let prop_circuit_dd_matches_dense =
+  qtest ~count:40 "dd: circuit DD matches dense unitary"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let n = 2 + (abs seed mod 3) in
+      let c = random_clifford_t_circuit seed n 15 in
+      let pkg = Dd.create () in
+      let dd = Dd_circuit.of_circuit pkg c in
+      Dmatrix.equal ~tol:1e-8 (Unitary.unitary c) (Dd_export.to_dmatrix dd ~n))
+
+let prop_miter_identity =
+  qtest ~count:40 "dd: G . G^dagger reduces to the identity node"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let n = 2 + (abs seed mod 3) in
+      let c = random_clifford_t_circuit seed n 20 in
+      let pkg = Dd.create () in
+      let dd = Dd_circuit.of_circuit pkg (Circuit.append c (Circuit.inverse c)) in
+      Dd.is_identity pkg n dd)
+
+let prop_simulation_matches_dense =
+  qtest ~count:40 "dd: simulation matches dense state vector"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let n = 2 + (abs seed mod 3) in
+      let c = random_clifford_t_circuit seed n 15 in
+      let input = abs seed mod (1 lsl n) in
+      let pkg = Dd.create () in
+      let v = Dd_export.to_vector (Dd_circuit.simulate pkg c ~input) ~n in
+      let expect = Unitary.basis_state n input in
+      Unitary.apply_to_vector c expect;
+      Array.for_all2 (fun a b -> Cx.approx_equal ~tol:1e-8 a b) expect v)
+
+let prop_trace_matches_dense =
+  qtest ~count:30 "dd: trace matches dense trace"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let n = 2 + (abs seed mod 2) in
+      let c = random_clifford_t_circuit seed n 10 in
+      let pkg = Dd.create () in
+      let dd = Dd_circuit.of_circuit pkg c in
+      Cx.approx_equal ~tol:1e-8 (Dd.trace dd) (Dmatrix.trace (Unitary.unitary c)))
+
+let suite =
+  [
+    Alcotest.test_case "complex table interning" `Quick test_ctable;
+    Alcotest.test_case "identity dd (fig 3b)" `Quick test_identity_dd;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "gate dds vs dense" `Quick test_gate_dd_dense;
+    Alcotest.test_case "ghz dd compact (fig 3a)" `Quick test_ghz_dd;
+    Alcotest.test_case "mul/add/adjoint vs dense" `Quick test_mul_add_adjoint_dense;
+    Alcotest.test_case "miter is identity" `Quick test_gdg_g_is_identity;
+    Alcotest.test_case "simulation" `Quick test_simulation;
+    Alcotest.test_case "inner products" `Quick test_inner_product;
+    Alcotest.test_case "basis kets" `Quick test_kets;
+    Alcotest.test_case "canonicity across op orders" `Quick test_canonicity;
+    prop_circuit_dd_matches_dense;
+    prop_miter_identity;
+    prop_simulation_matches_dense;
+    prop_trace_matches_dense;
+  ]

@@ -1,0 +1,146 @@
+(* Decomposition passes are validated exactly (up to global phase) against
+   the dense reference semantics. *)
+
+open Oqec_base
+open Oqec_circuit
+open Helpers
+
+let check_same_unitary msg original decomposed =
+  check_matrix_up_to_phase msg (Unitary.unitary original) (Unitary.unitary decomposed)
+
+let one_op n op = Circuit.add (Circuit.create n) op
+
+let test_elementary_controlled_singles () =
+  let cases =
+    [
+      ("cy", 2, Circuit.Ctrl ([ 0 ], Gate.Y, 1));
+      ("ch", 2, Circuit.Ctrl ([ 0 ], Gate.H, 1));
+      ("cs", 2, Circuit.Ctrl ([ 0 ], Gate.S, 1));
+      ("ctdg", 2, Circuit.Ctrl ([ 1 ], Gate.Tdg, 0));
+      ("csx", 2, Circuit.Ctrl ([ 0 ], Gate.Sx, 1));
+      ("csxdg", 2, Circuit.Ctrl ([ 0 ], Gate.Sxdg, 1));
+      ("crx", 2, Circuit.Ctrl ([ 0 ], Gate.Rx (Phase.of_pi_fraction 3 8), 1));
+      ("cry", 2, Circuit.Ctrl ([ 0 ], Gate.Ry (Phase.of_float 0.9), 1));
+      ("crz", 2, Circuit.Ctrl ([ 0 ], Gate.Rz Phase.quarter_pi, 1));
+      ( "cu3",
+        2,
+        Circuit.Ctrl ([ 0 ], Gate.U (Phase.of_float 0.7, Phase.of_float 1.3, Phase.quarter_pi), 1)
+      );
+    ]
+  in
+  List.iter
+    (fun (name, n, op) ->
+      let c = one_op n op in
+      let d = Decompose.elementary c in
+      check_same_unitary name c d;
+      let ok_op = function
+        | Circuit.Gate _ | Circuit.Swap _ | Circuit.Barrier -> true
+        | Circuit.Ctrl ([ _ ], (Gate.X | Gate.Z | Gate.P _), _) -> true
+        | Circuit.Ctrl _ -> false
+      in
+      Alcotest.(check bool) (name ^ " elementary ops") true (List.for_all ok_op (Circuit.ops d)))
+    cases
+
+let test_toffoli_decomposition () =
+  let c = one_op 3 (Circuit.Ctrl ([ 0; 1 ], Gate.X, 2)) in
+  let d = Decompose.elementary c in
+  check_same_unitary "ccx" c d;
+  Alcotest.(check int) "6 cnots" 6 (Circuit.two_qubit_count d)
+
+let test_mcx_decomposition () =
+  List.iter
+    (fun n_controls ->
+      let n = n_controls + 1 in
+      let cs = List.init n_controls (fun i -> i) in
+      let c = one_op n (Circuit.Ctrl (cs, Gate.X, n_controls)) in
+      let d = Decompose.elementary c in
+      check_same_unitary (Printf.sprintf "mcx-%d" n_controls) c d)
+    [ 3; 4; 5 ]
+
+let test_mcx_weird_wire_order () =
+  let c = one_op 4 (Circuit.Ctrl ([ 3; 0; 2 ], Gate.X, 1)) in
+  check_same_unitary "mcx wire order" c (Decompose.elementary c)
+
+let test_mcp_mcz () =
+  let c = one_op 4 (Circuit.Ctrl ([ 0; 1; 2 ], Gate.P (Phase.of_pi_fraction 1 4), 3)) in
+  check_same_unitary "mcp" c (Decompose.elementary c);
+  let z = one_op 4 (Circuit.Ctrl ([ 0; 1; 2 ], Gate.Z, 3)) in
+  check_same_unitary "mcz" z (Decompose.elementary z);
+  let rz = one_op 3 (Circuit.Ctrl ([ 0; 1 ], Gate.Rz (Phase.of_pi_fraction 3 8), 2)) in
+  check_same_unitary "mc-rz" rz (Decompose.elementary rz)
+
+let test_to_cx_basis () =
+  let c = Circuit.create 3 in
+  let c = Circuit.cz c 0 1 in
+  let c = Circuit.cp c Phase.quarter_pi 1 2 in
+  let c = Circuit.swap c 0 2 in
+  let c = Circuit.ccx c 0 1 2 in
+  let d = Decompose.to_cx_basis ~keep_swaps:false c in
+  check_same_unitary "cx basis" c d;
+  let ok_op = function
+    | Circuit.Gate _ | Circuit.Barrier -> true
+    | Circuit.Ctrl ([ _ ], Gate.X, _) -> true
+    | Circuit.Ctrl _ | Circuit.Swap _ -> false
+  in
+  Alcotest.(check bool) "only cx left" true (List.for_all ok_op (Circuit.ops d))
+
+let test_multi_controlled_arbitrary () =
+  let cases =
+    [
+      ("cch", 3, Circuit.Ctrl ([ 0; 1 ], Gate.H, 2));
+      ("ccy", 3, Circuit.Ctrl ([ 0; 2 ], Gate.Y, 1));
+      ("ccsx", 3, Circuit.Ctrl ([ 1; 2 ], Gate.Sx, 0));
+      ("ccry", 3, Circuit.Ctrl ([ 0; 1 ], Gate.Ry (Phase.of_float 0.8), 2));
+      ("cc-u3", 3, Circuit.Ctrl ([ 0; 1 ], Gate.U (Phase.of_float 0.5, Phase.of_float 1.7, Phase.of_float 2.9), 2));
+      ("c3h", 4, Circuit.Ctrl ([ 0; 1; 2 ], Gate.H, 3));
+      ("c3ry", 4, Circuit.Ctrl ([ 0; 2; 3 ], Gate.Ry (Phase.of_pi_fraction 3 8), 1));
+    ]
+  in
+  List.iter
+    (fun (name, n, op) ->
+      let c = one_op n op in
+      check_same_unitary name c (Decompose.elementary c))
+    cases
+
+let prop_elementary_preserves_random =
+  qtest ~count:30 "decompose: elementary preserves random controlled circuits"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      let n = 3 + Rng.int rng 2 in
+      let c = ref (Circuit.create n) in
+      for _ = 1 to 8 do
+        let t = Rng.int rng n in
+        let c1 = (t + 1 + Rng.int rng (n - 1)) mod n in
+        let c2 = (t + 1 + ((c1 - t - 1 + 1 + Rng.int rng (n - 2)) mod (n - 1))) mod n in
+        match Rng.int rng 6 with
+        | 0 -> c := Circuit.add !c (Circuit.Ctrl ([ c1 ], Gate.Y, t))
+        | 1 -> c := Circuit.add !c (Circuit.Ctrl ([ c1 ], Gate.H, t))
+        | 2 ->
+            c :=
+              Circuit.add !c
+                (Circuit.Ctrl ([ c1 ], Gate.Ry (Phase.of_pi_fraction (Rng.int rng 8) 4), t))
+        | 3 ->
+            if c1 <> c2 && c2 <> t then
+              c := Circuit.add !c (Circuit.Ctrl ([ c1; c2 ], Gate.X, t))
+        | 4 -> c := Circuit.h !c t
+        | _ ->
+            c :=
+              Circuit.add !c
+                (Circuit.Ctrl ([ c1 ], Gate.P (Phase.of_pi_fraction (Rng.int rng 16) 8), t))
+      done;
+      Dmatrix.equal_up_to_phase ~tol:1e-8
+        (Unitary.unitary !c)
+        (Unitary.unitary (Decompose.to_cx_basis ~keep_swaps:false (Decompose.elementary !c))))
+
+let suite =
+  [
+    Alcotest.test_case "controlled single-qubit gates" `Quick test_elementary_controlled_singles;
+    Alcotest.test_case "toffoli" `Quick test_toffoli_decomposition;
+    Alcotest.test_case "mcx up to 5 controls" `Slow test_mcx_decomposition;
+    Alcotest.test_case "mcx wire order" `Quick test_mcx_weird_wire_order;
+    Alcotest.test_case "mcp / mcz / mc-rz" `Quick test_mcp_mcz;
+    Alcotest.test_case "cx basis" `Quick test_to_cx_basis;
+    Alcotest.test_case "multi-controlled arbitrary gates" `Quick test_multi_controlled_arbitrary;
+    prop_elementary_preserves_random;
+  ]

@@ -1,0 +1,99 @@
+(* Circuit extraction from ZX diagrams: round-trip validation. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_zx
+open Helpers
+
+let random_circuit ?(tgates = true) seed n len =
+  let rng = Rng.make ~seed in
+  let c = ref (Circuit.create n) in
+  for _ = 1 to len do
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (max 1 (n - 1))) mod n in
+    match Rng.int rng 7 with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> if tgates then c := Circuit.t_gate !c q else c := Circuit.s !c q
+    | 2 -> c := Circuit.s !c q
+    | 3 -> if n > 1 then c := Circuit.cx !c q q2
+    | 4 -> if n > 1 then c := Circuit.cz !c q q2
+    | 5 -> if n > 1 then c := Circuit.swap !c q q2
+    | _ -> c := Circuit.x !c q
+  done;
+  !c
+
+let test_extract_basics () =
+  let check name c =
+    let out = Zx_extract.resynthesize c in
+    Alcotest.(check bool) name true
+      (Zx_tensor.proportional (Unitary.unitary c) (Unitary.unitary out))
+  in
+  check "identity wire" (Circuit.create 2);
+  check "single h" (Circuit.h (Circuit.create 1) 0);
+  check "t gate" (Circuit.t_gate (Circuit.create 1) 0);
+  check "cx" (Circuit.cx (Circuit.create 2) 0 1);
+  check "cz" (Circuit.cz (Circuit.create 2) 0 1);
+  check "bare swap" (Circuit.swap (Circuit.create 2) 0 1);
+  check "three-wire crossing"
+    (Circuit.swap (Circuit.swap (Circuit.create 3) 0 1) 1 2);
+  check "ghz" (Circuit.cx (Circuit.cx (Circuit.h (Circuit.create 3) 0) 0 1) 0 2)
+
+let prop_extract_roundtrip =
+  qtest ~count:50 "extract: resynthesis preserves semantics (dense)"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let n = 1 + (abs seed mod 3) in
+      let c = random_circuit seed n 14 in
+      let out = Zx_extract.resynthesize c in
+      Zx_tensor.proportional (Unitary.unitary c) (Unitary.unitary out))
+
+let prop_extract_roundtrip_wide =
+  qtest ~count:15 "extract: resynthesis verified by the DD checker (6 qubits)"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let c = random_circuit seed 6 40 in
+      let out = Zx_extract.resynthesize c in
+      let r = Oqec_qcec.Qcec.check ~strategy:Oqec_qcec.Qcec.Alternating c out in
+      r.Oqec_qcec.Equivalence.outcome = Oqec_qcec.Equivalence.Equivalent)
+
+let prop_clifford_resynthesis_checked =
+  qtest ~count:15 "extract: Clifford resynthesis verified by the tableau checker"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let c = random_circuit ~tgates:false seed 5 50 in
+      let out = Oqec_compile.Optimize.optimize (Zx_extract.resynthesize c) in
+      let r = Oqec_qcec.Qcec.check ~strategy:Oqec_qcec.Qcec.Clifford c out in
+      r.Oqec_qcec.Equivalence.outcome = Oqec_qcec.Equivalence.Equivalent)
+
+let test_clifford_resynthesis_shrinks () =
+  (* On Clifford-dominated circuits the round-trip usually reduces gate
+     counts; pin one seed where it does. *)
+  let c = random_circuit ~tgates:false 21 6 80 in
+  let out = Oqec_compile.Optimize.optimize (Zx_extract.resynthesize c) in
+  Alcotest.(check bool) "smaller" true (Circuit.gate_count out < Circuit.gate_count c)
+
+let test_extract_rejects_gadgets () =
+  (* A hand-built phase gadget has no causal flow to extract through. *)
+  let g = Zx_graph.create () in
+  let inp = Zx_graph.add_vertex g (Zx_graph.B_in 0) ~phase:Phase.zero in
+  let out = Zx_graph.add_vertex g (Zx_graph.B_out 0) ~phase:Phase.zero in
+  let w = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+  let axis = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+  let leaf = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.quarter_pi in
+  Zx_graph.add_edge g inp w Zx_graph.Simple;
+  Zx_graph.add_edge g w out Zx_graph.Simple;
+  Zx_graph.add_edge g w axis Zx_graph.Had;
+  Zx_graph.add_edge g axis leaf Zx_graph.Had;
+  match Zx_extract.extract g with
+  | exception Zx_extract.Extraction_failed _ -> ()
+  | _ -> Alcotest.fail "expected extraction failure on a gadget"
+
+let suite =
+  [
+    Alcotest.test_case "extraction basics" `Quick test_extract_basics;
+    prop_extract_roundtrip;
+    prop_extract_roundtrip_wide;
+    prop_clifford_resynthesis_checked;
+    Alcotest.test_case "clifford resynthesis shrinks" `Quick test_clifford_resynthesis_shrinks;
+    Alcotest.test_case "gadgets rejected" `Quick test_extract_rejects_gadgets;
+  ]

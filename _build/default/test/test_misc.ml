@@ -1,0 +1,133 @@
+(* Cross-cutting properties that did not fit the per-module suites. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_compile
+open Helpers
+
+(* ----------------------------------------------------------- Phase laws *)
+
+let phase_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun n d -> Phase.of_pi_fraction n (1 lsl d)) (int_range (-32) 32) (int_range 0 6);
+        map Phase.of_float (float_range (-10.0) 10.0);
+      ])
+
+let phase_arb = QCheck.make ~print:Phase.to_string phase_gen
+
+let prop_half_double =
+  qtest "phase: double (half p) = p" phase_arb (fun p ->
+      Phase.equal (Phase.double (Phase.half p)) p)
+
+let prop_sub_add =
+  qtest "phase: (p - q) + q = p" QCheck.(pair phase_arb phase_arb) (fun (p, q) ->
+      Phase.equal (Phase.add (Phase.sub p q) q) p)
+
+(* --------------------------------------------------------- Architectures *)
+
+let arch_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map Architecture.linear (int_range 2 20);
+        map Architecture.ring (int_range 3 20);
+        map2 (fun r c -> Architecture.grid ~rows:r ~cols:c) (int_range 2 5) (int_range 2 5);
+        return Architecture.manhattan;
+      ])
+
+let arch_arb = QCheck.make ~print:Architecture.name arch_gen
+
+let prop_shortest_path_valid =
+  qtest "architecture: shortest paths follow couplings"
+    QCheck.(pair arch_arb (make ~print:string_of_int Gen.int))
+    (fun (arch, seed) ->
+      let rng = Rng.make ~seed in
+      let n = Architecture.num_qubits arch in
+      let a = Rng.int rng n and b = Rng.int rng n in
+      let path = Architecture.shortest_path arch a b in
+      let rec consecutive = function
+        | x :: (y :: _ as rest) -> Architecture.connected arch x y && consecutive rest
+        | [ _ ] | [] -> true
+      in
+      List.length path = Architecture.distance arch a b + 1
+      && List.hd path = a
+      && List.nth path (List.length path - 1) = b
+      && consecutive path)
+
+let prop_distance_symmetric =
+  qtest "architecture: distance is symmetric"
+    QCheck.(pair arch_arb (make ~print:string_of_int Gen.int))
+    (fun (arch, seed) ->
+      let rng = Rng.make ~seed in
+      let n = Architecture.num_qubits arch in
+      let a = Rng.int rng n and b = Rng.int rng n in
+      Architecture.distance arch a b = Architecture.distance arch b a)
+
+(* ------------------------------------------------------------- Strategies *)
+
+let test_strategy_strings () =
+  List.iter
+    (fun s ->
+      match Oqec_qcec.Qcec.strategy_of_string (Oqec_qcec.Qcec.strategy_to_string s) with
+      | Some s' when s' = s -> ()
+      | _ -> Alcotest.fail ("roundtrip failed for " ^ Oqec_qcec.Qcec.strategy_to_string s))
+    Oqec_qcec.Qcec.[ Reference; Alternating; Simulation; Zx; Combined; Clifford ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Oqec_qcec.Qcec.strategy_of_string "nonsense" = None)
+
+(* ------------------------------------------------------------ QASM extras *)
+
+let test_qasm_functions () =
+  let src = {|OPENQASM 2.0;
+qreg q[1];
+rz(2*cos(0)*pi/4) q[0];
+rz(sqrt(4)*pi/8) q[0];
+|} in
+  let c = Oqec_qasm.Qasm.circuit_of_string src in
+  match Circuit.ops c with
+  | [ Circuit.Gate (Gate.Rz a, 0); Circuit.Gate (Gate.Rz b, 0) ] ->
+      Alcotest.check phase_testable "2cos0*pi/4 = pi/2" Phase.half_pi a;
+      Alcotest.check phase_testable "sqrt4*pi/8 = pi/4" Phase.quarter_pi b
+  | _ -> Alcotest.fail "function evaluation wrong"
+
+(* ------------------------------------------------------------- Flatten *)
+
+let prop_flatten_idempotent =
+  qtest ~count:30 "flatten: idempotent on metadata-free circuits"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      let n = 2 + Rng.int rng 3 in
+      let c = ref (Circuit.create n) in
+      for _ = 1 to 10 do
+        let q = Rng.int rng n in
+        let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+        match Rng.int rng 3 with
+        | 0 -> c := Circuit.h !c q
+        | 1 -> c := Circuit.cx !c q q2
+        | _ -> c := Circuit.swap !c q q2
+      done;
+      let once = Oqec_qcec.Flatten.flatten !c in
+      let twice = Oqec_qcec.Flatten.flatten once in
+      Dmatrix.equal ~tol:1e-9 (Unitary.unitary once) (Unitary.unitary twice))
+
+(* ---------------------------------------------------------------- Stab pp *)
+
+let test_tableau_pp () =
+  let t = Oqec_stab.Tableau.of_circuit (Circuit.cx (Circuit.h (Circuit.create 2) 0) 0 1) in
+  let s = Format.asprintf "%a" Oqec_stab.Tableau.pp t in
+  Alcotest.(check bool) "prints paulis" true (String.length s > 0 && String.contains s 'X')
+
+let suite =
+  [
+    prop_half_double;
+    prop_sub_add;
+    prop_shortest_path_valid;
+    prop_distance_symmetric;
+    Alcotest.test_case "strategy string roundtrip" `Quick test_strategy_strings;
+    Alcotest.test_case "qasm function expressions" `Quick test_qasm_functions;
+    prop_flatten_idempotent;
+    Alcotest.test_case "tableau printing" `Quick test_tableau_pp;
+  ]

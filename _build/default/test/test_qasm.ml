@@ -1,0 +1,220 @@
+(* Tests for the OpenQASM 2.0 reader/writer. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_qasm
+open Helpers
+
+let ghz_src =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[0],q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+|}
+
+let test_parse_ghz () =
+  let r = Qasm.parse_string ghz_src in
+  Alcotest.(check int) "qubits" 3 (Circuit.num_qubits r.circuit);
+  Alcotest.(check int) "gates" 3 (Circuit.gate_count r.circuit);
+  Alcotest.(check int) "measures" 3 (List.length r.measures);
+  (match Circuit.output_perm r.circuit with
+  | Some p -> Alcotest.(check bool) "identity output perm" true (Perm.is_identity p)
+  | None -> Alcotest.fail "expected output perm");
+  let v = Unitary.basis_state 3 0 in
+  Unitary.apply_to_vector r.circuit v;
+  Alcotest.check cx_testable "ghz amplitude" Cx.sqrt2_inv v.(7)
+
+let test_parse_parameters () =
+  let src =
+    {|OPENQASM 2.0;
+qreg q[1];
+rz(pi/4) q[0];
+rz(-pi/4) q[0];
+rz(3*pi/8) q[0];
+rz(0.5) q[0];
+u(pi/2, 0, pi) q[0];
+p(2*pi/2^3) q[0];
+|}
+  in
+  let c = Qasm.circuit_of_string src in
+  match Circuit.ops c with
+  | [
+   Circuit.Gate (Gate.Rz a1, 0);
+   Circuit.Gate (Gate.Rz a2, 0);
+   Circuit.Gate (Gate.Rz a3, 0);
+   Circuit.Gate (Gate.Rz a4, 0);
+   Circuit.Gate (Gate.U (t, p, l), 0);
+   Circuit.Gate (Gate.P a5, 0);
+  ] ->
+      Alcotest.check phase_testable "pi/4" Phase.quarter_pi a1;
+      Alcotest.check phase_testable "-pi/4" (Phase.neg Phase.quarter_pi) a2;
+      Alcotest.check phase_testable "3pi/8" (Phase.of_pi_fraction 3 8) a3;
+      Alcotest.(check (float 1e-12)) "0.5 rad" 0.5 (Phase.to_float a4);
+      Alcotest.check phase_testable "theta" Phase.half_pi t;
+      Alcotest.check phase_testable "phi" Phase.zero p;
+      Alcotest.check phase_testable "lambda" Phase.pi l;
+      Alcotest.check phase_testable "2pi/8" Phase.quarter_pi a5
+  | _ -> Alcotest.fail "unexpected ops"
+
+let test_gate_macro () =
+  let src =
+    {|OPENQASM 2.0;
+qreg q[2];
+gate foo(theta) a, b {
+  h a;
+  cx a, b;
+  rz(theta/2) b;
+}
+foo(pi) q[1], q[0];
+|}
+  in
+  let c = Qasm.circuit_of_string src in
+  match Circuit.ops c with
+  | [
+   Circuit.Gate (Gate.H, 1);
+   Circuit.Ctrl ([ 1 ], Gate.X, 0);
+   Circuit.Gate (Gate.Rz a, 0);
+  ] ->
+      Alcotest.check phase_testable "theta/2" Phase.half_pi a
+  | _ -> Alcotest.fail "macro expansion wrong"
+
+let test_nested_macro () =
+  let src =
+    {|OPENQASM 2.0;
+qreg q[2];
+gate inner a { h a; }
+gate outer a, b { inner a; cx a, b; inner b; }
+outer q[0], q[1];
+|}
+  in
+  let c = Qasm.circuit_of_string src in
+  Alcotest.(check int) "three gates" 3 (Circuit.gate_count c)
+
+let test_broadcast () =
+  let src = {|OPENQASM 2.0;
+qreg q[3];
+h q;
+cx q[0], q[1];
+|} in
+  let c = Qasm.circuit_of_string src in
+  Alcotest.(check int) "3 h + 1 cx" 4 (Circuit.gate_count c)
+
+let test_registers_offsets () =
+  let src = {|OPENQASM 2.0;
+qreg a[2];
+qreg b[2];
+cx a[1], b[0];
+|} in
+  let c = Qasm.circuit_of_string src in
+  match Circuit.ops c with
+  | [ Circuit.Ctrl ([ 1 ], Gate.X, 2) ] -> ()
+  | _ -> Alcotest.fail "register offsets wrong"
+
+let test_multi_controlled () =
+  let src = {|OPENQASM 2.0;
+qreg q[5];
+ccx q[0],q[1],q[2];
+c3x q[0],q[1],q[2],q[3];
+|} in
+  let c = Qasm.circuit_of_string src in
+  match Circuit.ops c with
+  | [ Circuit.Ctrl ([ 0; 1 ], Gate.X, 2); Circuit.Ctrl ([ 0; 1; 2 ], Gate.X, 3) ] -> ()
+  | _ -> Alcotest.fail "multi-controlled parsing wrong"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Qasm.parse_string src with
+    | exception Qasm.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ src)
+  in
+  expect_error "OPENQASM 2.0; qreg q[2]; bogus q[0];";
+  expect_error "OPENQASM 2.0; qreg q[2]; h q[5];";
+  expect_error "OPENQASM 2.0; qreg q[2]; rz q[0];";
+  expect_error "OPENQASM 2.0; qreg q[2]; rz(pi";
+  expect_error "OPENQASM 2.0; qreg q[2]; if (c == 1) x q[0];";
+  expect_error "OPENQASM 2.0; qreg q[1]; reset q[0];"
+
+let test_comments_and_whitespace () =
+  let src =
+    "OPENQASM 2.0; // header\n// a comment line\nqreg q[1];\nh q[0]; // trailing\n"
+  in
+  let c = Qasm.circuit_of_string src in
+  Alcotest.(check int) "one gate" 1 (Circuit.gate_count c)
+
+(* Round-trip: writer output parses back to the same unitary. *)
+let test_roundtrip_handwritten () =
+  let c = Circuit.create ~name:"rt" 3 in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cx c 0 1 in
+  let c = Circuit.rz c Phase.quarter_pi 2 in
+  let c = Circuit.cp c (Phase.of_pi_fraction 1 8) 0 2 in
+  let c = Circuit.swap c 1 2 in
+  let c = Circuit.ccx c 0 1 2 in
+  let c = Circuit.add c (Circuit.Ctrl ([ 0; 1 ], Gate.Z, 2)) in
+  let c = Circuit.gate c (Gate.U (Phase.of_float 0.3, Phase.of_float 1.2, Phase.zero)) 1 in
+  let text = Qasm.to_string c in
+  let c' = Qasm.circuit_of_string text in
+  check_matrix_up_to_phase "roundtrip unitary" (Unitary.unitary c) (Unitary.unitary c')
+
+let random_circuit_for_roundtrip seed =
+  let rng = Rng.make ~seed in
+  let n = 2 + Rng.int rng 3 in
+  let c = ref (Circuit.create n) in
+  for _ = 1 to 1 + Rng.int rng 15 do
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+    match Rng.int rng 7 with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> c := Circuit.t_gate !c q
+    | 2 -> c := Circuit.cx !c q q2
+    | 3 -> c := Circuit.rz !c (Phase.of_pi_fraction (Rng.int rng 16) 8) q
+    | 4 -> c := Circuit.swap !c q q2
+    | 5 -> c := Circuit.ry !c (Phase.of_float (Rng.float rng 3.0)) q
+    | _ -> c := Circuit.cp !c (Phase.of_pi_fraction 1 (1 lsl Rng.int rng 5)) q q2
+  done;
+  !c
+
+let test_metadata_roundtrip () =
+  let c = Circuit.swap (Circuit.cx (Circuit.h (Circuit.create 3) 0) 0 1) 1 2 in
+  let c = Circuit.with_initial_layout c (Some (Perm.of_array [| 2; 0; 1 |])) in
+  let c = Circuit.with_output_perm c (Some (Perm.of_array [| 1; 2; 0 |])) in
+  let c' = Qasm.circuit_of_string (Qasm.to_string c) in
+  (match Circuit.initial_layout c' with
+  | Some l -> Alcotest.(check bool) "layout" true (Perm.equal l (Perm.of_array [| 2; 0; 1 |]))
+  | None -> Alcotest.fail "layout lost");
+  (match Circuit.output_perm c' with
+  | Some p -> Alcotest.(check bool) "output perm" true (Perm.equal p (Perm.of_array [| 1; 2; 0 |]))
+  | None -> Alcotest.fail "output perm lost");
+  check_matrix_up_to_phase "effective unitary preserved"
+    (Unitary.effective_unitary c)
+    (Unitary.effective_unitary c')
+
+let prop_roundtrip =
+  qtest ~count:40 "qasm: write . parse preserves the unitary"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let c = random_circuit_for_roundtrip seed in
+      let c' = Qasm.circuit_of_string (Qasm.to_string c) in
+      Dmatrix.equal_up_to_phase ~tol:1e-8 (Unitary.unitary c) (Unitary.unitary c'))
+
+let suite =
+  [
+    Alcotest.test_case "parse ghz" `Quick test_parse_ghz;
+    Alcotest.test_case "parameter expressions" `Quick test_parse_parameters;
+    Alcotest.test_case "gate macro" `Quick test_gate_macro;
+    Alcotest.test_case "nested macro" `Quick test_nested_macro;
+    Alcotest.test_case "register broadcast" `Quick test_broadcast;
+    Alcotest.test_case "register offsets" `Quick test_registers_offsets;
+    Alcotest.test_case "multi-controlled gates" `Quick test_multi_controlled;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "roundtrip handwritten" `Quick test_roundtrip_handwritten;
+    Alcotest.test_case "metadata roundtrip" `Quick test_metadata_roundtrip;
+    prop_roundtrip;
+  ]

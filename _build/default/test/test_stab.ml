@@ -1,0 +1,147 @@
+(* Stabilizer tableau tests, validated against the dense reference
+   semantics on small Clifford circuits. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_stab
+open Oqec_qcec
+open Helpers
+
+let random_clifford seed n len =
+  let rng = Rng.make ~seed in
+  let c = ref (Circuit.create n) in
+  for _ = 1 to len do
+    let q = Rng.int rng n in
+    let q2 = (q + 1 + Rng.int rng (max 1 (n - 1))) mod n in
+    match Rng.int rng 9 with
+    | 0 -> c := Circuit.h !c q
+    | 1 -> c := Circuit.s !c q
+    | 2 -> c := Circuit.gate !c Gate.Sdg q
+    | 3 -> c := Circuit.x !c q
+    | 4 -> c := Circuit.gate !c Gate.Y q
+    | 5 -> c := Circuit.z !c q
+    | 6 -> if n > 1 then c := Circuit.cx !c q q2
+    | 7 -> if n > 1 then c := Circuit.cz !c q q2
+    | _ -> if n > 1 then c := Circuit.swap !c q q2
+  done;
+  !c
+
+let test_single_gate_rows () =
+  (* H maps X->Z and Z->X. *)
+  let t = Tableau.of_circuit (Circuit.h (Circuit.create 1) 0) in
+  let x_img = Tableau.row_x t 0 and z_img = Tableau.row_z t 0 in
+  (match x_img with
+  | [| false |], [| true |], false -> ()
+  | _ -> Alcotest.fail "H: X should map to Z");
+  (match z_img with
+  | [| true |], [| false |], false -> ()
+  | _ -> Alcotest.fail "H: Z should map to X");
+  (* S maps X->Y and Z->Z. *)
+  let t = Tableau.of_circuit (Circuit.s (Circuit.create 1) 0) in
+  (match Tableau.row_x t 0 with
+  | [| true |], [| true |], false -> ()
+  | _ -> Alcotest.fail "S: X should map to Y");
+  (* X flips the sign of Z. *)
+  let t = Tableau.of_circuit (Circuit.x (Circuit.create 1) 0) in
+  (match Tableau.row_z t 0 with
+  | [| false |], [| true |], true -> ()
+  | _ -> Alcotest.fail "X: Z should map to -Z")
+
+let test_cx_rows () =
+  (* CX(0,1): X0 -> X0 X1, Z1 -> Z0 Z1, X1 -> X1, Z0 -> Z0. *)
+  let t = Tableau.of_circuit (Circuit.cx (Circuit.create 2) 0 1) in
+  (match Tableau.row_x t 0 with
+  | [| true; true |], [| false; false |], false -> ()
+  | _ -> Alcotest.fail "CX: X0 -> X0X1");
+  (match Tableau.row_z t 1 with
+  | [| false; false |], [| true; true |], false -> ()
+  | _ -> Alcotest.fail "CX: Z1 -> Z0Z1");
+  match Tableau.row_x t 1 with
+  | [| false; true |], [| false; false |], false -> ()
+  | _ -> Alcotest.fail "CX: X1 fixed"
+
+let test_not_clifford () =
+  (match Tableau.of_circuit (Circuit.t_gate (Circuit.create 1) 0) with
+  | exception Tableau.Not_clifford _ -> ()
+  | _ -> Alcotest.fail "T accepted");
+  match Tableau.of_circuit (Circuit.ccx (Circuit.create 3) 0 1 2) with
+  | exception Tableau.Not_clifford _ -> ()
+  | _ -> Alcotest.fail "Toffoli accepted"
+
+(* Ground truth: tableau equality iff dense unitaries equal up to phase. *)
+let prop_tableau_matches_dense =
+  qtest ~count:60 "stab: tableau equality = dense equality up to phase"
+    QCheck.(pair (make ~print:string_of_int Gen.int) (make ~print:string_of_int Gen.int))
+    (fun (s1, s2) ->
+      let n = 2 + (abs s1 mod 3) in
+      let c1 = random_clifford s1 n 12 in
+      let c2 = random_clifford s2 n 12 in
+      let dense_eq =
+        Dmatrix.equal_up_to_phase ~tol:1e-8 (Unitary.unitary c1) (Unitary.unitary c2)
+      in
+      let tab_eq = Tableau.equal (Tableau.of_circuit c1) (Tableau.of_circuit c2) in
+      dense_eq = tab_eq)
+
+let prop_tableau_self =
+  qtest ~count:30 "stab: crz(pi), sx and friends conjugate correctly"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let rng = Rng.make ~seed in
+      let n = 2 in
+      let c = ref (Circuit.create n) in
+      for _ = 1 to 8 do
+        match Rng.int rng 5 with
+        | 0 -> c := Circuit.gate !c Gate.Sx (Rng.int rng n)
+        | 1 -> c := Circuit.gate !c Gate.Sxdg (Rng.int rng n)
+        | 2 -> c := Circuit.add !c (Circuit.Ctrl ([ 0 ], Gate.Rz Phase.pi, 1))
+        | 3 -> c := Circuit.ry !c Phase.half_pi (Rng.int rng n)
+        | _ -> c := Circuit.gate !c (Gate.U (Phase.half_pi, Phase.zero, Phase.pi)) (Rng.int rng n)
+      done;
+      (* Compare against an equivalent-by-construction variant: c itself
+         composed with identity-equalling pair. *)
+      let c2 = Circuit.h (Circuit.h !c 0) 0 in
+      let dense_eq =
+        Dmatrix.equal_up_to_phase ~tol:1e-8 (Unitary.unitary !c) (Unitary.unitary c2)
+      in
+      let tab_eq = Tableau.equal (Tableau.of_circuit !c) (Tableau.of_circuit c2) in
+      dense_eq && tab_eq)
+
+let outcome_testable =
+  Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Equivalence.outcome_to_string o))
+    ( = )
+
+let test_clifford_strategy_wide () =
+  (* GHZ-65 compiled onto Manhattan verifies instantly. *)
+  let g = Oqec_workloads.Workloads.ghz 65 in
+  let g' = Oqec_compile.Compile.run Oqec_compile.Architecture.manhattan g in
+  let r = Qcec.check ~strategy:Qcec.Clifford g g' in
+  Alcotest.check outcome_testable "equivalent" Equivalence.Equivalent r.Equivalence.outcome;
+  Alcotest.(check bool) "fast" true (r.Equivalence.elapsed < 2.0);
+  let broken = Oqec_workloads.Workloads.flip_cnot ~seed:3 g' in
+  let r2 = Qcec.check ~strategy:Qcec.Clifford g broken in
+  Alcotest.check outcome_testable "refuted" Equivalence.Not_equivalent r2.Equivalence.outcome
+
+let test_clifford_strategy_graph_state () =
+  let g = Oqec_workloads.Workloads.graph_state ~seed:3 62 in
+  let g' = Oqec_compile.Compile.run Oqec_compile.Architecture.manhattan g in
+  let r = Qcec.check ~strategy:Qcec.Clifford g g' in
+  Alcotest.check outcome_testable "equivalent" Equivalence.Equivalent r.Equivalence.outcome
+
+let test_clifford_strategy_declines () =
+  let c = Circuit.t_gate (Circuit.create 1) 0 in
+  let r = Qcec.check ~strategy:Qcec.Clifford c c in
+  Alcotest.check outcome_testable "no information" Equivalence.No_information
+    r.Equivalence.outcome
+
+let suite =
+  [
+    Alcotest.test_case "single-gate conjugations" `Quick test_single_gate_rows;
+    Alcotest.test_case "cx conjugations" `Quick test_cx_rows;
+    Alcotest.test_case "non-clifford rejected" `Quick test_not_clifford;
+    prop_tableau_matches_dense;
+    prop_tableau_self;
+    Alcotest.test_case "ghz-65 on manhattan" `Quick test_clifford_strategy_wide;
+    Alcotest.test_case "graph-state-62 on manhattan" `Quick test_clifford_strategy_graph_state;
+    Alcotest.test_case "declines non-clifford" `Quick test_clifford_strategy_declines;
+  ]

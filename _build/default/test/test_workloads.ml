@@ -1,0 +1,292 @@
+(* Workload generators validated by their computational behaviour. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_workloads.Workloads
+open Helpers
+
+let amplitude c input output =
+  let n = Circuit.num_qubits c in
+  let v = Unitary.basis_state n input in
+  Unitary.apply_to_vector c v;
+  v.(output)
+
+let probability c input output = Cx.mag2 (amplitude c input output)
+
+(* Apply the circuit as a classical reversible function on basis states. *)
+let classical_map c input =
+  let n = Circuit.num_qubits c in
+  let v = Unitary.basis_state n input in
+  Unitary.apply_to_vector c v;
+  let hits = ref [] in
+  Array.iteri (fun i amp -> if Cx.mag2 amp > 0.5 then hits := i :: !hits) v;
+  match !hits with [ i ] -> i | _ -> Alcotest.fail "not a classical map"
+
+let test_ghz () =
+  let c = ghz 4 in
+  Alcotest.(check (float 1e-9)) "|0000>" 0.5 (probability c 0 0);
+  Alcotest.(check (float 1e-9)) "|1111>" 0.5 (probability c 0 15);
+  Alcotest.(check (float 1e-9)) "|0001>" 0.0 (probability c 0 1)
+
+let test_graph_state () =
+  let c = graph_state ~seed:3 8 in
+  Alcotest.(check int) "8 qubits" 8 (Circuit.num_qubits c);
+  (* Graph states are stabilizer states: every amplitude has magnitude
+     1/sqrt(2^8) or the structure is wrong. *)
+  let v = Unitary.basis_state 8 0 in
+  Unitary.apply_to_vector c v;
+  Array.iter
+    (fun amp ->
+      Alcotest.(check (float 1e-9)) "flat magnitude" (1.0 /. 256.0) (Cx.mag2 amp))
+    v
+
+let test_qft_matrix () =
+  (* QFT with the swap network maps |j> to sum_k w^(jk) |k> / sqrt N. *)
+  let n = 3 in
+  let c = qft n in
+  let u = Unitary.unitary c in
+  let dim = 1 lsl n in
+  let w = 2.0 *. Float.pi /. float_of_int dim in
+  let expected =
+    Dmatrix.make dim dim (fun k j ->
+        Cx.scale (1.0 /. sqrt (float_of_int dim)) (Cx.e_i (w *. float_of_int (j * k))))
+  in
+  check_matrix_up_to_phase "qft = dft" expected u
+
+let test_qft_no_swaps () =
+  let c = qft ~with_swaps:false 3 in
+  Alcotest.(check int) "gate count" 6 (Circuit.gate_count c)
+
+let test_qpe_exact_deterministic () =
+  let n = 4 in
+  let c = qpe_exact ~seed:11 n in
+  Alcotest.(check int) "n+1 qubits" (n + 1) (Circuit.num_qubits c);
+  (* Exactly representable phase: the evaluation register ends in a
+     definite basis state. *)
+  let v = Unitary.basis_state (n + 1) 0 in
+  Unitary.apply_to_vector c v;
+  let best = ref 0.0 in
+  Array.iter (fun amp -> best := max !best (Cx.mag2 amp)) v;
+  Alcotest.(check (float 1e-6)) "deterministic outcome" 1.0 !best
+
+let test_grover_amplifies () =
+  let n = 4 in
+  let c = grover ~seed:5 n in
+  let v = Unitary.basis_state n 0 in
+  Unitary.apply_to_vector c v;
+  let best_p = ref 0.0 in
+  Array.iter (fun amp -> best_p := max !best_p (Cx.mag2 amp)) v;
+  (* With the optimal iteration count the marked element dominates. *)
+  Alcotest.(check bool) "amplified" true (!best_p > 0.9)
+
+let test_random_walk_shifts () =
+  (* One step from |pos=0, coin=0>: H then controlled shift: the walker
+     superposes positions +1 and -1 ... in our gate order the coin toggles
+     select increment/decrement; check that exactly two basis states carry
+     probability 1/2 each. *)
+  let n = 4 in
+  let c = random_walk ~steps:1 n in
+  let v = Unitary.basis_state n 0 in
+  Unitary.apply_to_vector c v;
+  let nonzero = ref [] in
+  Array.iteri (fun i a -> if Cx.mag2 a > 1e-12 then nonzero := i :: !nonzero) v;
+  (* From pos=0: the walker moves to pos -1 = 7 with coin 0 and to pos 1
+     with coin 1 (positions are wires 0..2, the coin is wire 3). *)
+  Alcotest.(check (list int)) "positions +1 and -1" [ 7; 1 + 8 ]
+    (List.sort compare !nonzero);
+  List.iter
+    (fun i -> Alcotest.(check (float 1e-9)) "half probability" 0.5 (Cx.mag2 v.(i)))
+    !nonzero
+
+let test_ripple_adder () =
+  let n = 3 in
+  let c = ripple_adder n in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      let input = (a lsl 1) lor (b lsl (1 + n)) in
+      let out = classical_map c input in
+      let sum = a + b in
+      let b_out = (out lsr (1 + n)) land 7 in
+      let a_out = (out lsr 1) land 7 in
+      let carry = (out lsr ((2 * n) + 1)) land 1 in
+      Alcotest.(check int) "b holds a+b" (sum land 7) b_out;
+      Alcotest.(check int) "a preserved" a a_out;
+      Alcotest.(check int) "carry" (sum lsr n) carry
+    done
+  done
+
+let test_const_adder_mod () =
+  let bits = 4 in
+  let constant = 5 in
+  let c = const_adder_mod ~bits ~constant in
+  for x = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "%d + %d mod 16" x constant)
+      ((x + constant) mod 16)
+      (classical_map c x)
+  done
+
+let test_comparator () =
+  let n = 2 in
+  let c = comparator n in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let input = (a lsl 1) lor (b lsl (1 + n)) in
+      let out = classical_map c input in
+      let result = (out lsr ((2 * n) + 1)) land 1 in
+      let expected = if a <= b then 1 else 0 in
+      Alcotest.(check int) (Printf.sprintf "compare %d %d" a b) expected result;
+      (* Inputs are restored. *)
+      Alcotest.(check int) "inputs restored" input (out land ((1 lsl ((2 * n) + 1)) - 1))
+    done
+  done
+
+let test_random_reversible_is_permutation () =
+  let c = random_reversible ~seed:9 ~gates:30 4 in
+  let u = Unitary.unitary c in
+  for j = 0 to 15 do
+    let ones = ref 0 in
+    for i = 0 to 15 do
+      let m = Cx.mag2 (Dmatrix.get u i j) in
+      if m > 0.5 then incr ones
+      else Alcotest.(check (float 1e-9)) "zero entry" 0.0 m
+    done;
+    Alcotest.(check int) "permutation column" 1 !ones
+  done
+
+let test_remove_gate () =
+  let c = ghz 4 in
+  let broken = remove_gate ~seed:2 c in
+  Alcotest.(check int) "one fewer" (Circuit.gate_count c - 1) (Circuit.gate_count broken);
+  Alcotest.(check bool) "not equivalent" false (Unitary.equivalent c broken)
+
+let test_flip_cnot () =
+  let c = ghz 4 in
+  let broken = flip_cnot ~seed:2 c in
+  Alcotest.(check int) "same count" (Circuit.gate_count c) (Circuit.gate_count broken);
+  Alcotest.(check bool) "not equivalent" false (Unitary.equivalent c broken)
+
+let test_flip_cnot_no_cnot () =
+  let c = Circuit.h (Circuit.create 1) 0 in
+  match flip_cnot ~seed:1 c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_bernstein_vazirani () =
+  let n = 5 in
+  let secret = 0b10110 in
+  let c = bernstein_vazirani ~secret n in
+  (* The data register ends deterministically in |secret>. *)
+  let v = Unitary.basis_state (n + 1) 0 in
+  Unitary.apply_to_vector c v;
+  let data_prob = ref 0.0 in
+  Array.iteri
+    (fun i amp -> if i land ((1 lsl n) - 1) = secret then data_prob := !data_prob +. Cx.mag2 amp)
+    v;
+  Alcotest.(check (float 1e-9)) "secret recovered" 1.0 !data_prob
+
+let test_deutsch_jozsa () =
+  let n = 4 in
+  let outcome_zero c =
+    let v = Unitary.basis_state (n + 1) 0 in
+    Unitary.apply_to_vector c v;
+    let p = ref 0.0 in
+    Array.iteri
+      (fun i amp -> if i land ((1 lsl n) - 1) = 0 then p := !p +. Cx.mag2 amp)
+      v;
+    !p
+  in
+  Alcotest.(check (float 1e-9)) "constant -> all zeros" 1.0
+    (outcome_zero (deutsch_jozsa ~seed:4 ~balanced:false n));
+  Alcotest.(check (float 1e-9)) "balanced -> never all zeros" 0.0
+    (outcome_zero (deutsch_jozsa ~seed:4 ~balanced:true n))
+
+let test_w_state () =
+  let n = 5 in
+  let c = w_state n in
+  let v = Unitary.basis_state n 0 in
+  Unitary.apply_to_vector c v;
+  Array.iteri
+    (fun i amp ->
+      let expected =
+        (* one-hot states carry probability 1/n *)
+        if i > 0 && i land (i - 1) = 0 then 1.0 /. float_of_int n else 0.0
+      in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "amp %d" i) expected (Cx.mag2 amp))
+    v
+
+let test_hidden_weighted_bit () =
+  let n = 4 in
+  let c = hidden_weighted_bit n in
+  let data_mask = (1 lsl n) - 1 in
+  let rotl x w =
+    let w = w mod n in
+    ((x lsl w) lor (x lsr (n - w))) land data_mask
+  in
+  for x = 0 to data_mask do
+    let weight =
+      let rec count k acc = if k = 0 then acc else count (k lsr 1) (acc + (k land 1)) in
+      count x 0
+    in
+    let out = classical_map c x in
+    Alcotest.(check int)
+      (Printf.sprintf "hwb(%d)" x)
+      (rotl x weight)
+      (out land data_mask);
+    Alcotest.(check int) "weight register cleared" 0 (out lsr n)
+  done
+
+let test_vqe_ansatz () =
+  let c = vqe_ansatz ~seed:3 ~layers:2 4 in
+  Alcotest.(check bool) "unitary" true (Dmatrix.is_unitary ~tol:1e-8 (Unitary.unitary c));
+  (* Angles are genuinely non-dyadic: at least one phase is inexact. *)
+  let has_inexact =
+    List.exists
+      (function
+        | Circuit.Gate (Gate.Ry a, _) | Circuit.Gate (Gate.Rz a, _) -> not (Phase.is_exact a)
+        | _ -> false)
+      (Circuit.ops c)
+  in
+  Alcotest.(check bool) "non-dyadic angles" true has_inexact
+
+let prop_generators_unitary =
+  qtest ~count:15 "workloads: generated circuits are unitary"
+    QCheck.(make ~print:string_of_int Gen.int)
+    (fun seed ->
+      let cs =
+        [
+          ghz 4;
+          graph_state ~seed 5;
+          qft 4;
+          qpe_exact ~seed 3;
+          grover ~seed 3;
+          random_walk ~steps:2 4;
+          random_reversible ~seed ~gates:12 4;
+        ]
+      in
+      List.for_all (fun c -> Dmatrix.is_unitary ~tol:1e-8 (Unitary.unitary c)) cs)
+
+let suite =
+  [
+    Alcotest.test_case "ghz state" `Quick test_ghz;
+    Alcotest.test_case "graph state flatness" `Quick test_graph_state;
+    Alcotest.test_case "qft is the dft" `Quick test_qft_matrix;
+    Alcotest.test_case "qft without swaps" `Quick test_qft_no_swaps;
+    Alcotest.test_case "qpe exact is deterministic" `Quick test_qpe_exact_deterministic;
+    Alcotest.test_case "grover amplifies" `Quick test_grover_amplifies;
+    Alcotest.test_case "random walk branches" `Quick test_random_walk_shifts;
+    Alcotest.test_case "ripple adder adds" `Quick test_ripple_adder;
+    Alcotest.test_case "const adder mod" `Quick test_const_adder_mod;
+    Alcotest.test_case "comparator" `Quick test_comparator;
+    Alcotest.test_case "random reversible is a permutation" `Quick
+      test_random_reversible_is_permutation;
+    Alcotest.test_case "remove gate breaks equivalence" `Quick test_remove_gate;
+    Alcotest.test_case "flip cnot breaks equivalence" `Quick test_flip_cnot;
+    Alcotest.test_case "flip cnot without cnots" `Quick test_flip_cnot_no_cnot;
+    Alcotest.test_case "bernstein-vazirani" `Quick test_bernstein_vazirani;
+    Alcotest.test_case "deutsch-jozsa" `Quick test_deutsch_jozsa;
+    Alcotest.test_case "w state" `Quick test_w_state;
+    Alcotest.test_case "hidden weighted bit" `Quick test_hidden_weighted_bit;
+    Alcotest.test_case "vqe ansatz" `Quick test_vqe_ansatz;
+    prop_generators_unitary;
+  ]
