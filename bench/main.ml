@@ -420,6 +420,65 @@ let ablation_oracle () =
         ref_.Equivalence.elapsed)
     [ ("qft-8", qft 8); ("grover-4", grover ~seed:3 4); ("adder-3", ripple_adder 3) ]
 
+(* ------------------------------------------------- DD engine statistics *)
+
+(* Memory-management behaviour of the DD package on representative miters:
+   wall time alongside GC activity and compute-cache efficiency, written
+   to BENCH_dd_stats.json for tracking across revisions.  The threshold
+   is deliberately low so collections are exercised at these scaled-down
+   instance sizes. *)
+let dd_stats_bench () =
+  let module Dd = Oqec_dd.Dd in
+  let module Ccache = Oqec_dd.Ccache in
+  print_endline "\n== DD engine statistics (GC + bounded compute tables) ==";
+  let gc_threshold = 2048 in
+  let cases =
+    [
+      ("qft-10", qft 10);
+      ("grover-5", grover ~seed:3 5);
+      ("qwalk-6", random_walk ~steps:6 6);
+      ("adder-4", ripple_adder 4);
+      ("graphstate-14", graph_state ~seed:3 14);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let arch = Architecture.ring (Circuit.num_qubits g + 2) in
+        let g' = Compile.run arch g in
+        let t0 = Unix.gettimeofday () in
+        let r = Dd_checker.check_alternating ~gc_threshold g g' in
+        let dt = Unix.gettimeofday () -. t0 in
+        let s = Option.get r.Equivalence.dd_stats in
+        Printf.printf
+          "%-14s %-12s %6.3fs  alloc %7d  live %6d  peak %6d  gc %3d  reclaimed %7d  \
+           mm-hit %4.1f%%  add-hit %4.1f%%\n%!"
+          name
+          (Equivalence.outcome_to_string r.Equivalence.outcome)
+          dt s.Dd.allocated s.Dd.live s.Dd.peak_live s.Dd.gc_runs s.Dd.gc_reclaimed
+          (100.0 *. Ccache.hit_rate s.Dd.mm)
+          (100.0 *. Ccache.hit_rate s.Dd.add_);
+        (name, dt, r, s))
+      cases
+  in
+  let oc = open_out "BENCH_dd_stats.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, dt, r, s) ->
+      Printf.fprintf oc
+        "  {\"benchmark\":%S,\"outcome\":%S,\"elapsed\":%.6f,\"gc_threshold\":%d,\"dd\":%s}%s\n"
+        name
+        (Equivalence.outcome_to_string r.Equivalence.outcome)
+        dt gc_threshold (Dd.stats_to_json s)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  let total_gc = List.fold_left (fun acc (_, _, _, s) -> acc + s.Dd.gc_runs) 0 rows in
+  let total_hits = List.fold_left (fun acc (_, _, _, s) -> acc + Dd.cache_hits s) 0 rows in
+  Printf.printf "wrote BENCH_dd_stats.json (%d gc run(s), %d cache hit(s) in total)\n"
+    total_gc total_hits
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -489,16 +548,18 @@ let () =
         run_table opts "Table 1 (bottom): optimized circuits" (optimized_suite opts)
     | "table-extended" -> run_extended opts
     | "ablations" -> run_ablations ()
+    | "dd-stats" -> dd_stats_bench ()
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
         run_table opts "Table 1 (top): compiled circuits" (compiled_suite opts);
         run_table opts "Table 1 (bottom): optimized circuits" (optimized_suite opts);
         run_extended opts;
-        run_ablations ()
+        run_ablations ();
+        dd_stats_bench ()
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, micro, all)\n"
           other;
         exit 2
   in

@@ -63,6 +63,28 @@ let check_cmd =
   let tol = Arg.(value & opt (some float) None & info [ "tolerance" ] ~docv:"EPS") in
   let sim_runs = Arg.(value & opt int 16 & info [ "sim-runs" ] ~docv:"N") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let gc_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-threshold" ] ~docv:"NODES"
+          ~doc:
+            "Live-node count beyond which the decision-diagram package garbage-collects \
+             (0 collects after every gate application; default 65536).")
+  in
+  let dd_stats =
+    Arg.(
+      value & flag
+      & info [ "dd-stats" ]
+          ~doc:
+            "Print decision-diagram engine statistics (allocated/live nodes, GC runs, \
+             compute-cache hit rates) after the verdict.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report (statistics included) as one JSON object.")
+  in
   let approx =
     Arg.(
       value
@@ -72,17 +94,35 @@ let check_cmd =
             "Approximate equivalence: accept when the Hilbert-Schmidt fidelity \
              reaches $(docv) (uses the decision-diagram miter).")
   in
-  let run file1 file2 strategy timeout tol sim_runs seed approx =
+  let run file1 file2 strategy timeout tol sim_runs seed approx gc_threshold dd_stats json
+      =
+    (match gc_threshold with
+    | Some t when t < 0 ->
+        Printf.eprintf "error: --gc-threshold must be >= 0 (got %d)\n" t;
+        exit 3
+    | _ -> ());
     let g = load file1 and g' = load file2 in
     let report =
       match approx with
       | Some threshold ->
           let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
-          let r, _fid = Dd_checker.check_approximate ?tol ?deadline ~threshold g g' in
+          let r, _fid =
+            Dd_checker.check_approximate ?tol ?gc_threshold:gc_threshold ?deadline
+              ~threshold g g'
+          in
           r
-      | None -> Qcec.check ~strategy ?timeout ?tol ~sim_runs ~seed g g'
+      | None ->
+          Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed g
+            g'
     in
-    Format.printf "%a@." Equivalence.pp_report report;
+    if json then print_endline (Equivalence.report_to_json report)
+    else begin
+      Format.printf "%a@." Equivalence.pp_report report;
+      if dd_stats then
+        match report.Equivalence.dd_stats with
+        | Some s -> Format.printf "%a@." Oqec_dd.Dd.pp_stats s
+        | None -> Format.printf "(no decision-diagram engine ran for this strategy)@."
+    end;
     match report.Equivalence.outcome with
     | Equivalence.Equivalent -> exit 0
     | Equivalence.Not_equivalent -> exit 1
@@ -90,7 +130,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
-    Term.(const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ approx)
+    Term.(
+      const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ approx
+      $ gc_threshold $ dd_stats $ json)
 
 (* ------------------------------------------------------------- info cmd *)
 

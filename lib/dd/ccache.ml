@@ -1,0 +1,77 @@
+(* Bounded, direct-mapped compute cache (dd_package style): a power-of-two
+   array indexed by the key's hash, overwriting on collision.  Unlike the
+   previous unbounded [Hashtbl]s this bounds memory independently of the
+   workload length, at the cost of losing entries to collisions — the
+   overwrite counter makes that loss observable. *)
+
+type ('k, 'v) t = {
+  entries : ('k * 'v) option array;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable overwrites : int;
+  mutable filled : int;
+}
+
+type stats = {
+  capacity : int;
+  s_filled : int;
+  s_hits : int;
+  s_misses : int;
+  s_overwrites : int;
+}
+
+let create ~bits =
+  if bits < 1 || bits > 24 then invalid_arg "Ccache.create: bits out of range";
+  {
+    entries = Array.make (1 lsl bits) None;
+    mask = (1 lsl bits) - 1;
+    hits = 0;
+    misses = 0;
+    overwrites = 0;
+    filled = 0;
+  }
+
+let slot t k = Hashtbl.hash k land t.mask
+
+let find t k =
+  match t.entries.(slot t k) with
+  | Some (k', v) when k' = k ->
+      t.hits <- t.hits + 1;
+      Some v
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t k v =
+  let i = slot t k in
+  (match t.entries.(i) with
+  | None -> t.filled <- t.filled + 1
+  | Some (k', _) -> if k' <> k then t.overwrites <- t.overwrites + 1);
+  t.entries.(i) <- Some (k, v)
+
+(* Memoising wrapper: [find]-or-compute-and-[store]. *)
+let memo t k f =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      store t k v;
+      v
+
+let clear t =
+  Array.fill t.entries 0 (Array.length t.entries) None;
+  t.filled <- 0
+
+let stats t =
+  {
+    capacity = t.mask + 1;
+    s_filled = t.filled;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_overwrites = t.overwrites;
+  }
+
+let hit_rate s =
+  let total = s.s_hits + s.s_misses in
+  if total = 0 then 0.0 else float_of_int s.s_hits /. float_of_int total

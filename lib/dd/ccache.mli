@@ -1,0 +1,36 @@
+(** Bounded, direct-mapped compute cache with hit/miss/overwrite counters.
+
+    A power-of-two array indexed by the structural hash of the key; a
+    colliding store overwrites the previous entry (QCEC/dd_package
+    layout).  Memory is bounded by the capacity regardless of workload
+    length, which is what keeps long equivalence-checking runs from
+    growing the compute tables monotonically.  Keys are compared with
+    structural equality, so they must not contain functional values. *)
+
+type ('k, 'v) t
+
+type stats = {
+  capacity : int;  (** number of slots *)
+  s_filled : int;  (** slots currently occupied *)
+  s_hits : int;
+  s_misses : int;
+  s_overwrites : int;  (** stores that evicted a different key *)
+}
+
+(** [create ~bits] makes a cache with [2^bits] slots (1 <= bits <= 24). *)
+val create : bits:int -> ('k, 'v) t
+
+val find : ('k, 'v) t -> 'k -> 'v option
+val store : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [memo t k f] is the cached value for [k], computing and storing
+    [f ()] on a miss. *)
+val memo : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** Drop every entry (counters are preserved; [s_filled] resets). *)
+val clear : ('k, 'v) t -> unit
+
+val stats : ('k, 'v) t -> stats
+
+(** Hits over lookups, 0.0 when no lookups happened. *)
+val hit_rate : stats -> float

@@ -7,9 +7,18 @@ open Oqec_base
 
 type t = { tol : float; tbl : (int, float) Hashtbl.t }
 
+(* Bucket index for [v], or [None] when no sane bucket exists:
+   [int_of_float] on NaN/infinities or on quotients beyond the native-int
+   range is undefined behaviour and would produce garbage keys, silently
+   aliasing unrelated values. *)
+let bucket t v =
+  let q = Float.round (v /. t.tol) in
+  if Float.is_finite q && Float.abs q < 1e18 then Some (int_of_float q) else None
+
 let seed_float t v =
-  let b = int_of_float (Float.round (v /. t.tol)) in
-  if not (Hashtbl.mem t.tbl b) then Hashtbl.replace t.tbl b v
+  match bucket t v with
+  | Some b -> if not (Hashtbl.mem t.tbl b) then Hashtbl.replace t.tbl b v
+  | None -> ()
 
 let seed t =
   let s = 1.0 /. sqrt 2.0 in
@@ -26,23 +35,25 @@ let tolerance t = t.tol
 let intern_float t v =
   (* Normalise negative zero so that structural equality and hashing agree. *)
   let v = if v = 0.0 then 0.0 else v in
-  let b = int_of_float (Float.round (v /. t.tol)) in
-  let probe k =
-    match Hashtbl.find_opt t.tbl k with
-    | Some r when Float.abs (r -. v) <= t.tol -> Some r
-    | Some _ | None -> None
-  in
-  match probe b with
-  | Some r -> r
-  | None -> (
-      match probe (b - 1) with
+  match bucket t v with
+  | None -> v (* non-finite or out of bucket range: pass through uninterned *)
+  | Some b -> (
+      let probe k =
+        match Hashtbl.find_opt t.tbl k with
+        | Some r when Float.abs (r -. v) <= t.tol -> Some r
+        | Some _ | None -> None
+      in
+      match probe b with
       | Some r -> r
       | None -> (
-          match probe (b + 1) with
+          match probe (b - 1) with
           | Some r -> r
-          | None ->
-              Hashtbl.replace t.tbl b v;
-              v))
+          | None -> (
+              match probe (b + 1) with
+              | Some r -> r
+              | None ->
+                  Hashtbl.replace t.tbl b v;
+                  v)))
 
 let intern t (z : Cx.t) = Cx.make (intern_float t z.Cx.re) (intern_float t z.Cx.im)
 let size t = Hashtbl.length t.tbl

@@ -21,7 +21,9 @@ val tolerance : t -> float
 (** [intern t z] returns the canonical representative of [z]: an existing
     stored value within [tol] per component, or [z] itself (with negative
     zeros normalised away) after storing it.  Interned values can be
-    compared with structural equality. *)
+    compared with structural equality.  Non-finite components and
+    magnitudes beyond the bucket range pass through uninterned rather
+    than hash to garbage buckets. *)
 val intern : t -> Cx.t -> Cx.t
 
 (** Number of distinct representatives stored. *)

@@ -17,23 +17,44 @@ type pkg = {
   ctab : Ctable.t;
   mutable next_id : int;
   unique : (ukey, node) Hashtbl.t;
-  mm_cache : (int * int, edge) Hashtbl.t;
-  mv_cache : (int * int, edge) Hashtbl.t;
-  add_cache : (int * int * float * float, edge) Hashtbl.t;
-  adj_cache : (int, edge) Hashtbl.t;
-  inner_cache : (int * int, Cx.t) Hashtbl.t;
+  mm_cache : (int * int, edge) Ccache.t;
+  mv_cache : (int * int, edge) Ccache.t;
+  add_cache : (int * int * float * float, edge) Ccache.t;
+  adj_cache : (int, edge) Ccache.t;
+  inner_cache : (int * int, Cx.t) Ccache.t;
+  (* GC state: externally registered live edges (with registration counts)
+     plus the memoised identities act as mark roots. *)
+  roots : (int, node * int) Hashtbl.t;
+  id_cache : (int, edge) Hashtbl.t;
+  gc_threshold : int;  (* as configured; 0 = collect at every safe point *)
+  mutable gc_limit : int;  (* current trigger level; grows to avoid thrashing *)
+  mutable gc_runs : int;
+  mutable gc_reclaimed : int;
+  mutable peak_live : int;
 }
 
-let create ?(tol = Cx.default_tolerance) () =
+let default_gc_threshold = 65536
+let default_cache_bits = 14
+
+let create ?(tol = Cx.default_tolerance) ?(gc_threshold = default_gc_threshold)
+    ?(cache_bits = default_cache_bits) () =
+  if gc_threshold < 0 then invalid_arg "Dd.create: gc_threshold must be >= 0";
   {
     ctab = Ctable.create ~tol;
     next_id = 1;
     unique = Hashtbl.create 65536;
-    mm_cache = Hashtbl.create 16384;
-    mv_cache = Hashtbl.create 16384;
-    add_cache = Hashtbl.create 16384;
-    adj_cache = Hashtbl.create 1024;
-    inner_cache = Hashtbl.create 1024;
+    mm_cache = Ccache.create ~bits:cache_bits;
+    mv_cache = Ccache.create ~bits:cache_bits;
+    add_cache = Ccache.create ~bits:cache_bits;
+    adj_cache = Ccache.create ~bits:(min cache_bits 10);
+    inner_cache = Ccache.create ~bits:(min cache_bits 10);
+    roots = Hashtbl.create 64;
+    id_cache = Hashtbl.create 8;
+    gc_threshold;
+    gc_limit = gc_threshold;
+    gc_runs = 0;
+    gc_reclaimed = 0;
+    peak_live = 0;
   }
 
 let tolerance pkg = Ctable.tolerance pkg.ctab
@@ -83,10 +104,79 @@ let make_node pkg var (edges : edge array) =
           let n = { id = pkg.next_id; var; edges } in
           pkg.next_id <- pkg.next_id + 1;
           Hashtbl.replace pkg.unique key n;
+          let live = Hashtbl.length pkg.unique in
+          if live > pkg.peak_live then pkg.peak_live <- live;
           n
     in
     { node; w = intern pkg top }
   end
+
+(* --------------------------------------------------------------------- GC *)
+
+let live pkg = Hashtbl.length pkg.unique
+
+let root pkg (e : edge) =
+  let n = e.node in
+  if not (is_terminal n) then
+    match Hashtbl.find_opt pkg.roots n.id with
+    | Some (_, c) -> Hashtbl.replace pkg.roots n.id (n, c + 1)
+    | None -> Hashtbl.replace pkg.roots n.id (n, 1)
+
+let unroot pkg (e : edge) =
+  let n = e.node in
+  if not (is_terminal n) then
+    match Hashtbl.find_opt pkg.roots n.id with
+    | Some (_, c) when c > 1 -> Hashtbl.replace pkg.roots n.id (n, c - 1)
+    | Some _ -> Hashtbl.remove pkg.roots n.id
+    | None -> ()
+
+let clear_caches pkg =
+  Ccache.clear pkg.mm_cache;
+  Ccache.clear pkg.mv_cache;
+  Ccache.clear pkg.add_cache;
+  Ccache.clear pkg.adj_cache;
+  Ccache.clear pkg.inner_cache
+
+(* Mark-and-sweep over the unique table.  Everything reachable from a
+   registered root (or a memoised identity) survives; unreachable nodes
+   are dropped from the unique table so their keys can be re-consed, and
+   the OCaml GC reclaims the structures once no client value holds them.
+   The compute tables may reference collected nodes by id, so they are
+   invalidated wholesale — node ids are never reused (next_id is
+   monotonic), hence a stale entry could never alias a fresh node, but
+   keeping entries for dead nodes would pin no-longer-canonical results.
+
+   Only call at a safe point: any unrooted edge held by the caller stays
+   usable (the structure itself is immortal while referenced) but loses
+   canonicity — a later [make_node] with the same key builds a fresh
+   node that no longer compares [==] to it. *)
+let gc pkg =
+  let marked = Hashtbl.create (max 256 (live pkg / 2)) in
+  let rec mark n =
+    if (not (is_terminal n)) && not (Hashtbl.mem marked n.id) then begin
+      Hashtbl.replace marked n.id ();
+      Array.iter (fun (c : edge) -> mark c.node) n.edges
+    end
+  in
+  Hashtbl.iter (fun _ (n, _) -> mark n) pkg.roots;
+  Hashtbl.iter (fun _ (e : edge) -> mark e.node) pkg.id_cache;
+  let before = live pkg in
+  Hashtbl.filter_map_inplace
+    (fun _ n -> if Hashtbl.mem marked n.id then Some n else None)
+    pkg.unique;
+  let after = live pkg in
+  pkg.gc_runs <- pkg.gc_runs + 1;
+  pkg.gc_reclaimed <- pkg.gc_reclaimed + (before - after);
+  clear_caches pkg;
+  (* If the roots themselves occupy most of the trigger level, collecting
+     again soon would reclaim nothing: back off exponentially. *)
+  if pkg.gc_threshold > 0 && after > pkg.gc_limit * 3 / 4 then
+    pkg.gc_limit <- pkg.gc_limit * 2;
+  before - after
+
+let maybe_gc pkg = if live pkg >= pkg.gc_limit then ignore (gc pkg)
+
+(* ------------------------------------------------------------- Structure *)
 
 let cofactors e v =
   if is_zero_edge e then [| zero_edge; zero_edge; zero_edge; zero_edge |]
@@ -108,12 +198,20 @@ let vcofactors e v =
       e.node.edges
   end
 
+(* Memoised per package: the identity chain is rebuilt by every
+   [is_identity] probe of the checker hot loop otherwise.  The cached
+   edges double as GC roots so a collection can never sever the chain. *)
 let identity pkg n =
-  let rec build v acc =
-    if v >= n then acc
-    else build (v + 1) (make_node pkg v [| acc; zero_edge; zero_edge; acc |])
-  in
-  build 0 one_edge
+  match Hashtbl.find_opt pkg.id_cache n with
+  | Some e -> e
+  | None ->
+      let rec build v acc =
+        if v >= n then acc
+        else build (v + 1) (make_node pkg v [| acc; zero_edge; zero_edge; acc |])
+      in
+      let e = build 0 one_edge in
+      Hashtbl.replace pkg.id_cache n e;
+      e
 
 let is_identity ?(up_to_phase = true) pkg n e =
   let id = identity pkg n in
@@ -160,28 +258,22 @@ let rec add pkg (e1 : edge) (e2 : edge) =
     let kre, kim = float_key ratio in
     let key = (e1.node.id, e2.node.id, kre, kim) in
     let base =
-      match Hashtbl.find_opt pkg.add_cache key with
-      | Some r -> r
-      | None ->
-          let r =
-            if is_terminal e1.node then begin
-              assert (is_terminal e2.node);
-              edge_of pkg ~w:(Cx.add Cx.one ratio) terminal
-            end
-            else begin
-              let v = max e1.node.var e2.node.var in
-              let c1 = cofactors { e1 with w = Cx.one } v
-              and c2 = cofactors { e2 with w = ratio } v in
-              let width = Array.length e1.node.edges in
-              assert (Array.length e2.node.edges = width);
-              if width = 4 then
-                make_node pkg v (Array.init 4 (fun i -> add pkg c1.(i) c2.(i)))
-              else
-                make_node pkg v (Array.init 2 (fun i -> add pkg c1.(i) c2.(i)))
-            end
-          in
-          Hashtbl.replace pkg.add_cache key r;
-          r
+      Ccache.memo pkg.add_cache key (fun () ->
+          if is_terminal e1.node then begin
+            assert (is_terminal e2.node);
+            edge_of pkg ~w:(Cx.add Cx.one ratio) terminal
+          end
+          else begin
+            let v = max e1.node.var e2.node.var in
+            let c1 = cofactors { e1 with w = Cx.one } v
+            and c2 = cofactors { e2 with w = ratio } v in
+            let width = Array.length e1.node.edges in
+            assert (Array.length e2.node.edges = width);
+            if width = 4 then
+              make_node pkg v (Array.init 4 (fun i -> add pkg c1.(i) c2.(i)))
+            else
+              make_node pkg v (Array.init 2 (fun i -> add pkg c1.(i) c2.(i)))
+          end)
     in
     scale pkg e1.w base
   end
@@ -195,9 +287,7 @@ let rec mul pkg (e1 : edge) (e2 : edge) =
     let v = e1.node.var in
     let key = (e1.node.id, e2.node.id) in
     let base =
-      match Hashtbl.find_opt pkg.mm_cache key with
-      | Some r -> r
-      | None ->
+      Ccache.memo pkg.mm_cache key (fun () ->
           let a = cofactors { e1 with w = Cx.one } v
           and b = cofactors { e2 with w = Cx.one } v in
           let entry i j =
@@ -205,9 +295,7 @@ let rec mul pkg (e1 : edge) (e2 : edge) =
               (mul pkg a.((2 * i) + 0) b.((2 * 0) + j))
               (mul pkg a.((2 * i) + 1) b.((2 * 1) + j))
           in
-          let r = make_node pkg v [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |] in
-          Hashtbl.replace pkg.mm_cache key r;
-          r
+          make_node pkg v [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |])
     in
     scale pkg (Cx.mul e1.w e2.w) base
   end
@@ -221,17 +309,13 @@ let rec mul_vec pkg (m : edge) (v : edge) =
     let lvl = m.node.var in
     let key = (m.node.id, v.node.id) in
     let base =
-      match Hashtbl.find_opt pkg.mv_cache key with
-      | Some r -> r
-      | None ->
+      Ccache.memo pkg.mv_cache key (fun () ->
           let a = cofactors { m with w = Cx.one } lvl
           and x = vcofactors { v with w = Cx.one } lvl in
           let entry i =
             add pkg (mul_vec pkg a.((2 * i) + 0) x.(0)) (mul_vec pkg a.((2 * i) + 1) x.(1))
           in
-          let r = make_node pkg lvl [| entry 0; entry 1 |] in
-          Hashtbl.replace pkg.mv_cache key r;
-          r
+          make_node pkg lvl [| entry 0; entry 1 |])
     in
     scale pkg (Cx.mul m.w v.w) base
   end
@@ -241,18 +325,12 @@ let rec adjoint pkg (e : edge) =
   else if is_terminal e.node then edge_of pkg ~w:(Cx.conj e.w) terminal
   else begin
     let base =
-      match Hashtbl.find_opt pkg.adj_cache e.node.id with
-      | Some r -> r
-      | None ->
+      Ccache.memo pkg.adj_cache e.node.id (fun () ->
           let v = e.node.var in
           let c = cofactors { e with w = Cx.one } v in
           (* Transpose the block structure and conjugate recursively. *)
-          let r =
-            make_node pkg v
-              [| adjoint pkg c.(0); adjoint pkg c.(2); adjoint pkg c.(1); adjoint pkg c.(3) |]
-          in
-          Hashtbl.replace pkg.adj_cache e.node.id r;
-          r
+          make_node pkg v
+            [| adjoint pkg c.(0); adjoint pkg c.(2); adjoint pkg c.(1); adjoint pkg c.(3) |])
     in
     scale pkg (Cx.conj e.w) base
   end
@@ -265,14 +343,10 @@ let rec inner pkg (e1 : edge) (e2 : edge) =
     let v = e1.node.var in
     let key = (e1.node.id, e2.node.id) in
     let base =
-      match Hashtbl.find_opt pkg.inner_cache key with
-      | Some r -> r
-      | None ->
+      Ccache.memo pkg.inner_cache key (fun () ->
           let a = vcofactors { e1 with w = Cx.one } v
           and b = vcofactors { e2 with w = Cx.one } v in
-          let r = Cx.add (inner pkg a.(0) b.(0)) (inner pkg a.(1) b.(1)) in
-          Hashtbl.replace pkg.inner_cache key r;
-          r
+          Cx.add (inner pkg a.(0) b.(0)) (inner pkg a.(1) b.(1)))
     in
     Cx.mul (Cx.mul (Cx.conj e1.w) e2.w) base
   end
@@ -303,12 +377,68 @@ let node_count e =
 
 let allocated pkg = pkg.next_id - 1
 
-let clear_caches pkg =
-  Hashtbl.reset pkg.mm_cache;
-  Hashtbl.reset pkg.mv_cache;
-  Hashtbl.reset pkg.add_cache;
-  Hashtbl.reset pkg.adj_cache;
-  Hashtbl.reset pkg.inner_cache
+type stats = {
+  allocated : int;
+  live : int;
+  peak_live : int;
+  gc_runs : int;
+  gc_reclaimed : int;
+  mm : Ccache.stats;
+  mv : Ccache.stats;
+  add_ : Ccache.stats;
+  adj : Ccache.stats;
+  inner_ : Ccache.stats;
+  ctable_entries : int;
+}
+
+let stats pkg =
+  {
+    allocated = allocated pkg;
+    live = live pkg;
+    peak_live = pkg.peak_live;
+    gc_runs = pkg.gc_runs;
+    gc_reclaimed = pkg.gc_reclaimed;
+    mm = Ccache.stats pkg.mm_cache;
+    mv = Ccache.stats pkg.mv_cache;
+    add_ = Ccache.stats pkg.add_cache;
+    adj = Ccache.stats pkg.adj_cache;
+    inner_ = Ccache.stats pkg.inner_cache;
+    ctable_entries = Ctable.size pkg.ctab;
+  }
+
+let cache_hits s =
+  s.mm.Ccache.s_hits + s.mv.Ccache.s_hits + s.add_.Ccache.s_hits + s.adj.Ccache.s_hits
+  + s.inner_.Ccache.s_hits
+
+let pp_stats ppf s =
+  let cache name (c : Ccache.stats) =
+    if c.Ccache.s_hits + c.Ccache.s_misses > 0 then
+      Format.fprintf ppf "  %-5s hits %d, misses %d, overwrites %d (%.1f%% hit, %d/%d slots)@,"
+        name c.Ccache.s_hits c.Ccache.s_misses c.Ccache.s_overwrites
+        (100.0 *. Ccache.hit_rate c)
+        c.Ccache.s_filled c.Ccache.capacity
+  in
+  Format.fprintf ppf "@[<v>nodes: %d allocated, %d live (peak %d)@," s.allocated s.live
+    s.peak_live;
+  Format.fprintf ppf "gc: %d run(s), %d node(s) reclaimed@," s.gc_runs s.gc_reclaimed;
+  cache "mm" s.mm;
+  cache "mv" s.mv;
+  cache "add" s.add_;
+  cache "adj" s.adj;
+  cache "inner" s.inner_;
+  Format.fprintf ppf "ctable: %d distinct reals@]" s.ctable_entries
+
+let stats_to_json s =
+  let cache (c : Ccache.stats) =
+    Printf.sprintf
+      "{\"hits\":%d,\"misses\":%d,\"overwrites\":%d,\"hit_rate\":%.4f,\"filled\":%d,\"capacity\":%d}"
+      c.Ccache.s_hits c.Ccache.s_misses c.Ccache.s_overwrites (Ccache.hit_rate c)
+      c.Ccache.s_filled c.Ccache.capacity
+  in
+  Printf.sprintf
+    "{\"allocated\":%d,\"live\":%d,\"peak_live\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d,\"ctable_entries\":%d,\"mm\":%s,\"mv\":%s,\"add\":%s,\"adj\":%s,\"inner\":%s}"
+    s.allocated s.live s.peak_live s.gc_runs s.gc_reclaimed s.ctable_entries (cache s.mm)
+    (cache s.mv) (cache s.add_) (cache s.adj) (cache s.inner_)
 
 let pp_edge ppf e =
   Format.fprintf ppf "edge(w=%a, nodes=%d)" Cx.pp e.w (node_count e)

@@ -24,10 +24,14 @@ and edge = { node : node; w : Cx.t }
 
 type pkg
 
-(** [create ?tol ()] makes a fresh package (unique table, complex table,
-    compute caches).  [tol] is the weight-interning tolerance, default
-    {!Cx.default_tolerance}. *)
-val create : ?tol:float -> unit -> pkg
+(** [create ?tol ?gc_threshold ?cache_bits ()] makes a fresh package
+    (unique table, complex table, bounded compute caches).  [tol] is the
+    weight-interning tolerance, default {!Cx.default_tolerance}.
+    [gc_threshold] is the live-node count beyond which {!maybe_gc}
+    collects (default 65536): [0] collects at every safe point,
+    [max_int] disables collection.  [cache_bits] sizes the compute
+    caches at [2^cache_bits] slots each (default 14). *)
+val create : ?tol:float -> ?gc_threshold:int -> ?cache_bits:int -> unit -> pkg
 
 val tolerance : pkg -> float
 val terminal : node
@@ -63,7 +67,8 @@ val cofactors : edge -> int -> edge array
 val vcofactors : edge -> int -> edge array
 
 (** [identity pkg n] is the identity matrix on [n] qubits (a linear-size
-    chain, cf. Fig. 3b of the paper). *)
+    chain, cf. Fig. 3b of the paper).  Memoised per package and rooted
+    against {!gc}, so the checker hot loop's identity probes are free. *)
 val identity : pkg -> int -> edge
 
 (** [is_identity ?up_to_phase pkg n e] decides structurally whether [e] is
@@ -103,7 +108,36 @@ val kets : pkg -> int -> int -> edge
     usable beyond the native-integer width. *)
 val kets_bits : pkg -> int -> (int -> bool) -> edge
 
-(** Diagnostics. *)
+(** {1 Garbage collection}
+
+    The unique table grows monotonically without intervention.  Clients
+    register the edges they need to survive with {!root} (balanced by
+    {!unroot}); {!gc} then mark-and-sweeps the unique table from those
+    roots (plus the memoised identities), dropping every unreachable
+    node and invalidating the compute tables so no cached entry
+    references a collected node.  Collection must only happen at a safe
+    point: an unrooted edge held across a collection stays usable but
+    loses canonicity (a later [make_node] with the same key returns a
+    fresh node that is not [==] to it).  {!Dd_circuit} runs {!maybe_gc}
+    between gate applications with the evolving diagram pinned. *)
+
+(** [root pkg e] registers [e] as a GC root.  Registrations are counted:
+    rooting twice requires unrooting twice. *)
+val root : pkg -> edge -> unit
+
+(** [unroot pkg e] drops one registration of [e] (no-op if unrooted). *)
+val unroot : pkg -> edge -> unit
+
+(** [gc pkg] forces a mark-and-sweep collection and returns the number of
+    unique-table entries reclaimed. *)
+val gc : pkg -> int
+
+(** [maybe_gc pkg] collects iff the live-node count has crossed the
+    current trigger level (the configured [gc_threshold], doubled after
+    collections that reclaim too little, to avoid thrashing). *)
+val maybe_gc : pkg -> unit
+
+(** {1 Diagnostics} *)
 
 (** [node_count e] counts the distinct nodes reachable from [e] (terminal
     excluded). *)
@@ -113,7 +147,36 @@ val node_count : edge -> int
     "peak size" proxy reported by the benchmarks. *)
 val allocated : pkg -> int
 
+(** [live pkg] is the current number of unique-table entries. *)
+val live : pkg -> int
+
 (** [clear_caches pkg] drops the compute tables (not the unique table). *)
 val clear_caches : pkg -> unit
+
+(** Engine statistics: node accounting, GC activity, per-compute-table
+    hit/miss/overwrite counters and complex-table size. *)
+type stats = {
+  allocated : int;  (** nodes ever hash-consed *)
+  live : int;  (** unique-table entries right now *)
+  peak_live : int;  (** largest unique-table size observed *)
+  gc_runs : int;
+  gc_reclaimed : int;  (** unique-table entries swept over all runs *)
+  mm : Ccache.stats;  (** matrix-matrix multiply cache *)
+  mv : Ccache.stats;  (** matrix-vector multiply cache *)
+  add_ : Ccache.stats;  (** addition cache *)
+  adj : Ccache.stats;  (** adjoint cache *)
+  inner_ : Ccache.stats;  (** inner-product cache *)
+  ctable_entries : int;  (** distinct interned reals *)
+}
+
+val stats : pkg -> stats
+
+(** Total hits across the five compute caches. *)
+val cache_hits : stats -> int
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** One-line JSON object (no external dependency). *)
+val stats_to_json : stats -> string
 
 val pp_edge : Format.formatter -> edge -> unit

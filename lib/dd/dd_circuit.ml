@@ -68,14 +68,27 @@ let op_dds pkg n (op : Circuit.op) : Dd.edge list =
         (swap_ops a b)
   | Circuit.Barrier -> []
 
+(* Gate application doubles as the package's GC safe point: the incoming
+   diagram is pinned, a collection may run, and only then are the gate
+   DDs built (so they can never be swept mid-application). *)
+let at_safe_point pkg dd f =
+  Dd.root pkg dd;
+  Dd.maybe_gc pkg;
+  let r = f () in
+  Dd.unroot pkg dd;
+  r
+
 let apply_op pkg n (dd : Dd.edge) (op : Circuit.op) : Dd.edge =
-  List.fold_left (fun acc g -> Dd.mul pkg g acc) dd (op_dds pkg n op)
+  at_safe_point pkg dd (fun () ->
+      List.fold_left (fun acc g -> Dd.mul pkg g acc) dd (op_dds pkg n op))
 
 let apply_op_left pkg n (dd : Dd.edge) (op : Circuit.op) : Dd.edge =
-  List.fold_left (fun acc g -> Dd.mul pkg acc g) dd (op_dds pkg n op)
+  at_safe_point pkg dd (fun () ->
+      List.fold_left (fun acc g -> Dd.mul pkg acc g) dd (op_dds pkg n op))
 
 let apply_op_vec pkg n (v : Dd.edge) (op : Circuit.op) : Dd.edge =
-  List.fold_left (fun acc g -> Dd.mul_vec pkg g acc) v (op_dds pkg n op)
+  at_safe_point pkg v (fun () ->
+      List.fold_left (fun acc g -> Dd.mul_vec pkg g acc) v (op_dds pkg n op))
 
 let of_circuit pkg (c : Circuit.t) : Dd.edge =
   let n = Circuit.num_qubits c in

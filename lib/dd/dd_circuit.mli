@@ -14,7 +14,12 @@ val gate_dd : Dd.pkg -> int -> controls:int list -> target:int -> Dmatrix.t -> D
 val op_dds : Dd.pkg -> int -> Circuit.op -> Dd.edge list
 
 (** [apply_op pkg n dd op] is [U_op * dd] (the gate applied "from the
-    right side of the circuit", i.e. matrix product on the left). *)
+    right side of the circuit", i.e. matrix product on the left).
+
+    The three [apply_op*] functions are the package's GC safe points:
+    [dd] is pinned, {!Dd.maybe_gc} may collect, and only then is the
+    operation applied.  Any {e other} edge the caller wants to keep
+    canonical across the call must be {!Dd.root}ed. *)
 val apply_op : Dd.pkg -> int -> Dd.edge -> Circuit.op -> Dd.edge
 
 (** [apply_op_left pkg n dd op] is [dd * U_op]. *)

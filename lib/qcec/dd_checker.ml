@@ -22,6 +22,7 @@ let finish ~start ~method_used ~pkg ~n d =
     final_size = Dd.node_count d;
     simulations = 0;
     note = "";
+    dd_stats = Some (Dd.stats pkg);
   }
 
 type oracle = Proportional | Lookahead
@@ -31,16 +32,27 @@ type oracle = Proportional | Lookahead
    The circuits are lowered to elementary gates first: the alternating
    scheme inverts operation by operation, and controlled rotations only
    invert exactly after decomposition (their inverse-angle form differs
-   by a controlled sign, rotation angles being canonical modulo 2*pi). *)
-let build_miter ~oracle ?tol ?trace ?deadline g g' =
+   by a controlled sign, rotation angles being canonical modulo 2*pi).
+
+   The evolving miter edge is pinned as a GC root throughout: gate
+   application is the package's collection safe point, and an unrooted
+   miter would lose canonicity (and with it the structural identity
+   test) the moment a collection runs. *)
+let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' =
   let g, g' = Flatten.align g g' in
   let a = Decompose.elementary (Flatten.flatten g)
   and b = Decompose.elementary (Flatten.flatten g') in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol () in
+  let pkg = Dd.create ?tol ?gc_threshold () in
   let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
   let ka = Array.length ops_a and kb = Array.length ops_b in
   let d = ref (Dd.identity pkg n) in
+  Dd.root pkg !d;
+  let commit nd =
+    Dd.root pkg nd;
+    Dd.unroot pkg !d;
+    d := nd
+  in
   let ia = ref 0 and ib = ref 0 in
   let record () = match trace with Some f -> f (Dd.node_count !d) | None -> () in
   record ();
@@ -50,11 +62,11 @@ let build_miter ~oracle ?tol ?trace ?deadline g g' =
   while !ia < ka || !ib < kb do
     Equivalence.guard deadline;
     if !ia >= ka then begin
-      d := apply_b ();
+      commit (apply_b ());
       incr ib
     end
     else if !ib >= kb then begin
-      d := apply_a ();
+      commit (apply_a ());
       incr ia
     end
     else begin
@@ -63,25 +75,29 @@ let build_miter ~oracle ?tol ?trace ?deadline g g' =
           (* Advance the side that lags behind relative to its total gate
              count, keeping the product balanced around the identity. *)
           if !ia * kb <= !ib * ka then begin
-            d := apply_a ();
+            commit (apply_a ());
             incr ia
           end
           else begin
-            d := apply_b ();
+            commit (apply_b ());
             incr ib
           end
       | Lookahead ->
           (* Apply one gate from each side speculatively; commit to the
              smaller resulting diagram (hash-consing makes the discarded
-             candidate cheap to abandon). *)
+             candidate cheap to abandon).  The first candidate must be
+             pinned while the second is computed — applying the second
+             gate may trigger a collection. *)
           let cand_a = apply_a () in
+          Dd.root pkg cand_a;
           let cand_b = apply_b () in
+          Dd.unroot pkg cand_a;
           if Dd.node_count cand_a <= Dd.node_count cand_b then begin
-            d := cand_a;
+            commit cand_a;
             incr ia
           end
           else begin
-            d := cand_b;
+            commit cand_b;
             incr ib
           end
     end;
@@ -89,14 +105,14 @@ let build_miter ~oracle ?tol ?trace ?deadline g g' =
   done;
   (pkg, n, !d)
 
-let check_alternating ?(oracle = Proportional) ?tol ?trace ?deadline g g' =
+let check_alternating ?(oracle = Proportional) ?tol ?gc_threshold ?trace ?deadline g g' =
   let start = Unix.gettimeofday () in
-  let pkg, n, d = build_miter ~oracle ?tol ?trace ?deadline g g' in
+  let pkg, n, d = build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' in
   finish ~start ~method_used:Equivalence.Alternating_dd ~pkg ~n d
 
-let check_approximate ?tol ?deadline ~threshold g g' =
+let check_approximate ?tol ?gc_threshold ?deadline ~threshold g g' =
   let start = Unix.gettimeofday () in
-  let pkg, n, d = build_miter ~oracle:Proportional ?tol ?deadline g g' in
+  let pkg, n, d = build_miter ~oracle:Proportional ?tol ?gc_threshold ?deadline g g' in
   let fidelity = Dd.fidelity_to_identity ~n d in
   let outcome =
     if fidelity >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
@@ -109,15 +125,16 @@ let check_approximate ?tol ?deadline ~threshold g g' =
       final_size = Dd.node_count d;
       simulations = 0;
       note = Printf.sprintf "(fidelity %.9f, threshold %g)" fidelity threshold;
+      dd_stats = Some (Dd.stats pkg);
     },
     fidelity )
 
-let check_reference ?tol ?deadline g g' =
+let check_reference ?tol ?gc_threshold ?deadline g g' =
   let start = Unix.gettimeofday () in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol () in
+  let pkg = Dd.create ?tol ?gc_threshold () in
   let build c =
     List.fold_left
       (fun acc op ->
@@ -125,7 +142,12 @@ let check_reference ?tol ?deadline g g' =
         Dd_circuit.apply_op pkg n acc op)
       (Dd.identity pkg n) (Circuit.ops c)
   in
-  let da = build a and db = build b in
+  let da = build a in
+  (* Pin the first system matrix: building the second one runs through GC
+     safe points, and the root-pointer comparison below needs canonicity. *)
+  Dd.root pkg da;
+  let db = build b in
+  Dd.root pkg db;
   let outcome =
     if da.Dd.node == db.Dd.node && Float.abs (Cx.mag da.Dd.w -. Cx.mag db.Dd.w) < 1e-9
     then Equivalence.Equivalent
@@ -144,4 +166,5 @@ let check_reference ?tol ?deadline g g' =
     final_size = Dd.node_count da + Dd.node_count db;
     simulations = 0;
     note = "";
+    dd_stats = Some (Dd.stats pkg);
   }

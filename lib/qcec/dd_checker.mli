@@ -13,35 +13,44 @@ open Oqec_circuit
     proportionally). *)
 type oracle = Proportional | Lookahead
 
-(** [check_alternating ?oracle ?tol ?trace ?deadline g g'] builds the
-    miter [U(G') * U(G)^dagger] starting from the identity, taking gates
-    from both circuits so the intermediate diagram stays close to the
-    identity.  [tol] is the DD package's interning tolerance; [trace]
-    receives the intermediate node count after every gate application
-    (used by the Fig. 4 demo and the ablations). *)
+(** [check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline g g']
+    builds the miter [U(G') * U(G)^dagger] starting from the identity,
+    taking gates from both circuits so the intermediate diagram stays
+    close to the identity.  [tol] is the DD package's interning
+    tolerance; [gc_threshold] the package's collection trigger (see
+    {!Oqec_dd.Dd.create}) — the evolving miter edge is pinned as a GC
+    root; [trace] receives the intermediate node count after every gate
+    application (used by the Fig. 4 demo and the ablations). *)
 val check_alternating :
   ?oracle:oracle ->
   ?tol:float ->
+  ?gc_threshold:int ->
   ?trace:(int -> unit) ->
   ?deadline:float ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report
 
-(** [check_reference ?tol ?deadline g g'] constructs both system-matrix
-    DDs independently and compares root pointers (canonicity makes this a
-    constant-time comparison once built). *)
+(** [check_reference ?tol ?gc_threshold ?deadline g g'] constructs both
+    system-matrix DDs independently and compares root pointers
+    (canonicity makes this a constant-time comparison once built). *)
 val check_reference :
-  ?tol:float -> ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report
+  ?tol:float ->
+  ?gc_threshold:int ->
+  ?deadline:float ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report
 
-(** [check_approximate ?tol ?deadline ~threshold g g'] decides approximate
-    equivalence in the sense of the paper's reference [16]: the miter is
-    built with the alternating scheme and the circuits count as equivalent
-    when the normalised Hilbert-Schmidt overlap [|tr (U^dag V)| / 2^n]
-    reaches [threshold].  Returns the report together with the measured
-    fidelity. *)
+(** [check_approximate ?tol ?gc_threshold ?deadline ~threshold g g']
+    decides approximate equivalence in the sense of the paper's
+    reference [16]: the miter is built with the alternating scheme and
+    the circuits count as equivalent when the normalised Hilbert-Schmidt
+    overlap [|tr (U^dag V)| / 2^n] reaches [threshold].  Returns the
+    report together with the measured fidelity. *)
 val check_approximate :
   ?tol:float ->
+  ?gc_threshold:int ->
   ?deadline:float ->
   threshold:float ->
   Circuit.t ->

@@ -16,6 +16,7 @@ type report = {
   final_size : int;
   simulations : int;
   note : string;
+  dd_stats : Oqec_dd.Dd.stats option;
 }
 
 exception Timeout
@@ -40,6 +41,16 @@ let method_to_string = function
   | Zx_calculus -> "zx-calculus"
   | Combined -> "combined"
   | Stabilizer -> "stabilizer"
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"outcome\":%S,\"method\":%S,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%S,\"dd_stats\":%s}"
+    (outcome_to_string r.outcome)
+    (method_to_string r.method_used)
+    r.elapsed r.peak_size r.final_size r.simulations r.note
+    (match r.dd_stats with
+    | Some s -> Oqec_dd.Dd.stats_to_json s
+    | None -> "null")
 
 let pp_report ppf r =
   Format.fprintf ppf "%s [%s, %.3fs, peak %d, final %d%s]%s"

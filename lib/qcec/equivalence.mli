@@ -31,6 +31,10 @@ type report = {
           reduction *)
   simulations : int;  (** random-stimuli runs actually performed *)
   note : string;
+  dd_stats : Oqec_dd.Dd.stats option;
+      (** DD engine statistics (GC activity, compute-cache hit rates) for
+          the strategies that ran a DD package; [None] for ZX and
+          stabilizer checks *)
 }
 
 exception Timeout
@@ -44,4 +48,9 @@ val stopper : float option -> unit -> bool
 
 val outcome_to_string : outcome -> string
 val method_to_string : method_used -> string
+
+(** One-line JSON object for machine consumption (engine statistics
+    included when present). *)
+val report_to_json : report -> string
+
 val pp_report : Format.formatter -> report -> unit

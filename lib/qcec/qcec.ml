@@ -26,22 +26,24 @@ let timed_out_report ~method_used ~start =
     final_size = 0;
     simulations = 0;
     note = "";
+    dd_stats = None;
   }
 
-let check ?(strategy = Combined) ?timeout ?tol ?(sim_runs = 16) ?(seed = 1)
+let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1)
     ?(oracle = Dd_checker.Proportional) g g' =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun t -> start +. t) timeout in
   let run method_used f = try f () with Equivalence.Timeout -> timed_out_report ~method_used ~start in
   match strategy with
   | Reference ->
-      run Equivalence.Reference_dd (fun () -> Dd_checker.check_reference ?tol ?deadline g g')
+      run Equivalence.Reference_dd (fun () ->
+          Dd_checker.check_reference ?tol ?gc_threshold ?deadline g g')
   | Alternating ->
       run Equivalence.Alternating_dd (fun () ->
-          Dd_checker.check_alternating ~oracle ?tol ?deadline g g')
+          Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline g g')
   | Simulation ->
       run Equivalence.Simulation (fun () ->
-          Sim_checker.check ?tol ~runs:sim_runs ~seed ?deadline g g')
+          Sim_checker.check ?tol ?gc_threshold ~runs:sim_runs ~seed ?deadline g g')
   | Zx -> run Equivalence.Zx_calculus (fun () -> Zx_checker.check ?deadline g g')
   | Clifford -> run Equivalence.Stabilizer (fun () -> Stab_checker.check ?deadline g g')
   | Combined ->
@@ -64,7 +66,7 @@ let check ?(strategy = Combined) ?timeout ?tol ?(sim_runs = 16) ?(seed = 1)
             match deadline with Some d' -> Some (Float.min d d') | None -> Some d
           in
           let sim =
-            try Sim_checker.check ?tol ~runs:screen ~seed ?deadline:screen_deadline g g'
+            try Sim_checker.check ?tol ?gc_threshold ~runs:screen ~seed ?deadline:screen_deadline g g'
             with Equivalence.Timeout ->
               timed_out_report ~method_used:Equivalence.Simulation ~start
           in
@@ -76,7 +78,7 @@ let check ?(strategy = Combined) ?timeout ?tol ?(sim_runs = 16) ?(seed = 1)
                 elapsed = Unix.gettimeofday () -. start;
               }
           | Equivalence.No_information | Equivalence.Equivalent | Equivalence.Timed_out ->
-              let dd = Dd_checker.check_alternating ~oracle ?tol ?deadline g g' in
+              let dd = Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline g g' in
               {
                 dd with
                 Equivalence.method_used = Equivalence.Combined;

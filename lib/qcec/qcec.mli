@@ -34,18 +34,23 @@ type strategy =
 val strategy_to_string : strategy -> string
 val strategy_of_string : string -> strategy option
 
-(** [check ?strategy ?timeout ?tol ?sim_runs ?seed g g'] decides whether
-    the circuits are equivalent up to global phase and layout metadata.
+(** [check ?strategy ?timeout ?tol ?gc_threshold ?sim_runs ?seed g g']
+    decides whether the circuits are equivalent up to global phase and
+    layout metadata.
 
     [timeout] is wall-clock seconds for the whole check (default: none);
-    [tol] the DD weight-interning tolerance; [sim_runs] the number of
-    random stimuli (default 16, as in the paper's setup); [seed] makes
-    stimuli reproducible; [oracle] selects the alternating scheme's gate
-    scheduling (default [Proportional]). *)
+    [tol] the DD weight-interning tolerance; [gc_threshold] the DD
+    package's node-reclamation trigger (see {!Oqec_dd.Dd.create});
+    [sim_runs] the number of random stimuli (default 16, as in the
+    paper's setup); [seed] makes stimuli reproducible; [oracle] selects
+    the alternating scheme's gate scheduling (default [Proportional]).
+    DD-backed strategies record engine statistics in
+    [report.dd_stats]. *)
 val check :
   ?strategy:strategy ->
   ?timeout:float ->
   ?tol:float ->
+  ?gc_threshold:int ->
   ?sim_runs:int ->
   ?seed:int ->
   ?oracle:Dd_checker.oracle ->

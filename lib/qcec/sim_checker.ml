@@ -3,12 +3,12 @@ open Oqec_circuit
 open Oqec_dd
 open Oqec_workloads
 
-let check_states ?tol ?deadline g g' =
+let check_states ?tol ?gc_threshold ?deadline g g' =
   let start = Unix.gettimeofday () in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol () in
+  let pkg = Dd.create ?tol ?gc_threshold () in
   let run c =
     List.fold_left
       (fun acc op ->
@@ -17,7 +17,11 @@ let check_states ?tol ?deadline g g' =
       (Dd.kets_bits pkg n (fun _ -> false))
       (Circuit.ops c)
   in
-  let va = run a and vb = run b in
+  let va = run a in
+  (* Pin the first output state while the second circuit runs through the
+     package's GC safe points. *)
+  Dd.root pkg va;
+  let vb = run b in
   let fidelity = Cx.mag (Dd.inner pkg va vb) in
   let outcome =
     if fidelity >= 1.0 -. 1e-9 then Equivalence.Equivalent else Equivalence.Not_equivalent
@@ -30,18 +34,24 @@ let check_states ?tol ?deadline g g' =
     final_size = Dd.node_count va + Dd.node_count vb;
     simulations = 1;
     note = Printf.sprintf "(state fidelity %.9f)" fidelity;
+    dd_stats = Some (Dd.stats pkg);
   }
 
-let check ?tol ?(runs = 16) ?(seed = 1) ?deadline g g' =
+let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline g g' =
   let start = Unix.gettimeofday () in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol () in
+  let pkg = Dd.create ?tol ?gc_threshold () in
   let rng = Rng.make ~seed in
-  (* Build every gate DD once; the runs only pay for state evolution. *)
+  (* Build every gate DD once; the runs only pay for state evolution.
+     The gate DDs are reused across runs, so they are pinned as GC roots
+     — a collection during state evolution must not sever their sharing
+     with the unique table. *)
   let dds c = List.concat_map (Dd_circuit.op_dds pkg n) (Circuit.ops c) in
   let dds_a = dds a and dds_b = dds b in
+  List.iter (Dd.root pkg) dds_a;
+  List.iter (Dd.root pkg) dds_b;
   let apply gs v =
     List.fold_left
       (fun acc gdd ->
@@ -74,4 +84,5 @@ let check ?tol ?(runs = 16) ?(seed = 1) ?deadline g g' =
       | Equivalence.No_information ->
           Printf.sprintf "(all %d random stimuli agreed)" performed
       | Equivalence.Not_equivalent | Equivalence.Equivalent | Equivalence.Timed_out -> "");
+    dd_stats = Some (Dd.stats pkg);
   }

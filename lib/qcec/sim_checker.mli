@@ -9,6 +9,7 @@ open Oqec_circuit
 
 val check :
   ?tol:float ->
+  ?gc_threshold:int ->
   ?runs:int ->
   ?seed:int ->
   ?deadline:float ->
@@ -23,4 +24,9 @@ val check :
     Unlike random-stimuli checking this is a decision procedure: the two
     output state-vector DDs are compared by exact fidelity. *)
 val check_states :
-  ?tol:float -> ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report
+  ?tol:float ->
+  ?gc_threshold:int ->
+  ?deadline:float ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report

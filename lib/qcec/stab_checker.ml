@@ -23,4 +23,5 @@ let check ?deadline g g' =
     final_size = 2 * n;
     simulations = 0;
     note;
+    dd_stats = None;
   }

@@ -29,4 +29,5 @@ let check ?deadline g g' =
       | Equivalence.No_information ->
           Printf.sprintf "(%d spiders remain; strong indication of non-equivalence)" after
       | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out -> "");
+    dd_stats = None;
   }

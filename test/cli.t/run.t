@@ -34,6 +34,20 @@ Verification succeeds with every strategy (exit code 0):
   $ oqec check ghz.qasm ghz_lin.qasm -s combined > /dev/null
   $ oqec check ghz.qasm ghz_lin.qasm -s reference > /dev/null
 
+The DD engine reports its memory-management statistics; forcing a
+collection after every gate (--gc-threshold 0) does not change the
+verdict:
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --dd-stats \
+  >   | grep -cE 'nodes:|gc:|mm '
+  3
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --gc-threshold 0 \
+  >   --dd-stats | grep -oE 'gc: [0-9]+ run' | awk '{print ($2 > 0) ? "collected" : "idle"}'
+  collected
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --json \
+  >   | grep -cE '"outcome":"equivalent".*"dd_stats":\{'
+  1
+
 A corrupted circuit is refuted (exit code 1):
 
   $ sed 's/cx q\[1\],q\[2\];/cx q[2],q[1];/' ghz_lin.qasm > broken.qasm

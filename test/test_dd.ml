@@ -21,6 +21,25 @@ let test_ctable () =
   let z = Ctable.intern t (Cx.make (-0.0) 0.0) in
   Alcotest.(check bool) "negative zero normalised" true (1.0 /. z.Cx.re = infinity)
 
+(* Regression: NaN/inf and huge magnitudes used to hit int_of_float
+   undefined behaviour in the bucket computation, producing garbage keys
+   that could alias unrelated values.  They must now pass through
+   uninterned and leave the table intact. *)
+let test_ctable_nonfinite () =
+  let t = Ctable.create ~tol:1e-10 in
+  let inf = Ctable.intern t (Cx.make infinity neg_infinity) in
+  Alcotest.(check bool) "inf passes through" true (inf.Cx.re = infinity);
+  Alcotest.(check bool) "neg inf passes through" true (inf.Cx.im = neg_infinity);
+  let n = Ctable.intern t (Cx.make nan 0.0) in
+  Alcotest.(check bool) "nan passes through" true (Float.is_nan n.Cx.re);
+  let huge = Ctable.intern t (Cx.make 1e300 (-1e300)) in
+  Alcotest.(check bool) "huge passes through" true (huge.Cx.re = 1e300);
+  Alcotest.(check bool) "huge negative passes through" true (huge.Cx.im = -1e300);
+  (* The table still interns ordinary values correctly afterwards. *)
+  let a = Ctable.intern t (Cx.make 0.5 0.0) in
+  let b = Ctable.intern t (Cx.make (0.5 +. 1e-12) 0.0) in
+  Alcotest.(check bool) "normal interning unaffected" true (a = b)
+
 let test_identity_dd () =
   let pkg = Dd.create () in
   let id = Dd.identity pkg 5 in
@@ -124,6 +143,79 @@ let test_canonicity () =
   Alcotest.(check bool) "same node" true (d_whole.Dd.node == d_split.Dd.node);
   Alcotest.(check bool) "same weight" true (Cx.approx_equal d_whole.Dd.w d_split.Dd.w)
 
+(* ------------------------------------------ Engine statistics and GC *)
+
+let test_identity_memoised () =
+  let pkg = Dd.create () in
+  let a = Dd.identity pkg 6 in
+  let b = Dd.identity pkg 6 in
+  Alcotest.(check bool) "same chain" true (a.Dd.node == b.Dd.node);
+  (* The memoised identity acts as a GC root: it survives a collection
+     with no registered roots and stays physically identical. *)
+  ignore (Dd.gc pkg);
+  let c = Dd.identity pkg 6 in
+  Alcotest.(check bool) "survives gc" true (a.Dd.node == c.Dd.node)
+
+let test_stats_hits () =
+  let pkg = Dd.create () in
+  let d1 = Dd_circuit.of_circuit pkg ghz3 in
+  let d2 = Dd_circuit.of_circuit pkg (Circuit.inverse ghz3) in
+  let before = (Dd.stats pkg).Dd.mm.Ccache.s_hits in
+  ignore (Dd.mul pkg d1 d2);
+  let after_once = (Dd.stats pkg).Dd.mm.Ccache.s_hits in
+  ignore (Dd.mul pkg d1 d2);
+  let after_twice = (Dd.stats pkg).Dd.mm.Ccache.s_hits in
+  Alcotest.(check bool) "repeat mul hits the cache" true (after_twice > after_once);
+  ignore before;
+  let s = Dd.stats pkg in
+  Alcotest.(check bool) "total hits positive" true (Dd.cache_hits s > 0);
+  Alcotest.(check bool) "allocated covers live" true (s.Dd.allocated >= s.Dd.live);
+  Alcotest.(check bool) "peak covers live" true (s.Dd.peak_live >= s.Dd.live)
+
+let test_gc_roots () =
+  let pkg = Dd.create () in
+  let dd = Dd_circuit.of_circuit pkg ghz3 in
+  Dd.root pkg dd;
+  let nodes_before = Dd.node_count dd in
+  let trace_before = Dd.trace dd in
+  (* Junk that nothing roots: must be swept. *)
+  for i = 0 to 7 do
+    ignore (Dd.kets pkg 3 i)
+  done;
+  let live_before = Dd.live pkg in
+  let reclaimed = Dd.gc pkg in
+  Alcotest.(check bool) "collection reclaimed the kets" true (reclaimed > 0);
+  Alcotest.(check bool) "live dropped" true (Dd.live pkg < live_before);
+  (* The rooted miter is untouched. *)
+  Alcotest.(check int) "rooted node count unchanged" nodes_before (Dd.node_count dd);
+  Alcotest.check cx_testable "rooted trace unchanged" trace_before (Dd.trace dd);
+  (* Unrooting releases it: only the memoised identity chain remains. *)
+  Dd.unroot pkg dd;
+  let live_rooted = Dd.live pkg in
+  ignore (Dd.gc pkg);
+  Alcotest.(check bool) "live drops after unroot + gc" true (Dd.live pkg < live_rooted);
+  let s = Dd.stats pkg in
+  Alcotest.(check int) "gc runs counted" 2 s.Dd.gc_runs;
+  Alcotest.(check bool) "reclaimed counted" true (s.Dd.gc_reclaimed >= reclaimed)
+
+let test_root_counting () =
+  let pkg = Dd.create () in
+  let dd = Dd_circuit.of_circuit pkg ghz3 in
+  Dd.root pkg dd;
+  Dd.root pkg dd;
+  Dd.unroot pkg dd;
+  ignore (Dd.gc pkg);
+  (* One registration remains: the edge must still be canonical. *)
+  let again = Dd_circuit.of_circuit pkg ghz3 in
+  Alcotest.(check bool) "still hash-conses onto the root" true (dd.Dd.node == again.Dd.node)
+
+let test_auto_gc_threshold_zero () =
+  let pkg = Dd.create ~gc_threshold:0 () in
+  let dd = Dd_circuit.of_circuit pkg (Circuit.append ghz3 (Circuit.inverse ghz3)) in
+  Alcotest.(check bool) "is identity with gc at every gate" true (Dd.is_identity pkg 3 dd);
+  let s = Dd.stats pkg in
+  Alcotest.(check bool) "gc ran automatically" true (s.Dd.gc_runs >= 1)
+
 let random_clifford_t_circuit seed n n_ops =
   let rng = Rng.make ~seed in
   let c = ref (Circuit.create n) in
@@ -139,6 +231,17 @@ let random_clifford_t_circuit seed n n_ops =
     | _ -> c := Circuit.swap !c q q2
   done;
   !c
+
+let test_bounded_cache_overwrites () =
+  (* A tiny compute cache forces collisions: the workload still computes
+     correctly, and the overwrite counter records the evictions. *)
+  let pkg = Dd.create ~cache_bits:2 () in
+  let c = random_clifford_t_circuit 7 4 40 in
+  let dd = Dd_circuit.of_circuit pkg c in
+  check_matrix "tiny cache still correct" (Unitary.unitary c) (Dd_export.to_dmatrix dd ~n:4);
+  let s = Dd.stats pkg in
+  Alcotest.(check bool) "collisions recorded" true
+    (s.Dd.mm.Ccache.s_overwrites > 0 || s.Dd.add_.Ccache.s_overwrites > 0)
 
 let prop_circuit_dd_matches_dense =
   qtest ~count:40 "dd: circuit DD matches dense unitary"
@@ -186,6 +289,13 @@ let prop_trace_matches_dense =
 let suite =
   [
     Alcotest.test_case "complex table interning" `Quick test_ctable;
+    Alcotest.test_case "complex table non-finite inputs" `Quick test_ctable_nonfinite;
+    Alcotest.test_case "identity memoised across gc" `Quick test_identity_memoised;
+    Alcotest.test_case "stats: compute-cache hits" `Quick test_stats_hits;
+    Alcotest.test_case "gc: roots survive, garbage swept" `Quick test_gc_roots;
+    Alcotest.test_case "gc: root registrations counted" `Quick test_root_counting;
+    Alcotest.test_case "gc: automatic at threshold 0" `Quick test_auto_gc_threshold_zero;
+    Alcotest.test_case "bounded cache overwrites" `Quick test_bounded_cache_overwrites;
     Alcotest.test_case "identity dd (fig 3b)" `Quick test_identity_dd;
     Alcotest.test_case "hash consing" `Quick test_hash_consing;
     Alcotest.test_case "gate dds vs dense" `Quick test_gate_dd_dense;

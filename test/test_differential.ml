@@ -13,6 +13,7 @@
 
 open Oqec_base
 open Oqec_circuit
+open Oqec_dd
 open Oqec_qcec
 open Helpers
 
@@ -99,6 +100,73 @@ let fuzz_case ~clifford_only seed =
       ok)
     all_strategies
 
+(* ------------------------------------------------- GC differential suite
+
+   Seeded randomized hardening of the DD package's memory management:
+   for ~50 random Clifford+T circuits on 2-6 qubits,
+   (a) the DD built with GC forced at every safe point still matches the
+       dense reference unitary,
+   (b) the DD, ZX and simulation checkers give mutually consistent
+       verdicts against dense ground truth, and
+   (c) the alternating and reference checkers return identical outcomes
+       (and identical final diagram sizes — canonicity) with GC forced
+       after every gate application versus GC disabled. *)
+
+let gc_forced = 0
+let gc_disabled = max_int
+
+let gc_case seed =
+  let rng = Rng.make ~seed in
+  let n = 2 + Rng.int rng 5 in
+  let c1 = random_circuit rng ~clifford_only:false n (8 + Rng.int rng 12) in
+  let c2 = derive rng c1 in
+  if Circuit.gate_count c1 = 0 then ()
+  else begin
+    (* (a) forced-GC DD build vs dense reference *)
+    let pkg = Dd.create ~gc_threshold:gc_forced () in
+    let dd = Dd_circuit.of_circuit pkg c1 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: forced-gc DD matches dense unitary" seed)
+      true
+      (Dmatrix.equal ~tol:1e-8 (Unitary.unitary c1) (Dd_export.to_dmatrix dd ~n));
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: gc actually ran" seed)
+      true
+      ((Dd.stats pkg).Dd.gc_runs >= 1);
+    (* (b) verdict consistency across checkers *)
+    let truth = Unitary.equivalent c1 c2 in
+    List.iter
+      (fun strategy ->
+        let r = Qcec.check ~strategy ~seed ~gc_threshold:gc_forced ~timeout:20.0 c1 c2 in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: %s sound under forced gc" seed
+             (Qcec.strategy_to_string strategy))
+          true
+          (sound strategy truth r.Equivalence.outcome ~clifford_only:false))
+      Qcec.[ Reference; Alternating; Simulation; Zx ];
+    (* (c) forced vs disabled GC: identical verdicts and final sizes *)
+    let on = Dd_checker.check_alternating ~gc_threshold:gc_forced c1 c2 in
+    let off = Dd_checker.check_alternating ~gc_threshold:gc_disabled c1 c2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: alternating verdict gc-invariant" seed)
+      true
+      (on.Equivalence.outcome = off.Equivalence.outcome);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: alternating final size gc-invariant" seed)
+      off.Equivalence.final_size on.Equivalence.final_size;
+    let ron = Dd_checker.check_reference ~gc_threshold:gc_forced c1 c2 in
+    let roff = Dd_checker.check_reference ~gc_threshold:gc_disabled c1 c2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: reference verdict gc-invariant" seed)
+      true
+      (ron.Equivalence.outcome = roff.Equivalence.outcome)
+  end
+
+let test_gc_differential () =
+  for seed = 1 to 50 do
+    gc_case seed
+  done
+
 let prop_differential_general =
   qtest ~count:40 "differential: all strategies sound on Clifford+T pairs"
     QCheck.(make ~print:string_of_int Gen.int)
@@ -109,4 +177,10 @@ let prop_differential_clifford =
     QCheck.(make ~print:string_of_int Gen.int)
     (fun seed -> fuzz_case ~clifford_only:true (abs seed))
 
-let suite = [ prop_differential_general; prop_differential_clifford ]
+let suite =
+  [
+    prop_differential_general;
+    prop_differential_clifford;
+    Alcotest.test_case "gc differential: 50 seeded Clifford+T pairs" `Quick
+      test_gc_differential;
+  ]
