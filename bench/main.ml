@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- table1-optimized  Table 1, bottom half
      dune exec bench/main.exe -- fig1 .. fig6      figure demos
      dune exec bench/main.exe -- ablations         Section 6.2 ablations
+     dune exec bench/main.exe -- dd-stats          DD engine statistics
+     dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
      dune exec bench/main.exe -- micro             Bechamel micro-benchmarks
    Options:
      --paper        paper-scale instance sizes (hours; default is a scaled-down
@@ -479,6 +481,108 @@ let dd_stats_bench () =
   Printf.printf "wrote BENCH_dd_stats.json (%d gc run(s), %d cache hit(s) in total)\n"
     total_gc total_hits
 
+(* ---------------------------------------------------- Portfolio benchmark *)
+
+(* Sequential Combined (the paper's emulation: 8-stimulus screen, then the
+   alternating scheme) against the parallel portfolio on the same
+   instances, written to BENCH_portfolio.json.
+
+   The rare-fault instance targets the screen's blind spot: a Toffoli
+   prepended to a reversible network fires only on stimuli with both
+   control bits set, and with the chosen seed the first such stimulus has
+   index 10 — past the 8-stimulus screen, within the portfolio's 16
+   sharded stimuli.  Combined must run the whole agreeing screen before
+   the DD scheme can refute; the portfolio races both from the start. *)
+let portfolio_bench opts =
+  print_endline "\n== Portfolio vs sequential Combined ==";
+  let jobs = 2 in
+  let sim_runs = 16 in
+  let rare_fault g =
+    let n = Circuit.num_qubits g in
+    Circuit.append (Circuit.ccx (Circuit.create n) 0 1 2) g
+  in
+  let urf n gates = random_reversible ~seed:2 ~gates n in
+  let cases =
+    [
+      ("qpe-exact-8-compiled", `Equivalent, qpe_exact ~seed:3 7,
+       (compiled_instance opts "qpe-8" (qpe_exact ~seed:3 7)).derived);
+      ("qft-10-compiled", `Equivalent, qft 10, (compiled_instance opts "qft-10" (qft 10)).derived);
+      ("urf-8-rare-fault", `Not_equivalent, urf 8 120, rare_fault (urf 8 120));
+      ("urf-9-rare-fault", `Not_equivalent, urf 9 200, rare_fault (urf 9 200));
+      ("urf-10-rare-fault", `Not_equivalent, urf 10 300, rare_fault (urf 10 300));
+    ]
+  in
+  let timeout = Float.max opts.timeout 30.0 in
+  let rows =
+    List.map
+      (fun (name, expected, g, g') ->
+        let t0 = Unix.gettimeofday () in
+        let c = Qcec.check ~strategy:Qcec.Combined ~timeout ~sim_runs ~seed:1 g g' in
+        let t_c = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let p = Qcec.check ~strategy:Qcec.Portfolio ~timeout ~sim_runs ~seed:1 ~jobs g g' in
+        let t_p = Unix.gettimeofday () -. t1 in
+        let winner =
+          match p.Equivalence.portfolio with
+          | Some { Equivalence.winner = Some w; _ } -> w
+          | _ -> "-"
+        in
+        Printf.printf
+          "%-20s combined %-15s %7.3fs | portfolio %-15s %7.3fs (winner %-14s) | speedup %5.2fx\n%!"
+          name
+          (Equivalence.outcome_to_string c.Equivalence.outcome)
+          t_c
+          (Equivalence.outcome_to_string p.Equivalence.outcome)
+          t_p winner (t_c /. t_p);
+        (name, expected, c, t_c, p, t_p, winner))
+      cases
+  in
+  let oc = open_out "BENCH_portfolio.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, expected, c, t_c, p, t_p, winner) ->
+      Printf.fprintf oc
+        "  {\"benchmark\":%S,\"expected\":%S,\"jobs\":%d,\
+         \"combined\":{\"outcome\":%S,\"elapsed\":%.6f},\
+         \"portfolio\":{\"outcome\":%S,\"elapsed\":%.6f,\"winner\":%S},\
+         \"speedup\":%.3f}%s\n"
+        name
+        (match expected with `Equivalent -> "equivalent" | `Not_equivalent -> "not equivalent")
+        jobs
+        (Equivalence.outcome_to_string c.Equivalence.outcome)
+        t_c
+        (Equivalence.outcome_to_string p.Equivalence.outcome)
+        t_p winner
+        (t_c /. t_p)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  (* Combined hitting its timeout where the portfolio answers is the
+     point of the parallel scheme, not a disagreement. *)
+  let agreeing =
+    List.for_all
+      (fun (_, _, c, _, p, _, _) ->
+        c.Equivalence.outcome = p.Equivalence.outcome
+        || c.Equivalence.outcome = Equivalence.Timed_out)
+      rows
+  in
+  let no_slower =
+    List.length (List.filter (fun (_, _, _, t_c, _, t_p, _) -> t_p <= t_c) rows)
+  in
+  let best_faulty =
+    List.fold_left
+      (fun acc (_, expected, c, t_c, _, t_p, _) ->
+        match (expected, c.Equivalence.outcome) with
+        | `Not_equivalent, Equivalence.Not_equivalent -> Float.max acc (t_c /. t_p)
+        | _ -> acc)
+      0.0 rows
+  in
+  Printf.printf
+    "wrote BENCH_portfolio.json (conclusive verdicts agree: %b; portfolio <= combined \
+     on %d/%d; best conclusive non-equivalent speedup %.2fx)\n"
+    agreeing no_slower (List.length rows) best_faulty
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -549,6 +653,7 @@ let () =
     | "table-extended" -> run_extended opts
     | "ablations" -> run_ablations ()
     | "dd-stats" -> dd_stats_bench ()
+    | "portfolio" -> portfolio_bench opts
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
@@ -556,10 +661,11 @@ let () =
         run_table opts "Table 1 (bottom): optimized circuits" (optimized_suite opts);
         run_extended opts;
         run_ablations ();
-        dd_stats_bench ()
+        dd_stats_bench ();
+        portfolio_bench opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, micro, all)\n"
           other;
         exit 2
   in

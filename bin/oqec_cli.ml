@@ -55,7 +55,11 @@ let check_cmd =
       value
       & opt strategy_conv Qcec.Combined
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-          ~doc:"One of reference, alternating, simulation, zx, combined.")
+          ~doc:
+            "One of reference, alternating, simulation, zx, combined, clifford, \
+             portfolio.  portfolio races the alternating-DD, ZX and sharded \
+             random-stimuli checkers on separate domains and returns the first \
+             conclusive answer (see --jobs).")
   in
   let timeout =
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS")
@@ -63,6 +67,16 @@ let check_cmd =
   let tol = Arg.(value & opt (some float) None & info [ "tolerance" ] ~docv:"EPS") in
   let sim_runs = Arg.(value & opt int 16 & info [ "sim-runs" ] ~docv:"N") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Simulation shard count for --strategy portfolio (worker domains: N + 2).  \
+             Defaults to the machine's recommended domain count minus two, clamped to \
+             [1, 4].  Verdicts and counterexamples are independent of N.")
+  in
   let gc_threshold =
     Arg.(
       value
@@ -94,11 +108,16 @@ let check_cmd =
             "Approximate equivalence: accept when the Hilbert-Schmidt fidelity \
              reaches $(docv) (uses the decision-diagram miter).")
   in
-  let run file1 file2 strategy timeout tol sim_runs seed approx gc_threshold dd_stats json
-      =
+  let run file1 file2 strategy timeout tol sim_runs seed jobs approx gc_threshold dd_stats
+      json =
     (match gc_threshold with
     | Some t when t < 0 ->
         Printf.eprintf "error: --gc-threshold must be >= 0 (got %d)\n" t;
+        exit 3
+    | _ -> ());
+    (match jobs with
+    | Some j when j < 1 ->
+        Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" j;
         exit 3
     | _ -> ());
     let g = load file1 and g' = load file2 in
@@ -112,8 +131,8 @@ let check_cmd =
           in
           r
       | None ->
-          Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed g
-            g'
+          Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed
+            ?jobs g g'
     in
     if json then print_endline (Equivalence.report_to_json report)
     else begin
@@ -131,8 +150,8 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
     Term.(
-      const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ approx
-      $ gc_threshold $ dd_stats $ json)
+      const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ jobs
+      $ approx $ gc_threshold $ dd_stats $ json)
 
 (* ------------------------------------------------------------- info cmd *)
 

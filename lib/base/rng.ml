@@ -2,6 +2,15 @@ type t = Random.State.t
 
 let make ~seed = Random.State.make [| seed; 0x5eed |]
 let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+let split_at t i =
+  (* Derive the child from a snapshot so the parent does not advance:
+     indexed splitting must be a pure function of (state, i) for the
+     stimulus streams to be independent of how many children are drawn. *)
+  let snap = Random.State.copy t in
+  let a = Random.State.bits snap and b = Random.State.bits snap in
+  Random.State.make [| a; b; i; 0x5911 |]
+
 let int t bound = Random.State.int t bound
 let bool t = Random.State.bool t
 let float t bound = Random.State.float t bound

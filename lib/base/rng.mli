@@ -11,6 +11,14 @@ val make : seed:int -> t
 (** [split t] derives an independent generator; the parent advances. *)
 val split : t -> t
 
+(** [split_at t i] derives the [i]th child generator as a pure function
+    of [t]'s current state and [i] — the parent does {e not} advance, and
+    children with distinct indices are mutually independent.  This is the
+    primitive behind sharded random-stimuli generation: stimulus [i] is
+    the same no matter which worker draws it or how many workers there
+    are. *)
+val split_at : t -> int -> t
+
 (** [int t bound] is uniform in [0, bound). *)
 val int : t -> int -> int
 

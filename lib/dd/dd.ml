@@ -31,6 +31,12 @@ type pkg = {
   mutable gc_runs : int;
   mutable gc_reclaimed : int;
   mutable peak_live : int;
+  (* Client callback run at every GC safe point (gate application), before
+     the collection check.  Portfolio checkers hang their deadline- and
+     cancellation-polling here so every DD-backed worker reacts at the
+     same cadence as the collector, with no extra plumbing through the
+     circuit-application layer. *)
+  mutable safe_point_hook : unit -> unit;
 }
 
 let default_gc_threshold = 65536
@@ -55,7 +61,11 @@ let create ?(tol = Cx.default_tolerance) ?(gc_threshold = default_gc_threshold)
     gc_runs = 0;
     gc_reclaimed = 0;
     peak_live = 0;
+    safe_point_hook = ignore;
   }
+
+let on_safe_point pkg f = pkg.safe_point_hook <- f
+let at_safe_point_hook pkg = pkg.safe_point_hook ()
 
 let tolerance pkg = Ctable.tolerance pkg.ctab
 let intern pkg z = Ctable.intern pkg.ctab z

@@ -137,6 +137,17 @@ val gc : pkg -> int
     collections that reclaim too little, to avoid thrashing). *)
 val maybe_gc : pkg -> unit
 
+(** [on_safe_point pkg f] registers [f] to run at every GC safe point
+    (each gate application in {!Dd_circuit}), before the collection
+    check.  Checkers use this for deadline and cooperative-cancellation
+    polling; [f] may raise to unwind out of the computation.  One hook
+    per package (later registrations replace earlier ones). *)
+val on_safe_point : pkg -> (unit -> unit) -> unit
+
+(** [at_safe_point_hook pkg] invokes the registered hook (used by
+    {!Dd_circuit} at its safe points). *)
+val at_safe_point_hook : pkg -> unit
+
 (** {1 Diagnostics} *)
 
 (** [node_count e] counts the distinct nodes reachable from [e] (terminal

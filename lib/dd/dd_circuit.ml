@@ -72,11 +72,16 @@ let op_dds pkg n (op : Circuit.op) : Dd.edge list =
    diagram is pinned, a collection may run, and only then are the gate
    DDs built (so they can never be swept mid-application). *)
 let at_safe_point pkg dd f =
+  Dd.at_safe_point_hook pkg;
   Dd.root pkg dd;
   Dd.maybe_gc pkg;
-  let r = f () in
-  Dd.unroot pkg dd;
-  r
+  match f () with
+  | r ->
+      Dd.unroot pkg dd;
+      r
+  | exception e ->
+      Dd.unroot pkg dd;
+      raise e
 
 let apply_op pkg n (dd : Dd.edge) (op : Circuit.op) : Dd.edge =
   at_safe_point pkg dd (fun () ->

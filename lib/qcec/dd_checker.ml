@@ -23,6 +23,7 @@ let finish ~start ~method_used ~pkg ~n d =
     simulations = 0;
     note = "";
     dd_stats = Some (Dd.stats pkg);
+    portfolio = None;
   }
 
 type oracle = Proportional | Lookahead
@@ -38,12 +39,21 @@ type oracle = Proportional | Lookahead
    application is the package's collection safe point, and an unrooted
    miter would lose canonicity (and with it the structural identity
    test) the moment a collection runs. *)
-let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' =
+let guard_pkg ?deadline ?cancel pkg =
+  let gd =
+    Equivalence.Guard.make ?deadline
+      ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
+      ()
+  in
+  Dd.on_safe_point pkg (fun () -> Equivalence.Guard.check gd)
+
+let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
   let g, g' = Flatten.align g g' in
   let a = Decompose.elementary (Flatten.flatten g)
   and b = Decompose.elementary (Flatten.flatten g') in
   let n = Circuit.num_qubits a in
   let pkg = Dd.create ?tol ?gc_threshold () in
+  guard_pkg ?deadline ?cancel pkg;
   let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
   let ka = Array.length ops_a and kb = Array.length ops_b in
   let d = ref (Dd.identity pkg n) in
@@ -56,11 +66,13 @@ let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' =
   let ia = ref 0 and ib = ref 0 in
   let record () = match trace with Some f -> f (Dd.node_count !d) | None -> () in
   record ();
-  (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D. *)
+  (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D.
+     Deadline/cancellation polling happens inside the applications: gate
+     application is the package's GC safe point and runs the guard hook
+     registered above. *)
   let apply_a () = Dd_circuit.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
   let apply_b () = Dd_circuit.apply_op pkg n !d ops_b.(!ib) in
   while !ia < ka || !ib < kb do
-    Equivalence.guard deadline;
     if !ia >= ka then begin
       commit (apply_b ());
       incr ib
@@ -105,9 +117,10 @@ let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' =
   done;
   (pkg, n, !d)
 
-let check_alternating ?(oracle = Proportional) ?tol ?gc_threshold ?trace ?deadline g g' =
+let check_alternating ?(oracle = Proportional) ?tol ?gc_threshold ?trace ?deadline ?cancel g
+    g' =
   let start = Unix.gettimeofday () in
-  let pkg, n, d = build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline g g' in
+  let pkg, n, d = build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' in
   finish ~start ~method_used:Equivalence.Alternating_dd ~pkg ~n d
 
 let check_approximate ?tol ?gc_threshold ?deadline ~threshold g g' =
@@ -126,20 +139,20 @@ let check_approximate ?tol ?gc_threshold ?deadline ~threshold g g' =
       simulations = 0;
       note = Printf.sprintf "(fidelity %.9f, threshold %g)" fidelity threshold;
       dd_stats = Some (Dd.stats pkg);
+      portfolio = None;
     },
     fidelity )
 
-let check_reference ?tol ?gc_threshold ?deadline g g' =
+let check_reference ?tol ?gc_threshold ?deadline ?cancel g g' =
   let start = Unix.gettimeofday () in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
   let pkg = Dd.create ?tol ?gc_threshold () in
+  guard_pkg ?deadline ?cancel pkg;
   let build c =
     List.fold_left
-      (fun acc op ->
-        Equivalence.guard deadline;
-        Dd_circuit.apply_op pkg n acc op)
+      (fun acc op -> Dd_circuit.apply_op pkg n acc op)
       (Dd.identity pkg n) (Circuit.ops c)
   in
   let da = build a in
@@ -167,4 +180,5 @@ let check_reference ?tol ?gc_threshold ?deadline g g' =
     simulations = 0;
     note = "";
     dd_stats = Some (Dd.stats pkg);
+    portfolio = None;
   }

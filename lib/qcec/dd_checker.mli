@@ -20,24 +20,28 @@ type oracle = Proportional | Lookahead
     tolerance; [gc_threshold] the package's collection trigger (see
     {!Oqec_dd.Dd.create}) — the evolving miter edge is pinned as a GC
     root; [trace] receives the intermediate node count after every gate
-    application (used by the Fig. 4 demo and the ablations). *)
+    application (used by the Fig. 4 demo and the ablations); [cancel] is
+    a portfolio stop flag polled at every gate-application safe point
+    (raises {!Equivalence.Cancelled} when set). *)
 val check_alternating :
   ?oracle:oracle ->
   ?tol:float ->
   ?gc_threshold:int ->
   ?trace:(int -> unit) ->
   ?deadline:float ->
+  ?cancel:bool Atomic.t ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report
 
-(** [check_reference ?tol ?gc_threshold ?deadline g g'] constructs both
-    system-matrix DDs independently and compares root pointers
+(** [check_reference ?tol ?gc_threshold ?deadline ?cancel g g'] constructs
+    both system-matrix DDs independently and compares root pointers
     (canonicity makes this a constant-time comparison once built). *)
 val check_reference :
   ?tol:float ->
   ?gc_threshold:int ->
   ?deadline:float ->
+  ?cancel:bool Atomic.t ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report

@@ -7,6 +7,20 @@ type method_used =
   | Zx_calculus
   | Combined
   | Stabilizer
+  | Portfolio
+
+type checker_run = {
+  checker : string;
+  run_outcome : outcome;
+  run_elapsed : float;
+  run_note : string;
+}
+
+type portfolio_info = {
+  winner : string option;
+  jobs : int;
+  runs : checker_run list;
+}
 
 type report = {
   outcome : outcome;
@@ -17,16 +31,44 @@ type report = {
   simulations : int;
   note : string;
   dd_stats : Oqec_dd.Dd.stats option;
+  portfolio : portfolio_info option;
 }
 
 exception Timeout
+exception Cancelled
 
-let guard = function
-  | None -> ()
-  | Some deadline -> if Unix.gettimeofday () > deadline then raise Timeout
+module Guard = struct
+  type t = {
+    deadline : float option;
+    cancel : (unit -> bool) option;
+    mutable calls : int;
+    mutable expired : bool;
+  }
 
-let stopper deadline () =
-  match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  (* The wall clock is consulted on the first call and then once per
+     [quantum] calls: a [Unix.gettimeofday] per gate application dominates
+     cheap gates, while one per quantum keeps deadline behaviour identical
+     within a single polling window.  Cancellation is a plain atomic load
+     behind the closure and stays on every call so workers stop promptly. *)
+  let quantum = 64
+
+  let make ?deadline ?cancel () = { deadline; cancel; calls = 0; expired = false }
+
+  let check g =
+    (match g.cancel with Some stop when stop () -> raise Cancelled | _ -> ());
+    match g.deadline with
+    | None -> ()
+    | Some d ->
+        if g.expired then raise Timeout;
+        g.calls <- g.calls + 1;
+        if g.calls land (quantum - 1) = 1 && Unix.gettimeofday () > d then begin
+          g.expired <- true;
+          raise Timeout
+        end
+
+  let stopper g () = match check g with () -> false | exception (Timeout | Cancelled) -> true
+  let cancelled g = match g.cancel with Some stop -> stop () | None -> false
+end
 
 let outcome_to_string = function
   | Equivalent -> "equivalent"
@@ -41,16 +83,50 @@ let method_to_string = function
   | Zx_calculus -> "zx-calculus"
   | Combined -> "combined"
   | Stabilizer -> "stabilizer"
+  | Portfolio -> "portfolio"
+
+(* RFC 8259 string escaping.  [Printf %S] is OCaml literal syntax, not
+   JSON: it emits decimal escapes such as [\027] for control characters
+   and [\ddd] for non-ASCII bytes, both invalid JSON. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let checker_run_to_json cr =
+  Printf.sprintf "{\"checker\":%s,\"outcome\":%s,\"elapsed\":%.6f,\"note\":%s}"
+    (json_string cr.checker)
+    (json_string (outcome_to_string cr.run_outcome))
+    cr.run_elapsed (json_string cr.run_note)
+
+let portfolio_to_json p =
+  Printf.sprintf "{\"winner\":%s,\"jobs\":%d,\"checkers\":[%s]}"
+    (match p.winner with Some w -> json_string w | None -> "null")
+    p.jobs
+    (String.concat "," (List.map checker_run_to_json p.runs))
 
 let report_to_json r =
   Printf.sprintf
-    "{\"outcome\":%S,\"method\":%S,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%S,\"dd_stats\":%s}"
-    (outcome_to_string r.outcome)
-    (method_to_string r.method_used)
-    r.elapsed r.peak_size r.final_size r.simulations r.note
+    "{\"outcome\":%s,\"method\":%s,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%s,\"dd_stats\":%s,\"portfolio\":%s}"
+    (json_string (outcome_to_string r.outcome))
+    (json_string (method_to_string r.method_used))
+    r.elapsed r.peak_size r.final_size r.simulations (json_string r.note)
     (match r.dd_stats with
     | Some s -> Oqec_dd.Dd.stats_to_json s
     | None -> "null")
+    (match r.portfolio with Some p -> portfolio_to_json p | None -> "null")
 
 let pp_report ppf r =
   Format.fprintf ppf "%s [%s, %.3fs, peak %d, final %d%s]%s"
@@ -58,4 +134,17 @@ let pp_report ppf r =
     (method_to_string r.method_used)
     r.elapsed r.peak_size r.final_size
     (if r.simulations > 0 then Printf.sprintf ", %d sims" r.simulations else "")
-    (if r.note = "" then "" else " " ^ r.note)
+    (if r.note = "" then "" else " " ^ r.note);
+  match r.portfolio with
+  | None -> ()
+  | Some p ->
+      Format.fprintf ppf "@\n  portfolio (%d sim job%s)%s:" p.jobs
+        (if p.jobs = 1 then "" else "s")
+        (match p.winner with Some w -> ", winner " ^ w | None -> ", no winner");
+      List.iter
+        (fun cr ->
+          Format.fprintf ppf "@\n    %-16s %-15s %.3fs%s" cr.checker
+            (outcome_to_string cr.run_outcome)
+            cr.run_elapsed
+            (if cr.run_note = "" then "" else " " ^ cr.run_note))
+        p.runs

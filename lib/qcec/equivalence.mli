@@ -18,6 +18,27 @@ type method_used =
   | Stabilizer
       (** Heisenberg-tableau comparison, complete for the Clifford
           fragment (extension beyond the paper) *)
+  | Portfolio
+      (** parallel portfolio: alternating DD, ZX and sharded simulation
+          racing on separate domains, first conclusive answer wins — the
+          actual (parallel) QCEC configuration of Section 6.1 *)
+
+(** One constituent checker of a portfolio run. *)
+type checker_run = {
+  checker : string;  (** e.g. ["alternating-dd"], ["simulation-2"] *)
+  run_outcome : outcome;
+  run_elapsed : float;  (** seconds spent in that worker *)
+  run_note : string;  (** e.g. ["(cancelled)"] for losing workers *)
+}
+
+(** Per-checker breakdown of a portfolio race. *)
+type portfolio_info = {
+  winner : string option;
+      (** the checker whose conclusive answer won; [None] if every
+          checker yielded *)
+  jobs : int;  (** simulation shard count *)
+  runs : checker_run list;
+}
 
 type report = {
   outcome : outcome;
@@ -35,22 +56,54 @@ type report = {
       (** DD engine statistics (GC activity, compute-cache hit rates) for
           the strategies that ran a DD package; [None] for ZX and
           stabilizer checks *)
+  portfolio : portfolio_info option;
+      (** winner and per-checker breakdown; [Some] only for the
+          [Portfolio] strategy *)
 }
 
 exception Timeout
 
-(** [guard deadline] raises {!Timeout} once [Unix.gettimeofday] passes the
-    deadline (no-op for [None]). *)
-val guard : float option -> unit
+(** Raised inside a portfolio worker when another checker already won the
+    race (cooperative cancellation). *)
+exception Cancelled
 
-(** [stopper deadline] is a polling function for ZX's [should_stop]. *)
-val stopper : float option -> unit -> bool
+(** Deadline and cancellation polling for checker hot loops.
+
+    A guard bundles an optional wall-clock deadline with an optional
+    cancellation predicate (typically a closure over an [Atomic.t] stop
+    flag shared by a portfolio).  {!Guard.check} is designed to sit at
+    every safe point of a checker: the cancellation flag is read on every
+    call (one atomic load), the wall clock only once per
+    {!Guard.quantum} calls, so deadline polling stays off the hot path
+    while behaviour is unchanged within one polling window. *)
+module Guard : sig
+  type t
+
+  (** Number of {!check} calls between two [Unix.gettimeofday] polls. *)
+  val quantum : int
+
+  val make : ?deadline:float -> ?cancel:(unit -> bool) -> unit -> t
+
+  (** Raises {!Timeout} past the deadline, {!Cancelled} when the
+      cancellation predicate fires. *)
+  val check : t -> unit
+
+  (** Predicate form for ZX's [should_stop]. *)
+  val stopper : t -> unit -> bool
+
+  (** Whether the cancellation predicate currently fires (no exception,
+      no clock). *)
+  val cancelled : t -> bool
+end
 
 val outcome_to_string : outcome -> string
 val method_to_string : method_used -> string
 
-(** One-line JSON object for machine consumption (engine statistics
-    included when present). *)
+(** RFC 8259-escaped JSON string literal (with the surrounding quotes). *)
+val json_string : string -> string
+
+(** One-line JSON object for machine consumption (engine statistics and
+    portfolio breakdown included when present). *)
 val report_to_json : report -> string
 
 val pp_report : Format.formatter -> report -> unit

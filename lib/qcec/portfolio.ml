@@ -1,0 +1,209 @@
+(* Parallel portfolio equivalence checking — the paper's actual Section
+   6.1 configuration: the alternating-DD scheme, the ZX rewriter and a
+   sharded random-stimuli checker race on separate domains, and the first
+   conclusive answer (Equivalent / Not_equivalent) wins.
+
+   Cancellation protocol (cooperative, via [Atomic.t] flags polled at the
+   checkers' existing safe points — DD gate applications, ZX rewriting
+   loops, the per-gate simulation loop):
+
+   - [stop_dd_zx] is set as soon as ANY worker is conclusive: the DD and
+     ZX workers abandon their miters immediately.
+   - [stop_sims] is set only when a NON-simulation worker is conclusive.
+     When a simulation shard refutes, the other shards are instead bounded
+     by the shared minimal-refuting-index cell ([best], see
+     {!Sim_checker.check_shard}): they finish the still-relevant indices
+     below [best] (a shrinking, cheap tail) and stop.  This drain is what
+     makes the reported counterexample the global minimum of the stimulus
+     stream — deterministic in the seed and independent of the shard
+     count.
+
+   Verdict determinism: every constituent checker is deterministic and
+   sound, so whichever worker wins, a conclusive answer is the same one
+   the sequential strategies would reach — racing only changes WHO
+   answers (recorded in the report breakdown), never WHAT is answered. *)
+
+let default_jobs () = max 1 (min 4 (Domain.recommended_domain_count () - 2))
+
+type slot =
+  | Finished of Equivalence.report
+  | Timed of float  (* worker hit the deadline after this many seconds *)
+  | Stopped of float  (* worker was cancelled after this many seconds *)
+  | Failed of exn * Printexc.raw_backtrace
+
+let conclusive = function
+  | Finished r -> (
+      match r.Equivalence.outcome with
+      | Equivalence.Equivalent | Equivalence.Not_equivalent -> true
+      | Equivalence.No_information | Equivalence.Timed_out -> false)
+  | Timed _ | Stopped _ | Failed _ -> false
+
+let checker_run name = function
+  | Finished (r : Equivalence.report) ->
+      {
+        Equivalence.checker = name;
+        run_outcome = r.Equivalence.outcome;
+        run_elapsed = r.Equivalence.elapsed;
+        run_note = r.Equivalence.note;
+      }
+  | Timed t ->
+      {
+        Equivalence.checker = name;
+        run_outcome = Equivalence.Timed_out;
+        run_elapsed = t;
+        run_note = "";
+      }
+  | Stopped t ->
+      {
+        Equivalence.checker = name;
+        run_outcome = Equivalence.No_information;
+        run_elapsed = t;
+        run_note = "(cancelled)";
+      }
+  | Failed (e, _) ->
+      {
+        Equivalence.checker = name;
+        run_outcome = Equivalence.No_information;
+        run_elapsed = 0.0;
+        run_note = Printf.sprintf "(error: %s)" (Printexc.to_string e);
+      }
+
+let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
+    ?(oracle = Dd_checker.Proportional) g g' =
+  let start = Unix.gettimeofday () in
+  let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
+  let stop_dd_zx = Atomic.make false in
+  let stop_sims = Atomic.make false in
+  let best = Atomic.make max_int in
+  let workers =
+    Array.append
+      [|
+        ( "alternating-dd",
+          fun () ->
+            Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline
+              ~cancel:stop_dd_zx g g' );
+        ("zx-calculus", fun () -> Zx_checker.check ?deadline ~cancel:stop_dd_zx g g');
+      |]
+      (Array.init jobs (fun s ->
+           ( Printf.sprintf "simulation-%d" s,
+             fun () ->
+               Sim_checker.check_shard ?tol ?gc_threshold ?deadline ~cancel:stop_sims
+                 ~runs:sim_runs ~seed ~shard:s ~jobs ~best g g' )))
+  in
+  let n = Array.length workers in
+  let slots : slot option array = Array.make n None in
+  let remaining = ref n in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let run_worker i =
+    let _, f = workers.(i) in
+    let t0 = Unix.gettimeofday () in
+    let s =
+      match f () with
+      | r -> Finished r
+      | exception Equivalence.Timeout -> Timed (Unix.gettimeofday () -. t0)
+      | exception Equivalence.Cancelled -> Stopped (Unix.gettimeofday () -. t0)
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock m;
+    slots.(i) <- Some s;
+    decr remaining;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  let domains = Array.init n (fun i -> Domain.spawn (fun () -> run_worker i)) in
+  let find_conclusive () =
+    let rec go i =
+      if i >= n then None
+      else
+        match slots.(i) with Some s when conclusive s -> Some i | _ -> go (i + 1)
+    in
+    go 0
+  in
+  Mutex.lock m;
+  while !remaining > 0 && find_conclusive () = None do
+    Condition.wait cv m
+  done;
+  let early = find_conclusive () in
+  Mutex.unlock m;
+  (* First conclusive answer wins: cancel the losers.  Simulation shards
+     are not force-cancelled when a sibling shard won — they drain the
+     remaining sub-[best] indices instead (see the protocol note). *)
+  (match early with
+  | Some i when i >= 2 -> Atomic.set stop_dd_zx true
+  | Some _ ->
+      Atomic.set stop_dd_zx true;
+      Atomic.set stop_sims true
+  | None -> ());
+  Array.iter Domain.join domains;
+  (* Surface unexpected worker crashes instead of masking them. *)
+  Array.iter
+    (function
+      | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Finished _ | Timed _ | Stopped _) | None -> ())
+    slots;
+  let report_of i =
+    match slots.(i) with Some (Finished r) -> Some r | _ -> None
+  in
+  (* The winning checker and the report whose verdict/note we surface.
+     When a simulation shard wins, the drain guarantees [best] holds the
+     global minimal refuting stimulus index; its owner shard
+     [2 + best mod jobs] carries the canonical counterexample note. *)
+  let winner =
+    match early with
+    | None -> None
+    | Some i when i < 2 -> Some (fst workers.(i), Option.get (report_of i))
+    | Some i ->
+        let min_index = Atomic.get best in
+        let owner = 2 + (min_index mod jobs) in
+        let r =
+          match report_of owner with
+          | Some r when r.Equivalence.outcome = Equivalence.Not_equivalent -> r
+          | Some _ | None -> Option.get (report_of i)
+        in
+        Some ("simulation", r)
+  in
+  let runs = List.init n (fun i -> checker_run (fst workers.(i)) (Option.get slots.(i))) in
+  let fold f init = Array.fold_left (fun acc s -> f acc s) init slots in
+  let peak =
+    fold (fun acc s -> match s with Some (Finished r) -> max acc r.Equivalence.peak_size | _ -> acc) 0
+  in
+  let sims =
+    fold
+      (fun acc s -> match s with Some (Finished r) -> acc + r.Equivalence.simulations | _ -> acc)
+      0
+  in
+  let any_timeout =
+    Array.exists
+      (function
+        | Some (Timed _) -> true
+        | Some (Finished r) -> r.Equivalence.outcome = Equivalence.Timed_out
+        | _ -> false)
+      slots
+  in
+  let outcome, final_size, note, dd_stats, winner_name =
+    match winner with
+    | Some (name, r) ->
+        ( r.Equivalence.outcome,
+          r.Equivalence.final_size,
+          r.Equivalence.note,
+          r.Equivalence.dd_stats,
+          Some name )
+    | None ->
+        ( (if any_timeout then Equivalence.Timed_out else Equivalence.No_information),
+          0,
+          "(no checker was conclusive)",
+          None,
+          None )
+  in
+  {
+    Equivalence.outcome;
+    method_used = Equivalence.Portfolio;
+    elapsed = Unix.gettimeofday () -. start;
+    peak_size = peak;
+    final_size;
+    simulations = sims;
+    note;
+    dd_stats;
+    portfolio = Some { Equivalence.winner = winner_name; jobs; runs };
+  }

@@ -1,0 +1,38 @@
+(** Parallel portfolio equivalence checking (Section 6.1, parallel form).
+
+    Races the alternating-DD scheme, the ZX rewriter and a sharded
+    random-stimuli checker on separate domains; the first conclusive
+    answer ([Equivalent] / [Not_equivalent]) wins and cooperatively
+    cancels the remaining workers through [Atomic.t] stop flags polled at
+    the checkers' existing safe points.  [No_information] / [Timed_out]
+    are returned only when every worker yields.
+
+    Verdicts are deterministic in [seed] and independent of [jobs]:
+    stimulus [i] is a pure function of [(seed, i)], refuting shards drain
+    to the globally minimal counterexample index, and every constituent
+    checker is individually deterministic. *)
+
+open Oqec_circuit
+
+(** Default simulation shard count:
+    [Domain.recommended_domain_count () - 2] (leaving room for the DD and
+    ZX workers), clamped to [1, 4]. *)
+val default_jobs : unit -> int
+
+(** [check ?tol ?gc_threshold ?sim_runs ?seed ?jobs ?deadline ?oracle g g']
+    spawns [jobs + 2] worker domains ([jobs] simulation shards splitting
+    [sim_runs] stimuli round-robin, plus the alternating-DD and ZX
+    checkers).  The report's [method_used] is [Portfolio]; its
+    [portfolio] field records the winning checker and the per-checker
+    outcome/elapsed breakdown. *)
+val check :
+  ?tol:float ->
+  ?gc_threshold:int ->
+  ?sim_runs:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?deadline:float ->
+  ?oracle:Dd_checker.oracle ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report

@@ -1,4 +1,4 @@
-type strategy = Reference | Alternating | Simulation | Zx | Combined | Clifford
+type strategy = Reference | Alternating | Simulation | Zx | Combined | Clifford | Portfolio
 
 let strategy_to_string = function
   | Reference -> "reference"
@@ -7,6 +7,7 @@ let strategy_to_string = function
   | Zx -> "zx"
   | Combined -> "combined"
   | Clifford -> "clifford"
+  | Portfolio -> "portfolio"
 
 let strategy_of_string = function
   | "reference" -> Some Reference
@@ -15,6 +16,7 @@ let strategy_of_string = function
   | "zx" -> Some Zx
   | "combined" -> Some Combined
   | "clifford" -> Some Clifford
+  | "portfolio" -> Some Portfolio
   | _ -> None
 
 let timed_out_report ~method_used ~start =
@@ -27,10 +29,11 @@ let timed_out_report ~method_used ~start =
     simulations = 0;
     note = "";
     dd_stats = None;
+    portfolio = None;
   }
 
 let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1)
-    ?(oracle = Dd_checker.Proportional) g g' =
+    ?jobs ?(oracle = Dd_checker.Proportional) g g' =
   let start = Unix.gettimeofday () in
   let deadline = Option.map (fun t -> start +. t) timeout in
   let run method_used f = try f () with Equivalence.Timeout -> timed_out_report ~method_used ~start in
@@ -46,6 +49,9 @@ let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(
           Sim_checker.check ?tol ?gc_threshold ~runs:sim_runs ~seed ?deadline g g')
   | Zx -> run Equivalence.Zx_calculus (fun () -> Zx_checker.check ?deadline g g')
   | Clifford -> run Equivalence.Stabilizer (fun () -> Stab_checker.check ?deadline g g')
+  | Portfolio ->
+      run Equivalence.Portfolio (fun () ->
+          Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ~oracle g g')
   | Combined ->
       run Equivalence.Combined (fun () ->
           (* Sequential emulation of the paper's parallel configuration:

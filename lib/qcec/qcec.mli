@@ -30,6 +30,11 @@ type strategy =
       (** stabilizer-tableau comparison — complete and polynomial for
           Clifford-only circuits, [No_information] otherwise (extension
           beyond the paper) *)
+  | Portfolio
+      (** the paper's QCEC configuration run {e actually} in parallel
+          (Section 6.1): alternating DD, ZX and sharded random stimuli
+          race on separate domains, first conclusive answer wins and
+          cancels the rest (see {!Portfolio}) *)
 
 val strategy_to_string : strategy -> string
 val strategy_of_string : string -> strategy option
@@ -42,10 +47,14 @@ val strategy_of_string : string -> strategy option
     [tol] the DD weight-interning tolerance; [gc_threshold] the DD
     package's node-reclamation trigger (see {!Oqec_dd.Dd.create});
     [sim_runs] the number of random stimuli (default 16, as in the
-    paper's setup); [seed] makes stimuli reproducible; [oracle] selects
-    the alternating scheme's gate scheduling (default [Proportional]).
-    DD-backed strategies record engine statistics in
-    [report.dd_stats]. *)
+    paper's setup); [seed] makes stimuli reproducible; [jobs] the
+    [Portfolio] strategy's simulation shard count (default
+    {!Portfolio.default_jobs}; ignored by the other strategies — verdicts
+    never depend on it); [oracle] selects the alternating scheme's gate
+    scheduling (default [Proportional]).  DD-backed strategies record
+    engine statistics in [report.dd_stats]; [Portfolio] additionally
+    fills [report.portfolio] with the winner and per-checker
+    breakdown. *)
 val check :
   ?strategy:strategy ->
   ?timeout:float ->
@@ -53,6 +62,7 @@ val check :
   ?gc_threshold:int ->
   ?sim_runs:int ->
   ?seed:int ->
+  ?jobs:int ->
   ?oracle:Dd_checker.oracle ->
   Circuit.t ->
   Circuit.t ->

@@ -3,17 +3,19 @@ open Oqec_circuit
 open Oqec_dd
 open Oqec_workloads
 
-let check_states ?tol ?gc_threshold ?deadline g g' =
+let atomic_pred = Option.map (fun flag () -> Atomic.get flag)
+
+let check_states ?tol ?gc_threshold ?deadline ?cancel g g' =
   let start = Unix.gettimeofday () in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
   let pkg = Dd.create ?tol ?gc_threshold () in
+  let gd = Equivalence.Guard.make ?deadline ?cancel:(atomic_pred cancel) () in
+  Dd.on_safe_point pkg (fun () -> Equivalence.Guard.check gd);
   let run c =
     List.fold_left
-      (fun acc op ->
-        Equivalence.guard deadline;
-        Dd_circuit.apply_op_vec pkg n acc op)
+      (fun acc op -> Dd_circuit.apply_op_vec pkg n acc op)
       (Dd.kets_bits pkg n (fun _ -> false))
       (Circuit.ops c)
   in
@@ -35,15 +37,31 @@ let check_states ?tol ?gc_threshold ?deadline g g' =
     simulations = 1;
     note = Printf.sprintf "(state fidelity %.9f)" fidelity;
     dd_stats = Some (Dd.stats pkg);
+    portfolio = None;
   }
 
-let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline g g' =
-  let start = Unix.gettimeofday () in
+(* Stimulus [i] is a pure function of (seed, i): its bits come from the
+   [i]th indexed split of the base generator (see {!Rng.split_at}), so a
+   shard checking indices {s, s+k, ...} sees exactly the bits the
+   sequential checker uses at those indices — counterexamples are
+   identical for a given seed no matter how stimuli are spread over
+   workers. *)
+let stimulus_bits ~seed ~index n =
+  Workloads.random_bits (Rng.split_at (Rng.make ~seed) index) n
+
+type prepared = {
+  pkg : Dd.pkg;
+  n : int;
+  dds_a : Dd.edge list;
+  dds_b : Dd.edge list;
+  guard : Equivalence.Guard.t;
+}
+
+let prepare ?tol ?gc_threshold ~guard g g' =
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
   let pkg = Dd.create ?tol ?gc_threshold () in
-  let rng = Rng.make ~seed in
   (* Build every gate DD once; the runs only pay for state evolution.
      The gate DDs are reused across runs, so they are pinned as GC roots
      — a collection during state evolution must not sever their sharing
@@ -52,37 +70,109 @@ let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline g g' =
   let dds_a = dds a and dds_b = dds b in
   List.iter (Dd.root pkg) dds_a;
   List.iter (Dd.root pkg) dds_b;
+  { pkg; n; dds_a; dds_b; guard }
+
+(* One random-stimulus run: [Some fidelity] is a mismatch proof, [None]
+   means the outputs agree on this input. *)
+let run_stimulus p ~seed ~index =
+  let bits = stimulus_bits ~seed ~index p.n in
+  let input () = Dd.kets_bits p.pkg p.n (fun q -> bits.(q)) in
   let apply gs v =
     List.fold_left
       (fun acc gdd ->
-        Equivalence.guard deadline;
-        Dd.mul_vec pkg gdd acc)
+        Equivalence.Guard.check p.guard;
+        Dd.mul_vec p.pkg gdd acc)
       v gs
   in
-  let rec run k =
-    if k > runs then (Equivalence.No_information, k - 1)
-    else begin
-      let bits = Workloads.random_bits rng n in
-      let input () = Dd.kets_bits pkg n (fun q -> bits.(q)) in
-      let va = apply dds_a (input ()) in
-      let vb = apply dds_b (input ()) in
-      let fidelity = Cx.mag (Dd.inner pkg va vb) in
-      if fidelity < 1.0 -. 1e-9 then (Equivalence.Not_equivalent, k)
-      else run (k + 1)
-    end
-  in
-  let outcome, performed = run 1 in
+  let va = apply p.dds_a (input ()) in
+  let vb = apply p.dds_b (input ()) in
+  let fidelity = Cx.mag (Dd.inner p.pkg va vb) in
+  if fidelity < 1.0 -. 1e-9 then Some fidelity else None
+
+let report_of ~start ~outcome ~performed ~note p =
   {
     Equivalence.outcome;
     method_used = Equivalence.Simulation;
     elapsed = Unix.gettimeofday () -. start;
-    peak_size = Dd.allocated pkg;
+    peak_size = Dd.allocated p.pkg;
     final_size = 0;
     simulations = performed;
-    note =
-      (match outcome with
-      | Equivalence.No_information ->
-          Printf.sprintf "(all %d random stimuli agreed)" performed
-      | Equivalence.Not_equivalent | Equivalence.Equivalent | Equivalence.Timed_out -> "");
-    dd_stats = Some (Dd.stats pkg);
+    note;
+    dd_stats = Some (Dd.stats p.pkg);
+    portfolio = None;
   }
+
+let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline ?cancel g g' =
+  let start = Unix.gettimeofday () in
+  let guard = Equivalence.Guard.make ?deadline ?cancel:(atomic_pred cancel) () in
+  let p = prepare ?tol ?gc_threshold ~guard g g' in
+  let rec run i =
+    if i >= runs then (Equivalence.No_information, runs, None)
+    else
+      match run_stimulus p ~seed ~index:i with
+      | Some fid -> (Equivalence.Not_equivalent, i + 1, Some (i, fid))
+      | None -> run (i + 1)
+  in
+  let outcome, performed, refuted = run 0 in
+  let note =
+    match (outcome, refuted) with
+    | Equivalence.No_information, _ ->
+        Printf.sprintf "(all %d random stimuli agreed)" performed
+    | _, Some (i, fid) -> Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid
+    | _, None -> ""
+  in
+  report_of ~start ~outcome ~performed ~note p
+
+let check_shard ?tol ?gc_threshold ?deadline ?cancel ~runs ~seed ~shard ~jobs ~best g g' =
+  if shard < 0 || jobs <= 0 || shard >= jobs then
+    invalid_arg "Sim_checker.check_shard: need 0 <= shard < jobs";
+  let start = Unix.gettimeofday () in
+  (* Abandon the current stimulus as soon as its index can no longer be
+     the minimal counterexample: [best] only ever decreases, so work at or
+     above it is dead.  Indices below [best] must still be checked even
+     after another shard refutes — that is what makes the reported
+     counterexample the global minimum, independent of the shard count. *)
+  let current = ref max_int in
+  let cancel_pred () =
+    (match cancel with Some flag -> Atomic.get flag | None -> false)
+    || !current >= Atomic.get best
+  in
+  let guard = Equivalence.Guard.make ?deadline ~cancel:cancel_pred () in
+  let p = prepare ?tol ?gc_threshold ~guard g g' in
+  (* Lower [best] to [i] unless a smaller refutation is already recorded. *)
+  let rec publish i =
+    let b = Atomic.get best in
+    if i < b && not (Atomic.compare_and_set best b i) then publish i
+  in
+  let performed = ref 0 in
+  let refuted = ref None in
+  let rec scan i =
+    if i < runs && i < Atomic.get best then begin
+      current := i;
+      (match run_stimulus p ~seed ~index:i with
+      | Some fid ->
+          incr performed;
+          publish i;
+          if !refuted = None then refuted := Some (i, fid)
+      | None -> incr performed
+      | exception Equivalence.Cancelled
+        when !current >= Atomic.get best
+             && not (match cancel with Some f -> Atomic.get f | None -> false) ->
+          (* Only this stimulus became irrelevant; lower indices in this
+             shard are still checked by the [scan] condition above. *)
+          ());
+      current := max_int;
+      scan (i + jobs)
+    end
+  in
+  scan shard;
+  let outcome, note =
+    match !refuted with
+    | Some (i, fid) ->
+        ( Equivalence.Not_equivalent,
+          Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid )
+    | None ->
+        if Atomic.get best < max_int then (Equivalence.No_information, "(another shard refuted first)")
+        else (Equivalence.No_information, Printf.sprintf "(%d stimuli agreed)" !performed)
+  in
+  report_of ~start ~outcome ~performed:!performed ~note p

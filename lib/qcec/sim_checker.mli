@@ -3,7 +3,13 @@
     Runs both circuits on random computational basis states with
     decision-diagram simulation and compares output states by fidelity.
     A single mismatch proves non-equivalence; agreement on all runs
-    yields [No_information] (strong evidence, not proof). *)
+    yields [No_information] (strong evidence, not proof).
+
+    Stimulus [i] is a pure function of [(seed, i)] (drawn from
+    {!Oqec_base.Rng.split_at}), so the stimulus stream — and with it the
+    reported counterexample — is identical whether the indices are
+    checked sequentially by {!check} or spread over shards by
+    {!check_shard}. *)
 
 open Oqec_circuit
 
@@ -13,6 +19,31 @@ val check :
   ?runs:int ->
   ?seed:int ->
   ?deadline:float ->
+  ?cancel:bool Atomic.t ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report
+
+(** [check_shard ~runs ~seed ~shard ~jobs ~best g g'] is the portfolio
+    worker: it checks stimulus indices [shard, shard+jobs, ...] below
+    [runs] in increasing order.  [best] is the shared
+    minimal-refuting-index cell (initially [max_int]): a shard that finds
+    a mismatch at index [i] lowers [best] to [i] (monotonically), and
+    every shard stops scanning at [Atomic.get best] — so after all shards
+    return, [best] is the {e global} minimal refuting index, independent
+    of [jobs].  A stimulus whose index stops being minimal mid-run is
+    abandoned via {!Equivalence.Cancelled}.  [cancel] aborts the whole
+    shard (another checker of the portfolio won). *)
+val check_shard :
+  ?tol:float ->
+  ?gc_threshold:int ->
+  ?deadline:float ->
+  ?cancel:bool Atomic.t ->
+  runs:int ->
+  seed:int ->
+  shard:int ->
+  jobs:int ->
+  best:int Atomic.t ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report
@@ -27,6 +58,7 @@ val check_states :
   ?tol:float ->
   ?gc_threshold:int ->
   ?deadline:float ->
+  ?cancel:bool Atomic.t ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report

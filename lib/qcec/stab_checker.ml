@@ -1,15 +1,20 @@
 open Oqec_circuit
 open Oqec_stab
 
-let check ?deadline g g' =
+let check ?deadline ?cancel g g' =
   let start = Unix.gettimeofday () in
+  let gd =
+    Equivalence.Guard.make ?deadline
+      ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
+      ()
+  in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
   let outcome, note =
     match (Tableau.of_circuit a, Tableau.of_circuit b) with
     | ta, tb ->
-        Equivalence.guard deadline;
+        Equivalence.Guard.check gd;
         if Tableau.equal ta tb then (Equivalence.Equivalent, "")
         else (Equivalence.Not_equivalent, "(conjugation tableaus differ)")
     | exception Tableau.Not_clifford what ->
@@ -24,4 +29,5 @@ let check ?deadline g g' =
     simulations = 0;
     note;
     dd_stats = None;
+    portfolio = None;
   }

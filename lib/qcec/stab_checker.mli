@@ -9,4 +9,5 @@
 
 open Oqec_circuit
 
-val check : ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report
+val check :
+  ?deadline:float -> ?cancel:bool Atomic.t -> Circuit.t -> Circuit.t -> Equivalence.report

@@ -1,14 +1,25 @@
 open Oqec_base
 open Oqec_zx
 
-let check ?deadline g g' =
+let check ?deadline ?cancel g g' =
   let start = Unix.gettimeofday () in
+  let gd =
+    Equivalence.Guard.make ?deadline
+      ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
+      ()
+  in
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let diagram = Zx_circuit.of_miter a b in
   let before = Zx_graph.spider_count diagram in
-  let completed = Zx_simplify.full_reduce ~should_stop:(Equivalence.stopper deadline) diagram in
+  let completed =
+    Zx_simplify.full_reduce ~should_stop:(Equivalence.Guard.stopper gd) diagram
+  in
   let after = Zx_graph.spider_count diagram in
+  (* [should_stop] swallows the guard's exceptions; re-raise cancellation
+     so a losing portfolio worker is reported as cancelled, not as a
+     timeout. *)
+  if (not completed) && Equivalence.Guard.cancelled gd then raise Equivalence.Cancelled;
   let outcome =
     if not completed then Equivalence.Timed_out
     else
@@ -30,4 +41,5 @@ let check ?deadline g g' =
           Printf.sprintf "(%d spiders remain; strong indication of non-equivalence)" after
       | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out -> "");
     dd_stats = None;
+    portfolio = None;
   }

@@ -8,4 +8,7 @@
 
 open Oqec_circuit
 
-val check : ?deadline:float -> Circuit.t -> Circuit.t -> Equivalence.report
+(** [cancel] is a portfolio stop flag polled by the rewriting loops'
+    [should_stop]; raises {!Equivalence.Cancelled} when it fires. *)
+val check :
+  ?deadline:float -> ?cancel:bool Atomic.t -> Circuit.t -> Circuit.t -> Equivalence.report

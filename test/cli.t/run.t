@@ -34,6 +34,21 @@ Verification succeeds with every strategy (exit code 0):
   $ oqec check ghz.qasm ghz_lin.qasm -s combined > /dev/null
   $ oqec check ghz.qasm ghz_lin.qasm -s reference > /dev/null
 
+The parallel portfolio races the checkers on separate domains, names a
+winner and reports one line per worker (jobs + 2 of them); the verdict
+is independent of the shard count:
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 2 \
+  >   | grep -cE 'winner|alternating-dd|zx-calculus|simulation-[01]'
+  5
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 1 > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --json \
+  >   | grep -cE '"portfolio":\{"winner":'
+  1
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 0
+  error: --jobs must be >= 1 (got 0)
+  [3]
+
 The DD engine reports its memory-management statistics; forcing a
 collection after every gate (--gc-threshold 0) does not change the
 verdict:

@@ -14,5 +14,6 @@ let () =
       ("stab", Test_stab.suite);
       ("extract", Test_extract.suite);
       ("differential", Test_differential.suite);
+      ("portfolio", Test_portfolio.suite);
       ("misc", Test_misc.suite);
     ]

@@ -64,7 +64,7 @@ let derive rng c =
 let sound strategy truth outcome ~clifford_only =
   match (strategy, outcome) with
   | _, Equivalence.Timed_out -> true
-  | (Qcec.Reference | Qcec.Alternating | Qcec.Combined), o ->
+  | (Qcec.Reference | Qcec.Alternating | Qcec.Combined | Qcec.Portfolio), o ->
       o = (if truth then Equivalence.Equivalent else Equivalence.Not_equivalent)
   | Qcec.Simulation, Equivalence.Not_equivalent -> not truth
   | Qcec.Simulation, (Equivalence.No_information | Equivalence.Equivalent) -> true

@@ -73,7 +73,7 @@ let test_strategy_strings () =
       match Oqec_qcec.Qcec.strategy_of_string (Oqec_qcec.Qcec.strategy_to_string s) with
       | Some s' when s' = s -> ()
       | _ -> Alcotest.fail ("roundtrip failed for " ^ Oqec_qcec.Qcec.strategy_to_string s))
-    Oqec_qcec.Qcec.[ Reference; Alternating; Simulation; Zx; Combined; Clifford ];
+    Oqec_qcec.Qcec.[ Reference; Alternating; Simulation; Zx; Combined; Clifford; Portfolio ];
   Alcotest.(check bool) "unknown rejected" true
     (Oqec_qcec.Qcec.strategy_of_string "nonsense" = None)
 

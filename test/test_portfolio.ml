@@ -1,0 +1,215 @@
+(* Parallel portfolio checker tests.
+
+   - 50-seed differential suite: the portfolio verdict must agree with
+     the (complete) Combined strategy, and with ZX whenever ZX is
+     conclusive, for jobs in {1, 2, 4};
+   - sharded-stimuli determinism: the minimal refuting index is the same
+     for any shard count, so counterexamples never depend on --jobs;
+   - Rng.split_at stream pinning: the indexed child streams are frozen
+     (changing them silently re-seeds every sharded counterexample);
+   - cancellation: a pre-set stop flag aborts the DD and ZX checkers
+     immediately, and a full portfolio run on a pair whose DD check needs
+     tens of seconds returns within a small bound once simulation
+     refutes (prompt cooperative cancellation, bounded joined
+     wall-clock). *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_qcec
+
+(* ------------------------------------------------ Rng stream pinning *)
+
+(* Values computed once from the implementation and frozen: four draws of
+   [Rng.int _ 1_000_000] from [Rng.split_at (Rng.make ~seed) i]. *)
+let pinned_streams =
+  [
+    ((1, 0), [ 337454; 115391; 727088; 54571 ]);
+    ((1, 1), [ 498414; 176885; 164047; 15010 ]);
+    ((1, 7), [ 601536; 498242; 127936; 560658 ]);
+    ((42, 0), [ 23514; 263810; 781800; 359977 ]);
+    ((42, 5), [ 966733; 676528; 562802; 939220 ]);
+    ((123, 31), [ 305814; 7972; 833180; 299717 ]);
+  ]
+
+(* Draw [k] ints in a defined order (List.map/init order is unspecified). *)
+let draws rng k =
+  let rec go acc k = if k = 0 then List.rev acc else go (Rng.int rng 1_000_000 :: acc) (k - 1) in
+  go [] k
+
+let test_split_at_pinned () =
+  List.iter
+    (fun ((seed, i), expected) ->
+      let s = Rng.split_at (Rng.make ~seed) i in
+      let got = draws s (List.length expected) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "split_at (make ~seed:%d) %d stream" seed i)
+        expected got)
+    pinned_streams
+
+let test_split_at_pure () =
+  (* The parent state must not advance, and the child must not depend on
+     how many siblings were split off before it. *)
+  let parent = Rng.make ~seed:9 in
+  let first = draws (Rng.split_at parent 3) 4 in
+  ignore (draws (Rng.split_at parent 0) 4);
+  ignore (draws (Rng.split_at parent 1) 4);
+  let again = draws (Rng.split_at parent 3) 4 in
+  Alcotest.(check (list int)) "split_at is a pure function of (state, i)" first again;
+  let after_parent_use = Rng.int parent 1_000_000 in
+  Alcotest.(check int)
+    "parent stream unperturbed by split_at"
+    (Rng.int (Rng.make ~seed:9) 1_000_000)
+    after_parent_use
+
+(* -------------------------------------- sharded-stimuli determinism *)
+
+(* [c2] appends a Toffoli to [c1], so the pair differs exactly on the
+   stimuli whose (post-X) control bits are both 1.  The first such
+   stimulus index was computed from the pinned streams: seed 5 -> 4,
+   seed 4 -> 14. *)
+let toffoli_fault_pair () =
+  let c1 = Circuit.x (Circuit.create 3) 0 in
+  let c2 = Circuit.ccx c1 0 1 2 in
+  (c1, c2)
+
+let best_of_shards ~runs ~seed ~jobs c1 c2 =
+  let best = Atomic.make max_int in
+  for shard = 0 to jobs - 1 do
+    ignore (Sim_checker.check_shard ~runs ~seed ~shard ~jobs ~best c1 c2)
+  done;
+  Atomic.get best
+
+let test_shard_determinism () =
+  let c1, c2 = toffoli_fault_pair () in
+  List.iter
+    (fun (seed, expected_index) ->
+      List.iter
+        (fun jobs ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d, %d shard(s): minimal refuting index" seed jobs)
+            expected_index
+            (best_of_shards ~runs:16 ~seed ~jobs c1 c2))
+        [ 1; 2; 3; 4; 5 ];
+      (* The sequential checker reports the very same counterexample. *)
+      let r = Sim_checker.check ~runs:16 ~seed c1 c2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: sequential note names stimulus #%d" seed expected_index)
+        true
+        (r.Equivalence.outcome = Equivalence.Not_equivalent
+        && String.length r.Equivalence.note > 0
+        &&
+        let prefix = Printf.sprintf "(stimulus #%d refutes" expected_index in
+        String.length r.Equivalence.note >= String.length prefix
+        && String.sub r.Equivalence.note 0 (String.length prefix) = prefix))
+    [ (5, 4); (4, 14) ]
+
+(* ------------------------------------------- 50-seed differential suite *)
+
+let conclusive = function
+  | Equivalence.Equivalent | Equivalence.Not_equivalent -> true
+  | Equivalence.No_information | Equivalence.Timed_out -> false
+
+let portfolio_case seed =
+  let rng = Rng.make ~seed in
+  let n = 2 + Rng.int rng 3 in
+  let c1 =
+    Test_differential.random_circuit rng ~clifford_only:false n (6 + Rng.int rng 12)
+  in
+  let c2 = Test_differential.derive rng c1 in
+  if Circuit.gate_count c1 = 0 then ()
+  else begin
+    let combined = Qcec.check ~strategy:Qcec.Combined ~seed ~timeout:30.0 c1 c2 in
+    let zx = Qcec.check ~strategy:Qcec.Zx ~seed ~timeout:30.0 c1 c2 in
+    List.iter
+      (fun jobs ->
+        let p = Qcec.check ~strategy:Qcec.Portfolio ~jobs ~seed ~timeout:30.0 c1 c2 in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d, jobs %d: portfolio agrees with combined" seed jobs)
+          (Equivalence.outcome_to_string combined.Equivalence.outcome)
+          (Equivalence.outcome_to_string p.Equivalence.outcome);
+        if conclusive zx.Equivalence.outcome then
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d, jobs %d: portfolio agrees with zx" seed jobs)
+            (Equivalence.outcome_to_string zx.Equivalence.outcome)
+            (Equivalence.outcome_to_string p.Equivalence.outcome);
+        match p.Equivalence.portfolio with
+        | None ->
+            Alcotest.fail
+              (Printf.sprintf "seed %d, jobs %d: missing portfolio breakdown" seed jobs)
+        | Some info ->
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d: breakdown records jobs" seed)
+              jobs info.Equivalence.jobs;
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d: one run per worker" seed)
+              (jobs + 2)
+              (List.length info.Equivalence.runs);
+            if conclusive p.Equivalence.outcome then
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: conclusive verdict names a winner" seed)
+                true
+                (info.Equivalence.winner <> None))
+      [ 1; 2; 4 ]
+  end
+
+let test_portfolio_differential () =
+  for seed = 1 to 50 do
+    portfolio_case seed
+  done
+
+(* ------------------------------------------------------- cancellation *)
+
+let test_preset_cancel () =
+  let c1 = Decompose.elementary (Oqec_workloads.Workloads.qft 5) in
+  let c2 = Circuit.x c1 0 in
+  let flag = Atomic.make true in
+  Alcotest.check_raises "alternating DD aborts on a pre-set stop flag"
+    Equivalence.Cancelled (fun () ->
+      ignore (Dd_checker.check_alternating ~cancel:flag c1 c2));
+  Alcotest.check_raises "reference DD aborts on a pre-set stop flag"
+    Equivalence.Cancelled (fun () ->
+      ignore (Dd_checker.check_reference ~cancel:flag c1 c2));
+  Alcotest.check_raises "ZX aborts on a pre-set stop flag" Equivalence.Cancelled
+    (fun () -> ignore (Zx_checker.check ~cancel:flag c1 c2))
+
+(* Two unrelated 10-qubit reversible networks: the alternating-DD check
+   needs well over ten seconds on this pair (the miter is far from the
+   identity), while a single random stimulus refutes it almost
+   instantly.  A portfolio round must therefore come back quickly — the
+   joined wall-clock bound below is only met if the DD and ZX workers
+   are cancelled promptly instead of running to completion. *)
+let test_prompt_cancellation () =
+  let gen seed =
+    Decompose.elementary (Oqec_workloads.Workloads.random_reversible ~seed ~gates:200 10)
+  in
+  let c1 = gen 1 and c2 = gen 2 in
+  let t0 = Unix.gettimeofday () in
+  let r = Qcec.check ~strategy:Qcec.Portfolio ~jobs:2 ~seed:3 ~timeout:60.0 c1 c2 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check string)
+    "simulation refutes the unrelated pair" "not equivalent"
+    (Equivalence.outcome_to_string r.Equivalence.outcome);
+  (match r.Equivalence.portfolio with
+  | Some { Equivalence.winner = Some w; runs; _ } ->
+      Alcotest.(check string) "simulation wins the race" "simulation" w;
+      let dd = List.find (fun cr -> cr.Equivalence.checker = "alternating-dd") runs in
+      Alcotest.(check string)
+        "the slow DD worker was cancelled" "(cancelled)" dd.Equivalence.run_note
+  | _ -> Alcotest.fail "portfolio breakdown missing or winnerless");
+  Alcotest.(check bool)
+    (Printf.sprintf "joined wall-clock bounded (%.2fs < 10s)" elapsed)
+    true (elapsed < 10.0)
+
+let suite =
+  [
+    Alcotest.test_case "rng: split_at streams pinned" `Quick test_split_at_pinned;
+    Alcotest.test_case "rng: split_at is pure" `Quick test_split_at_pure;
+    Alcotest.test_case "shards: minimal refuting index independent of jobs" `Quick
+      test_shard_determinism;
+    Alcotest.test_case "differential: portfolio agrees with combined/zx, 50 seeds"
+      `Slow test_portfolio_differential;
+    Alcotest.test_case "cancellation: pre-set flag aborts checkers" `Quick
+      test_preset_cancel;
+    Alcotest.test_case "cancellation: losers stop promptly after a winner" `Slow
+      test_prompt_cancellation;
+  ]
