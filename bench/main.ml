@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- ablations         Section 6.2 ablations
      dune exec bench/main.exe -- dd-stats          DD engine statistics
      dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
+     dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
      dune exec bench/main.exe -- micro             Bechamel micro-benchmarks
    Options:
      --paper        paper-scale instance sizes (hours; default is a scaled-down
@@ -108,9 +109,9 @@ let optimized_suite opts =
 type cell = { time : float; outcome : Equivalence.outcome }
 
 let run_method opts strategy g g' =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let r = Qcec.check ~strategy ~timeout:opts.timeout ~seed:opts.seed g g' in
-  { time = Unix.gettimeofday () -. t0; outcome = r.Equivalence.outcome }
+  { time = Mclock.now () -. t0; outcome = r.Equivalence.outcome }
 
 let cell_to_string expected c =
   let t =
@@ -424,6 +425,15 @@ let ablation_oracle () =
 
 (* ------------------------------------------------- DD engine statistics *)
 
+(* Per-phase span totals (seconds) of a traced run, as a JSON object. *)
+let spans_json sink =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s:%.6f" (Equivalence.json_string k) v)
+         (Engine.Trace.totals sink))
+  ^ "}"
+
 (* Memory-management behaviour of the DD package on representative miters:
    wall time alongside GC activity and compute-cache efficiency, written
    to BENCH_dd_stats.json for tracking across revisions.  The threshold
@@ -448,10 +458,15 @@ let dd_stats_bench () =
       (fun (name, g) ->
         let arch = Architecture.ring (Circuit.num_qubits g + 2) in
         let g' = Compile.run arch g in
-        let t0 = Unix.gettimeofday () in
-        let r = Dd_checker.check_alternating ~gc_threshold g g' in
-        let dt = Unix.gettimeofday () -. t0 in
-        let s = Option.get r.Equivalence.dd_stats in
+        let sink = Engine.Trace.create () in
+        let ctx = Engine.Ctx.make ~gc_threshold ~sink () in
+        let t0 = Mclock.now () in
+        let r =
+          Engine.run ~ctx ~method_used:Equivalence.Alternating_dd (Dd_checker.alternating ())
+            g g'
+        in
+        let dt = Mclock.now () -. t0 in
+        let s = Option.get (Equivalence.dd_stats r) in
         Printf.printf
           "%-14s %-12s %6.3fs  alloc %7d  live %6d  peak %6d  gc %3d  reclaimed %7d  \
            mm-hit %4.1f%%  add-hit %4.1f%%\n%!"
@@ -460,24 +475,24 @@ let dd_stats_bench () =
           dt s.Dd.allocated s.Dd.live s.Dd.peak_live s.Dd.gc_runs s.Dd.gc_reclaimed
           (100.0 *. Ccache.hit_rate s.Dd.mm)
           (100.0 *. Ccache.hit_rate s.Dd.add_);
-        (name, dt, r, s))
+        (name, dt, r, s, sink))
       cases
   in
   let oc = open_out "BENCH_dd_stats.json" in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, dt, r, s) ->
+    (fun i (name, dt, r, s, sink) ->
       Printf.fprintf oc
-        "  {\"benchmark\":%S,\"outcome\":%S,\"elapsed\":%.6f,\"gc_threshold\":%d,\"dd\":%s}%s\n"
+        "  {\"benchmark\":%S,\"outcome\":%S,\"elapsed\":%.6f,\"gc_threshold\":%d,\"dd\":%s,\"spans\":%s}%s\n"
         name
         (Equivalence.outcome_to_string r.Equivalence.outcome)
-        dt gc_threshold (Dd.stats_to_json s)
+        dt gc_threshold (Dd.stats_to_json s) (spans_json sink)
         (if i < List.length rows - 1 then "," else ""))
     rows;
   output_string oc "]\n";
   close_out oc;
-  let total_gc = List.fold_left (fun acc (_, _, _, s) -> acc + s.Dd.gc_runs) 0 rows in
-  let total_hits = List.fold_left (fun acc (_, _, _, s) -> acc + Dd.cache_hits s) 0 rows in
+  let total_gc = List.fold_left (fun acc (_, _, _, s, _) -> acc + s.Dd.gc_runs) 0 rows in
+  let total_hits = List.fold_left (fun acc (_, _, _, s, _) -> acc + Dd.cache_hits s) 0 rows in
   Printf.printf "wrote BENCH_dd_stats.json (%d gc run(s), %d cache hit(s) in total)\n"
     total_gc total_hits
 
@@ -516,17 +531,16 @@ let portfolio_bench opts =
   let rows =
     List.map
       (fun (name, expected, g, g') ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Mclock.now () in
         let c = Qcec.check ~strategy:Qcec.Combined ~timeout ~sim_runs ~seed:1 g g' in
-        let t_c = Unix.gettimeofday () -. t0 in
-        let t1 = Unix.gettimeofday () in
-        let p = Qcec.check ~strategy:Qcec.Portfolio ~timeout ~sim_runs ~seed:1 ~jobs g g' in
-        let t_p = Unix.gettimeofday () -. t1 in
-        let winner =
-          match p.Equivalence.portfolio with
-          | Some { Equivalence.winner = Some w; _ } -> w
-          | _ -> "-"
+        let t_c = Mclock.now () -. t0 in
+        let sink = Engine.Trace.create () in
+        let t1 = Mclock.now () in
+        let p =
+          Qcec.check ~strategy:Qcec.Portfolio ~timeout ~sim_runs ~seed:1 ~jobs ~sink g g'
         in
+        let t_p = Mclock.now () -. t1 in
+        let winner = match p.Equivalence.winner with Some w -> w | None -> "-" in
         Printf.printf
           "%-20s combined %-15s %7.3fs | portfolio %-15s %7.3fs (winner %-14s) | speedup %5.2fx\n%!"
           name
@@ -534,17 +548,17 @@ let portfolio_bench opts =
           t_c
           (Equivalence.outcome_to_string p.Equivalence.outcome)
           t_p winner (t_c /. t_p);
-        (name, expected, c, t_c, p, t_p, winner))
+        (name, expected, c, t_c, p, t_p, winner, sink))
       cases
   in
   let oc = open_out "BENCH_portfolio.json" in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, expected, c, t_c, p, t_p, winner) ->
+    (fun i (name, expected, c, t_c, p, t_p, winner, sink) ->
       Printf.fprintf oc
         "  {\"benchmark\":%S,\"expected\":%S,\"jobs\":%d,\
          \"combined\":{\"outcome\":%S,\"elapsed\":%.6f},\
-         \"portfolio\":{\"outcome\":%S,\"elapsed\":%.6f,\"winner\":%S},\
+         \"portfolio\":{\"outcome\":%S,\"elapsed\":%.6f,\"winner\":%S,\"spans\":%s},\
          \"speedup\":%.3f}%s\n"
         name
         (match expected with `Equivalent -> "equivalent" | `Not_equivalent -> "not equivalent")
@@ -552,7 +566,7 @@ let portfolio_bench opts =
         (Equivalence.outcome_to_string c.Equivalence.outcome)
         t_c
         (Equivalence.outcome_to_string p.Equivalence.outcome)
-        t_p winner
+        t_p winner (spans_json sink)
         (t_c /. t_p)
         (if i < List.length rows - 1 then "," else ""))
     rows;
@@ -562,17 +576,17 @@ let portfolio_bench opts =
      point of the parallel scheme, not a disagreement. *)
   let agreeing =
     List.for_all
-      (fun (_, _, c, _, p, _, _) ->
+      (fun (_, _, c, _, p, _, _, _) ->
         c.Equivalence.outcome = p.Equivalence.outcome
         || c.Equivalence.outcome = Equivalence.Timed_out)
       rows
   in
   let no_slower =
-    List.length (List.filter (fun (_, _, _, t_c, _, t_p, _) -> t_p <= t_c) rows)
+    List.length (List.filter (fun (_, _, _, t_c, _, t_p, _, _) -> t_p <= t_c) rows)
   in
   let best_faulty =
     List.fold_left
-      (fun acc (_, expected, c, t_c, _, t_p, _) ->
+      (fun acc (_, expected, c, t_c, _, t_p, _, _) ->
         match (expected, c.Equivalence.outcome) with
         | `Not_equivalent, Equivalence.Not_equivalent -> Float.max acc (t_c /. t_p)
         | _ -> acc)
@@ -582,6 +596,48 @@ let portfolio_bench opts =
     "wrote BENCH_portfolio.json (conclusive verdicts agree: %b; portfolio <= combined \
      on %d/%d; best conclusive non-equivalent speedup %.2fx)\n"
     agreeing no_slower (List.length rows) best_faulty
+
+(* ----------------------------------------------------------- Trace smoke *)
+
+(* A traced portfolio run written to BENCH_trace.json in Chrome
+   trace_event format, with an internal shape check: the trace must carry
+   spans from at least three distinct categories (engine + per-checker
+   phases), or the instrumentation has regressed. *)
+let trace_smoke () =
+  print_endline "\n== Trace smoke: traced portfolio run ==";
+  let g = qft 8 in
+  let g' = Compile.run (Architecture.ring 10) g in
+  let sink = Engine.Trace.create () in
+  let r = Qcec.check ~strategy:Qcec.Portfolio ~sim_runs:16 ~seed:1 ~jobs:2 ~sink g g' in
+  let oc = open_out "BENCH_trace.json" in
+  output_string oc (Engine.Trace.to_chrome_json sink);
+  output_char oc '\n';
+  close_out oc;
+  let events = Engine.Trace.events sink in
+  let cats =
+    List.sort_uniq compare
+      (List.filter_map
+         (function
+           | Engine.Trace.Span { cat; _ } -> Some cat
+           | Engine.Trace.Count _ -> None)
+         events)
+  in
+  let spans, counts =
+    List.fold_left
+      (fun (s, c) -> function
+        | Engine.Trace.Span _ -> (s + 1, c)
+        | Engine.Trace.Count _ -> (s, c + 1))
+      (0, 0) events
+  in
+  Printf.printf "verdict: %s (winner %s)\n"
+    (Equivalence.outcome_to_string r.Equivalence.outcome)
+    (match r.Equivalence.winner with Some w -> w | None -> "-");
+  Printf.printf "wrote BENCH_trace.json: %d span(s), %d counter sample(s), categories: %s\n"
+    spans counts (String.concat " " cats);
+  if List.length cats < 3 then begin
+    Printf.eprintf "trace smoke FAILED: expected >= 3 span categories\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
@@ -654,6 +710,7 @@ let () =
     | "ablations" -> run_ablations ()
     | "dd-stats" -> dd_stats_bench ()
     | "portfolio" -> portfolio_bench opts
+    | "trace-smoke" -> trace_smoke ()
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
@@ -662,10 +719,11 @@ let () =
         run_extended opts;
         run_ablations ();
         dd_stats_bench ();
-        portfolio_bench opts
+        portfolio_bench opts;
+        trace_smoke ()
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, micro, all)\n"
           other;
         exit 2
   in

@@ -108,8 +108,26 @@ let check_cmd =
             "Approximate equivalence: accept when the Hilbert-Schmidt fidelity \
              reaches $(docv) (uses the decision-diagram miter).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write an execution trace (per-phase spans and engine counters) to $(docv) \
+             in Chrome trace_event JSON, loadable in chrome://tracing or Perfetto.")
+  in
+  let checkers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkers" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated checkers to race with --strategy portfolio: any of dd, zx, \
+             sim, stab (default dd,zx,sim).")
+  in
   let run file1 file2 strategy timeout tol sim_runs seed jobs approx gc_threshold dd_stats
-      json =
+      json trace checkers =
     (match gc_threshold with
     | Some t when t < 0 ->
         Printf.eprintf "error: --gc-threshold must be >= 0 (got %d)\n" t;
@@ -120,25 +138,43 @@ let check_cmd =
         Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" j;
         exit 3
     | _ -> ());
+    let checkers =
+      match checkers with
+      | None -> None
+      | Some s -> (
+          match Portfolio.selection_of_string s with
+          | Ok sel -> Some sel
+          | Error msg ->
+              Printf.eprintf "error: --checkers: %s\n" msg;
+              exit 3)
+    in
     let g = load file1 and g' = load file2 in
+    let sink = Option.map (fun _ -> Engine.Trace.create ()) trace in
     let report =
       match approx with
       | Some threshold ->
-          let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+          let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
           let r, _fid =
-            Dd_checker.check_approximate ?tol ?gc_threshold:gc_threshold ?deadline
+            Dd_checker.check_approximate ?tol ?gc_threshold:gc_threshold ?deadline ?sink
               ~threshold g g'
           in
           r
       | None ->
           Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed
-            ?jobs g g'
+            ?jobs ?checkers ?sink g g'
     in
+    (match (trace, sink) with
+    | Some path, Some s ->
+        let oc = open_out path in
+        output_string oc (Engine.Trace.to_chrome_json s);
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
     if json then print_endline (Equivalence.report_to_json report)
     else begin
       Format.printf "%a@." Equivalence.pp_report report;
       if dd_stats then
-        match report.Equivalence.dd_stats with
+        match Equivalence.dd_stats report with
         | Some s -> Format.printf "%a@." Oqec_dd.Dd.pp_stats s
         | None -> Format.printf "(no decision-diagram engine ran for this strategy)@."
     end;
@@ -151,7 +187,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
     Term.(
       const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ jobs
-      $ approx $ gc_threshold $ dd_stats $ json)
+      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers)
 
 (* ------------------------------------------------------------- info cmd *)
 

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "oqec_mclock_now_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_since t0 = now () -. t0

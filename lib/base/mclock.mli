@@ -1,0 +1,18 @@
+(** Monotonic clock.
+
+    All elapsed-time and deadline arithmetic in the checkers uses this
+    clock rather than [Unix.gettimeofday]: the monotonic clock is immune
+    to NTP steps and daylight-saving jumps, so a deadline can never fire
+    early (or report a negative elapsed time) because the wall clock was
+    adjusted mid-run.  The absolute value is meaningless — only
+    differences between two readings are. *)
+
+(** Nanoseconds since an arbitrary fixed origin (boot, typically). *)
+val now_ns : unit -> int64
+
+(** Seconds since the same origin, as a float — the unit used for
+    deadlines and elapsed-time reporting. *)
+val now : unit -> float
+
+(** [elapsed_since t0] is [now () -. t0]. *)
+val elapsed_since : float -> float

@@ -1,0 +1,16 @@
+/* Monotonic clock for elapsed-time and deadline arithmetic.
+
+   CLOCK_MONOTONIC never steps when NTP adjusts the wall clock, so
+   deadlines computed against it cannot fire spuriously (or go
+   negative) the way Unix.gettimeofday-based ones can. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value oqec_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

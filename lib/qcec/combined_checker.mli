@@ -1,0 +1,9 @@
+(** The paper's combined strategy as a single {!Engine.CHECKER}: a short
+    random-stimuli screen (at most 8 runs, with its own small time
+    slice) followed by the alternating-DD completeness argument.  A
+    refuting screen short-circuits; otherwise the DD verdict is returned
+    with the screen's simulation count merged in. *)
+
+(** [checker ?oracle ()] is the ["combined"] checker; [oracle] selects
+    the alternating scheme's gate-scheduling oracle. *)
+val checker : ?oracle:Dd_checker.oracle -> unit -> Engine.checker

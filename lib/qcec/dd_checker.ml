@@ -12,21 +12,35 @@ let conclude pkg n d =
   else if Dd.fidelity_to_identity ~n d >= fidelity_threshold then Equivalence.Equivalent
   else Equivalence.Not_equivalent
 
-let finish ~start ~method_used ~pkg ~n d =
+type oracle = Proportional | Lookahead
+
+(* Gate application is the package's collection safe point; it doubles as
+   the engine's counting and deadline/cancellation polling point. *)
+let hook_pkg ctx pkg =
+  Dd.on_safe_point pkg (fun () ->
+      Engine.Ctx.incr ctx Engine.Dd_gate_applied;
+      Engine.Ctx.check ctx)
+
+(* Fold the package's own accounting into the engine counters once the
+   run is over (these are maintained inside the package, not observable
+   per event from out here). *)
+let package_counters ctx pkg =
+  let st = Dd.stats pkg in
+  Engine.Ctx.set ctx Engine.Dd_gc_run st.Dd.gc_runs;
+  Engine.Ctx.set ctx Engine.Dd_cache_hit (Dd.cache_hits st);
+  st
+
+let verdict_of ctx ~pkg ~n d =
   let outcome = conclude pkg n d in
+  let st = package_counters ctx pkg in
   {
-    Equivalence.outcome;
-    method_used;
-    elapsed = Unix.gettimeofday () -. start;
+    Engine.outcome;
     peak_size = Dd.allocated pkg;
     final_size = Dd.node_count d;
     simulations = 0;
     note = "";
-    dd_stats = Some (Dd.stats pkg);
-    portfolio = None;
+    dd = Some st;
   }
-
-type oracle = Proportional | Lookahead
 
 (* Shared miter construction for the exact and approximate checkers.
 
@@ -39,21 +53,15 @@ type oracle = Proportional | Lookahead
    application is the package's collection safe point, and an unrooted
    miter would lose canonicity (and with it the structural identity
    test) the moment a collection runs. *)
-let guard_pkg ?deadline ?cancel pkg =
-  let gd =
-    Equivalence.Guard.make ?deadline
-      ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
-      ()
-  in
-  Dd.on_safe_point pkg (fun () -> Equivalence.Guard.check gd)
-
-let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
+let build_miter ctx ~oracle ?trace g g' =
   let g, g' = Flatten.align g g' in
   let a = Decompose.elementary (Flatten.flatten g)
   and b = Decompose.elementary (Flatten.flatten g') in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol ?gc_threshold () in
-  guard_pkg ?deadline ?cancel pkg;
+  let pkg =
+    Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
+  in
+  hook_pkg ctx pkg;
   let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
   let ka = Array.length ops_a and kb = Array.length ops_b in
   let d = ref (Dd.identity pkg n) in
@@ -68,7 +76,7 @@ let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
   record ();
   (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D.
      Deadline/cancellation polling happens inside the applications: gate
-     application is the package's GC safe point and runs the guard hook
+     application is the package's GC safe point and runs the engine hook
      registered above. *)
   let apply_a () = Dd_circuit.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
   let apply_b () = Dd_circuit.apply_op pkg n !d ops_b.(!ib) in
@@ -117,68 +125,107 @@ let build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
   done;
   (pkg, n, !d)
 
-let check_alternating ?(oracle = Proportional) ?tol ?gc_threshold ?trace ?deadline ?cancel g
-    g' =
-  let start = Unix.gettimeofday () in
-  let pkg, n, d = build_miter ~oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' in
-  finish ~start ~method_used:Equivalence.Alternating_dd ~pkg ~n d
+let alternating ?(oracle = Proportional) ?trace () : Engine.checker =
+  (module struct
+    let name = "alternating-dd"
 
-let check_approximate ?tol ?gc_threshold ?deadline ~threshold g g' =
-  let start = Unix.gettimeofday () in
-  let pkg, n, d = build_miter ~oracle:Proportional ?tol ?gc_threshold ?deadline g g' in
-  let fidelity = Dd.fidelity_to_identity ~n d in
-  let outcome =
-    if fidelity >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
-  in
-  ( {
-      Equivalence.outcome;
-      method_used = Equivalence.Alternating_dd;
-      elapsed = Unix.gettimeofday () -. start;
-      peak_size = Dd.allocated pkg;
-      final_size = Dd.node_count d;
-      simulations = 0;
-      note = Printf.sprintf "(fidelity %.9f, threshold %g)" fidelity threshold;
-      dd_stats = Some (Dd.stats pkg);
-      portfolio = None;
-    },
-    fidelity )
+    let run ctx g g' =
+      let pkg, n, d =
+        Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
+            build_miter ctx ~oracle ?trace g g')
+      in
+      Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> verdict_of ctx ~pkg ~n d)
+  end)
+
+let reference : Engine.checker =
+  (module struct
+    let name = "reference-dd"
+
+    let run ctx g g' =
+      let g, g' = Flatten.align g g' in
+      let a = Flatten.flatten g and b = Flatten.flatten g' in
+      let n = Circuit.num_qubits a in
+      let pkg =
+        Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
+      in
+      hook_pkg ctx pkg;
+      let build c =
+        List.fold_left
+          (fun acc op -> Dd_circuit.apply_op pkg n acc op)
+          (Dd.identity pkg n) (Circuit.ops c)
+      in
+      let da = Engine.Ctx.span ctx ~cat:"dd" "build-left" (fun () -> build a) in
+      (* Pin the first system matrix: building the second one runs through
+         GC safe points, and the root-pointer comparison below needs
+         canonicity. *)
+      Dd.root pkg da;
+      let db = Engine.Ctx.span ctx ~cat:"dd" "build-right" (fun () -> build b) in
+      Dd.root pkg db;
+      let outcome =
+        if da.Dd.node == db.Dd.node && Float.abs (Cx.mag da.Dd.w -. Cx.mag db.Dd.w) < 1e-9
+        then Equivalence.Equivalent
+        else begin
+          (* Canonicity says different roots mean different matrices, but
+             close-to-tolerance cases deserve the numeric check. *)
+          let miter = Dd.mul pkg (Dd.adjoint pkg da) db in
+          conclude pkg n miter
+        end
+      in
+      let st = package_counters ctx pkg in
+      {
+        Engine.outcome;
+        peak_size = Dd.allocated pkg;
+        final_size = Dd.node_count da + Dd.node_count db;
+        simulations = 0;
+        note = "";
+        dd = Some st;
+      }
+  end)
+
+(* ----------------------------------------------- Compatibility wrappers *)
+
+let ctx_of ?tol ?gc_threshold ?deadline ?cancel () =
+  Engine.Ctx.make ?deadline
+    ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
+    ?tol ?gc_threshold ()
+
+let check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
+  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
+  Engine.run ~ctx ~method_used:Equivalence.Alternating_dd
+    (alternating ?oracle ?trace ())
+    g g'
 
 let check_reference ?tol ?gc_threshold ?deadline ?cancel g g' =
-  let start = Unix.gettimeofday () in
-  let g, g' = Flatten.align g g' in
-  let a = Flatten.flatten g and b = Flatten.flatten g' in
-  let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol ?gc_threshold () in
-  guard_pkg ?deadline ?cancel pkg;
-  let build c =
-    List.fold_left
-      (fun acc op -> Dd_circuit.apply_op pkg n acc op)
-      (Dd.identity pkg n) (Circuit.ops c)
+  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
+  Engine.run ~ctx ~method_used:Equivalence.Reference_dd reference g g'
+
+let check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g' =
+  let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ?sink () in
+  let fidelity = ref nan in
+  let checker : Engine.checker =
+    (module struct
+      let name = "approximate-dd"
+
+      let run ctx g g' =
+        let pkg, n, d =
+          Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
+              build_miter ctx ~oracle:Proportional g g')
+        in
+        let f = Dd.fidelity_to_identity ~n d in
+        fidelity := f;
+        let outcome =
+          if f >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
+        in
+        let st = package_counters ctx pkg in
+        {
+          Engine.outcome;
+          peak_size = Dd.allocated pkg;
+          final_size = Dd.node_count d;
+          simulations = 0;
+          note = Printf.sprintf "(fidelity %.9f, threshold %g)" f threshold;
+          dd = Some st;
+        }
+    end)
   in
-  let da = build a in
-  (* Pin the first system matrix: building the second one runs through GC
-     safe points, and the root-pointer comparison below needs canonicity. *)
-  Dd.root pkg da;
-  let db = build b in
-  Dd.root pkg db;
-  let outcome =
-    if da.Dd.node == db.Dd.node && Float.abs (Cx.mag da.Dd.w -. Cx.mag db.Dd.w) < 1e-9
-    then Equivalence.Equivalent
-    else begin
-      (* Canonicity says different roots mean different matrices, but
-         close-to-tolerance cases deserve the numeric check. *)
-      let miter = Dd.mul pkg (Dd.adjoint pkg da) db in
-      conclude pkg n miter
-    end
-  in
-  {
-    Equivalence.outcome;
-    method_used = Equivalence.Reference_dd;
-    elapsed = Unix.gettimeofday () -. start;
-    peak_size = Dd.allocated pkg;
-    final_size = Dd.node_count da + Dd.node_count db;
-    simulations = 0;
-    note = "";
-    dd_stats = Some (Dd.stats pkg);
-    portfolio = None;
-  }
+  let report = Engine.run ~ctx ~method_used:Equivalence.Alternating_dd checker g g' in
+  (report, !fidelity)

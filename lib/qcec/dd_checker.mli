@@ -1,7 +1,9 @@
 (** Decision-diagram equivalence checking (Section 4.1).
 
     Both strategies decide [G ~ G'] up to global phase, honouring layout
-    metadata and absorbing SWAPs via {!Flatten}. *)
+    metadata and absorbing SWAPs via {!Flatten}.  The checkers are
+    {!Engine.CHECKER} instances; timing, deadline/cancellation polling
+    and report assembly live in {!Engine.run}. *)
 
 open Oqec_circuit
 
@@ -13,16 +15,27 @@ open Oqec_circuit
     proportionally). *)
 type oracle = Proportional | Lookahead
 
-(** [check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline g g']
+(** [alternating ?oracle ?trace ()] is the ["alternating-dd"] checker: it
     builds the miter [U(G') * U(G)^dagger] starting from the identity,
     taking gates from both circuits so the intermediate diagram stays
-    close to the identity.  [tol] is the DD package's interning
-    tolerance; [gc_threshold] the package's collection trigger (see
-    {!Oqec_dd.Dd.create}) — the evolving miter edge is pinned as a GC
-    root; [trace] receives the intermediate node count after every gate
-    application (used by the Fig. 4 demo and the ablations); [cancel] is
-    a portfolio stop flag polled at every gate-application safe point
-    (raises {!Equivalence.Cancelled} when set). *)
+    close to the identity.  [trace] receives the intermediate node count
+    after every gate application (used by the Fig. 4 demo and the
+    ablations).  The DD package's interning tolerance and collection
+    trigger come from the execution context ({!Engine.Ctx.tol},
+    {!Engine.Ctx.gc_threshold}); every gate application bumps the
+    ["dd.gates_applied"] counter and polls the context's guard. *)
+val alternating : ?oracle:oracle -> ?trace:(int -> unit) -> unit -> Engine.checker
+
+(** The ["reference-dd"] checker: constructs both system-matrix DDs
+    independently and compares root pointers (canonicity makes this a
+    constant-time comparison once built). *)
+val reference : Engine.checker
+
+(** [check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline
+    ?cancel g g'] runs {!alternating} under a fresh context.  [deadline]
+    is absolute monotonic time; [cancel] is a portfolio stop flag polled
+    at every gate-application safe point (raises
+    {!Equivalence.Cancelled} when set). *)
 val check_alternating :
   ?oracle:oracle ->
   ?tol:float ->
@@ -34,9 +47,8 @@ val check_alternating :
   Circuit.t ->
   Equivalence.report
 
-(** [check_reference ?tol ?gc_threshold ?deadline ?cancel g g'] constructs
-    both system-matrix DDs independently and compares root pointers
-    (canonicity makes this a constant-time comparison once built). *)
+(** [check_reference ?tol ?gc_threshold ?deadline ?cancel g g'] runs
+    {!reference} under a fresh context. *)
 val check_reference :
   ?tol:float ->
   ?gc_threshold:int ->
@@ -46,16 +58,17 @@ val check_reference :
   Circuit.t ->
   Equivalence.report
 
-(** [check_approximate ?tol ?gc_threshold ?deadline ~threshold g g']
+(** [check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g']
     decides approximate equivalence in the sense of the paper's
     reference [16]: the miter is built with the alternating scheme and
     the circuits count as equivalent when the normalised Hilbert-Schmidt
     overlap [|tr (U^dag V)| / 2^n] reaches [threshold].  Returns the
-    report together with the measured fidelity. *)
+    report together with the measured fidelity ([nan] on timeout). *)
 val check_approximate :
   ?tol:float ->
   ?gc_threshold:int ->
   ?deadline:float ->
+  ?sink:Engine.Trace.sink ->
   threshold:float ->
   Circuit.t ->
   Circuit.t ->

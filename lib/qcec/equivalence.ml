@@ -1,3 +1,5 @@
+open Oqec_base
+
 type outcome = Equivalent | Not_equivalent | No_information | Timed_out
 
 type method_used =
@@ -16,10 +18,10 @@ type checker_run = {
   run_note : string;
 }
 
-type portfolio_info = {
-  winner : string option;
-  jobs : int;
-  runs : checker_run list;
+type engine_stats = {
+  engine : string;
+  counters : (string * int) list;
+  dd : Oqec_dd.Dd.stats option;
 }
 
 type report = {
@@ -30,9 +32,16 @@ type report = {
   final_size : int;
   simulations : int;
   note : string;
-  dd_stats : Oqec_dd.Dd.stats option;
-  portfolio : portfolio_info option;
+  engine_stats : engine_stats list;
+  winner : string option;
+  jobs : int;
+  runs : checker_run list;
 }
+
+let dd_stats r =
+  List.fold_left
+    (fun acc e -> match acc with Some _ -> acc | None -> e.dd)
+    None r.engine_stats
 
 exception Timeout
 exception Cancelled
@@ -45,11 +54,11 @@ module Guard = struct
     mutable expired : bool;
   }
 
-  (* The wall clock is consulted on the first call and then once per
-     [quantum] calls: a [Unix.gettimeofday] per gate application dominates
-     cheap gates, while one per quantum keeps deadline behaviour identical
-     within a single polling window.  Cancellation is a plain atomic load
-     behind the closure and stays on every call so workers stop promptly. *)
+  (* The clock is consulted on the first call and then once per [quantum]
+     calls: an [Mclock.now] per gate application dominates cheap gates,
+     while one per quantum keeps deadline behaviour identical within a
+     single polling window.  Cancellation is a plain atomic load behind
+     the closure and stays on every call so workers stop promptly. *)
   let quantum = 64
 
   let make ?deadline ?cancel () = { deadline; cancel; calls = 0; expired = false }
@@ -61,7 +70,7 @@ module Guard = struct
     | Some d ->
         if g.expired then raise Timeout;
         g.calls <- g.calls + 1;
-        if g.calls land (quantum - 1) = 1 && Unix.gettimeofday () > d then begin
+        if g.calls land (quantum - 1) = 1 && Mclock.now () > d then begin
           g.expired <- true;
           raise Timeout
         end
@@ -111,22 +120,23 @@ let checker_run_to_json cr =
     (json_string (outcome_to_string cr.run_outcome))
     cr.run_elapsed (json_string cr.run_note)
 
-let portfolio_to_json p =
-  Printf.sprintf "{\"winner\":%s,\"jobs\":%d,\"checkers\":[%s]}"
-    (match p.winner with Some w -> json_string w | None -> "null")
-    p.jobs
-    (String.concat "," (List.map checker_run_to_json p.runs))
+let engine_stats_to_json e =
+  Printf.sprintf "{\"engine\":%s,\"counters\":{%s},\"dd\":%s}"
+    (json_string e.engine)
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%d" (json_string k) v) e.counters))
+    (match e.dd with Some s -> Oqec_dd.Dd.stats_to_json s | None -> "null")
 
 let report_to_json r =
   Printf.sprintf
-    "{\"outcome\":%s,\"method\":%s,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%s,\"dd_stats\":%s,\"portfolio\":%s}"
+    "{\"outcome\":%s,\"method\":%s,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%s,\"winner\":%s,\"jobs\":%d,\"runs\":[%s],\"engine_stats\":[%s]}"
     (json_string (outcome_to_string r.outcome))
     (json_string (method_to_string r.method_used))
     r.elapsed r.peak_size r.final_size r.simulations (json_string r.note)
-    (match r.dd_stats with
-    | Some s -> Oqec_dd.Dd.stats_to_json s
-    | None -> "null")
-    (match r.portfolio with Some p -> portfolio_to_json p | None -> "null")
+    (match r.winner with Some w -> json_string w | None -> "null")
+    r.jobs
+    (String.concat "," (List.map checker_run_to_json r.runs))
+    (String.concat "," (List.map engine_stats_to_json r.engine_stats))
 
 let pp_report ppf r =
   Format.fprintf ppf "%s [%s, %.3fs, peak %d, final %d%s]%s"
@@ -135,16 +145,15 @@ let pp_report ppf r =
     r.elapsed r.peak_size r.final_size
     (if r.simulations > 0 then Printf.sprintf ", %d sims" r.simulations else "")
     (if r.note = "" then "" else " " ^ r.note);
-  match r.portfolio with
-  | None -> ()
-  | Some p ->
-      Format.fprintf ppf "@\n  portfolio (%d sim job%s)%s:" p.jobs
-        (if p.jobs = 1 then "" else "s")
-        (match p.winner with Some w -> ", winner " ^ w | None -> ", no winner");
-      List.iter
-        (fun cr ->
-          Format.fprintf ppf "@\n    %-16s %-15s %.3fs%s" cr.checker
-            (outcome_to_string cr.run_outcome)
-            cr.run_elapsed
-            (if cr.run_note = "" then "" else " " ^ cr.run_note))
-        p.runs
+  if List.length r.runs > 1 then begin
+    Format.fprintf ppf "@\n  portfolio (%d sim job%s)%s:" r.jobs
+      (if r.jobs = 1 then "" else "s")
+      (match r.winner with Some w -> ", winner " ^ w | None -> ", no winner");
+    List.iter
+      (fun cr ->
+        Format.fprintf ppf "@\n    %-16s %-15s %.3fs%s" cr.checker
+          (outcome_to_string cr.run_outcome)
+          cr.run_elapsed
+          (if cr.run_note = "" then "" else " " ^ cr.run_note))
+      r.runs
+  end

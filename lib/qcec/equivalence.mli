@@ -19,11 +19,11 @@ type method_used =
       (** Heisenberg-tableau comparison, complete for the Clifford
           fragment (extension beyond the paper) *)
   | Portfolio
-      (** parallel portfolio: alternating DD, ZX and sharded simulation
-          racing on separate domains, first conclusive answer wins — the
-          actual (parallel) QCEC configuration of Section 6.1 *)
+      (** parallel portfolio: a set of checkers racing on separate
+          domains, first conclusive answer wins — the actual (parallel)
+          QCEC configuration of Section 6.1 *)
 
-(** One constituent checker of a portfolio run. *)
+(** One constituent checker of a multi-worker run. *)
 type checker_run = {
   checker : string;  (** e.g. ["alternating-dd"], ["simulation-2"] *)
   run_outcome : outcome;
@@ -31,57 +31,70 @@ type checker_run = {
   run_note : string;  (** e.g. ["(cancelled)"] for losing workers *)
 }
 
-(** Per-checker breakdown of a portfolio race. *)
-type portfolio_info = {
-  winner : string option;
-      (** the checker whose conclusive answer won; [None] if every
-          checker yielded *)
-  jobs : int;  (** simulation shard count *)
-  runs : checker_run list;
+(** Per-engine observability payload, one per checker that ran.  The
+    [counters] are the typed trace counters accumulated by the execution
+    context (e.g. ["dd.gates_applied"], ["zx.rewrites.pivot"],
+    ["sim.stimuli"], ["stab.rows_canonicalized"]); [dd] carries the rich
+    decision-diagram package statistics when that checker ran one.  New
+    engines extend the report by adding counters — no new report fields
+    are needed. *)
+type engine_stats = {
+  engine : string;
+  counters : (string * int) list;  (** sorted by counter name *)
+  dd : Oqec_dd.Dd.stats option;
 }
 
 type report = {
   outcome : outcome;
   method_used : method_used;
-  elapsed : float;  (** seconds *)
+  elapsed : float;  (** seconds (monotonic clock) *)
   peak_size : int;
-      (** DD methods: nodes allocated in the package; ZX: spiders in the
-          initial miter diagram *)
+      (** DD methods: nodes allocated in the package; ZX: the true
+          running peak of the spider count (rewrites such as boundary
+          pivoting and gadgetization grow the graph transiently) *)
   final_size : int;
       (** DD: nodes in the final diagram; ZX: spiders left after
           reduction *)
   simulations : int;  (** random-stimuli runs actually performed *)
   note : string;
-  dd_stats : Oqec_dd.Dd.stats option;
-      (** DD engine statistics (GC activity, compute-cache hit rates) for
-          the strategies that ran a DD package; [None] for ZX and
-          stabilizer checks *)
-  portfolio : portfolio_info option;
-      (** winner and per-checker breakdown; [Some] only for the
-          [Portfolio] strategy *)
+  engine_stats : engine_stats list;
+      (** one entry per engine that ran (workers of a race each get
+          their own entry) *)
+  winner : string option;
+      (** races: the checker whose conclusive answer won; [None] for
+          single-checker strategies or when every racer yielded *)
+  jobs : int;  (** simulation shard count of a race; [1] otherwise *)
+  runs : checker_run list;
+      (** per-worker breakdown of a race; a single entry for
+          single-checker strategies *)
 }
+
+(** First engine entry carrying decision-diagram package statistics,
+    if any ran. *)
+val dd_stats : report -> Oqec_dd.Dd.stats option
 
 exception Timeout
 
-(** Raised inside a portfolio worker when another checker already won the
-    race (cooperative cancellation). *)
+(** Raised inside a racing worker when another checker already won
+    (cooperative cancellation). *)
 exception Cancelled
 
 (** Deadline and cancellation polling for checker hot loops.
 
-    A guard bundles an optional wall-clock deadline with an optional
-    cancellation predicate (typically a closure over an [Atomic.t] stop
-    flag shared by a portfolio).  {!Guard.check} is designed to sit at
-    every safe point of a checker: the cancellation flag is read on every
-    call (one atomic load), the wall clock only once per
-    {!Guard.quantum} calls, so deadline polling stays off the hot path
-    while behaviour is unchanged within one polling window. *)
+    A guard bundles an optional deadline (absolute {!Mclock} time) with
+    an optional cancellation predicate (typically a closure over an
+    [Atomic.t] stop flag shared by a race).  {!Guard.check} is designed
+    to sit at every safe point of a checker: the cancellation flag is
+    read on every call (one atomic load), the monotonic clock only once
+    per {!Guard.quantum} calls, so deadline polling stays off the hot
+    path while behaviour is unchanged within one polling window. *)
 module Guard : sig
   type t
 
-  (** Number of {!check} calls between two [Unix.gettimeofday] polls. *)
+  (** Number of {!check} calls between two {!Mclock.now} polls. *)
   val quantum : int
 
+  (** [deadline] is absolute monotonic time ({!Mclock.now}-based). *)
   val make : ?deadline:float -> ?cancel:(unit -> bool) -> unit -> t
 
   (** Raises {!Timeout} past the deadline, {!Cancelled} when the
@@ -102,8 +115,8 @@ val method_to_string : method_used -> string
 (** RFC 8259-escaped JSON string literal (with the surrounding quotes). *)
 val json_string : string -> string
 
-(** One-line JSON object for machine consumption (engine statistics and
-    portfolio breakdown included when present). *)
+(** One-line JSON object for machine consumption (engine statistics,
+    counters and race breakdown included). *)
 val report_to_json : report -> string
 
 val pp_report : Format.formatter -> report -> unit

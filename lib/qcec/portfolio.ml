@@ -1,57 +1,93 @@
 (* Parallel portfolio equivalence checking — the paper's actual Section
-   6.1 configuration: the alternating-DD scheme, the ZX rewriter and a
-   sharded random-stimuli checker race on separate domains, and the first
-   conclusive answer (Equivalent / Not_equivalent) wins.
+   6.1 configuration, generalised to a race combinator over any list of
+   {!Engine.CHECKER}s: every entry runs on its own domain under its own
+   derived execution context, and the first conclusive answer
+   (Equivalent / Not_equivalent) wins.
 
    Cancellation protocol (cooperative, via [Atomic.t] flags polled at the
    checkers' existing safe points — DD gate applications, ZX rewriting
    loops, the per-gate simulation loop):
 
-   - [stop_dd_zx] is set as soon as ANY worker is conclusive: the DD and
-     ZX workers abandon their miters immediately.
-   - [stop_sims] is set only when a NON-simulation worker is conclusive.
-     When a simulation shard refutes, the other shards are instead bounded
-     by the shared minimal-refuting-index cell ([best], see
-     {!Sim_checker.check_shard}): they finish the still-relevant indices
-     below [best] (a shrinking, cheap tail) and stop.  This drain is what
-     makes the reported counterexample the global minimum of the stimulus
-     stream — deterministic in the seed and independent of the shard
-     count.
+   - [stop_all] is set as soon as ANY worker is conclusive: non-drain
+     workers (DD, ZX, stabilizer) abandon their work immediately.
+   - [stop_drain] is set only when a non-drain worker is conclusive.
+     Simulation shards are drain workers: when a sibling shard refutes,
+     they are instead bounded by the shared minimal-refuting-index cell
+     ([best], see {!Sim_checker.shard}) — they finish the still-relevant
+     indices below [best] (a shrinking, cheap tail) and stop.  This
+     drain is what makes the reported counterexample the global minimum
+     of the stimulus stream — deterministic in the seed and independent
+     of the shard count.
 
    Verdict determinism: every constituent checker is deterministic and
    sound, so whichever worker wins, a conclusive answer is the same one
    the sequential strategies would reach — racing only changes WHO
    answers (recorded in the report breakdown), never WHAT is answered. *)
 
+open Oqec_base
+
 let default_jobs () = max 1 (min 4 (Domain.recommended_domain_count () - 2))
 
+type selection = { use_dd : bool; use_zx : bool; use_sim : bool; use_stab : bool }
+
+let default_selection = { use_dd = true; use_zx = true; use_sim = true; use_stab = false }
+
+let selection_of_string s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty checker selection"
+  else
+    let rec build sel = function
+      | [] -> Ok sel
+      | "dd" :: rest -> build { sel with use_dd = true } rest
+      | "zx" :: rest -> build { sel with use_zx = true } rest
+      | "sim" :: rest -> build { sel with use_sim = true } rest
+      | "stab" :: rest -> build { sel with use_stab = true } rest
+      | p :: _ -> Error (Printf.sprintf "unknown checker %S (expected dd, zx, sim, stab)" p)
+    in
+    build { use_dd = false; use_zx = false; use_sim = false; use_stab = false } parts
+
+let selection_to_string sel =
+  String.concat ","
+    (List.concat
+       [
+         (if sel.use_dd then [ "dd" ] else []);
+         (if sel.use_zx then [ "zx" ] else []);
+         (if sel.use_sim then [ "sim" ] else []);
+         (if sel.use_stab then [ "stab" ] else []);
+       ])
+
+(* One racer: [drain] workers are bounded by their own shared-progress
+   protocol instead of being force-cancelled when a sibling drain worker
+   wins (see the protocol note above). *)
+type entry = { checker : Engine.checker; drain : bool }
+
+let entry ?(drain = false) checker = { checker; drain }
+let entry_name e =
+  let module C = (val e.checker : Engine.CHECKER) in
+  C.name
+
 type slot =
-  | Finished of Equivalence.report
-  | Timed of float  (* worker hit the deadline after this many seconds *)
+  | Finished of Engine.verdict * float  (* verdict, worker-side elapsed *)
   | Stopped of float  (* worker was cancelled after this many seconds *)
   | Failed of exn * Printexc.raw_backtrace
 
 let conclusive = function
-  | Finished r -> (
-      match r.Equivalence.outcome with
+  | Finished (v, _) -> (
+      match v.Engine.outcome with
       | Equivalence.Equivalent | Equivalence.Not_equivalent -> true
       | Equivalence.No_information | Equivalence.Timed_out -> false)
-  | Timed _ | Stopped _ | Failed _ -> false
+  | Stopped _ | Failed _ -> false
 
 let checker_run name = function
-  | Finished (r : Equivalence.report) ->
+  | Finished (v, t) ->
       {
         Equivalence.checker = name;
-        run_outcome = r.Equivalence.outcome;
-        run_elapsed = r.Equivalence.elapsed;
-        run_note = r.Equivalence.note;
-      }
-  | Timed t ->
-      {
-        Equivalence.checker = name;
-        run_outcome = Equivalence.Timed_out;
+        run_outcome = v.Engine.outcome;
         run_elapsed = t;
-        run_note = "";
+        run_note = v.Engine.note;
       }
   | Stopped t ->
       {
@@ -68,41 +104,34 @@ let checker_run name = function
         run_note = Printf.sprintf "(error: %s)" (Printexc.to_string e);
       }
 
-let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
-    ?(oracle = Dd_checker.Proportional) g g' =
-  let start = Unix.gettimeofday () in
-  let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
-  let stop_dd_zx = Atomic.make false in
-  let stop_sims = Atomic.make false in
-  let best = Atomic.make max_int in
-  let workers =
-    Array.append
-      [|
-        ( "alternating-dd",
-          fun () ->
-            Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline
-              ~cancel:stop_dd_zx g g' );
-        ("zx-calculus", fun () -> Zx_checker.check ?deadline ~cancel:stop_dd_zx g g');
-      |]
-      (Array.init jobs (fun s ->
-           ( Printf.sprintf "simulation-%d" s,
-             fun () ->
-               Sim_checker.check_shard ?tol ?gc_threshold ?deadline ~cancel:stop_sims
-                 ~runs:sim_runs ~seed ~shard:s ~jobs ~best g g' )))
+(* [race ~ctx ~jobs ?resolve entries g g'] runs every entry on its own
+   domain and assembles the portfolio report.  [resolve] may remap the
+   raw winning slot index to a display name and a canonical slot (used
+   to surface the globally-minimal simulation counterexample). *)
+let race ~ctx ?(jobs = 1) ?resolve entries g g' =
+  let start = Mclock.now () in
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  if n = 0 then invalid_arg "Portfolio.race: no checkers";
+  let stop_all = Atomic.make false in
+  let stop_drain = Atomic.make false in
+  let contexts =
+    Array.mapi
+      (fun i e ->
+        let flag = if e.drain then stop_drain else stop_all in
+        Engine.Ctx.worker ctx ~tid:(i + 2) ~cancel:(fun () -> Atomic.get flag) ())
+      entries
   in
-  let n = Array.length workers in
   let slots : slot option array = Array.make n None in
   let remaining = ref n in
   let m = Mutex.create () in
   let cv = Condition.create () in
   let run_worker i =
-    let _, f = workers.(i) in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mclock.now () in
     let s =
-      match f () with
-      | r -> Finished r
-      | exception Equivalence.Timeout -> Timed (Unix.gettimeofday () -. t0)
-      | exception Equivalence.Cancelled -> Stopped (Unix.gettimeofday () -. t0)
+      match Engine.run_worker contexts.(i) entries.(i).checker g g' with
+      | v -> Finished (v, Mclock.elapsed_since t0)
+      | exception Equivalence.Cancelled -> Stopped (Mclock.elapsed_since t0)
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
     Mutex.lock m;
@@ -115,8 +144,7 @@ let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
   let find_conclusive () =
     let rec go i =
       if i >= n then None
-      else
-        match slots.(i) with Some s when conclusive s -> Some i | _ -> go (i + 1)
+      else match slots.(i) with Some s when conclusive s -> Some i | _ -> go (i + 1)
     in
     go 0
   in
@@ -126,84 +154,118 @@ let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
   done;
   let early = find_conclusive () in
   Mutex.unlock m;
-  (* First conclusive answer wins: cancel the losers.  Simulation shards
-     are not force-cancelled when a sibling shard won — they drain the
-     remaining sub-[best] indices instead (see the protocol note). *)
+  (* First conclusive answer wins: cancel the losers.  Drain workers are
+     not force-cancelled when a sibling drain worker won — they finish
+     their shrinking tail instead (see the protocol note). *)
   (match early with
-  | Some i when i >= 2 -> Atomic.set stop_dd_zx true
+  | Some i when entries.(i).drain -> Atomic.set stop_all true
   | Some _ ->
-      Atomic.set stop_dd_zx true;
-      Atomic.set stop_sims true
+      Atomic.set stop_all true;
+      Atomic.set stop_drain true
   | None -> ());
   Array.iter Domain.join domains;
   (* Surface unexpected worker crashes instead of masking them. *)
   Array.iter
     (function
       | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
-      | Some (Finished _ | Timed _ | Stopped _) | None -> ())
+      | Some (Finished _ | Stopped _) | None -> ())
     slots;
-  let report_of i =
-    match slots.(i) with Some (Finished r) -> Some r | _ -> None
-  in
-  (* The winning checker and the report whose verdict/note we surface.
-     When a simulation shard wins, the drain guarantees [best] holds the
-     global minimal refuting stimulus index; its owner shard
-     [2 + best mod jobs] carries the canonical counterexample note. *)
+  let verdict_of i = match slots.(i) with Some (Finished (v, _)) -> Some v | _ -> None in
   let winner =
     match early with
     | None -> None
-    | Some i when i < 2 -> Some (fst workers.(i), Option.get (report_of i))
-    | Some i ->
-        let min_index = Atomic.get best in
-        let owner = 2 + (min_index mod jobs) in
-        let r =
-          match report_of owner with
-          | Some r when r.Equivalence.outcome = Equivalence.Not_equivalent -> r
-          | Some _ | None -> Option.get (report_of i)
-        in
-        Some ("simulation", r)
+    | Some i -> (
+        match resolve with
+        | None -> Some (entry_name entries.(i), Option.get (verdict_of i))
+        | Some f ->
+            let display, canonical = f i in
+            let v =
+              match verdict_of canonical with
+              | Some v when v.Engine.outcome = Equivalence.Not_equivalent -> v
+              | Some _ | None -> Option.get (verdict_of i)
+            in
+            Some (display, v))
   in
-  let runs = List.init n (fun i -> checker_run (fst workers.(i)) (Option.get slots.(i))) in
-  let fold f init = Array.fold_left (fun acc s -> f acc s) init slots in
+  let runs =
+    List.init n (fun i -> checker_run (entry_name entries.(i)) (Option.get slots.(i)))
+  in
+  let engine_stats =
+    List.init n (fun i ->
+        let dd = Option.bind (verdict_of i) (fun v -> v.Engine.dd) in
+        Engine.stats_of contexts.(i) ~name:(entry_name entries.(i)) dd)
+  in
+  let fold f init = Array.fold_left f init slots in
   let peak =
-    fold (fun acc s -> match s with Some (Finished r) -> max acc r.Equivalence.peak_size | _ -> acc) 0
+    fold
+      (fun acc s ->
+        match s with Some (Finished (v, _)) -> max acc v.Engine.peak_size | _ -> acc)
+      0
   in
   let sims =
     fold
-      (fun acc s -> match s with Some (Finished r) -> acc + r.Equivalence.simulations | _ -> acc)
+      (fun acc s ->
+        match s with Some (Finished (v, _)) -> acc + v.Engine.simulations | _ -> acc)
       0
   in
   let any_timeout =
     Array.exists
       (function
-        | Some (Timed _) -> true
-        | Some (Finished r) -> r.Equivalence.outcome = Equivalence.Timed_out
+        | Some (Finished (v, _)) -> v.Engine.outcome = Equivalence.Timed_out
         | _ -> false)
       slots
   in
-  let outcome, final_size, note, dd_stats, winner_name =
+  let outcome, final_size, note, winner_name =
     match winner with
-    | Some (name, r) ->
-        ( r.Equivalence.outcome,
-          r.Equivalence.final_size,
-          r.Equivalence.note,
-          r.Equivalence.dd_stats,
-          Some name )
+    | Some (name, v) -> (v.Engine.outcome, v.Engine.final_size, v.Engine.note, Some name)
     | None ->
         ( (if any_timeout then Equivalence.Timed_out else Equivalence.No_information),
           0,
           "(no checker was conclusive)",
-          None,
           None )
   in
   {
     Equivalence.outcome;
     method_used = Equivalence.Portfolio;
-    elapsed = Unix.gettimeofday () -. start;
+    elapsed = Mclock.elapsed_since start;
     peak_size = peak;
     final_size;
     simulations = sims;
     note;
-    dd_stats;
-    portfolio = Some { Equivalence.winner = winner_name; jobs; runs };
+    engine_stats;
+    winner = winner_name;
+    jobs;
+    runs;
   }
+
+let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
+    ?(oracle = Dd_checker.Proportional) ?(checkers = default_selection) ?sink g g' =
+  let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
+  let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
+  let best = Atomic.make max_int in
+  let fixed =
+    List.concat
+      [
+        (if checkers.use_dd then [ entry (Dd_checker.alternating ~oracle ()) ] else []);
+        (if checkers.use_zx then [ entry Zx_checker.checker ] else []);
+        (if checkers.use_stab then [ entry Stab_checker.checker ] else []);
+      ]
+  in
+  let sim_base = List.length fixed in
+  let shards =
+    if checkers.use_sim then
+      List.init jobs (fun s -> entry ~drain:true (Sim_checker.shard ~shard:s ~jobs ~best))
+    else []
+  in
+  let entries = fixed @ shards in
+  if entries = [] then invalid_arg "Portfolio.check: empty checker selection";
+  (* When a simulation shard wins, the drain guarantees [best] holds the
+     global minimal refuting stimulus index; its owner shard
+     [sim_base + best mod jobs] carries the canonical counterexample
+     note. *)
+  let resolve i =
+    if checkers.use_sim && i >= sim_base then
+      ("simulation", sim_base + (Atomic.get best mod jobs))
+    else (entry_name (List.nth entries i), i)
+  in
+  let jobs = if checkers.use_sim then jobs else 0 in
+  race ~ctx ~jobs ~resolve entries g g'

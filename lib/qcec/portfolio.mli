@@ -1,11 +1,12 @@
 (** Parallel portfolio equivalence checking (Section 6.1, parallel form).
 
-    Races the alternating-DD scheme, the ZX rewriter and a sharded
-    random-stimuli checker on separate domains; the first conclusive
-    answer ([Equivalent] / [Not_equivalent]) wins and cooperatively
-    cancels the remaining workers through [Atomic.t] stop flags polled at
-    the checkers' existing safe points.  [No_information] / [Timed_out]
-    are returned only when every worker yields.
+    A generic race combinator over {!Engine.CHECKER}s: every entry runs
+    on its own domain under its own derived execution context, and the
+    first conclusive answer ([Equivalent] / [Not_equivalent]) wins and
+    cooperatively cancels the remaining workers through [Atomic.t] stop
+    flags polled at the checkers' existing safe points.
+    [No_information] / [Timed_out] are returned only when every worker
+    yields.
 
     Verdicts are deterministic in [seed] and independent of [jobs]:
     stimulus [i] is a pure function of [(seed, i)], refuting shards drain
@@ -19,12 +20,48 @@ open Oqec_circuit
     ZX workers), clamped to [1, 4]. *)
 val default_jobs : unit -> int
 
-(** [check ?tol ?gc_threshold ?sim_runs ?seed ?jobs ?deadline ?oracle g g']
-    spawns [jobs + 2] worker domains ([jobs] simulation shards splitting
-    [sim_runs] stimuli round-robin, plus the alternating-DD and ZX
-    checkers).  The report's [method_used] is [Portfolio]; its
-    [portfolio] field records the winning checker and the per-checker
-    outcome/elapsed breakdown. *)
+(** Which checkers race.  [default_selection] is the paper's
+    configuration: [dd], [zx] and the simulation shards. *)
+type selection = { use_dd : bool; use_zx : bool; use_sim : bool; use_stab : bool }
+
+val default_selection : selection
+
+(** Parse a comma-separated selection such as ["dd,zx,sim,stab"]. *)
+val selection_of_string : string -> (selection, string) result
+
+val selection_to_string : selection -> string
+
+(** One racer of a {!race}: [drain] workers are not force-cancelled when
+    a sibling drain worker wins — they are bounded by their own shared
+    progress protocol instead (the simulation shards' minimal-index
+    drain). *)
+type entry
+
+val entry : ?drain:bool -> Engine.checker -> entry
+
+(** [race ~ctx ?jobs ?resolve entries g g'] runs every entry on a fresh
+    domain (worker contexts derived from [ctx] share its deadline and
+    trace sink) and assembles the portfolio report: winner, per-worker
+    breakdown and per-worker engine statistics.  [resolve] may remap the
+    raw winning slot index to a display name and a canonical slot index
+    (used to surface the globally-minimal simulation counterexample);
+    [jobs] is recorded in the report. *)
+val race :
+  ctx:Engine.Ctx.t ->
+  ?jobs:int ->
+  ?resolve:(int -> string * int) ->
+  entry list ->
+  Circuit.t ->
+  Circuit.t ->
+  Equivalence.report
+
+(** [check ?tol ?gc_threshold ?sim_runs ?seed ?jobs ?deadline ?oracle
+    ?checkers ?sink g g'] races the selected checkers ([jobs] simulation
+    shards splitting [sim_runs] stimuli round-robin, plus one worker per
+    selected non-simulation checker).  The report's [method_used] is
+    [Portfolio]; its [winner]/[jobs]/[runs] fields record the winning
+    checker and the per-checker outcome/elapsed breakdown, and
+    [engine_stats] carries one counter payload per worker. *)
 val check :
   ?tol:float ->
   ?gc_threshold:int ->
@@ -33,6 +70,8 @@ val check :
   ?jobs:int ->
   ?deadline:float ->
   ?oracle:Dd_checker.oracle ->
+  ?checkers:selection ->
+  ?sink:Engine.Trace.sink ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report

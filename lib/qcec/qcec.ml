@@ -1,3 +1,5 @@
+open Oqec_base
+
 type strategy = Reference | Alternating | Simulation | Zx | Combined | Clifford | Portfolio
 
 let strategy_to_string = function
@@ -19,75 +21,22 @@ let strategy_of_string = function
   | "portfolio" -> Some Portfolio
   | _ -> None
 
-let timed_out_report ~method_used ~start =
-  {
-    Equivalence.outcome = Equivalence.Timed_out;
-    method_used;
-    elapsed = Unix.gettimeofday () -. start;
-    peak_size = 0;
-    final_size = 0;
-    simulations = 0;
-    note = "";
-    dd_stats = None;
-    portfolio = None;
-  }
-
+(* Every strategy is a CHECKER run by the engine: timing, deadline and
+   cancellation polling, counter accounting and report assembly are
+   centralised in {!Engine.run}; the portfolio is the same thing raced
+   over several workers. *)
 let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1)
-    ?jobs ?(oracle = Dd_checker.Proportional) g g' =
-  let start = Unix.gettimeofday () in
-  let deadline = Option.map (fun t -> start +. t) timeout in
-  let run method_used f = try f () with Equivalence.Timeout -> timed_out_report ~method_used ~start in
+    ?jobs ?(oracle = Dd_checker.Proportional) ?checkers ?sink g g' =
+  let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
+  let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
+  let run method_used checker = Engine.run ~ctx ~method_used checker g g' in
   match strategy with
-  | Reference ->
-      run Equivalence.Reference_dd (fun () ->
-          Dd_checker.check_reference ?tol ?gc_threshold ?deadline g g')
-  | Alternating ->
-      run Equivalence.Alternating_dd (fun () ->
-          Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline g g')
-  | Simulation ->
-      run Equivalence.Simulation (fun () ->
-          Sim_checker.check ?tol ?gc_threshold ~runs:sim_runs ~seed ?deadline g g')
-  | Zx -> run Equivalence.Zx_calculus (fun () -> Zx_checker.check ?deadline g g')
-  | Clifford -> run Equivalence.Stabilizer (fun () -> Stab_checker.check ?deadline g g')
+  | Reference -> run Equivalence.Reference_dd Dd_checker.reference
+  | Alternating -> run Equivalence.Alternating_dd (Dd_checker.alternating ~oracle ())
+  | Simulation -> run Equivalence.Simulation Sim_checker.checker
+  | Zx -> run Equivalence.Zx_calculus Zx_checker.checker
+  | Clifford -> run Equivalence.Stabilizer Stab_checker.checker
+  | Combined -> run Equivalence.Combined (Combined_checker.checker ~oracle ())
   | Portfolio ->
-      run Equivalence.Portfolio (fun () ->
-          Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ~oracle g g')
-  | Combined ->
-      run Equivalence.Combined (fun () ->
-          (* Sequential emulation of the paper's parallel configuration:
-             a short random-stimuli screen runs first (in the parallel
-             original, the alternating checker would terminate the
-             remaining simulations anyway), the completeness argument
-             second.  The screen gets its own small time slice: on
-             simulation-hostile circuits (QFT-like output states have
-             exponential vector DDs) the parallel original would simply
-             cancel the simulations, so blocking on them here would
-             distort the comparison. *)
-          let screen = min sim_runs 8 in
-          let screen_deadline =
-            let cap =
-              match timeout with Some t -> Float.min 5.0 (t /. 10.0) | None -> 5.0
-            in
-            let d = start +. cap in
-            match deadline with Some d' -> Some (Float.min d d') | None -> Some d
-          in
-          let sim =
-            try Sim_checker.check ?tol ?gc_threshold ~runs:screen ~seed ?deadline:screen_deadline g g'
-            with Equivalence.Timeout ->
-              timed_out_report ~method_used:Equivalence.Simulation ~start
-          in
-          match sim.Equivalence.outcome with
-          | Equivalence.Not_equivalent ->
-              {
-                sim with
-                Equivalence.method_used = Equivalence.Combined;
-                elapsed = Unix.gettimeofday () -. start;
-              }
-          | Equivalence.No_information | Equivalence.Equivalent | Equivalence.Timed_out ->
-              let dd = Dd_checker.check_alternating ~oracle ?tol ?gc_threshold ?deadline g g' in
-              {
-                dd with
-                Equivalence.method_used = Equivalence.Combined;
-                elapsed = Unix.gettimeofday () -. start;
-                simulations = sim.Equivalence.simulations;
-              })
+      Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ~oracle ?checkers
+        ?sink g g'

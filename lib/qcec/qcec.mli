@@ -51,9 +51,15 @@ val strategy_of_string : string -> strategy option
     [Portfolio] strategy's simulation shard count (default
     {!Portfolio.default_jobs}; ignored by the other strategies — verdicts
     never depend on it); [oracle] selects the alternating scheme's gate
-    scheduling (default [Proportional]).  DD-backed strategies record
-    engine statistics in [report.dd_stats]; [Portfolio] additionally
-    fills [report.portfolio] with the winner and per-checker
+    scheduling (default [Proportional]); [checkers] restricts the
+    [Portfolio] strategy's racers (default {!Portfolio.default_selection},
+    ignored by the other strategies); [sink] collects Chrome
+    [trace_event] spans and counters (see {!Engine.Trace}).
+
+    Every strategy runs through {!Engine.run}: the report's
+    [engine_stats] carries one counter payload per engine that ran
+    (DD package statistics included when applicable), and for
+    [Portfolio] the [winner]/[jobs]/[runs] fields record the race
     breakdown. *)
 val check :
   ?strategy:strategy ->
@@ -64,6 +70,8 @@ val check :
   ?seed:int ->
   ?jobs:int ->
   ?oracle:Dd_checker.oracle ->
+  ?checkers:Portfolio.selection ->
+  ?sink:Engine.Trace.sink ->
   Circuit.t ->
   Circuit.t ->
   Equivalence.report

@@ -6,39 +6,48 @@ open Oqec_workloads
 let atomic_pred = Option.map (fun flag () -> Atomic.get flag)
 
 let check_states ?tol ?gc_threshold ?deadline ?cancel g g' =
-  let start = Unix.gettimeofday () in
-  let g, g' = Flatten.align g g' in
-  let a = Flatten.flatten g and b = Flatten.flatten g' in
-  let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol ?gc_threshold () in
-  let gd = Equivalence.Guard.make ?deadline ?cancel:(atomic_pred cancel) () in
-  Dd.on_safe_point pkg (fun () -> Equivalence.Guard.check gd);
-  let run c =
-    List.fold_left
-      (fun acc op -> Dd_circuit.apply_op_vec pkg n acc op)
-      (Dd.kets_bits pkg n (fun _ -> false))
-      (Circuit.ops c)
+  let ctx = Engine.Ctx.make ?tol ?gc_threshold ?deadline ?cancel:(atomic_pred cancel) () in
+  let checker : Engine.checker =
+    (module struct
+      let name = "state-preparation"
+
+      let run ctx g g' =
+        let g, g' = Flatten.align g g' in
+        let a = Flatten.flatten g and b = Flatten.flatten g' in
+        let n = Circuit.num_qubits a in
+        let pkg =
+          Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
+        in
+        Dd.on_safe_point pkg (fun () ->
+            Engine.Ctx.incr ctx Engine.Dd_gate_applied;
+            Engine.Ctx.check ctx);
+        let run c =
+          List.fold_left
+            (fun acc op -> Dd_circuit.apply_op_vec pkg n acc op)
+            (Dd.kets_bits pkg n (fun _ -> false))
+            (Circuit.ops c)
+        in
+        let va = Engine.Ctx.span ctx ~cat:"sim" "evolve-left" (fun () -> run a) in
+        (* Pin the first output state while the second circuit runs through
+           the package's GC safe points. *)
+        Dd.root pkg va;
+        let vb = Engine.Ctx.span ctx ~cat:"sim" "evolve-right" (fun () -> run b) in
+        let fidelity = Cx.mag (Dd.inner pkg va vb) in
+        let outcome =
+          if fidelity >= 1.0 -. 1e-9 then Equivalence.Equivalent
+          else Equivalence.Not_equivalent
+        in
+        {
+          Engine.outcome;
+          peak_size = Dd.allocated pkg;
+          final_size = Dd.node_count va + Dd.node_count vb;
+          simulations = 1;
+          note = Printf.sprintf "(state fidelity %.9f)" fidelity;
+          dd = Some (Dd.stats pkg);
+        }
+    end)
   in
-  let va = run a in
-  (* Pin the first output state while the second circuit runs through the
-     package's GC safe points. *)
-  Dd.root pkg va;
-  let vb = run b in
-  let fidelity = Cx.mag (Dd.inner pkg va vb) in
-  let outcome =
-    if fidelity >= 1.0 -. 1e-9 then Equivalence.Equivalent else Equivalence.Not_equivalent
-  in
-  {
-    Equivalence.outcome;
-    method_used = Equivalence.Simulation;
-    elapsed = Unix.gettimeofday () -. start;
-    peak_size = Dd.allocated pkg;
-    final_size = Dd.node_count va + Dd.node_count vb;
-    simulations = 1;
-    note = Printf.sprintf "(state fidelity %.9f)" fidelity;
-    dd_stats = Some (Dd.stats pkg);
-    portfolio = None;
-  }
+  Engine.run ~ctx ~method_used:Equivalence.Simulation checker g g'
 
 (* Stimulus [i] is a pure function of (seed, i): its bits come from the
    [i]th indexed split of the base generator (see {!Rng.split_at}), so a
@@ -54,14 +63,16 @@ type prepared = {
   n : int;
   dds_a : Dd.edge list;
   dds_b : Dd.edge list;
-  guard : Equivalence.Guard.t;
+  check : unit -> unit;
 }
 
-let prepare ?tol ?gc_threshold ~guard g g' =
+let prepare ctx ~check g g' =
   let g, g' = Flatten.align g g' in
   let a = Flatten.flatten g and b = Flatten.flatten g' in
   let n = Circuit.num_qubits a in
-  let pkg = Dd.create ?tol ?gc_threshold () in
+  let pkg =
+    Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
+  in
   (* Build every gate DD once; the runs only pay for state evolution.
      The gate DDs are reused across runs, so they are pinned as GC roots
      — a collection during state evolution must not sever their sharing
@@ -70,7 +81,7 @@ let prepare ?tol ?gc_threshold ~guard g g' =
   let dds_a = dds a and dds_b = dds b in
   List.iter (Dd.root pkg) dds_a;
   List.iter (Dd.root pkg) dds_b;
-  { pkg; n; dds_a; dds_b; guard }
+  { pkg; n; dds_a; dds_b; check }
 
 (* One random-stimulus run: [Some fidelity] is a mismatch proof, [None]
    means the outputs agree on this input. *)
@@ -80,7 +91,7 @@ let run_stimulus p ~seed ~index =
   let apply gs v =
     List.fold_left
       (fun acc gdd ->
-        Equivalence.Guard.check p.guard;
+        p.check ();
         Dd.mul_vec p.pkg gdd acc)
       v gs
   in
@@ -89,90 +100,135 @@ let run_stimulus p ~seed ~index =
   let fidelity = Cx.mag (Dd.inner p.pkg va vb) in
   if fidelity < 1.0 -. 1e-9 then Some fidelity else None
 
-let report_of ~start ~outcome ~performed ~note p =
+let defaults ctx =
+  ( Option.value (Engine.Ctx.sim_runs ctx) ~default:16,
+    Option.value (Engine.Ctx.seed ctx) ~default:1 )
+
+let verdict_of ~outcome ~performed ~note p =
   {
-    Equivalence.outcome;
-    method_used = Equivalence.Simulation;
-    elapsed = Unix.gettimeofday () -. start;
+    Engine.outcome;
     peak_size = Dd.allocated p.pkg;
     final_size = 0;
     simulations = performed;
     note;
-    dd_stats = Some (Dd.stats p.pkg);
-    portfolio = None;
+    dd = Some (Dd.stats p.pkg);
   }
 
-let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline ?cancel g g' =
-  let start = Unix.gettimeofday () in
-  let guard = Equivalence.Guard.make ?deadline ?cancel:(atomic_pred cancel) () in
-  let p = prepare ?tol ?gc_threshold ~guard g g' in
-  let rec run i =
-    if i >= runs then (Equivalence.No_information, runs, None)
-    else
-      match run_stimulus p ~seed ~index:i with
-      | Some fid -> (Equivalence.Not_equivalent, i + 1, Some (i, fid))
-      | None -> run (i + 1)
-  in
-  let outcome, performed, refuted = run 0 in
-  let note =
-    match (outcome, refuted) with
-    | Equivalence.No_information, _ ->
-        Printf.sprintf "(all %d random stimuli agreed)" performed
-    | _, Some (i, fid) -> Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid
-    | _, None -> ""
-  in
-  report_of ~start ~outcome ~performed ~note p
+let checker : Engine.checker =
+  (module struct
+    let name = "simulation"
 
-let check_shard ?tol ?gc_threshold ?deadline ?cancel ~runs ~seed ~shard ~jobs ~best g g' =
+    let run ctx g g' =
+      let runs, seed = defaults ctx in
+      let p =
+        Engine.Ctx.span ctx ~cat:"sim" "prepare" (fun () ->
+            prepare ctx ~check:(fun () -> Engine.Ctx.check ctx) g g')
+      in
+      Engine.Ctx.span ctx ~cat:"sim" "stimuli" (fun () ->
+          let rec scan i =
+            if i >= runs then (Equivalence.No_information, runs, None)
+            else
+              match run_stimulus p ~seed ~index:i with
+              | Some fid ->
+                  Engine.Ctx.incr ctx Engine.Sim_stimulus;
+                  (Equivalence.Not_equivalent, i + 1, Some (i, fid))
+              | None ->
+                  Engine.Ctx.incr ctx Engine.Sim_stimulus;
+                  scan (i + 1)
+          in
+          let outcome, performed, refuted = scan 0 in
+          let note =
+            match (outcome, refuted) with
+            | Equivalence.No_information, _ ->
+                Printf.sprintf "(all %d random stimuli agreed)" performed
+            | _, Some (i, fid) ->
+                Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid
+            | _, None -> ""
+          in
+          verdict_of ~outcome ~performed ~note p)
+  end)
+
+(* The portfolio worker over stimulus indices {shard, shard+jobs, ...}.
+   [best] is the shared minimal-refuting-index cell; see the interface
+   for the protocol that makes the reported counterexample the global
+   minimum independent of [jobs]. *)
+let shard ~shard ~jobs ~best : Engine.checker =
   if shard < 0 || jobs <= 0 || shard >= jobs then
-    invalid_arg "Sim_checker.check_shard: need 0 <= shard < jobs";
-  let start = Unix.gettimeofday () in
-  (* Abandon the current stimulus as soon as its index can no longer be
-     the minimal counterexample: [best] only ever decreases, so work at or
-     above it is dead.  Indices below [best] must still be checked even
-     after another shard refutes — that is what makes the reported
-     counterexample the global minimum, independent of the shard count. *)
-  let current = ref max_int in
-  let cancel_pred () =
-    (match cancel with Some flag -> Atomic.get flag | None -> false)
-    || !current >= Atomic.get best
+    invalid_arg "Sim_checker.shard: need 0 <= shard < jobs";
+  (module struct
+    let name = Printf.sprintf "simulation-%d" shard
+
+    let run ctx g g' =
+      let runs, seed = defaults ctx in
+      (* Abandon the current stimulus as soon as its index can no longer
+         be the minimal counterexample: [best] only ever decreases, so
+         work at or above it is dead.  Indices below [best] must still be
+         checked even after another shard refutes — that is what makes
+         the reported counterexample the global minimum, independent of
+         the shard count. *)
+      let current = ref max_int in
+      let gd =
+        Equivalence.Guard.make
+          ?deadline:(Engine.Ctx.deadline ctx)
+          ~cancel:(fun () -> Engine.Ctx.cancelled ctx || !current >= Atomic.get best)
+          ()
+      in
+      let p = prepare ctx ~check:(fun () -> Equivalence.Guard.check gd) g g' in
+      (* Lower [best] to [i] unless a smaller refutation is recorded. *)
+      let rec publish i =
+        let b = Atomic.get best in
+        if i < b && not (Atomic.compare_and_set best b i) then publish i
+      in
+      let performed = ref 0 in
+      let refuted = ref None in
+      let rec scan i =
+        if i < runs && i < Atomic.get best then begin
+          current := i;
+          (match run_stimulus p ~seed ~index:i with
+          | Some fid ->
+              incr performed;
+              Engine.Ctx.incr ctx Engine.Sim_stimulus;
+              publish i;
+              if !refuted = None then refuted := Some (i, fid)
+          | None ->
+              incr performed;
+              Engine.Ctx.incr ctx Engine.Sim_stimulus
+          | exception Equivalence.Cancelled
+            when !current >= Atomic.get best && not (Engine.Ctx.cancelled ctx) ->
+              (* Only this stimulus became irrelevant; lower indices in
+                 this shard are still checked by the [scan] condition
+                 above. *)
+              ());
+          current := max_int;
+          scan (i + jobs)
+        end
+      in
+      scan shard;
+      let outcome, note =
+        match !refuted with
+        | Some (i, fid) ->
+            ( Equivalence.Not_equivalent,
+              Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid )
+        | None ->
+            if Atomic.get best < max_int then
+              (Equivalence.No_information, "(another shard refuted first)")
+            else (Equivalence.No_information, Printf.sprintf "(%d stimuli agreed)" !performed)
+      in
+      verdict_of ~outcome ~performed:!performed ~note p
+  end)
+
+(* ----------------------------------------------- Compatibility wrappers *)
+
+let check ?tol ?gc_threshold ?(runs = 16) ?(seed = 1) ?deadline ?cancel g g' =
+  let ctx =
+    Engine.Ctx.make ?tol ?gc_threshold ~sim_runs:runs ~seed ?deadline
+      ?cancel:(atomic_pred cancel) ()
   in
-  let guard = Equivalence.Guard.make ?deadline ~cancel:cancel_pred () in
-  let p = prepare ?tol ?gc_threshold ~guard g g' in
-  (* Lower [best] to [i] unless a smaller refutation is already recorded. *)
-  let rec publish i =
-    let b = Atomic.get best in
-    if i < b && not (Atomic.compare_and_set best b i) then publish i
+  Engine.run ~ctx ~method_used:Equivalence.Simulation checker g g'
+
+let check_shard ?tol ?gc_threshold ?deadline ?cancel ~runs ~seed ~shard:s ~jobs ~best g g' =
+  let ctx =
+    Engine.Ctx.make ?tol ?gc_threshold ~sim_runs:runs ~seed ?deadline
+      ?cancel:(atomic_pred cancel) ()
   in
-  let performed = ref 0 in
-  let refuted = ref None in
-  let rec scan i =
-    if i < runs && i < Atomic.get best then begin
-      current := i;
-      (match run_stimulus p ~seed ~index:i with
-      | Some fid ->
-          incr performed;
-          publish i;
-          if !refuted = None then refuted := Some (i, fid)
-      | None -> incr performed
-      | exception Equivalence.Cancelled
-        when !current >= Atomic.get best
-             && not (match cancel with Some f -> Atomic.get f | None -> false) ->
-          (* Only this stimulus became irrelevant; lower indices in this
-             shard are still checked by the [scan] condition above. *)
-          ());
-      current := max_int;
-      scan (i + jobs)
-    end
-  in
-  scan shard;
-  let outcome, note =
-    match !refuted with
-    | Some (i, fid) ->
-        ( Equivalence.Not_equivalent,
-          Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid )
-    | None ->
-        if Atomic.get best < max_int then (Equivalence.No_information, "(another shard refuted first)")
-        else (Equivalence.No_information, Printf.sprintf "(%d stimuli agreed)" !performed)
-  in
-  report_of ~start ~outcome ~performed:!performed ~note p
+  Engine.run ~ctx ~method_used:Equivalence.Simulation (shard ~shard:s ~jobs ~best) g g'

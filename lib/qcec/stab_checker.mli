@@ -5,9 +5,13 @@
     the basic ZX ruleset is complete): both circuits' Heisenberg
     conjugation tableaus are built and compared.  Non-Clifford gates
     yield [No_information].  Extension beyond the paper's two paradigms;
-    see DESIGN.md. *)
+    see DESIGN.md.  Each tableau contributes its [2n] canonical rows to
+    the ["stab.rows_canonicalized"] counter. *)
 
 open Oqec_circuit
+
+(** The ["stabilizer"] checker. *)
+val checker : Engine.checker
 
 val check :
   ?deadline:float -> ?cancel:bool Atomic.t -> Circuit.t -> Circuit.t -> Equivalence.report

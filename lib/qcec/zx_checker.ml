@@ -1,45 +1,65 @@
 open Oqec_base
 open Oqec_zx
 
+let checker : Engine.checker =
+  (module struct
+    let name = "zx-calculus"
+
+    let run ctx g g' =
+      let g, g' = Flatten.align g g' in
+      let a = Flatten.flatten g and b = Flatten.flatten g' in
+      let diagram =
+        Engine.Ctx.span ctx ~cat:"zx" "build-miter" (fun () -> Zx_circuit.of_miter a b)
+      in
+      (* Boundary vertices are never created or destroyed by the rewrite
+         passes, so live and peak spider counts are vertex counts minus
+         this constant. *)
+      let boundaries = Zx_graph.num_vertices diagram - Zx_graph.spider_count diagram in
+      let observe rule count =
+        Engine.Ctx.add ctx (Engine.Zx_rewrite rule) count;
+        Engine.Ctx.gauge ctx "zx.spiders" (Zx_graph.num_vertices diagram - boundaries)
+      in
+      let completed =
+        Engine.Ctx.span ctx ~cat:"zx" "full-reduce" (fun () ->
+            Zx_simplify.full_reduce ~should_stop:(Engine.Ctx.stopper ctx) ~observe diagram)
+      in
+      let after = Zx_graph.spider_count diagram in
+      (* [should_stop] swallows the guard's exceptions; re-raise
+         cancellation so a losing portfolio worker is reported as
+         cancelled, not as a timeout. *)
+      if (not completed) && Engine.Ctx.cancelled ctx then raise Equivalence.Cancelled;
+      let outcome =
+        if not completed then Equivalence.Timed_out
+        else
+          match Zx_simplify.extract_permutation diagram with
+          | Some p when Perm.is_identity p -> Equivalence.Equivalent
+          | Some _ -> Equivalence.Not_equivalent
+          | None -> Equivalence.No_information
+      in
+      {
+        Engine.outcome;
+        (* The running peak over the diagram's whole lifetime — rewrites
+           such as boundary pivoting and gadgetization grow the graph
+           transiently before shrinking it, which a before/after spider
+           count cannot see. *)
+        peak_size = Zx_graph.peak_vertices diagram - boundaries;
+        final_size = after;
+        simulations = 0;
+        note =
+          (match outcome with
+          | Equivalence.No_information ->
+              Printf.sprintf "(%d spiders remain; strong indication of non-equivalence)"
+                after
+          | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out ->
+              "");
+        dd = None;
+      }
+  end)
+
 let check ?deadline ?cancel g g' =
-  let start = Unix.gettimeofday () in
-  let gd =
-    Equivalence.Guard.make ?deadline
+  let ctx =
+    Engine.Ctx.make ?deadline
       ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
       ()
   in
-  let g, g' = Flatten.align g g' in
-  let a = Flatten.flatten g and b = Flatten.flatten g' in
-  let diagram = Zx_circuit.of_miter a b in
-  let before = Zx_graph.spider_count diagram in
-  let completed =
-    Zx_simplify.full_reduce ~should_stop:(Equivalence.Guard.stopper gd) diagram
-  in
-  let after = Zx_graph.spider_count diagram in
-  (* [should_stop] swallows the guard's exceptions; re-raise cancellation
-     so a losing portfolio worker is reported as cancelled, not as a
-     timeout. *)
-  if (not completed) && Equivalence.Guard.cancelled gd then raise Equivalence.Cancelled;
-  let outcome =
-    if not completed then Equivalence.Timed_out
-    else
-      match Zx_simplify.extract_permutation diagram with
-      | Some p when Perm.is_identity p -> Equivalence.Equivalent
-      | Some _ -> Equivalence.Not_equivalent
-      | None -> Equivalence.No_information
-  in
-  {
-    Equivalence.outcome;
-    method_used = Equivalence.Zx_calculus;
-    elapsed = Unix.gettimeofday () -. start;
-    peak_size = before;
-    final_size = after;
-    simulations = 0;
-    note =
-      (match outcome with
-      | Equivalence.No_information ->
-          Printf.sprintf "(%d spiders remain; strong indication of non-equivalence)" after
-      | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out -> "");
-    dd_stats = None;
-    portfolio = None;
-  }
+  Engine.run ~ctx ~method_used:Equivalence.Zx_calculus checker g g'

@@ -4,9 +4,19 @@
     graph-like form and reduces it with the full PyZX-style procedure.
     Bare wires with the identity permutation prove equivalence; a
     non-identity permutation proves non-equivalence; remaining spiders
-    yield [No_information]. *)
+    yield [No_information].
+
+    Every rewrite pass reports its firings to the context as
+    ["zx.rewrites.<rule>"] counters, and the live spider count is traced
+    as the ["zx.spiders"] gauge; the reported [peak_size] is the true
+    running peak of the spider count over the whole reduction (not the
+    initial size — transient growth from boundary pivots and phase
+    gadgetization is included). *)
 
 open Oqec_circuit
+
+(** The ["zx-calculus"] checker. *)
+val checker : Engine.checker
 
 (** [cancel] is a portfolio stop flag polled by the rewriting loops'
     [should_stop]; raises {!Equivalence.Cancelled} when it fires. *)

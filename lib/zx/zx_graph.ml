@@ -9,14 +9,19 @@ type vertex = {
   adj : (int, etype) Hashtbl.t;
 }
 
-type t = { mutable next : int; vs : (int, vertex) Hashtbl.t }
+type t = { mutable next : int; mutable peak : int; vs : (int, vertex) Hashtbl.t }
 
-let create () = { next = 0; vs = Hashtbl.create 256 }
+let create () = { next = 0; peak = 0; vs = Hashtbl.create 256 }
 
+(* Vertex creation is the only way the graph grows, so maintaining the
+   running peak here captures every transient blow-up (boundary pivots,
+   gadgetization) that a before/after comparison would miss. *)
 let add_vertex g vk ~phase =
   let id = g.next in
   g.next <- id + 1;
   Hashtbl.replace g.vs id { vk; ph = phase; adj = Hashtbl.create 4 };
+  let live = Hashtbl.length g.vs in
+  if live > g.peak then g.peak <- live;
   id
 
 let vertex g v =
@@ -31,6 +36,7 @@ let add_to_phase g v p = let vx = vertex g v in vx.ph <- Phase.add vx.ph p
 let set_kind g v k = (vertex g v).vk <- k
 let vertices g = Hashtbl.fold (fun id _ acc -> id :: acc) g.vs []
 let num_vertices g = Hashtbl.length g.vs
+let peak_vertices g = g.peak
 
 let spider_count g =
   Hashtbl.fold
@@ -125,7 +131,7 @@ let copy g =
   Hashtbl.iter
     (fun id vx -> Hashtbl.replace vs id { vx with adj = Hashtbl.copy vx.adj })
     g.vs;
-  { next = g.next; vs }
+  { next = g.next; peak = g.peak; vs }
 
 let pp ppf g =
   let kind_str = function

@@ -37,6 +37,13 @@ val vertices : t -> int list
 
 val num_vertices : t -> int
 
+(** [peak_vertices g] is the running maximum of [num_vertices] over the
+    graph's whole lifetime, maintained O(1) at vertex creation.  Unlike
+    comparing sizes before and after a reduction, it captures transient
+    growth inside a pass (boundary pivots and phase gadgetization add
+    vertices before removing others). *)
+val peak_vertices : t -> int
+
 (** [spider_count g] counts Z and X vertices (the diagram-size measure
     whose non-growth Section 5.1 of the paper emphasises). *)
 val spider_count : t -> int

@@ -20,8 +20,15 @@ let fuse g ~into:v u =
     moved
 
 let never_stop () = false
+let no_observe _ _ = ()
 
-let spider_simp ?(should_stop = never_stop) g =
+(* Report a pass's rewrite count to the tracing callback; zero-rewrite
+   passes stay silent so counters only carry rules that fired. *)
+let observed rule observe count =
+  if count > 0 then observe rule count;
+  count
+
+let spider_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -45,7 +52,7 @@ let spider_simp ?(should_stop = never_stop) g =
     in
     List.iter try_vertex (Zx_graph.vertices g)
   done;
-  !count
+  observed "spider-fusion" observe !count
 
 let to_gh g =
   let flip = function Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
@@ -64,7 +71,7 @@ let to_gh g =
   in
   List.iter convert (Zx_graph.vertices g)
 
-let id_simp ?(should_stop = never_stop) g =
+let id_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -93,14 +100,14 @@ let id_simp ?(should_stop = never_stop) g =
     in
     List.iter try_vertex (Zx_graph.vertices g)
   done;
-  !count
+  observed "id-removal" observe !count
 
 (* A Pauli state plugged into a graph-like spider (a degree-1 Z-leaf with
    phase 0 or pi on a Hadamard wire) collapses it: the leaf fixes the
    spider's summation bit, so the spider and leaf disappear; a pi-leaf
    additionally flips the sign seen by every other neighbour, i.e. adds pi
    to their phases (tensor-verified). *)
-let pauli_leaf_simp ?(should_stop = never_stop) g =
+let pauli_leaf_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -127,7 +134,7 @@ let pauli_leaf_simp ?(should_stop = never_stop) g =
     in
     List.iter try_leaf (Zx_graph.vertices g)
   done;
-  !count
+  observed "pauli-leaf" observe !count
 
 (* --------------------------------------------- Local complementation *)
 
@@ -159,7 +166,7 @@ let lcomp_at g v =
   pairs ns;
   List.iter (fun a -> Zx_graph.add_to_phase g a minus_phase) ns
 
-let lcomp_simp ?(should_stop = never_stop) g =
+let lcomp_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -173,7 +180,7 @@ let lcomp_simp ?(should_stop = never_stop) g =
     in
     List.iter try_vertex (Zx_graph.vertices g)
   done;
-  !count
+  observed "local-complement" observe !count
 
 (* ------------------------------------------------------------ Pivoting *)
 
@@ -212,7 +219,7 @@ let find_pivot_pair ?(symmetric = false) g pred_v =
   in
   List.find_map candidate (Zx_graph.vertices g)
 
-let pivot_simp ?(should_stop = never_stop) g =
+let pivot_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -226,7 +233,7 @@ let pivot_simp ?(should_stop = never_stop) g =
         progress := true
     | None -> ()
   done;
-  !count
+  observed "pivot" observe !count
 
 (* Unfuse a boundary wire of [v] so that [v] becomes interior: the wire
    v -t- b becomes v -H- w(0) -t'- b with t' chosen so the composite
@@ -249,7 +256,7 @@ let boundary_pauli_z g v =
 
 (* Also a single bounded sweep; the unfused phase-0 spiders it leaves
    behind are cleaned up by id_simp in the caller's loop. *)
-let pivot_boundary_simp ?(should_stop = never_stop) g =
+let pivot_boundary_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let pick u =
     if pivot_candidate g u Phase.is_pauli then
@@ -270,7 +277,7 @@ let pivot_boundary_simp ?(should_stop = never_stop) g =
     | Some _ | None -> ()
   in
   go ();
-  !count
+  observed "pivot-boundary" observe !count
 
 (* Extract a non-Pauli phase into a gadget hanging off [v]. *)
 let gadgetize g v =
@@ -284,7 +291,7 @@ let gadgetize g v =
 (* One sweep only: the caller's fixpoint loops interleave this with the
    cleanup passes.  The degree guard keeps gadget leaves (degree 1) from
    being re-gadgetised forever. *)
-let pivot_gadget_simp ?(should_stop = never_stop) g =
+let pivot_gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let not_pauli p = not (Phase.is_pauli p) in
   let gadget_target v = pivot_candidate g v not_pauli && Zx_graph.degree g v >= 2 in
@@ -298,7 +305,7 @@ let pivot_gadget_simp ?(should_stop = never_stop) g =
     | Some _ | None -> ()
   in
   go ();
-  !count
+  observed "pivot-gadget" observe !count
 
 (* A phase gadget: a degree-1 leaf attached by a Hadamard wire to a
    Pauli-phase axis all of whose other edges are Hadamard wires to
@@ -339,7 +346,7 @@ let gadget_cleanup g =
   List.iter consider (Zx_graph.vertices g);
   !count
 
-let gadget_simp ?(should_stop = never_stop) g =
+let gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let count = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
@@ -364,7 +371,7 @@ let gadget_simp ?(should_stop = never_stop) g =
     in
     List.iter consider (Zx_graph.vertices g)
   done;
-  !count
+  observed "gadget-fusion" observe !count
 
 (* ----------------------------------------------------------- Strategies *)
 
@@ -373,62 +380,62 @@ let never_stop () = false
 (* Fusion, identity removal and Pauli-state absorption to fixpoint; this
    is what peels mirrored miters layer by layer, so it must complete
    before any pivoting or local complementation disturbs the structure. *)
-let basic_simp ?(should_stop = never_stop) g =
+let basic_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let total = ref 0 in
   let progress = ref true in
   while !progress && not (should_stop ()) do
-    let i1 = id_simp ~should_stop g in
-    let i2 = spider_simp ~should_stop g in
-    let i3 = pauli_leaf_simp ~should_stop g in
+    let i1 = id_simp ~should_stop ~observe g in
+    let i2 = spider_simp ~should_stop ~observe g in
+    let i3 = pauli_leaf_simp ~should_stop ~observe g in
     let round = i1 + i2 + i3 in
     total := !total + round;
     progress := round > 0
   done;
   !total
 
-let interior_clifford_simp ?(should_stop = never_stop) g =
+let interior_clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let total = ref 0 in
-  total := spider_simp ~should_stop g;
+  total := spider_simp ~should_stop ~observe g;
   to_gh g;
-  total := !total + basic_simp ~should_stop g;
+  total := !total + basic_simp ~should_stop ~observe g;
   let progress = ref true in
   while !progress && not (should_stop ()) do
-    let i3 = pivot_simp ~should_stop g in
-    let i4 = lcomp_simp ~should_stop g in
-    let round = i3 + i4 + basic_simp ~should_stop g in
+    let i3 = pivot_simp ~should_stop ~observe g in
+    let i4 = lcomp_simp ~should_stop ~observe g in
+    let round = i3 + i4 + basic_simp ~should_stop ~observe g in
     total := !total + round;
     progress := round > 0
   done;
   !total
 
-let clifford_simp ?(should_stop = never_stop) g =
+let clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let total = ref 0 in
   let progress = ref true in
   let rounds = ref 0 in
   while !progress && !rounds < 1000 && not (should_stop ()) do
     incr rounds;
-    total := !total + interior_clifford_simp ~should_stop g;
-    let b = pivot_boundary_simp ~should_stop g in
+    total := !total + interior_clifford_simp ~should_stop ~observe g;
+    let b = pivot_boundary_simp ~should_stop ~observe g in
     total := !total + b;
     progress := b > 0
   done;
   !total
 
-let full_reduce ?(should_stop = never_stop) g =
+let full_reduce ?(should_stop = never_stop) ?(observe = no_observe) g =
   let stopped () = should_stop () in
-  ignore (interior_clifford_simp ~should_stop g);
-  ignore (pivot_gadget_simp ~should_stop g);
+  ignore (interior_clifford_simp ~should_stop ~observe g);
+  ignore (pivot_gadget_simp ~should_stop ~observe g);
   let continue_ = ref true in
   let rounds = ref 0 in
   while !continue_ && !rounds < 1000 && not (stopped ()) do
     incr rounds;
-    ignore (clifford_simp ~should_stop g);
-    let i = gadget_simp ~should_stop g in
-    ignore (interior_clifford_simp ~should_stop g);
-    let j = pivot_gadget_simp ~should_stop g in
+    ignore (clifford_simp ~should_stop ~observe g);
+    let i = gadget_simp ~should_stop ~observe g in
+    ignore (interior_clifford_simp ~should_stop ~observe g);
+    let j = pivot_gadget_simp ~should_stop ~observe g in
     continue_ := i + j > 0
   done;
-  if not (stopped ()) then ignore (clifford_simp ~should_stop g);
+  if not (stopped ()) then ignore (clifford_simp ~should_stop ~observe g);
   not (stopped ())
 
 (* ----------------------------------------------------------- Extraction *)

@@ -2,7 +2,13 @@
     behind PyZX's [full_reduce]).
 
     Each [*_simp] pass applies one rewrite rule everywhere it matches and
-    returns the number of rewrites performed.  All rules preserve the
+    returns the number of rewrites performed.  Every pass also reports its
+    rewrites to the optional [observe] callback as [observe rule count]
+    (rule names: ["spider-fusion"], ["id-removal"], ["pauli-leaf"],
+    ["local-complement"], ["pivot"], ["pivot-boundary"], ["pivot-gadget"],
+    ["gadget-fusion"]); composite passes forward the callback to their
+    constituents, so [full_reduce ~observe] yields a complete per-rule
+    firing census for the execution engine's trace counters.  All rules preserve the
     diagram's semantics up to a global scalar (certified against the
     tensor evaluator in the test suite), and none of them increases the
     spider count — the property Section 5.1 of the paper relies on for
@@ -11,47 +17,47 @@
 open Oqec_base
 
 (** Fuse same-colour spiders connected by plain wires. *)
-val spider_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val spider_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Colour-change every X-spider into a Z-spider, toggling the types of
     its incident edges ("graph-like" conversion step). *)
 val to_gh : Zx_graph.t -> unit
 
 (** Remove phase-0 spiders of degree 2. *)
-val id_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val id_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Local complementation: eliminate interior proper-Clifford spiders. *)
-val lcomp_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val lcomp_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Pivoting: eliminate pairs of connected interior Pauli spiders. *)
-val pivot_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val pivot_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Pivoting where the second spider touches the boundary (unfuses the
     boundary wire first). *)
-val pivot_boundary_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val pivot_boundary_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Pivoting where the second spider has a non-Pauli phase, which is
     extracted into a phase gadget first. *)
-val pivot_gadget_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val pivot_gadget_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Fuse phase gadgets with identical support. *)
-val gadget_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val gadget_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** Eliminate Pauli states plugged into graph-like spiders (degree-1
     leaves with phase 0 or pi). *)
-val pauli_leaf_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val pauli_leaf_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** The inner Clifford loop: [to_gh] once, then [id]/[spider]/[pivot]/
     [lcomp] to fixpoint. *)
-val interior_clifford_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val interior_clifford_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** [interior_clifford_simp] plus boundary pivoting, to fixpoint. *)
-val clifford_simp : ?should_stop:(unit -> bool) -> Zx_graph.t -> int
+val clifford_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** The full PyZX-style procedure: Clifford simplification interleaved
     with gadget extraction and fusion, to fixpoint.  Returns [false] when
     [should_stop] interrupted the run. *)
-val full_reduce : ?should_stop:(unit -> bool) -> Zx_graph.t -> bool
+val full_reduce : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> bool
 
 (** [extract_permutation g] returns the wire permutation when the diagram
     consists solely of plain input-to-output wires (the success condition

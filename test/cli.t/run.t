@@ -43,11 +43,31 @@ is independent of the shard count:
   5
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 1 > /dev/null
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --json \
-  >   | grep -cE '"portfolio":\{"winner":'
+  >   | grep -cE '"winner":"[a-z-]+".*"runs":\['
   1
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 0
   error: --jobs must be >= 1 (got 0)
   [3]
+
+The racers can be restricted with --checkers (dd, zx, sim, stab):
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --checkers dd,stab --json \
+  >   | grep -cE '"runs":\[\{"checker":"(alternating-dd|stabilizer)"'
+  1
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --checkers dd,banana
+  error: --checkers: unknown checker "banana" (expected dd, zx, sim, stab)
+  [3]
+
+--trace writes the run's spans and counters as Chrome trace_event JSON
+(loadable in chrome://tracing); a portfolio run covers at least the
+engine plus per-checker phase categories:
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 2 --trace trace.json > /dev/null
+  $ grep -c '"traceEvents":\[' trace.json
+  1
+  $ grep -oE '"cat":"(engine|dd|zx|sim|stab)","ph":"X"' trace.json \
+  >   | sort -u | wc -l | awk '{print ($1 >= 3) ? "enough categories" : "too few"}'
+  enough categories
 
 The DD engine reports its memory-management statistics; forcing a
 collection after every gate (--gc-threshold 0) does not change the
@@ -60,7 +80,7 @@ verdict:
   >   --dd-stats | grep -oE 'gc: [0-9]+ run' | awk '{print ($2 > 0) ? "collected" : "idle"}'
   collected
   $ oqec check ghz.qasm ghz_lin.qasm -s alternating --json \
-  >   | grep -cE '"outcome":"equivalent".*"dd_stats":\{'
+  >   | grep -cE '"outcome":"equivalent".*"engine_stats":\[\{"engine":"alternating-dd".*"dd":\{'
   1
 
 A corrupted circuit is refuted (exit code 1):

@@ -15,5 +15,6 @@ let () =
       ("extract", Test_extract.suite);
       ("differential", Test_differential.suite);
       ("portfolio", Test_portfolio.suite);
+      ("engine", Test_engine.suite);
       ("misc", Test_misc.suite);
     ]

@@ -1,0 +1,401 @@
+(* Execution-engine tests: report JSON well-formedness (including
+   adversarial note strings), Chrome trace shape, per-checker counter
+   presence, and the ZX peak-size fix.
+
+   The JSON parser below is a deliberately strict, minimal recursive
+   descent over the RFC 8259 grammar — just enough to certify that
+   [report_to_json] / [Trace.to_chrome_json] emit syntactically valid
+   JSON and that string escaping round-trips byte-exactly. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_qcec
+
+(* ------------------------------------------------- Minimal JSON parser *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      advance ()
+    done
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let v =
+                (hex s.[!pos] * 0x1000) + (hex s.[!pos + 1] * 0x100)
+                + (hex s.[!pos + 2] * 0x10) + hex s.[!pos + 3]
+              in
+              pos := !pos + 4;
+              (* The encoder only emits \u00XX for control bytes. *)
+              if v > 0xff then fail "unexpected non-byte \\u escape"
+              else Buffer.add_char buf (Char.chr v)
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then (pos := !pos + 4; Bool true)
+        else fail "expected true"
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then (pos := !pos + 5; Bool false)
+        else fail "expected false"
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "null" then (pos := !pos + 4; Null)
+        else fail "expected null"
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj name =
+  match obj with
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> Alcotest.fail (Printf.sprintf "missing JSON field %S" name))
+  | _ -> Alcotest.fail (Printf.sprintf "expected object around field %S" name)
+
+(* -------------------------------------- json_string / report_to_json *)
+
+(* Adversarial bytes: controls, quotes, backslashes, non-ASCII. *)
+let nasty_string_gen =
+  QCheck.Gen.(
+    map
+      (fun l -> String.concat "" l)
+      (list_size (int_bound 30)
+         (oneof
+            [
+              map (String.make 1) (char_range '\000' '\255');
+              return "\"";
+              return "\\";
+              return "\n";
+              return "\t";
+              return "\027[31m";
+              return "caf\xc3\xa9";
+              return "\xe2\x88\x80x";
+            ])))
+
+let nasty_string_arb = QCheck.make ~print:String.escaped nasty_string_gen
+
+let test_json_string_roundtrip =
+  Helpers.qtest ~count:500 "json_string escapes round-trip byte-exactly"
+    nasty_string_arb (fun s ->
+      match parse_json (Equivalence.json_string s) with
+      | Str s' -> s' = s
+      | _ -> false)
+
+let report_with ~note ~counters =
+  {
+    Equivalence.outcome = Equivalence.Not_equivalent;
+    method_used = Equivalence.Portfolio;
+    elapsed = 0.001;
+    peak_size = 7;
+    final_size = 3;
+    simulations = 5;
+    note;
+    engine_stats =
+      [ { Equivalence.engine = "simulation"; counters; dd = None } ];
+    winner = Some "simulation";
+    jobs = 2;
+    runs =
+      [
+        {
+          Equivalence.checker = "simulation-0";
+          run_outcome = Equivalence.Not_equivalent;
+          run_elapsed = 0.001;
+          run_note = note;
+        };
+      ];
+  }
+
+let test_report_json_adversarial =
+  Helpers.qtest ~count:300 "report_to_json stays valid JSON for adversarial notes"
+    nasty_string_arb (fun note ->
+      let r = report_with ~note ~counters: [ ("sim.stimuli", 5) ] in
+      let j = parse_json (Equivalence.report_to_json r) in
+      field j "note" = Str note
+      && field j "winner" = Str "simulation"
+      && field j "jobs" = Num 2.0
+      &&
+      match field j "engine_stats" with
+      | Arr [ e ] -> field (field e "counters") "sim.stimuli" = Num 5.0
+      | _ -> false)
+
+let test_report_json_schema () =
+  let g = Oqec_workloads.Workloads.ghz 3 in
+  let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.linear 5) g in
+  let r = Qcec.check ~strategy:Qcec.Portfolio ~jobs:2 ~seed:1 g g' in
+  let j = parse_json (Equivalence.report_to_json r) in
+  Alcotest.(check string)
+    "outcome" "equivalent"
+    (match field j "outcome" with Str s -> s | _ -> "?");
+  (match field j "winner" with
+  | Str _ -> ()
+  | Null -> Alcotest.fail "conclusive portfolio run must name a winner"
+  | _ -> Alcotest.fail "winner has the wrong JSON type");
+  (match field j "runs" with
+  | Arr runs ->
+      Alcotest.(check int) "one run per worker" 4 (List.length runs);
+      List.iter
+        (fun r ->
+          match (field r "checker", field r "outcome") with
+          | Str _, Str _ -> ()
+          | _ -> Alcotest.fail "run entry shape")
+        runs
+  | _ -> Alcotest.fail "runs must be an array");
+  match field j "engine_stats" with
+  | Arr entries ->
+      Alcotest.(check int) "one engine_stats entry per worker" 4 (List.length entries);
+      let dd_entry =
+        List.find
+          (fun e -> field e "engine" = Str "alternating-dd")
+          entries
+      in
+      (match field dd_entry "counters" with
+      | Obj kvs ->
+          Alcotest.(check bool)
+            "dd entry carries counters object" true
+            (List.for_all (fun (_, v) -> match v with Num _ -> true | _ -> false) kvs)
+      | _ -> Alcotest.fail "counters must be an object")
+  | _ -> Alcotest.fail "engine_stats must be an array"
+
+(* --------------------------------------------------- trace shape tests *)
+
+let span_cats events =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Engine.Trace.Span { cat; _ } -> Some cat
+         | Engine.Trace.Count _ -> None)
+       events)
+
+let test_trace_shape () =
+  let g = Decompose.elementary (Oqec_workloads.Workloads.qft 4) in
+  let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.ring 6) g in
+  let sink = Engine.Trace.create () in
+  let r = Qcec.check ~strategy:Qcec.Portfolio ~jobs:2 ~seed:1 ~sink g g' in
+  Alcotest.(check string)
+    "portfolio verdict" "equivalent"
+    (Equivalence.outcome_to_string r.Equivalence.outcome);
+  let events = Engine.Trace.events sink in
+  let cats = span_cats events in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 span categories (got %s)" (String.concat "," cats))
+    true
+    (List.length cats >= 3);
+  Alcotest.(check bool) "engine spans present" true (List.mem "engine" cats);
+  (* The Chrome export is valid JSON of the documented shape. *)
+  let j = parse_json (Engine.Trace.to_chrome_json sink) in
+  Alcotest.(check string)
+    "displayTimeUnit" "ms"
+    (match field j "displayTimeUnit" with Str s -> s | _ -> "?");
+  match field j "traceEvents" with
+  | Arr evs ->
+      Alcotest.(check int) "event counts match" (List.length events) (List.length evs);
+      List.iter
+        (fun e ->
+          match field e "ph" with
+          | Str "X" -> (
+              match (field e "ts", field e "dur", field e "cat") with
+              | Num _, Num _, Str _ -> ()
+              | _ -> Alcotest.fail "complete-span event shape")
+          | Str "C" -> (
+              match field (field e "args") "value" with
+              | Num _ -> ()
+              | _ -> Alcotest.fail "counter event must carry args.value")
+          | _ -> Alcotest.fail "unexpected trace phase")
+        evs
+  | _ -> Alcotest.fail "traceEvents must be an array"
+
+let counters_of name r =
+  match
+    List.find_opt (fun e -> e.Equivalence.engine = name) r.Equivalence.engine_stats
+  with
+  | Some e -> e.Equivalence.counters
+  | None -> Alcotest.fail (Printf.sprintf "no engine_stats entry for %S" name)
+
+let counter_value counters key = Option.value (List.assoc_opt key counters) ~default:0
+
+let test_strategy_counters () =
+  let g = Decompose.elementary (Oqec_workloads.Workloads.qft 4) in
+  let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.ring 6) g in
+  let dd = Qcec.check ~strategy:Qcec.Alternating g g' in
+  Alcotest.(check bool)
+    "alternating-dd counts gate applications" true
+    (counter_value (counters_of "alternating-dd" dd) "dd.gates_applied" > 0);
+  let zx = Qcec.check ~strategy:Qcec.Zx g g' in
+  let zxc = counters_of "zx-calculus" zx in
+  Alcotest.(check bool)
+    "zx counts rewrite-rule firings" true
+    (List.exists
+       (fun (k, v) ->
+         String.length k > 12 && String.sub k 0 12 = "zx.rewrites." && v > 0)
+       zxc);
+  let sim = Qcec.check ~strategy:Qcec.Simulation ~sim_runs:4 ~seed:1 g g' in
+  Alcotest.(check int)
+    "simulation counts stimuli" 4
+    (counter_value (counters_of "simulation" sim) "sim.stimuli");
+  let cliff = Oqec_workloads.Workloads.ghz 3 in
+  let stab = Qcec.check ~strategy:Qcec.Clifford cliff cliff in
+  Alcotest.(check bool)
+    "stabilizer counts canonicalized rows" true
+    (counter_value (counters_of "stabilizer" stab) "stab.rows_canonicalized" > 0)
+
+(* ------------------------------------------------------- ZX peak size *)
+
+let test_zx_graph_peak () =
+  let open Oqec_zx in
+  let g = Zx_graph.create () in
+  let vs =
+    List.init 5 (fun _ -> Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero)
+  in
+  Alcotest.(check int) "peak after growth" 5 (Zx_graph.peak_vertices g);
+  List.iter (Zx_graph.remove_vertex g) vs;
+  Alcotest.(check int) "live count drops" 0 (Zx_graph.num_vertices g);
+  Alcotest.(check int) "peak survives removals" 5 (Zx_graph.peak_vertices g);
+  ignore (Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero);
+  Alcotest.(check int) "regrowth below peak leaves it" 5 (Zx_graph.peak_vertices g);
+  let h = Zx_graph.copy g in
+  Alcotest.(check int) "copy preserves the peak" 5 (Zx_graph.peak_vertices h)
+
+let test_zx_report_peak () =
+  (* Boundary pivoting / gadgetization grow the graph transiently, so the
+     true running peak strictly exceeds both the initial and the final
+     spider count on a T-heavy pair; before the fix, peak_size was
+     computed as max(initial, final) and missed the transient. *)
+  let g = Decompose.elementary (Oqec_workloads.Workloads.qft 4) in
+  let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.ring 6) g in
+  let r = Qcec.check ~strategy:Qcec.Zx g g' in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d >= final %d" r.Equivalence.peak_size
+       r.Equivalence.final_size)
+    true
+    (r.Equivalence.peak_size >= r.Equivalence.final_size);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d > 0" r.Equivalence.peak_size)
+    true
+    (r.Equivalence.peak_size > 0)
+
+let suite =
+  [
+    test_json_string_roundtrip;
+    test_report_json_adversarial;
+    Alcotest.test_case "report_to_json: portfolio schema" `Quick test_report_json_schema;
+    Alcotest.test_case "trace: chrome shape, >= 3 span categories" `Quick
+      test_trace_shape;
+    Alcotest.test_case "counters: every strategy reports its engine" `Quick
+      test_strategy_counters;
+    Alcotest.test_case "zx_graph: peak_vertices is a running max" `Quick
+      test_zx_graph_peak;
+    Alcotest.test_case "zx report: peak covers transient growth" `Quick
+      test_zx_report_peak;
+  ]

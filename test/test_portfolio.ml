@@ -132,23 +132,22 @@ let portfolio_case seed =
             (Printf.sprintf "seed %d, jobs %d: portfolio agrees with zx" seed jobs)
             (Equivalence.outcome_to_string zx.Equivalence.outcome)
             (Equivalence.outcome_to_string p.Equivalence.outcome);
-        match p.Equivalence.portfolio with
-        | None ->
-            Alcotest.fail
-              (Printf.sprintf "seed %d, jobs %d: missing portfolio breakdown" seed jobs)
-        | Some info ->
-            Alcotest.(check int)
-              (Printf.sprintf "seed %d: breakdown records jobs" seed)
-              jobs info.Equivalence.jobs;
-            Alcotest.(check int)
-              (Printf.sprintf "seed %d: one run per worker" seed)
-              (jobs + 2)
-              (List.length info.Equivalence.runs);
-            if conclusive p.Equivalence.outcome then
-              Alcotest.(check bool)
-                (Printf.sprintf "seed %d: conclusive verdict names a winner" seed)
-                true
-                (info.Equivalence.winner <> None))
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: breakdown records jobs" seed)
+          jobs p.Equivalence.jobs;
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: one run per worker" seed)
+          (jobs + 2)
+          (List.length p.Equivalence.runs);
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: one engine_stats entry per worker" seed)
+          (jobs + 2)
+          (List.length p.Equivalence.engine_stats);
+        if conclusive p.Equivalence.outcome then
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: conclusive verdict names a winner" seed)
+            true
+            (p.Equivalence.winner <> None))
       [ 1; 2; 4 ]
   end
 
@@ -183,19 +182,23 @@ let test_prompt_cancellation () =
     Decompose.elementary (Oqec_workloads.Workloads.random_reversible ~seed ~gates:200 10)
   in
   let c1 = gen 1 and c2 = gen 2 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let r = Qcec.check ~strategy:Qcec.Portfolio ~jobs:2 ~seed:3 ~timeout:60.0 c1 c2 in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Mclock.elapsed_since t0 in
   Alcotest.(check string)
     "simulation refutes the unrelated pair" "not equivalent"
     (Equivalence.outcome_to_string r.Equivalence.outcome);
-  (match r.Equivalence.portfolio with
-  | Some { Equivalence.winner = Some w; runs; _ } ->
+  (match r.Equivalence.winner with
+  | Some w ->
       Alcotest.(check string) "simulation wins the race" "simulation" w;
-      let dd = List.find (fun cr -> cr.Equivalence.checker = "alternating-dd") runs in
+      let dd =
+        List.find
+          (fun cr -> cr.Equivalence.checker = "alternating-dd")
+          r.Equivalence.runs
+      in
       Alcotest.(check string)
         "the slow DD worker was cancelled" "(cancelled)" dd.Equivalence.run_note
-  | _ -> Alcotest.fail "portfolio breakdown missing or winnerless");
+  | None -> Alcotest.fail "race has no winner");
   Alcotest.(check bool)
     (Printf.sprintf "joined wall-clock bounded (%.2fs < 10s)" elapsed)
     true (elapsed < 10.0)
