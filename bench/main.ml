@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- dd-stats          DD engine statistics
      dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
      dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
+     dune exec bench/main.exe -- fuzz-smoke        differential fuzz -> BENCH_fuzz.json
      dune exec bench/main.exe -- micro             Bechamel micro-benchmarks
    Options:
      --paper        paper-scale instance sizes (hours; default is a scaled-down
@@ -639,6 +640,37 @@ let trace_smoke () =
     exit 1
   end
 
+(* ------------------------------------------------------------- Fuzz smoke *)
+
+(* A fixed-seed differential-fuzzing run (100 mixed-profile cases through
+   every checker, shrinking enabled), written to BENCH_fuzz.json.  Any
+   violation is a checker bug by construction, so failures are fatal. *)
+let fuzz_smoke opts =
+  let module Fuzz = Oqec_fuzz.Fuzz in
+  print_endline "\n== Fuzz smoke: differential oracle over 100 random cases ==";
+  let config =
+    {
+      Fuzz.default_config with
+      Fuzz.runs = 100;
+      seed = 7;
+      shrink = true;
+      timeout = opts.timeout;
+    }
+  in
+  let stats = Fuzz.run ~log:print_endline config in
+  let oc = open_out "BENCH_fuzz.json" in
+  output_string oc (Fuzz.stats_to_json config stats);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_fuzz.json: %d cases, %d failures, %d mutations, %d faults in %.2fs\n"
+    stats.Fuzz.cases stats.Fuzz.failures stats.Fuzz.mutations_applied
+    stats.Fuzz.faults_injected stats.Fuzz.elapsed;
+  if stats.Fuzz.failures > 0 then begin
+    Printf.eprintf "fuzz smoke FAILED: %d checker disagreement(s)\n" stats.Fuzz.failures;
+    exit 1
+  end
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -711,6 +743,7 @@ let () =
     | "dd-stats" -> dd_stats_bench ()
     | "portfolio" -> portfolio_bench opts
     | "trace-smoke" -> trace_smoke ()
+    | "fuzz-smoke" -> fuzz_smoke opts
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
@@ -720,10 +753,11 @@ let () =
         run_ablations ();
         dd_stats_bench ();
         portfolio_bench opts;
-        trace_smoke ()
+        trace_smoke ();
+        fuzz_smoke opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, micro, all)\n"
           other;
         exit 2
   in

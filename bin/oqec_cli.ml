@@ -274,9 +274,129 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a QASM circuit onto a coupling map.")
     Term.(const run $ file $ arch $ out)
 
+(* ------------------------------------------------------------- fuzz cmd *)
+
+let fuzz_cmd =
+  let module Fuzz = Oqec_fuzz.Fuzz in
+  let module Fuzz_gen = Oqec_fuzz.Fuzz_gen in
+  let profile =
+    Arg.(
+      value
+      & opt string "mixed"
+      & info [ "p"; "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Gate-set profile for generated circuits: clifford, clifford+t, rotations, \
+             mcx or mixed.")
+  in
+  let runs = Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Generated cases.") in
+  let max_qubits =
+    Arg.(value & opt int 6 & info [ "max-qubits" ] ~docv:"Q" ~doc:"Maximum circuit width.")
+  in
+  let max_gates =
+    Arg.(
+      value & opt int 24 & info [ "max-gates" ] ~docv:"G" ~doc:"Maximum base-circuit size.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily minimise failing pairs before persisting them to the corpus.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Regression-corpus directory: replay every stored counterexample before \
+             fuzzing and persist newly found (shrunk) counterexamples into it.")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "only" ] ~docv:"INDEX"
+          ~doc:
+            "Replay a single case index instead of the whole run — case INDEX under a \
+             given seed is fully deterministic, so this reproduces one failure in \
+             isolation.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-checker timeout for each case.")
+  in
+  let checkers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkers" ] ~docv:"LIST"
+          ~doc:"Comma-separated subset of the oracle's checkers: dd, zx, sim, stab.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit run statistics as one JSON object.") in
+  let run profile runs max_qubits max_gates seed shrink corpus only timeout checkers json =
+    let profile =
+      match Fuzz_gen.profile_of_string profile with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "error: unknown profile %S\n" profile;
+          exit 3
+    in
+    if runs < 0 then begin
+      Printf.eprintf "error: --runs must be >= 0 (got %d)\n" runs;
+      exit 3
+    end;
+    if max_qubits < 2 then begin
+      Printf.eprintf "error: --max-qubits must be >= 2 (got %d)\n" max_qubits;
+      exit 3
+    end;
+    let checkers =
+      match checkers with
+      | None -> None
+      | Some s ->
+          let names = String.split_on_char ',' s |> List.map String.trim in
+          let known = List.map (fun (n, _, _) -> n) (Qcec.oracle_checkers ()) in
+          List.iter
+            (fun n ->
+              if not (List.mem n known) then begin
+                Printf.eprintf "error: --checkers: unknown checker %S (expected dd, zx, sim, stab)\n" n;
+                exit 3
+              end)
+            names;
+          Some names
+    in
+    (* Hidden test hook: deliberately corrupt one checker's verdicts so the
+       oracle/shrink/corpus path can be exercised end to end. *)
+    (match Sys.getenv_opt "OQEC_FUZZ_BREAK" with
+    | Some name when name <> "" -> Oqec_fuzz.Fuzz_oracle.break_hook := Some name
+    | _ -> ());
+    let config =
+      { Fuzz.profile; runs; max_qubits; max_gates; seed; shrink; corpus; only; timeout; checkers }
+    in
+    let log = if json then fun line -> prerr_endline line else print_endline in
+    let stats = Fuzz.run ~log config in
+    if json then print_endline (Fuzz.stats_to_json config stats)
+    else
+      Printf.printf
+        "fuzz: %d cases, %d failures (corpus: %d replayed, %d failing, %d new) in %.2fs\n"
+        stats.Fuzz.cases stats.Fuzz.failures stats.Fuzz.corpus_replayed
+        stats.Fuzz.corpus_failures stats.Fuzz.corpus_new stats.Fuzz.elapsed;
+    if stats.Fuzz.failures > 0 || stats.Fuzz.corpus_failures > 0 then exit 1 else exit 0
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random circuit pairs with provable metamorphic \
+          expectations are run through every checker; any disagreement is shrunk and \
+          persisted as a regression.")
+    Term.(
+      const run $ profile $ runs $ max_qubits $ max_gates $ seed $ shrink $ corpus $ only
+      $ timeout $ checkers $ json)
+
 let () =
   let doc = "equivalence checking of quantum circuits (DDs vs ZX-calculus)" in
   let main = Cmd.group (Cmd.info "oqec" ~version:"1.0.0" ~doc)
-      [ check_cmd; info_cmd; generate_cmd; compile_cmd ]
+      [ check_cmd; info_cmd; generate_cmd; compile_cmd; fuzz_cmd ]
   in
   exit (Cmd.eval main)

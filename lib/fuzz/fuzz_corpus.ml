@@ -1,0 +1,145 @@
+module Equivalence = Oqec_qcec.Equivalence
+module Qasm = Oqec_qasm.Qasm
+
+type entry = {
+  id : string;
+  expected : Fuzz_oracle.expected;
+  seed : int;
+  index : int;
+  note : string;
+}
+
+let manifest_path dir = Filename.concat dir "MANIFEST.jsonl"
+
+let pair_paths dir e =
+  (Filename.concat dir (e.id ^ "-a.qasm"), Filename.concat dir (e.id ^ "-b.qasm"))
+
+let entry_to_json e =
+  Printf.sprintf "{\"id\":%s,\"expected\":%s,\"seed\":%d,\"index\":%d,\"note\":%s}"
+    (Equivalence.json_string e.id)
+    (Equivalence.json_string (Fuzz_oracle.expected_to_string e.expected))
+    e.seed e.index
+    (Equivalence.json_string e.note)
+
+(* ------------------------------------------------------------- Hashing *)
+
+(* FNV-1a over both QASM texts: a stable, content-derived id so the same
+   shrunk counterexample never enters the corpus twice. *)
+let id_of_pair g g' =
+  let h = ref 0xcbf29ce484222325L in
+  let feed s =
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+      s
+  in
+  feed (Qasm.to_string g);
+  feed "\x00";
+  feed (Qasm.to_string g');
+  Printf.sprintf "case-%016Lx" (Int64.logand !h Int64.max_int)
+
+(* ------------------------------------------- Minimal JSONL field reader *)
+
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i = if i + m > n then None else if String.sub s i m = pat then Some i else go (i + 1) in
+  go 0
+
+let string_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":\"" key) with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 4 in
+      let buf = Buffer.create 16 in
+      let n = String.length line in
+      let rec scan j =
+        if j >= n then None
+        else
+          match line.[j] with
+          | '"' -> Some (Buffer.contents buf)
+          | '\\' when j + 1 < n ->
+              (match line.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | c -> Buffer.add_char buf c);
+              scan (j + 2)
+          | c ->
+              Buffer.add_char buf c;
+              scan (j + 1)
+      in
+      scan start
+
+let int_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      let n = String.length line in
+      let stop = ref start in
+      if !stop < n && line.[!stop] = '-' then incr stop;
+      while !stop < n && line.[!stop] >= '0' && line.[!stop] <= '9' do
+        incr stop
+      done;
+      int_of_string_opt (String.sub line start (!stop - start))
+
+let entry_of_line line =
+  match (string_field line "id", string_field line "expected") with
+  | Some id, Some expected_s ->
+      Option.map
+        (fun expected ->
+          {
+            id;
+            expected;
+            seed = Option.value ~default:(-1) (int_field line "seed");
+            index = Option.value ~default:(-1) (int_field line "index");
+            note = Option.value ~default:"" (string_field line "note");
+          })
+        (Fuzz_oracle.expected_of_string expected_s)
+  | _ -> None
+
+(* ------------------------------------------------------------- Load/save *)
+
+let load dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match entry_of_line line with
+           | Some e -> entries := e :: !entries
+           | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir e g g' =
+  mkdir_p dir;
+  let known = load dir in
+  if List.exists (fun k -> k.id = e.id) known then false
+  else begin
+    let a, b = pair_paths dir e in
+    Qasm.write_file a g;
+    Qasm.write_file b g';
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 (manifest_path dir) in
+    output_string oc (entry_to_json e);
+    output_char oc '\n';
+    close_out oc;
+    true
+  end
+
+let load_pair dir e =
+  let a, b = pair_paths dir e in
+  (Qasm.circuit_of_file a, Qasm.circuit_of_file b)

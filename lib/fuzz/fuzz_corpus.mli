@@ -1,0 +1,42 @@
+(** Persistent regression corpus of shrunk counterexamples.
+
+    A corpus directory holds QASM pairs ([<id>-a.qasm], [<id>-b.qasm])
+    plus a [MANIFEST.jsonl] with one JSON object per line describing
+    each entry (id, expected relation, provenance).  Every fuzz run
+    replays the whole corpus through the differential oracle before
+    generating new cases, so a disagreement fixed once stays fixed. *)
+
+open Oqec_circuit
+
+type entry = {
+  id : string;
+  expected : Fuzz_oracle.expected;
+      (** the ground-truth relation of the pair, re-checked on replay *)
+  seed : int;  (** fuzz seed that produced the entry; [-1] when unknown *)
+  index : int;  (** case index under that seed; [-1] when unknown *)
+  note : string;  (** free-form provenance (violation description) *)
+}
+
+val manifest_path : string -> string
+
+(** [pair_paths dir entry] is the pair of QASM file paths. *)
+val pair_paths : string -> entry -> string * string
+
+(** [entry_to_json e] is the one-line manifest encoding. *)
+val entry_to_json : entry -> string
+
+(** Content-derived identifier (FNV-1a over both QASM texts), used to
+    deduplicate corpus entries. *)
+val id_of_pair : Circuit.t -> Circuit.t -> string
+
+(** [load dir] parses the manifest; [[]] when the directory or manifest
+    does not exist.  Malformed lines are skipped. *)
+val load : string -> entry list
+
+(** [save ~dir entry g g'] writes the pair and appends the manifest line,
+    creating the directory if needed; [false] (and no write) when the id
+    is already present. *)
+val save : dir:string -> entry -> Circuit.t -> Circuit.t -> bool
+
+(** [load_pair dir entry] reads the entry's circuits back. *)
+val load_pair : string -> entry -> Circuit.t * Circuit.t

@@ -1,0 +1,135 @@
+open Oqec_base
+open Oqec_circuit
+
+type profile = Clifford | Clifford_t | Rotations | Multi_controlled | Mixed
+
+let all_profiles = [ Clifford; Clifford_t; Rotations; Multi_controlled; Mixed ]
+
+let profile_to_string = function
+  | Clifford -> "clifford"
+  | Clifford_t -> "clifford+t"
+  | Rotations -> "rotations"
+  | Multi_controlled -> "mcx"
+  | Mixed -> "mixed"
+
+let profile_of_string = function
+  | "clifford" -> Some Clifford
+  | "clifford+t" | "clifford-t" | "cliffordt" -> Some Clifford_t
+  | "rotations" -> Some Rotations
+  | "mcx" | "multi-controlled" -> Some Multi_controlled
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+(* k distinct wires out of n (k <= n). *)
+let distinct rng n k =
+  let picked = Array.make k (-1) in
+  for i = 0 to k - 1 do
+    let rec draw () =
+      let q = Rng.int rng n in
+      if Array.exists (( = ) q) picked then draw () else q
+    in
+    picked.(i) <- draw ()
+  done;
+  Array.to_list picked
+
+(* Non-zero dyadic angle k*pi/16, k in 1..31. *)
+let dyadic_angle rng = Phase.of_pi_fraction (1 + Rng.int rng 31) 16
+
+(* Mostly dyadic with an occasional arbitrary float angle (kept away
+   from 0 so the gate is never the identity). *)
+let rotation_angle rng =
+  if Rng.int rng 8 = 0 then Phase.of_float (0.05 +. Rng.float rng (2.0 *. Float.pi -. 0.1))
+  else dyadic_angle rng
+
+let clifford_op rng n =
+  let q = Rng.int rng n in
+  match Rng.int rng 12 with
+  | 0 -> Circuit.Gate (Gate.H, q)
+  | 1 -> Circuit.Gate (Gate.S, q)
+  | 2 -> Circuit.Gate (Gate.Sdg, q)
+  | 3 -> Circuit.Gate (Gate.X, q)
+  | 4 -> Circuit.Gate (Gate.Y, q)
+  | 5 -> Circuit.Gate (Gate.Z, q)
+  | 6 -> Circuit.Gate (Gate.Sx, q)
+  | k when n < 2 -> Circuit.Gate ((if k land 1 = 0 then Gate.H else Gate.S), q)
+  | 7 | 8 -> (
+      match distinct rng n 2 with [ a; b ] -> Circuit.Ctrl ([ a ], Gate.X, b) | _ -> assert false)
+  | 9 | 10 -> (
+      match distinct rng n 2 with [ a; b ] -> Circuit.Ctrl ([ a ], Gate.Z, b) | _ -> assert false)
+  | _ -> (
+      match distinct rng n 2 with [ a; b ] -> Circuit.Swap (a, b) | _ -> assert false)
+
+let clifford_t_op rng n =
+  match Rng.int rng 8 with
+  | 0 -> Circuit.Gate (Gate.T, Rng.int rng n)
+  | 1 -> Circuit.Gate (Gate.Tdg, Rng.int rng n)
+  | 2 when n >= 3 -> (
+      match distinct rng n 3 with
+      | [ a; b; t ] -> Circuit.Ctrl ([ a; b ], Gate.X, t)
+      | _ -> assert false)
+  | 3 when n >= 3 -> (
+      match distinct rng n 3 with
+      | [ a; b; t ] -> Circuit.Ctrl ([ a; b ], Gate.Z, t)
+      | _ -> assert false)
+  | _ -> clifford_op rng n
+
+let rotations_op rng n =
+  let q = Rng.int rng n in
+  match Rng.int rng 8 with
+  | 0 -> Circuit.Gate (Gate.Rx (rotation_angle rng), q)
+  | 1 -> Circuit.Gate (Gate.Ry (rotation_angle rng), q)
+  | 2 -> Circuit.Gate (Gate.Rz (rotation_angle rng), q)
+  | 3 -> Circuit.Gate (Gate.P (rotation_angle rng), q)
+  | 4 -> Circuit.Gate (Gate.H, q)
+  | k when n < 2 -> Circuit.Gate ((if k land 1 = 0 then Gate.H else Gate.Rz (dyadic_angle rng)), q)
+  | 5 | 6 -> (
+      match distinct rng n 2 with [ a; b ] -> Circuit.Ctrl ([ a ], Gate.X, b) | _ -> assert false)
+  | _ -> (
+      match distinct rng n 2 with
+      | [ a; b ] -> Circuit.Ctrl ([ a ], Gate.P (dyadic_angle rng), b)
+      | _ -> assert false)
+
+let multi_controlled_op rng n =
+  let mcx k =
+    match distinct rng n (k + 1) with
+    | t :: cs -> Circuit.Ctrl (cs, Gate.X, t)
+    | [] -> assert false
+  in
+  match Rng.int rng 10 with
+  | 0 -> Circuit.Gate (Gate.X, Rng.int rng n)
+  | 1 | 2 when n >= 2 -> mcx 1
+  | 3 | 4 | 5 when n >= 3 -> mcx 2
+  | 6 when n >= 3 -> (
+      match distinct rng n 3 with
+      | [ a; b; t ] -> Circuit.Ctrl ([ a; b ], Gate.Z, t)
+      | _ -> assert false)
+  | 7 when n >= 4 -> mcx 3
+  | 8 when n >= 5 -> mcx 4
+  | 9 when n >= 2 -> (
+      match distinct rng n 2 with [ a; b ] -> Circuit.Swap (a, b) | _ -> assert false)
+  | _ -> if n >= 2 then mcx 1 else Circuit.Gate (Gate.X, Rng.int rng n)
+
+let rec op_of_profile profile rng n =
+  match profile with
+  | Clifford -> clifford_op rng n
+  | Clifford_t -> clifford_t_op rng n
+  | Rotations -> rotations_op rng n
+  | Multi_controlled -> multi_controlled_op rng n
+  | Mixed ->
+      let p =
+        match Rng.int rng 4 with
+        | 0 -> Clifford
+        | 1 -> Clifford_t
+        | 2 -> Rotations
+        | _ -> Multi_controlled
+      in
+      op_of_profile p rng n
+
+let circuit profile rng ~num_qubits ~gates =
+  if num_qubits < 1 then invalid_arg "Fuzz_gen.circuit: need at least one qubit";
+  let name = Printf.sprintf "fuzz-%s-%d" (profile_to_string profile) num_qubits in
+  let c = ref (Circuit.create ~name num_qubits) in
+  for _ = 1 to gates do
+    c := Circuit.add !c (op_of_profile profile rng num_qubits)
+  done;
+  !c

@@ -1,0 +1,28 @@
+(** Random circuit generation from configurable gate-set profiles.
+
+    Every profile draws only gates the QASM writer can print (at most
+    four controls, no controlled [Sxdg]) and never emits an
+    identity-acting operation (no [I], no zero-angle rotation) — the
+    fault injectors rely on that to make gate deletion provably
+    equivalence-breaking (see {!Oqec_workloads.Workloads.inject_fault}). *)
+
+open Oqec_base
+open Oqec_circuit
+
+type profile =
+  | Clifford  (** H, S, Sdg, X, Y, Z, Sx, CX, CZ, SWAP *)
+  | Clifford_t  (** Clifford plus T, Tdg, CCX, CCZ *)
+  | Rotations
+      (** dyadic and occasional float-angle Rx/Ry/Rz/P, CP, CX, H —
+          the "arbitrary rotation angle" region of Section 6.2 *)
+  | Multi_controlled  (** X, CX, CCX, CCZ, C3X, C4X, SWAP — the "urf" shape *)
+  | Mixed  (** union of all profiles, drawn per gate *)
+
+val all_profiles : profile list
+val profile_to_string : profile -> string
+val profile_of_string : string -> profile option
+
+(** [circuit profile rng ~num_qubits ~gates] draws a random circuit;
+    gates needing more wires than [num_qubits] are resampled from a
+    narrower family. *)
+val circuit : profile -> Rng.t -> num_qubits:int -> gates:int -> Circuit.t

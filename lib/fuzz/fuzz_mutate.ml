@@ -1,0 +1,166 @@
+open Oqec_base
+open Oqec_circuit
+module Workloads = Oqec_workloads.Workloads
+
+type kind = Commute | Insert_inverse | Rewire_swap | Split_rotation | Inject_fault
+
+let all_kinds = [ Commute; Insert_inverse; Rewire_swap; Split_rotation; Inject_fault ]
+let preserving_kinds = [ Commute; Insert_inverse; Rewire_swap; Split_rotation ]
+
+let kind_to_string = function
+  | Commute -> "commute"
+  | Insert_inverse -> "insert-inverse"
+  | Rewire_swap -> "rewire-swap"
+  | Split_rotation -> "split-rotation"
+  | Inject_fault -> "inject-fault"
+
+let preserves = function Inject_fault -> false | _ -> true
+
+let rebuild_like c ops =
+  let c' =
+    List.fold_left Circuit.add
+      (Circuit.create ~name:(Circuit.name c) (Circuit.num_qubits c))
+      ops
+  in
+  let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
+  Circuit.with_output_perm c' (Circuit.output_perm c)
+
+(* ----------------------------------------------------------- Commute *)
+
+let op_diagonal = function
+  | Circuit.Gate (g, _) | Circuit.Ctrl (_, g, _) -> Gate.is_diagonal g
+  | Circuit.Swap _ | Circuit.Barrier -> false
+
+(* Two adjacent operations may be exchanged when they touch disjoint
+   wires (tensor factors commute) or when both are diagonal in the
+   computational basis (diagonal matrices commute). *)
+let commutes a b =
+  match (a, b) with
+  | Circuit.Barrier, _ | _, Circuit.Barrier -> false
+  | _ ->
+      let qa = Circuit.op_qubits a and qb = Circuit.op_qubits b in
+      List.for_all (fun q -> not (List.mem q qb)) qa || (op_diagonal a && op_diagonal b)
+
+let commute rng c =
+  let ops = Circuit.ops_array c in
+  let sites = ref [] in
+  for i = 0 to Array.length ops - 2 do
+    if commutes ops.(i) ops.(i + 1) && not (Circuit.equal_op ops.(i) ops.(i + 1)) then
+      sites := i :: !sites
+  done;
+  match !sites with
+  | [] -> None
+  | sites ->
+      let sites = Array.of_list sites in
+      let i = sites.(Rng.int rng (Array.length sites)) in
+      let tmp = ops.(i) in
+      ops.(i) <- ops.(i + 1);
+      ops.(i + 1) <- tmp;
+      Some (rebuild_like c (Array.to_list ops))
+
+(* ---------------------------------------------------- Insert_inverse *)
+
+(* Gates whose [Circuit.inverse_op] is the exact matrix inverse (up to
+   global phase): discrete single-qubit gates, single-qubit rotations,
+   CX/CZ and SWAP.  Controlled rotations are excluded (see the
+   [Circuit.inverse_op] caveat about the 4*pi rotation period). *)
+let insertable rng n =
+  let q = Rng.int rng n in
+  match Rng.int rng 9 with
+  | 0 -> Circuit.Gate (Gate.H, q)
+  | 1 -> Circuit.Gate (Gate.S, q)
+  | 2 -> Circuit.Gate (Gate.X, q)
+  | 3 -> Circuit.Gate (Gate.T, q)
+  | 4 -> Circuit.Gate (Gate.Rz (Phase.of_pi_fraction (1 + Rng.int rng 15) 8), q)
+  | 5 -> Circuit.Gate (Gate.Ry (Phase.of_pi_fraction (1 + Rng.int rng 15) 8), q)
+  | k when n < 2 -> Circuit.Gate ((if k land 1 = 0 then Gate.H else Gate.S), q)
+  | 6 | 7 ->
+      let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+      Circuit.Ctrl ([ q ], (if Rng.bool rng then Gate.X else Gate.Z), q2)
+  | _ ->
+      let q2 = (q + 1 + Rng.int rng (n - 1)) mod n in
+      Circuit.Swap (q, q2)
+
+let insert_inverse rng c =
+  let ops = Circuit.ops c in
+  let pos = Rng.int rng (List.length ops + 1) in
+  let op = insertable rng (Circuit.num_qubits c) in
+  let rec splice i = function
+    | rest when i = pos -> op :: Circuit.inverse_op op :: rest
+    | [] -> []
+    | o :: rest -> o :: splice (i + 1) rest
+  in
+  Some (rebuild_like c (splice 0 ops))
+
+(* ------------------------------------------------------- Rewire_swap *)
+
+(* Appending SWAP(a,b) moves whatever ended on wire a to wire b and vice
+   versa; composing the output permutation with the same transposition
+   (logical q is now measured on wire t(p(q))) keeps the effective
+   unitary unchanged. *)
+let rewire_swap rng c =
+  let n = Circuit.num_qubits c in
+  if n < 2 then None
+  else begin
+    let a = Rng.int rng n in
+    let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+    let p = match Circuit.output_perm c with Some p -> p | None -> Perm.id n in
+    let t = Perm.swap (Perm.id n) a b in
+    let c' = Circuit.swap c a b in
+    Some (Circuit.with_output_perm c' (Some (Perm.compose t p)))
+  end
+
+(* --------------------------------------------------- Split_rotation *)
+
+(* Rz(a1) Rz(a2) = Rz(a1+a2), and likewise for Rx/Ry/P and controlled
+   phases (all exactly; for rotations the 2*pi-canonical sum can differ
+   from the true sum by a global phase of -1, which equivalence modulo
+   global phase absorbs). *)
+let split_site rng op =
+  let split mk a =
+    let rec pick tries =
+      let a1 = Phase.of_pi_fraction (1 + Rng.int rng 31) 16 in
+      let a2 = Phase.sub a a1 in
+      if (Phase.is_zero a1 || Phase.is_zero a2) && tries < 8 then pick (tries + 1)
+      else (mk a1, mk a2)
+    in
+    let o1, o2 = pick 0 in
+    Some [ o1; o2 ]
+  in
+  match op with
+  | Circuit.Gate (Gate.Rx a, t) -> split (fun x -> Circuit.Gate (Gate.Rx x, t)) a
+  | Circuit.Gate (Gate.Ry a, t) -> split (fun x -> Circuit.Gate (Gate.Ry x, t)) a
+  | Circuit.Gate (Gate.Rz a, t) -> split (fun x -> Circuit.Gate (Gate.Rz x, t)) a
+  | Circuit.Gate (Gate.P a, t) -> split (fun x -> Circuit.Gate (Gate.P x, t)) a
+  | Circuit.Ctrl (cs, Gate.P a, t) -> split (fun x -> Circuit.Ctrl (cs, Gate.P x, t)) a
+  | _ -> None
+
+let split_rotation rng c =
+  let ops = Circuit.ops_array c in
+  let sites = ref [] in
+  Array.iteri (fun i op -> if split_site rng op <> None then sites := i :: !sites) ops;
+  match !sites with
+  | [] -> None
+  | site_list ->
+      let arr = Array.of_list site_list in
+      let i = arr.(Rng.int rng (Array.length arr)) in
+      let replacement = Option.get (split_site rng ops.(i)) in
+      let ops' =
+        Array.to_list ops
+        |> List.mapi (fun j op -> if j = i then replacement else [ op ])
+        |> List.concat
+      in
+      Some (rebuild_like c ops')
+
+(* ------------------------------------------------------ Inject_fault *)
+
+let inject_fault rng c =
+  Option.map fst (Workloads.inject_fault ~seed:(Rng.int rng 1_000_000) c)
+
+let apply kind rng c =
+  match kind with
+  | Commute -> commute rng c
+  | Insert_inverse -> insert_inverse rng c
+  | Rewire_swap -> rewire_swap rng c
+  | Split_rotation -> split_rotation rng c
+  | Inject_fault -> inject_fault rng c

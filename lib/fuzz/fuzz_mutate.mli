@@ -1,0 +1,37 @@
+(** Metamorphic circuit mutations.
+
+    Each mutation either {e provably} preserves equivalence up to global
+    phase (commuting-gate swaps, inverse-pair insertion, SWAP plus
+    output-permutation rewiring, rotation-angle splitting) or {e provably}
+    breaks it (single-fault injection through
+    {!Oqec_workloads.Workloads.inject_fault}).  That proof obligation is
+    what turns a mutation into an oracle: a checker contradicting the
+    mutation's expectation is a bug with no reference computation needed,
+    and the unit tests discharge the obligation against the dense
+    semantics. *)
+
+open Oqec_base
+open Oqec_circuit
+
+type kind =
+  | Commute  (** swap two adjacent ops on disjoint wires (or both diagonal) *)
+  | Insert_inverse  (** insert a gate immediately followed by its inverse *)
+  | Rewire_swap
+      (** append a SWAP and compose the output permutation with the same
+          transposition (Fig. 2's layout metadata, exercised for real) *)
+  | Split_rotation  (** replace a rotation by two rotations summing to it *)
+  | Inject_fault  (** one random single-fault error model — breaks equivalence *)
+
+val all_kinds : kind list
+
+(** The equivalence-preserving subset of {!all_kinds}. *)
+val preserving_kinds : kind list
+
+val kind_to_string : kind -> string
+
+(** Whether the mutation preserves equivalence (true) or breaks it. *)
+val preserves : kind -> bool
+
+(** [apply kind rng c] is the mutated circuit, or [None] when the
+    mutation has no applicable site in [c]. *)
+val apply : kind -> Rng.t -> Circuit.t -> Circuit.t option

@@ -1,0 +1,157 @@
+open Oqec_base
+open Oqec_circuit
+open Oqec_qcec
+
+type expected = Expect_equivalent | Expect_not_equivalent | Expect_unknown
+
+let expected_to_string = function
+  | Expect_equivalent -> "equivalent"
+  | Expect_not_equivalent -> "not_equivalent"
+  | Expect_unknown -> "unknown"
+
+let expected_of_string = function
+  | "equivalent" -> Some Expect_equivalent
+  | "not_equivalent" -> Some Expect_not_equivalent
+  | "unknown" -> Some Expect_unknown
+  | _ -> None
+
+type verdict = { checker : string; outcome : Equivalence.outcome; elapsed : float }
+
+type result = {
+  verdicts : verdict list;
+  truth : bool option;
+  violation : string option;
+}
+
+let dense_max_qubits = 8
+let break_hook = ref None
+
+(* The deliberate corruption applied by the test hook: conclusive
+   verdicts flip, an inconclusive one becomes a (false) equivalence
+   proof, so the broken checker disagrees on essentially every pair. *)
+let corrupt = function
+  | Equivalence.Equivalent -> Equivalence.Not_equivalent
+  | Equivalence.Not_equivalent -> Equivalence.Equivalent
+  | Equivalence.No_information -> Equivalence.Equivalent
+  | Equivalence.Timed_out -> Equivalence.Timed_out
+
+let run_one ~timeout ~seed checker_name checker g g' =
+  let deadline = Mclock.now () +. timeout in
+  let ctx = Engine.Ctx.make ~deadline ~sim_runs:16 ~seed () in
+  let t0 = Mclock.now () in
+  let outcome =
+    match Engine.run_worker ctx checker g g' with
+    | v -> v.Engine.outcome
+    | exception Equivalence.Cancelled -> Equivalence.Timed_out
+  in
+  let outcome = if !break_hook = Some checker_name then corrupt outcome else outcome in
+  { checker = checker_name; outcome; elapsed = Mclock.now () -. t0 }
+
+(* Soundness contract of one checker against the dense truth. *)
+let sound_vs_truth name truth outcome =
+  match (name, outcome) with
+  | _, Equivalence.Timed_out -> true
+  | ("dd" | "stab"), (Equivalence.Equivalent | Equivalence.Not_equivalent) ->
+      outcome = if truth then Equivalence.Equivalent else Equivalence.Not_equivalent
+  | ("dd" | "stab"), Equivalence.No_information -> true
+  | "zx", Equivalence.Equivalent -> truth
+  | "zx", Equivalence.Not_equivalent -> not truth
+  | "sim", Equivalence.Not_equivalent -> not truth
+  | "sim", Equivalence.Equivalent -> truth
+  | _, _ -> true
+
+(* A conclusive verdict is a proof for every checker in the oracle set,
+   so it may be judged against a metamorphic expectation directly. *)
+let sound_vs_expected expected outcome =
+  match (expected, outcome) with
+  | Expect_equivalent, Equivalence.Not_equivalent -> false
+  | Expect_not_equivalent, Equivalence.Equivalent -> false
+  | _ -> true
+
+let describe fmt = Printf.sprintf fmt
+
+let find_violation ~expected ~truth verdicts =
+  let conclusive v =
+    v.outcome = Equivalence.Equivalent || v.outcome = Equivalence.Not_equivalent
+  in
+  let out v = Equivalence.outcome_to_string v.outcome in
+  (* 1. metamorphic expectation vs dense truth: a mismatch means the
+     mutation's proof obligation (or the circuit library under it) is
+     broken — also a bug, reported distinctly. *)
+  let expectation_vs_truth =
+    match (expected, truth) with
+    | Expect_equivalent, Some false ->
+        Some
+          "metamorphic violation: mutation chain claims equivalence but the dense \
+           reference refutes it"
+    | Expect_not_equivalent, Some true ->
+        Some
+          "metamorphic violation: fault injection claims non-equivalence but the dense \
+           reference proves equivalence"
+    | _ -> None
+  in
+  (* 2. each checker against the dense truth. *)
+  let checker_vs_truth =
+    match truth with
+    | None -> None
+    | Some t ->
+        List.find_map
+          (fun v ->
+            if sound_vs_truth v.checker t v.outcome then None
+            else
+              Some
+                (describe "%s said %s but the dense reference says %s" v.checker (out v)
+                   (if t then "equivalent" else "not equivalent")))
+          verdicts
+  in
+  (* 3. each checker against the metamorphic expectation. *)
+  let checker_vs_expected =
+    List.find_map
+      (fun v ->
+        if sound_vs_expected expected v.outcome then None
+        else
+          Some
+            (describe "%s said %s on a pair the mutation chain proves %s" v.checker (out v)
+               (expected_to_string expected)))
+      verdicts
+  in
+  (* 4. two checkers with opposite conclusive verdicts — the paper's
+     two-paradigm disagreement, detectable at any width. *)
+  let checker_vs_checker =
+    let conclusives = List.filter conclusive verdicts in
+    List.find_map
+      (fun a ->
+        List.find_map
+          (fun b ->
+            if a.outcome <> b.outcome then
+              Some (describe "%s said %s but %s said %s" a.checker (out a) b.checker (out b))
+            else None)
+          conclusives)
+      conclusives
+  in
+  List.find_map Fun.id
+    [ expectation_vs_truth; checker_vs_truth; checker_vs_expected; checker_vs_checker ]
+
+let run ?(timeout = 10.0) ?checkers ?(seed = 1) ~expected g g' =
+  let selected =
+    match checkers with
+    | None -> Qcec.oracle_checkers ()
+    | Some names ->
+        List.filter (fun (n, _, _) -> List.mem n names) (Qcec.oracle_checkers ())
+  in
+  let verdicts =
+    List.map (fun (name, _, checker) -> run_one ~timeout ~seed name checker g g') selected
+  in
+  let truth =
+    if
+      Circuit.num_qubits g <= dense_max_qubits
+      && Circuit.num_qubits g' <= dense_max_qubits
+    then
+      (* Widen the narrower circuit first, exactly as the checkers do:
+         compiled circuits legitimately use more wires than their
+         originals. *)
+      let a, b = Flatten.align g g' in
+      Some (Unitary.equivalent a b)
+    else None
+  in
+  { verdicts; truth; violation = find_violation ~expected ~truth verdicts }

@@ -1,0 +1,152 @@
+open Oqec_base
+open Oqec_circuit
+
+type stats = { evaluations : int; committed : int }
+
+let rebuild base ops =
+  let c =
+    List.fold_left Circuit.add
+      (Circuit.create ~name:(Circuit.name base) (Circuit.num_qubits base))
+      ops
+  in
+  let c = Circuit.with_initial_layout c (Circuit.initial_layout base) in
+  Circuit.with_output_perm c (Circuit.output_perm base)
+
+(* ------------------------------------------------------- Gate deletion *)
+
+let delete_pass eval (c1, c2) =
+  let changed = ref false in
+  let shrink_side ~left this other =
+    let ops = ref (Circuit.ops this) in
+    let i = ref (List.length !ops - 1) in
+    while !i >= 0 do
+      let cand_ops = List.filteri (fun j _ -> j <> !i) !ops in
+      let cand = rebuild this cand_ops in
+      let pair = if left then (cand, other) else (other, cand) in
+      if eval (fst pair) (snd pair) then begin
+        ops := cand_ops;
+        changed := true
+      end;
+      decr i
+    done;
+    rebuild this !ops
+  in
+  (* Shrink the derived side first: it usually carries the mutation. *)
+  let c2 = shrink_side ~left:false c2 c1 in
+  let c1 = shrink_side ~left:true c1 c2 in
+  ((c1, c2), !changed)
+
+(* ------------------------------------------------------- Qubit removal *)
+
+let drop_qubit q c =
+  let n = Circuit.num_qubits c in
+  let keep op = not (List.mem q (Circuit.op_qubits op)) in
+  let remap w = if w > q then w - 1 else w in
+  let remap_op = function
+    | Circuit.Gate (g, t) -> Circuit.Gate (g, remap t)
+    | Circuit.Ctrl (cs, g, t) -> Circuit.Ctrl (List.map remap cs, g, remap t)
+    | Circuit.Swap (a, b) -> Circuit.Swap (remap a, remap b)
+    | Circuit.Barrier -> Circuit.Barrier
+  in
+  List.fold_left Circuit.add
+    (Circuit.create ~name:(Circuit.name c) (n - 1))
+    (List.filter_map (fun op -> if keep op then Some (remap_op op) else None) (Circuit.ops c))
+
+let no_layout c = Circuit.initial_layout c = None && Circuit.output_perm c = None
+
+let qubit_pass eval (c1, c2) =
+  let changed = ref false in
+  let pair = ref (c1, c2) in
+  if no_layout c1 && no_layout c2 then begin
+    let q = ref (Circuit.num_qubits (fst !pair) - 1) in
+    while !q >= 0 && Circuit.num_qubits (fst !pair) > 1 do
+      let a, b = !pair in
+      let cand = (drop_qubit !q a, drop_qubit !q b) in
+      if eval (fst cand) (snd cand) then begin
+        pair := cand;
+        changed := true
+      end;
+      decr q
+    done
+  end;
+  (!pair, !changed)
+
+(* ------------------------------------------------ Op simplification *)
+
+(* Simpler replacements for one operation: fewer controls, or a rotation
+   angle snapped to pi / pi/2 (the shallow end of the angle lattice). *)
+let simpler_ops op =
+  let angle_candidates mk a =
+    List.filter_map
+      (fun a' -> if Phase.equal a a' then None else Some (mk a'))
+      [ Phase.pi; Phase.half_pi ]
+  in
+  match op with
+  | Circuit.Ctrl (_ :: (_ :: _ as rest), g, t) ->
+      [ Circuit.Ctrl (rest, g, t) ]
+  | Circuit.Ctrl ([ _ ], Gate.P a, t) ->
+      Circuit.Gate (Gate.P a, t) :: angle_candidates (fun x -> Circuit.Gate (Gate.P x, t)) a
+  | Circuit.Ctrl ([ _ ], g, t) -> [ Circuit.Gate (g, t) ]
+  | Circuit.Gate (Gate.Rx a, t) -> angle_candidates (fun x -> Circuit.Gate (Gate.Rx x, t)) a
+  | Circuit.Gate (Gate.Ry a, t) -> angle_candidates (fun x -> Circuit.Gate (Gate.Ry x, t)) a
+  | Circuit.Gate (Gate.Rz a, t) -> angle_candidates (fun x -> Circuit.Gate (Gate.Rz x, t)) a
+  | Circuit.Gate (Gate.P a, t) -> angle_candidates (fun x -> Circuit.Gate (Gate.P x, t)) a
+  | _ -> []
+
+let simplify_pass eval (c1, c2) =
+  let changed = ref false in
+  let simplify_side ~left this other =
+    let ops = ref (Array.of_list (Circuit.ops this)) in
+    Array.iteri
+      (fun i op ->
+        List.iter
+          (fun op' ->
+            if Circuit.equal_op !ops.(i) op then begin
+              let cand_ops = Array.copy !ops in
+              cand_ops.(i) <- op';
+              let cand = rebuild this (Array.to_list cand_ops) in
+              let pair = if left then (cand, other) else (other, cand) in
+              if eval (fst pair) (snd pair) then begin
+                ops := cand_ops;
+                changed := true
+              end
+            end)
+          (simpler_ops op))
+      !ops;
+    rebuild this (Array.to_list !ops)
+  in
+  let c2 = simplify_side ~left:false c2 c1 in
+  let c1 = simplify_side ~left:true c1 c2 in
+  ((c1, c2), !changed)
+
+(* ---------------------------------------------------------- Fixpoint *)
+
+let shrink ?(budget = 2000) ~still_fails c1 c2 =
+  let evaluations = ref 0 and committed = ref 0 in
+  let remaining = ref budget in
+  let eval a b =
+    if !remaining <= 0 then false
+    else begin
+      decr remaining;
+      incr evaluations;
+      let r = still_fails a b in
+      if r then incr committed;
+      r
+    end
+  in
+  if not (eval c1 c2) then (c1, c2, { evaluations = !evaluations; committed = 0 })
+  else begin
+    (* The initial replay confirmed the failure; it is not a step. *)
+    committed := 0;
+    let pair = ref (c1, c2) in
+    let continue = ref true in
+    while !continue && !remaining > 0 do
+      let p1, ch1 = delete_pass eval !pair in
+      let p2, ch2 = qubit_pass eval p1 in
+      let p3, ch3 = simplify_pass eval p2 in
+      pair := p3;
+      continue := ch1 || ch2 || ch3
+    done;
+    let a, b = !pair in
+    (a, b, { evaluations = !evaluations; committed = !committed })
+  end

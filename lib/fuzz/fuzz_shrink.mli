@@ -1,0 +1,29 @@
+(** Greedy counterexample shrinking.
+
+    Reduces a failing circuit pair to a local minimum while the
+    [still_fails] predicate (a replay of the differential oracle) keeps
+    holding.  Three passes run to a joint fixpoint: one-at-a-time gate
+    deletion on either side, whole-qubit removal (all touching gates
+    dropped, wires compacted; skipped when layout metadata is present),
+    and operation simplification (drop a control, replace a rotation
+    angle by pi or pi/2).  Every committed step re-ran the oracle, so the
+    shrunk pair provably still exhibits the original class of
+    disagreement. *)
+
+open Oqec_circuit
+
+type stats = {
+  evaluations : int;  (** oracle replays performed *)
+  committed : int;  (** shrinking steps that kept the failure *)
+}
+
+(** [shrink ?budget ~still_fails g g'] greedily minimises the pair;
+    [budget] caps oracle replays (default 2000).  The returned pair
+    fails [still_fails] — the original pair is returned unchanged if it
+    does not fail to begin with. *)
+val shrink :
+  ?budget:int ->
+  still_fails:(Circuit.t -> Circuit.t -> bool) ->
+  Circuit.t ->
+  Circuit.t ->
+  Circuit.t * Circuit.t * stats

@@ -21,6 +21,17 @@ let strategy_of_string = function
   | "portfolio" -> Some Portfolio
   | _ -> None
 
+(* The differential-oracle checker set: one complete checker (dd), two
+   one-sided ones (zx proves either verdict but may get stuck, sim only
+   refutes) and one fragment-complete one (stab, Clifford only). *)
+let oracle_checkers () =
+  [
+    ("dd", Equivalence.Alternating_dd, Dd_checker.alternating ());
+    ("zx", Equivalence.Zx_calculus, Zx_checker.checker);
+    ("sim", Equivalence.Simulation, Sim_checker.checker);
+    ("stab", Equivalence.Stabilizer, Stab_checker.checker);
+  ]
+
 (* Every strategy is a CHECKER run by the engine: timing, deadline and
    cancellation polling, counter accounting and report assembly are
    centralised in {!Engine.run}; the portfolio is the same thing raced

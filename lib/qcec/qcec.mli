@@ -39,6 +39,16 @@ type strategy =
 val strategy_to_string : strategy -> string
 val strategy_of_string : string -> strategy option
 
+(** [oracle_checkers ()] is the canonical set of named {!Engine.CHECKER}s
+    a differential oracle runs side by side: the alternating DD scheme
+    (["dd"]), ZX rewriting (["zx"]), random-stimuli simulation (["sim"])
+    and the stabilizer tableau (["stab"]).  The paper's core claim is
+    that these independent paradigms must agree on every instance, which
+    is exactly what the fuzzing subsystem ([oqec.fuzz]) checks: each
+    entry is run through {!Engine.run_worker} under its own context and
+    any verdict disagreement is a bug by construction. *)
+val oracle_checkers : unit -> (string * Equivalence.method_used * Engine.checker) list
+
 (** [check ?strategy ?timeout ?tol ?gc_threshold ?sim_runs ?seed g g']
     decides whether the circuits are equivalent up to global phase and
     layout metadata.

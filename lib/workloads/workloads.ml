@@ -412,6 +412,158 @@ let flip_cnot ~seed c =
   let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
   Circuit.with_output_perm c' (Circuit.output_perm c)
 
+type fault = Missing_gate | Flipped_cnot | Perturbed_angle | Substituted_gate
+
+let fault_to_string = function
+  | Missing_gate -> "missing-gate"
+  | Flipped_cnot -> "flipped-cnot"
+  | Perturbed_angle -> "perturbed-angle"
+  | Substituted_gate -> "substituted-gate"
+
+(* Whether an operation acts as the identity (up to global phase), in
+   which case deleting it would NOT break equivalence. *)
+let gate_is_identity = function
+  | Gate.I -> true
+  | Gate.Rx a | Gate.Ry a | Gate.Rz a | Gate.P a -> Phase.is_zero a
+  | Gate.U (a, b, c) -> Phase.is_zero a && Phase.is_zero b && Phase.is_zero c
+  | _ -> false
+
+let op_is_identity = function
+  | Circuit.Barrier -> true
+  | Circuit.Gate (g, _) | Circuit.Ctrl (_, g, _) -> gate_is_identity g
+  | Circuit.Swap _ -> false
+
+(* Deleting op g from A;g;B yields A;B, equivalent to the original iff
+   g is proportional to the identity — so picking only non-identity ops
+   makes the deletion provably equivalence-breaking. *)
+let rebuild_like c ~suffix ops =
+  let c' =
+    List.fold_left Circuit.add
+      (Circuit.create ~name:(Circuit.name c ^ suffix) (Circuit.num_qubits c))
+      ops
+  in
+  let c' = Circuit.with_initial_layout c' (Circuit.initial_layout c) in
+  Circuit.with_output_perm c' (Circuit.output_perm c)
+
+let edit_nth ~pred ~edit rng c =
+  let ops = Circuit.ops c in
+  let total = List.length (List.filter pred ops) in
+  if total = 0 then None
+  else begin
+    let victim = Rng.int rng total in
+    let counter = ref (-1) in
+    let ops' =
+      List.concat_map
+        (fun op ->
+          if pred op then begin
+            incr counter;
+            if !counter = victim then edit op else [ op ]
+          end
+          else [ op ])
+        ops
+    in
+    Some ops'
+  end
+
+let is_rotation_op = function
+  | Circuit.Gate ((Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.P _), _)
+  | Circuit.Ctrl (_, (Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.P _), _) ->
+      true
+  | _ -> false
+
+let perturb_rotation op =
+  let bump g =
+    let eps = Phase.of_pi_fraction 1 8 in
+    match g with
+    | Gate.Rx a -> Gate.Rx (Phase.add a eps)
+    | Gate.Ry a -> Gate.Ry (Phase.add a eps)
+    | Gate.Rz a -> Gate.Rz (Phase.add a eps)
+    | Gate.P a -> Gate.P (Phase.add a eps)
+    | g -> g
+  in
+  match op with
+  | Circuit.Gate (g, t) -> [ Circuit.Gate (bump g, t) ]
+  | Circuit.Ctrl (cs, g, t) -> [ Circuit.Ctrl (cs, bump g, t) ]
+  | op -> [ op ]
+
+let perturb_angle ~seed c =
+  let rng = Rng.make ~seed in
+  match edit_nth ~pred:is_rotation_op ~edit:perturb_rotation rng c with
+  | Some ops -> rebuild_like c ~suffix:"-perturbed" ops
+  | None -> invalid_arg "Workloads.perturb_angle: no rotation gate"
+
+(* Substitution partners: the partner's 2x2 matrix is never proportional
+   to the original's (needed at uncontrolled positions) and never equal
+   (needed under controls); [Sxdg] maps to X so a controlled occurrence
+   stays printable as QASM. *)
+let substitution = function
+  | Gate.X -> Some Gate.Y
+  | Gate.Y -> Some Gate.Z
+  | Gate.Z -> Some Gate.X
+  | Gate.H -> Some Gate.X
+  | Gate.S -> Some Gate.Sdg
+  | Gate.Sdg -> Some Gate.S
+  | Gate.T -> Some Gate.Tdg
+  | Gate.Tdg -> Some Gate.T
+  | Gate.Sx | Gate.Sxdg -> Some Gate.X
+  | _ -> None
+
+let is_substitutable_op = function
+  | Circuit.Gate (g, _) | Circuit.Ctrl (_, g, _) -> substitution g <> None
+  | _ -> false
+
+let substitute_op op =
+  match op with
+  | Circuit.Gate (g, t) -> (
+      match substitution g with Some g' -> [ Circuit.Gate (g', t) ] | None -> [ op ])
+  | Circuit.Ctrl (cs, g, t) -> (
+      match substitution g with Some g' -> [ Circuit.Ctrl (cs, g', t) ] | None -> [ op ])
+  | op -> [ op ]
+
+let substitute_gate ~seed c =
+  let rng = Rng.make ~seed in
+  match edit_nth ~pred:is_substitutable_op ~edit:substitute_op rng c with
+  | Some ops -> rebuild_like c ~suffix:"-substituted" ops
+  | None -> invalid_arg "Workloads.substitute_gate: no substitutable gate"
+
+let inject_fault ~seed c =
+  let rng = Rng.make ~seed in
+  let deletable op = not (op_is_identity op) in
+  let is_cnot = function Circuit.Ctrl ([ _ ], Gate.X, _) -> true | _ -> false in
+  let attempt = function
+    | Missing_gate ->
+        Option.map
+          (fun ops -> (rebuild_like c ~suffix:"-missing" ops, Missing_gate))
+          (edit_nth ~pred:deletable ~edit:(fun _ -> []) rng c)
+    | Flipped_cnot ->
+        Option.map
+          (fun ops -> (rebuild_like c ~suffix:"-flipped" ops, Flipped_cnot))
+          (edit_nth ~pred:is_cnot
+             ~edit:(function
+               | Circuit.Ctrl ([ ctl ], Gate.X, tgt) -> [ Circuit.Ctrl ([ tgt ], Gate.X, ctl) ]
+               | op -> [ op ])
+             rng c)
+    | Perturbed_angle ->
+        Option.map
+          (fun ops -> (rebuild_like c ~suffix:"-perturbed" ops, Perturbed_angle))
+          (edit_nth ~pred:is_rotation_op ~edit:perturb_rotation rng c)
+    | Substituted_gate ->
+        Option.map
+          (fun ops -> (rebuild_like c ~suffix:"-substituted" ops, Substituted_gate))
+          (edit_nth ~pred:is_substitutable_op ~edit:substitute_op rng c)
+  in
+  (* Random preference order, first applicable model wins. *)
+  let models = [| Missing_gate; Flipped_cnot; Perturbed_angle; Substituted_gate |] in
+  let order = Perm.random (fun k -> Rng.int rng k) (Array.length models) in
+  let rec try_from i =
+    if i >= Array.length models then None
+    else
+      match attempt models.(Perm.apply order i) with
+      | Some r -> Some r
+      | None -> try_from (i + 1)
+  in
+  try_from 0
+
 let random_basis_state rng n =
   if n > 62 then invalid_arg "Workloads.random_basis_state: use random_bits beyond 62 qubits";
   let r = ref 0 in

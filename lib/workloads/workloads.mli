@@ -96,6 +96,38 @@ val remove_gate : seed:int -> Circuit.t -> Circuit.t
     raises [Invalid_argument] if the circuit has none. *)
 val flip_cnot : seed:int -> Circuit.t -> Circuit.t
 
+(** The catalogue of single-fault error models, used by the differential
+    fuzzer's equivalence-breaking mutations (each model provably changes
+    the circuit's unitary — see the guards on the individual injectors). *)
+type fault =
+  | Missing_gate  (** one non-identity operation deleted *)
+  | Flipped_cnot  (** control and target of one CNOT exchanged *)
+  | Perturbed_angle  (** pi/8 added to one rotation angle *)
+  | Substituted_gate  (** one discrete gate replaced by a non-equivalent one *)
+
+val fault_to_string : fault -> string
+
+(** [perturb_angle ~seed c] adds pi/8 to one random rotation angle
+    (Rx/Ry/Rz/P, controlled or not).  Since pi/8 is not a multiple of
+    2*pi, the result is never equivalent to [c], even up to global phase.
+    Raises [Invalid_argument] if the circuit has no rotation gate. *)
+val perturb_angle : seed:int -> Circuit.t -> Circuit.t
+
+(** [substitute_gate ~seed c] replaces one random discrete single-qubit
+    gate (controlled or not) by a fixed non-equivalent partner (X->Y,
+    H->X, S->Sdg, ...).  The partner's matrix is never proportional to
+    the original's, so the result is never equivalent to [c].  Raises
+    [Invalid_argument] if the circuit has no substitutable gate. *)
+val substitute_gate : seed:int -> Circuit.t -> Circuit.t
+
+(** [inject_fault ~seed c] draws one applicable fault model at random and
+    applies it; [None] when no model applies (e.g. an empty circuit).
+    Unlike {!remove_gate}, the [Missing_gate] model here never deletes an
+    identity-acting gate (identity gate, zero-angle rotation), so the
+    faulty circuit is {e provably} non-equivalent to [c] — the property
+    the fuzzer's metamorphic oracle relies on. *)
+val inject_fault : seed:int -> Circuit.t -> (Circuit.t * fault) option
+
 (** [random_basis_state rng n] draws a basis-state index for random
     stimuli simulation ([n] at most 62). *)
 val random_basis_state : Rng.t -> int -> int

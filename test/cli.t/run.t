@@ -100,3 +100,47 @@ Unknown gates produce a parse error:
   $ oqec check bad.qasm bad.qasm 2>&1
   error: bad.qasm: unknown gate "bogus"
   [3]
+
+Differential fuzzing: a fixed-seed run over every checker is clean and
+reports one-line JSON statistics:
+
+  $ oqec fuzz --runs 10 --seed 42 | sed 's/ in [0-9.]*s$//'
+  fuzz: 10 cases, 0 failures (corpus: 0 replayed, 0 failing, 0 new)
+  $ oqec fuzz --runs 10 --seed 42 --json \
+  >   | grep -cE '^\{"schema":"oqec-fuzz/1","profile":"mixed","seed":42,"runs":10,"cases":10,"failures":0,.*"violations":\[\]'
+  1
+
+Flag validation (exit code 3):
+
+  $ oqec fuzz --profile banana
+  error: unknown profile "banana"
+  [3]
+  $ oqec fuzz --max-qubits 1
+  error: --max-qubits must be >= 2 (got 1)
+  [3]
+  $ oqec fuzz --runs 5 --checkers dd,banana
+  error: --checkers: unknown checker "banana" (expected dd, zx, sim, stab)
+  [3]
+
+A deliberately corrupted checker (the hidden OQEC_FUZZ_BREAK test hook)
+makes the oracle disagree; the failing pair is shrunk, persisted into
+the corpus (exit code 1), and the repro command pins (seed, index):
+
+  $ OQEC_FUZZ_BREAK=zx oqec fuzz --runs 1 --seed 7 --shrink --corpus fuzz-corpus \
+  >   | sed -e 's/ in [0-9.]*s$//' -e 's/case-[0-9a-f]*/case-ID/'
+  case 0: zx said equivalent but the dense reference says not equivalent
+    repro: oqec fuzz --profile mixed --max-qubits 6 --max-gates 24 --seed 7 --only 0
+    saved: case-ID (0 gates)
+  fuzz: 1 cases, 1 failures (corpus: 0 replayed, 0 failing, 1 new)
+  $ ls fuzz-corpus | grep -c 'qasm$'
+  2
+  $ grep -c '"expected"' fuzz-corpus/MANIFEST.jsonl
+  1
+
+Replaying the corpus re-catches the corrupted checker (exit code 1) and
+passes once the corruption is gone (exit code 0):
+
+  $ OQEC_FUZZ_BREAK=zx oqec fuzz --runs 0 --corpus fuzz-corpus > /dev/null
+  [1]
+  $ oqec fuzz --runs 0 --corpus fuzz-corpus | sed 's/ in [0-9.]*s$//'
+  fuzz: 0 cases, 0 failures (corpus: 1 replayed, 0 failing, 0 new)

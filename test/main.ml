@@ -17,4 +17,7 @@ let () =
       ("portfolio", Test_portfolio.suite);
       ("engine", Test_engine.suite);
       ("misc", Test_misc.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("qasm-roundtrip", Test_qasm_roundtrip.suite);
+      ("compile-fuzz", Test_compile_fuzz.suite);
     ]

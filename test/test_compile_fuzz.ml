@@ -1,0 +1,93 @@
+(* Compilation as a metamorphic transformation: routing a random circuit
+   onto a random coupling map must preserve its effective unitary, and
+   the differential oracle must agree — every conclusive checker says
+   Equivalent, none refutes.  This fuzzes the compiler and the checkers
+   against each other in one pass. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_fuzz
+module Arch = Oqec_compile.Architecture
+module Compile = Oqec_compile.Compile
+
+let architectures n =
+  [ Arch.linear n; Arch.linear (n + 2); Arch.ring n; Arch.ring (n + 1);
+    Arch.grid ~rows:2 ~cols:((n + 1) / 2) ]
+
+let test_compiled_equivalent_dense () =
+  let rng = Rng.make ~seed:211 in
+  for i = 0 to 14 do
+    let n = 2 + (i mod 3) in
+    let c = Fuzz_gen.circuit Fuzz_gen.Clifford_t (Rng.split_at rng i) ~num_qubits:n ~gates:12 in
+    let archs = architectures n in
+    let arch = List.nth archs (i mod List.length archs) in
+    let compiled = Compile.run arch c in
+    let a, b = Oqec_qcec.Flatten.align c compiled in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: compiled onto %s is equivalent" i (Arch.name arch))
+      true (Unitary.equivalent a b)
+  done
+
+let test_compiled_through_oracle () =
+  let rng = Rng.make ~seed:223 in
+  for i = 0 to 9 do
+    let n = 2 + (i mod 3) in
+    let c = Fuzz_gen.circuit Fuzz_gen.Mixed (Rng.split_at rng i) ~num_qubits:n ~gates:10 in
+    let archs = architectures n in
+    let arch = List.nth archs (i mod List.length archs) in
+    let compiled = Compile.run arch c in
+    let r = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_equivalent c compiled in
+    (match r.Fuzz_oracle.violation with
+    | Some v -> Alcotest.failf "case %d (%s): %s" i (Arch.name arch) v
+    | None -> ());
+    Alcotest.(check bool) "dense truth says equivalent" true (r.Fuzz_oracle.truth = Some true)
+  done
+
+let test_compiled_with_spread_layout () =
+  (* A non-trivial initial layout exercises the permutation bookkeeping
+     on both sides of the oracle. *)
+  let rng = Rng.make ~seed:227 in
+  for i = 0 to 5 do
+    let c = Fuzz_gen.circuit Fuzz_gen.Clifford (Rng.split_at rng i) ~num_qubits:3 ~gates:10 in
+    let arch = Arch.linear 5 in
+    let layout = Compile.spread_layout arch (Rng.split_at rng (100 + i)) in
+    let compiled = Compile.run ~initial_layout:layout arch c in
+    let r = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_equivalent c compiled in
+    match r.Fuzz_oracle.violation with
+    | Some v -> Alcotest.failf "case %d: %s" i v
+    | None -> ()
+  done
+
+let test_faulty_compilation_caught () =
+  (* Injecting a fault after compilation must flip the oracle's verdict:
+     the pair is provably non-equivalent and no checker may prove
+     equivalence. *)
+  let rng = Rng.make ~seed:229 in
+  let caught = ref 0 in
+  for i = 0 to 9 do
+    let c = Fuzz_gen.circuit Fuzz_gen.Clifford_t (Rng.split_at rng i) ~num_qubits:3 ~gates:10 in
+    let compiled = Compile.run (Arch.linear 4) c in
+    match Oqec_workloads.Workloads.inject_fault ~seed:(300 + i) compiled with
+    | None -> ()
+    | Some (broken, _) ->
+        incr caught;
+        let r = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_not_equivalent c broken in
+        (match r.Fuzz_oracle.violation with
+        | Some v -> Alcotest.failf "case %d: %s" i v
+        | None -> ());
+        Alcotest.(check bool)
+          "dense truth says not equivalent" true
+          (r.Fuzz_oracle.truth = Some false)
+  done;
+  Alcotest.(check bool) "faults exercised" true (!caught > 5)
+
+let suite =
+  [
+    Alcotest.test_case "compiled circuits equivalent (dense)" `Quick
+      test_compiled_equivalent_dense;
+    Alcotest.test_case "compiled circuits through the oracle" `Quick
+      test_compiled_through_oracle;
+    Alcotest.test_case "spread layouts through the oracle" `Quick
+      test_compiled_with_spread_layout;
+    Alcotest.test_case "faulty compilation caught" `Quick test_faulty_compilation_caught;
+  ]

@@ -1,0 +1,327 @@
+(* The fuzzing subsystem itself: generator well-formedness, metamorphic
+   mutations validated against the dense reference, (seed, index)
+   reproducibility, the differential oracle's contracts (including the
+   deliberate break hook), the shrinker and the regression corpus. *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_fuzz
+module Qasm = Oqec_qasm.Qasm
+module Workloads = Oqec_workloads.Workloads
+
+let with_break name f =
+  Fuzz_oracle.break_hook := Some name;
+  Fun.protect ~finally:(fun () -> Fuzz_oracle.break_hook := None) f
+
+let align_equivalent a b =
+  let a, b = Oqec_qcec.Flatten.align a b in
+  Unitary.equivalent a b
+
+(* ------------------------------------------------------------ Generator *)
+
+let test_generator_profiles () =
+  List.iter
+    (fun profile ->
+      let rng = Rng.make ~seed:11 in
+      for i = 0 to 9 do
+        let n = 2 + (i mod 5) in
+        let c = Fuzz_gen.circuit profile rng ~num_qubits:n ~gates:15 in
+        Alcotest.(check int)
+          (Fuzz_gen.profile_to_string profile ^ " width")
+          n (Circuit.num_qubits c);
+        Alcotest.(check int)
+          (Fuzz_gen.profile_to_string profile ^ " size")
+          15
+          (List.length (Circuit.ops c));
+        (* Every generated circuit must survive a QASM round-trip: the
+           corpus persists pairs as QASM files. *)
+        let c' = Qasm.circuit_of_string (Qasm.to_string c) in
+        if n <= 5 then
+          Alcotest.(check bool) "round-trip preserves semantics" true (Unitary.equivalent c c')
+      done)
+    Fuzz_gen.all_profiles
+
+let test_profile_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "profile name round-trips" true
+        (Fuzz_gen.profile_of_string (Fuzz_gen.profile_to_string p) = Some p))
+    Fuzz_gen.all_profiles;
+  Alcotest.(check bool) "unknown rejected" true (Fuzz_gen.profile_of_string "qeg" = None)
+
+(* ------------------------------------------------------------ Mutations *)
+
+(* Every preserving mutation must keep the effective unitary equal (up to
+   global phase); fault injection must provably change it. *)
+let test_preserving_mutations () =
+  List.iter
+    (fun kind ->
+      let applied = ref 0 in
+      let rng = Rng.make ~seed:23 in
+      for i = 0 to 29 do
+        let n = 2 + (i mod 3) in
+        let c = Fuzz_gen.circuit Fuzz_gen.Mixed (Rng.split_at rng i) ~num_qubits:n ~gates:10 in
+        match Fuzz_mutate.apply kind (Rng.split_at rng (1000 + i)) c with
+        | None -> ()
+        | Some c' ->
+            incr applied;
+            Alcotest.(check bool)
+              (Fuzz_mutate.kind_to_string kind ^ " preserves equivalence")
+              true (align_equivalent c c')
+      done;
+      Alcotest.(check bool)
+        (Fuzz_mutate.kind_to_string kind ^ " applied at least once")
+        true (!applied > 0))
+    Fuzz_mutate.preserving_kinds
+
+let test_fault_injection_breaks () =
+  let rng = Rng.make ~seed:31 in
+  let broken = ref 0 in
+  for i = 0 to 29 do
+    let n = 2 + (i mod 3) in
+    let c = Fuzz_gen.circuit Fuzz_gen.Mixed (Rng.split_at rng i) ~num_qubits:n ~gates:12 in
+    match Workloads.inject_fault ~seed:(100 + i) c with
+    | None -> ()
+    | Some (c', fault) ->
+        incr broken;
+        Alcotest.(check bool)
+          (Workloads.fault_to_string fault ^ " breaks equivalence")
+          false (align_equivalent c c')
+  done;
+  Alcotest.(check bool) "faults injected" true (!broken > 20)
+
+(* -------------------------------------------------------- Reproducibility *)
+
+let config_of ?(runs = 5) ?(seed = 5) () = { Fuzz.default_config with Fuzz.runs; seed }
+
+let case_fingerprint (c : Fuzz.case) =
+  Qasm.to_string c.Fuzz.left ^ "\x00" ^ Qasm.to_string c.Fuzz.right
+
+let test_case_reproducible () =
+  let config = config_of () in
+  for i = 0 to 19 do
+    let a = Fuzz.generate_case config i in
+    let b = Fuzz.generate_case config i in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d is a pure function of (seed, index)" i)
+      (case_fingerprint a) (case_fingerprint b);
+    Alcotest.(check bool)
+      "expectation is reproducible too" true
+      (a.Fuzz.expected = b.Fuzz.expected && a.Fuzz.mutations = b.Fuzz.mutations)
+  done;
+  (* Distinct indices decorrelate. *)
+  let a = Fuzz.generate_case config 0 and b = Fuzz.generate_case config 1 in
+  Alcotest.(check bool)
+    "different indices give different cases" true
+    (case_fingerprint a <> case_fingerprint b)
+
+(* --------------------------------------------------------------- Oracle *)
+
+let test_oracle_clean () =
+  let g = Workloads.ghz 3 in
+  let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.linear 4) g in
+  let r = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_equivalent g g' in
+  Alcotest.(check bool) "no violation on a sound pair" true (r.Fuzz_oracle.violation = None);
+  Alcotest.(check bool) "dense truth computed" true (r.Fuzz_oracle.truth = Some true)
+
+let test_oracle_expectation_violation () =
+  (* Claiming non-equivalence of two identical circuits is a metamorphic
+     violation the oracle must flag even though every checker is sound. *)
+  let g = Workloads.ghz 3 in
+  let r = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_not_equivalent g g in
+  Alcotest.(check bool) "expectation violation flagged" true (r.Fuzz_oracle.violation <> None)
+
+let test_oracle_break_hook () =
+  (* A corrupted checker must be caught on an equivalent pair, a
+     non-equivalent pair, or both — sim's honest answer on an equivalent
+     pair is No_information, so only the refutation side exposes it. *)
+  let g = Workloads.ghz 3 in
+  let broken = Circuit.x g 0 in
+  List.iter
+    (fun name ->
+      with_break name (fun () ->
+          let eq = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_equivalent g g in
+          let ne = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_not_equivalent g broken in
+          Alcotest.(check bool)
+            (name ^ " corruption detected")
+            true
+            (eq.Fuzz_oracle.violation <> None || ne.Fuzz_oracle.violation <> None)))
+    [ "dd"; "zx"; "sim"; "stab" ]
+
+let test_oracle_checker_subset () =
+  let g = Workloads.ghz 3 in
+  let r = Fuzz_oracle.run ~checkers:[ "dd"; "zx" ] ~expected:Fuzz_oracle.Expect_unknown g g in
+  Alcotest.(check int) "two checkers ran" 2 (List.length r.Fuzz_oracle.verdicts)
+
+(* ------------------------------------------------------------- Shrinking *)
+
+let test_shrink_minimises () =
+  (* A single fault buried in a large random circuit: the dense-reference
+     predicate keeps holding while the shrinker strips everything
+     irrelevant away. *)
+  let rng = Rng.make ~seed:47 in
+  let c = Fuzz_gen.circuit Fuzz_gen.Clifford rng ~num_qubits:4 ~gates:30 in
+  match Workloads.inject_fault ~seed:3 c with
+  | None -> Alcotest.fail "fault injection failed on a 30-gate circuit"
+  | Some (c', _) ->
+      let still_fails a b = not (align_equivalent a b) in
+      let a, b, stats = Fuzz_shrink.shrink ~still_fails c c' in
+      Alcotest.(check bool) "shrunk pair still fails" true (still_fails a b);
+      let gates = List.length (Circuit.ops a) + List.length (Circuit.ops b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to <= 10 gates (got %d)" gates)
+        true (gates <= 10);
+      Alcotest.(check bool) "steps were committed" true (stats.Fuzz_shrink.committed > 0)
+
+let test_shrink_noop_on_passing_pair () =
+  let g = Workloads.ghz 3 in
+  let a, b, stats = Fuzz_shrink.shrink ~still_fails:(fun _ _ -> false) g g in
+  Alcotest.(check string) "left unchanged" (Qasm.to_string g) (Qasm.to_string a);
+  Alcotest.(check string) "right unchanged" (Qasm.to_string g) (Qasm.to_string b);
+  Alcotest.(check int) "no steps committed" 0 stats.Fuzz_shrink.committed
+
+let test_shrink_budget () =
+  let calls = ref 0 in
+  let still_fails _ _ =
+    incr calls;
+    true
+  in
+  let c = Fuzz_gen.circuit Fuzz_gen.Clifford (Rng.make ~seed:3) ~num_qubits:3 ~gates:20 in
+  let _, _, stats = Fuzz_shrink.shrink ~budget:10 ~still_fails c c in
+  Alcotest.(check bool) "budget respected" true (stats.Fuzz_shrink.evaluations <= 10);
+  Alcotest.(check bool) "call count matches" true (!calls <= 10)
+
+(* ---------------------------------------------------------------- Corpus *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "oqec-corpus" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_corpus_roundtrip () =
+  in_temp_dir (fun dir ->
+      let g = Workloads.ghz 3 in
+      let g' = Workloads.qft 3 in
+      let id = Fuzz_corpus.id_of_pair g g' in
+      let entry =
+        {
+          Fuzz_corpus.id;
+          expected = Fuzz_oracle.Expect_unknown;
+          seed = 9;
+          index = 4;
+          note = "a note with \"quotes\" and\nnewlines";
+        }
+      in
+      Alcotest.(check bool) "first save succeeds" true (Fuzz_corpus.save ~dir entry g g');
+      Alcotest.(check bool) "duplicate rejected" false (Fuzz_corpus.save ~dir entry g g');
+      match Fuzz_corpus.load dir with
+      | [ e ] ->
+          Alcotest.(check string) "id" id e.Fuzz_corpus.id;
+          Alcotest.(check int) "seed" 9 e.Fuzz_corpus.seed;
+          Alcotest.(check int) "index" 4 e.Fuzz_corpus.index;
+          Alcotest.(check bool)
+            "expected" true
+            (e.Fuzz_corpus.expected = Fuzz_oracle.Expect_unknown);
+          let a, b = Fuzz_corpus.load_pair dir e in
+          Alcotest.(check bool) "left circuit round-trips" true (Unitary.equivalent g a);
+          Alcotest.(check bool) "right circuit round-trips" true (Unitary.equivalent g' b)
+      | es -> Alcotest.failf "expected one entry, got %d" (List.length es))
+
+let test_corpus_id_stable () =
+  let g = Workloads.ghz 3 and g' = Workloads.qft 3 in
+  Alcotest.(check string)
+    "id depends only on content"
+    (Fuzz_corpus.id_of_pair g g') (Fuzz_corpus.id_of_pair g g');
+  Alcotest.(check bool)
+    "order matters" true
+    (Fuzz_corpus.id_of_pair g g' <> Fuzz_corpus.id_of_pair g' g)
+
+(* ------------------------------------------------------------ End to end *)
+
+let test_run_clean () =
+  let config = config_of ~runs:10 ~seed:3 () in
+  let stats = Fuzz.run config in
+  Alcotest.(check int) "all cases ran" 10 stats.Fuzz.cases;
+  Alcotest.(check int) "no failures" 0 stats.Fuzz.failures;
+  Alcotest.(check bool) "mutations exercised" true (stats.Fuzz.mutations_applied > 0)
+
+let test_run_only () =
+  let config = { (config_of ~runs:50 ~seed:3 ()) with Fuzz.only = Some 7 } in
+  let stats = Fuzz.run config in
+  Alcotest.(check int) "--only runs exactly one case" 1 stats.Fuzz.cases
+
+let test_run_break_hook_end_to_end () =
+  with_break "zx" (fun () ->
+      in_temp_dir (fun dir ->
+          let config =
+            {
+              (config_of ~runs:2 ~seed:7 ()) with
+              Fuzz.shrink = true;
+              corpus = Some dir;
+            }
+          in
+          let stats = Fuzz.run config in
+          Alcotest.(check bool) "violations found" true (stats.Fuzz.failures > 0);
+          Alcotest.(check bool) "counterexamples persisted" true (stats.Fuzz.corpus_new > 0);
+          List.iter
+            (fun v ->
+              Alcotest.(check bool)
+                "shrunk counterexample is tiny" true
+                (v.Fuzz.v_gates <= 10);
+              Alcotest.(check bool)
+                "repro command names the case" true
+                (String.length v.Fuzz.v_repro > 0))
+            stats.Fuzz.violations;
+          (* The persisted corpus re-catches the bug on replay... *)
+          let replay = Fuzz.run { config with Fuzz.runs = 0; only = None } in
+          Alcotest.(check bool)
+            "replay catches the corrupted checker" true
+            (replay.Fuzz.corpus_failures > 0);
+          (* ...and passes once the bug is gone. *)
+          Fuzz_oracle.break_hook := None;
+          let fixed = Fuzz.run { config with Fuzz.runs = 0; only = None } in
+          Alcotest.(check int) "replay clean after the fix" 0 fixed.Fuzz.corpus_failures))
+
+let test_stats_json_shape () =
+  let config = config_of ~runs:3 ~seed:3 () in
+  let stats = Fuzz.run config in
+  let json = Fuzz.stats_to_json config stats in
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains json needle))
+    [ "\"schema\":\"oqec-fuzz/1\""; "\"cases\":3"; "\"failures\":0"; "\"violations\":[]" ]
+
+let suite =
+  [
+    Alcotest.test_case "generator: profiles well-formed + printable" `Quick
+      test_generator_profiles;
+    Alcotest.test_case "generator: profile names" `Quick test_profile_names;
+    Alcotest.test_case "mutations: preserving kinds preserve" `Quick test_preserving_mutations;
+    Alcotest.test_case "mutations: faults break" `Quick test_fault_injection_breaks;
+    Alcotest.test_case "cases: reproducible from (seed, index)" `Quick test_case_reproducible;
+    Alcotest.test_case "oracle: clean pair" `Quick test_oracle_clean;
+    Alcotest.test_case "oracle: expectation violation" `Quick test_oracle_expectation_violation;
+    Alcotest.test_case "oracle: break hook detected" `Quick test_oracle_break_hook;
+    Alcotest.test_case "oracle: checker subset" `Quick test_oracle_checker_subset;
+    Alcotest.test_case "shrink: minimises failing pair" `Quick test_shrink_minimises;
+    Alcotest.test_case "shrink: no-op on passing pair" `Quick test_shrink_noop_on_passing_pair;
+    Alcotest.test_case "shrink: budget respected" `Quick test_shrink_budget;
+    Alcotest.test_case "corpus: save/load round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus: content-derived ids" `Quick test_corpus_id_stable;
+    Alcotest.test_case "run: clean end to end" `Quick test_run_clean;
+    Alcotest.test_case "run: --only isolates one case" `Quick test_run_only;
+    Alcotest.test_case "run: break hook end to end" `Quick test_run_break_hook_end_to_end;
+    Alcotest.test_case "run: JSON stats shape" `Quick test_stats_json_shape;
+  ]

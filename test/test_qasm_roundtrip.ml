@@ -1,0 +1,94 @@
+(* QASM round-trip properties over the fuzz generator's circuit space:
+   parse (print c) must be semantically equal to c (dense reference, up
+   to global phase), and print . parse must be a fixpoint after the
+   first print (printing normalises gate spellings — e.g. controlled
+   phase gates — so the fixpoint starts one step in). *)
+
+open Oqec_base
+open Oqec_circuit
+open Oqec_fuzz
+module Qasm = Oqec_qasm.Qasm
+
+let reparse c = Qasm.circuit_of_string (Qasm.to_string c)
+
+let test_semantic_roundtrip () =
+  List.iter
+    (fun profile ->
+      let rng = Rng.make ~seed:101 in
+      for i = 0 to 19 do
+        let n = 2 + (i mod 4) in
+        let c = Fuzz_gen.circuit profile (Rng.split_at rng i) ~num_qubits:n ~gates:12 in
+        let c' = reparse c in
+        Alcotest.(check int)
+          (Fuzz_gen.profile_to_string profile ^ " width preserved")
+          (Circuit.num_qubits c) (Circuit.num_qubits c');
+        Alcotest.(check bool)
+          (Printf.sprintf "%s case %d: parse . print preserves the unitary"
+             (Fuzz_gen.profile_to_string profile) i)
+          true (Unitary.equivalent c c')
+      done)
+    Fuzz_gen.all_profiles
+
+let test_print_parse_fixpoint () =
+  List.iter
+    (fun profile ->
+      let rng = Rng.make ~seed:103 in
+      for i = 0 to 19 do
+        let n = 2 + (i mod 4) in
+        let c = Fuzz_gen.circuit profile (Rng.split_at rng i) ~num_qubits:n ~gates:12 in
+        let once = Qasm.to_string (reparse c) in
+        let twice = Qasm.to_string (reparse (Qasm.circuit_of_string once)) in
+        Alcotest.(check string)
+          (Printf.sprintf "%s case %d: print . parse is a fixpoint"
+             (Fuzz_gen.profile_to_string profile) i)
+          once twice
+      done)
+    Fuzz_gen.all_profiles
+
+(* Layout metadata (initial layout comment, output-permutation
+   measurements) must survive the round-trip too — compiled circuits are
+   exactly what the corpus stores. *)
+let test_layout_roundtrip () =
+  let g = Oqec_workloads.Workloads.ghz 4 in
+  let arch = Oqec_compile.Architecture.linear 6 in
+  (* A spread (non-identity) layout: identity layouts are normalised away
+     by the writer, non-trivial ones must survive verbatim. *)
+  let layout = Oqec_compile.Compile.spread_layout arch (Rng.make ~seed:5) in
+  let g' = Oqec_compile.Compile.run ~initial_layout:layout arch g in
+  let g'' = reparse g' in
+  Alcotest.(check bool)
+    "initial layout preserved" true
+    (Circuit.initial_layout g' = Circuit.initial_layout g'');
+  Alcotest.(check bool)
+    "output permutation preserved" true
+    (Circuit.output_perm g' = Circuit.output_perm g'');
+  let a, b = Oqec_qcec.Flatten.align g g'' in
+  Alcotest.(check bool) "compiled circuit still equivalent" true (Unitary.equivalent a b)
+
+let test_mutated_roundtrip () =
+  (* Mutated circuits (inverse pairs, rewiring with output perms, split
+     rotations) stay printable and semantically stable. *)
+  let rng = Rng.make ~seed:107 in
+  let checked = ref 0 in
+  for i = 0 to 29 do
+    let c = Fuzz_gen.circuit Fuzz_gen.Mixed (Rng.split_at rng i) ~num_qubits:3 ~gates:10 in
+    let kinds = Fuzz_mutate.preserving_kinds in
+    let kind = List.nth kinds (i mod List.length kinds) in
+    match Fuzz_mutate.apply kind (Rng.split_at rng (500 + i)) c with
+    | None -> ()
+    | Some m ->
+        incr checked;
+        Alcotest.(check bool)
+          (Fuzz_mutate.kind_to_string kind ^ " mutant round-trips")
+          true
+          (Unitary.equivalent m (reparse m))
+  done;
+  Alcotest.(check bool) "mutants exercised" true (!checked > 10)
+
+let suite =
+  [
+    Alcotest.test_case "parse . print preserves semantics" `Quick test_semantic_roundtrip;
+    Alcotest.test_case "print . parse is a fixpoint" `Quick test_print_parse_fixpoint;
+    Alcotest.test_case "layout metadata round-trips" `Quick test_layout_roundtrip;
+    Alcotest.test_case "mutated circuits round-trip" `Quick test_mutated_roundtrip;
+  ]
