@@ -1,0 +1,30 @@
+open Oqec_qcec
+
+type expected = [ `Equivalent | `Not_equivalent ]
+
+(* A timed-out run's measured wall time overshoots the configured budget
+   by scheduling slack (a 10 s deadline comes back as 10.0013 s), so the
+   cell clamps to the configured timeout: tables read ">10", never
+   ">10.0013". *)
+let cell_to_string ~timeout ~(expected : expected) outcome ~time =
+  let t =
+    match outcome with
+    | Equivalence.Timed_out -> Printf.sprintf ">%g" timeout
+    | _ -> Printf.sprintf "%.2f" time
+  in
+  let marker =
+    match (expected, outcome) with
+    | _, Equivalence.Timed_out -> ""
+    | `Equivalent, Equivalence.Equivalent -> ""
+    | `Not_equivalent, Equivalence.Not_equivalent -> ""
+    (* ZX cannot prove non-equivalence; "no information" is its expected
+       answer on faulty instances (Section 6.2). *)
+    | `Not_equivalent, Equivalence.No_information -> "*"
+    (* Inconclusive on an equivalent instance (e.g. ZX rewriting got
+       stuck): incomplete, but not a wrong verdict. *)
+    | `Equivalent, Equivalence.No_information -> "?"
+    | `Equivalent, Equivalence.Not_equivalent | `Not_equivalent, Equivalence.Equivalent
+      ->
+        "!"
+  in
+  t ^ marker

@@ -1,0 +1,21 @@
+(** Result-cell formatting for the bench harness tables.
+
+    Lives in its own library (rather than inside the bench executable)
+    so the unit tests can link it and pin down the timeout clamping. *)
+
+open Oqec_qcec
+
+type expected = [ `Equivalent | `Not_equivalent ]
+
+(** [cell_to_string ~timeout ~expected outcome ~time] renders one table
+    cell: the wall time, suffixed with a verdict marker ([*] expected
+    no-information on a faulty instance, [?] inconclusive on an
+    equivalent one, [!] wrong verdict).  Timed-out cells print [>T] with
+    [T] the {e configured} timeout, not the measured wall time — the
+    measurement overshoots the budget by scheduling slack. *)
+val cell_to_string :
+  timeout:float ->
+  expected:expected ->
+  Equivalence.outcome ->
+  time:float ->
+  string

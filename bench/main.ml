@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
      dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
      dune exec bench/main.exe -- fuzz-smoke        differential fuzz -> BENCH_fuzz.json
+     dune exec bench/main.exe -- zx-smoke          ZX engines differential -> BENCH_zx.json
      dune exec bench/main.exe -- micro             Bechamel micro-benchmarks
    Options:
      --paper        paper-scale instance sizes (hours; default is a scaled-down
@@ -114,28 +115,8 @@ let run_method opts strategy g g' =
   let r = Qcec.check ~strategy ~timeout:opts.timeout ~seed:opts.seed g g' in
   { time = Mclock.now () -. t0; outcome = r.Equivalence.outcome }
 
-let cell_to_string expected c =
-  let t =
-    match c.outcome with
-    | Equivalence.Timed_out -> Printf.sprintf ">%g" c.time
-    | _ -> Printf.sprintf "%.2f" c.time
-  in
-  let marker =
-    match (expected, c.outcome) with
-    | _, Equivalence.Timed_out -> ""
-    | `Equivalent, Equivalence.Equivalent -> ""
-    | `Not_equivalent, Equivalence.Not_equivalent -> ""
-    (* ZX cannot prove non-equivalence; "no information" is its expected
-       answer on faulty instances (Section 6.2). *)
-    | `Not_equivalent, Equivalence.No_information -> "*"
-    (* Inconclusive on an equivalent instance (e.g. ZX rewriting got
-       stuck): incomplete, but not a wrong verdict. *)
-    | `Equivalent, Equivalence.No_information -> "?"
-    | `Equivalent, Equivalence.Not_equivalent
-    | `Not_equivalent, Equivalence.Equivalent ->
-        "!"
-  in
-  t ^ marker
+let cell_to_string opts expected c =
+  Bench_fmt.cell_to_string ~timeout:opts.timeout ~expected c.outcome ~time:c.time
 
 let header () =
   Printf.printf "%-16s %4s %7s %7s | %18s | %18s | %18s\n" "benchmark" "n" "|G|" "|G'|"
@@ -166,7 +147,7 @@ let run_table opts title suite =
           && dd.outcome <> Equivalence.Timed_out
           && zx.outcome <> Equivalence.Timed_out
         then incr total_within;
-        (cell_to_string expected dd, cell_to_string expected zx)
+        (cell_to_string opts expected dd, cell_to_string opts expected zx)
       in
       let e_dd, e_zx = run_pair `Equivalent inst.original inst.derived in
       let m_dd, m_zx = run_pair `Not_equivalent inst.original missing in
@@ -216,17 +197,17 @@ let run_extended opts =
       let cl_cell =
         match e_cl.outcome with
         | Equivalence.No_information -> "n/a"
-        | _ -> cell_to_string `Equivalent e_cl
+        | _ -> cell_to_string opts `Equivalent e_cl
       in
       Printf.printf "%-16s %4d %7d %7d | %8s %8s %8s | %8s %9s\n%!" inst.name
         (Circuit.num_qubits inst.original)
         (Circuit.gate_count inst.original)
         (Circuit.gate_count inst.derived)
-        (cell_to_string `Equivalent e_dd)
-        (cell_to_string `Equivalent e_zx)
+        (cell_to_string opts `Equivalent e_dd)
+        (cell_to_string opts `Equivalent e_zx)
         cl_cell
-        (cell_to_string `Not_equivalent f_dd)
-        (cell_to_string `Not_equivalent f_zx))
+        (cell_to_string opts `Not_equivalent f_dd)
+        (cell_to_string opts `Not_equivalent f_zx))
     instances;
   Printf.printf "(t_cliff: stabilizer-tableau checker, n/a on non-Clifford circuits)\n"
 
@@ -671,6 +652,140 @@ let fuzz_smoke opts =
     exit 1
   end
 
+(* -------------------------------------------------------------- ZX smoke *)
+
+(* Differential benchmark of the two ZX simplification engines: the
+   incremental worklist engine (the default behind Zx_simplify) against
+   the preserved full-rescan baseline (Zx_simplify.Rescan).
+
+   Two parts, both written to BENCH_zx.json:
+   - timing rows on the Table-1 miters where the rescan engine's
+     quadratic re-scans dominate (qwalk-6) or the graphs are large
+     enough to expose worklist overhead (qft-12) — the incremental
+     engine must be strictly faster on every row;
+   - a verdict-agreement sweep over the committed fuzz corpus plus 100
+     fixed-seed generated pairs (every profile, equivalent and faulty
+     derivations) — any disagreement between the engines is fatal. *)
+let zx_smoke opts =
+  let module Zx_circuit = Oqec_zx.Zx_circuit in
+  let module Zx_simplify = Oqec_zx.Zx_simplify in
+  let module Fuzz_gen = Oqec_fuzz.Fuzz_gen in
+  let module Fuzz_corpus = Oqec_fuzz.Fuzz_corpus in
+  print_endline "\n== ZX smoke: incremental worklist vs rescan baseline ==";
+  let reduce engine g g' =
+    let a, b = Flatten.align g g' in
+    let d = Zx_circuit.of_miter (Flatten.flatten a) (Flatten.flatten b) in
+    let deadline = Mclock.now () +. opts.timeout in
+    let stop () = Mclock.now () > deadline in
+    let t0 = Mclock.now () in
+    let completed = engine ~should_stop:stop d in
+    let dt = Mclock.now () -. t0 in
+    let outcome =
+      if not completed then Equivalence.Timed_out
+      else
+        match Zx_simplify.extract_permutation d with
+        | Some p when Perm.is_identity p -> Equivalence.Equivalent
+        | Some _ -> Equivalence.Not_equivalent
+        | None -> Equivalence.No_information
+    in
+    { time = dt; outcome }
+  in
+  let incremental ~should_stop d = Zx_simplify.full_reduce ~should_stop d in
+  let rescan ~should_stop d = Zx_simplify.Rescan.full_reduce ~should_stop d in
+  let failures = ref 0 in
+  (* Timing rows. *)
+  let timing =
+    List.map
+      (fun (name, g) ->
+        let inst = compiled_instance opts name g in
+        let inc = reduce incremental inst.original inst.derived in
+        let res = reduce rescan inst.original inst.derived in
+        (* A timed-out rescan makes the speedup a lower bound. *)
+        let speedup = res.time /. inc.time in
+        Printf.printf "%-10s incremental %8s | rescan %8s | speedup %s%.1fx\n%!" name
+          (cell_to_string opts `Equivalent inc)
+          (cell_to_string opts `Equivalent res)
+          (if res.outcome = Equivalence.Timed_out then ">" else "")
+          speedup;
+        if inc.outcome <> Equivalence.Equivalent then begin
+          incr failures;
+          Printf.printf "  FAIL %s: incremental engine answered %s, expected equivalent\n"
+            name
+            (Equivalence.outcome_to_string inc.outcome)
+        end;
+        if inc.time >= res.time then begin
+          incr failures;
+          Printf.printf "  FAIL %s: incremental (%.3fs) not faster than rescan (%.3fs)\n"
+            name inc.time res.time
+        end;
+        (name, inc, res, speedup))
+      [ ("qwalk-6", random_walk ~steps:6 6); ("qft-12", qft 12) ]
+  in
+  (* Verdict agreement: corpus replays plus fixed-seed generated pairs. *)
+  let mismatches = ref 0 in
+  let agree name g g' =
+    let inc = reduce incremental g g' in
+    let res = reduce rescan g g' in
+    if inc.outcome <> res.outcome then begin
+      incr mismatches;
+      Printf.printf "  MISMATCH %s: incremental %s, rescan %s\n" name
+        (Equivalence.outcome_to_string inc.outcome)
+        (Equivalence.outcome_to_string res.outcome)
+    end
+  in
+  let corpus_dir = "corpus" in
+  let corpus = Fuzz_corpus.load corpus_dir in
+  List.iter
+    (fun e ->
+      let g, g' = Fuzz_corpus.load_pair corpus_dir e in
+      agree ("corpus:" ^ e.Fuzz_corpus.id) g g')
+    corpus;
+  if corpus = [] then
+    Printf.printf "  (corpus directory %S empty or absent — generated pairs only)\n"
+      corpus_dir;
+  let generated = 100 in
+  let rng = Rng.make ~seed:11 in
+  let profiles = Fuzz_gen.all_profiles in
+  for i = 0 to generated - 1 do
+    let profile = List.nth profiles (i mod List.length profiles) in
+    let n = 2 + Rng.int rng 5 in
+    let gates = 5 + Rng.int rng 20 in
+    let g = Fuzz_gen.circuit profile rng ~num_qubits:n ~gates in
+    let g' =
+      if i mod 2 = 0 then Compile.run (Architecture.ring (n + 2)) g
+      else remove_gate ~seed:(1000 + i) g
+    in
+    agree (Printf.sprintf "gen-%03d" i) g g'
+  done;
+  Printf.printf "agreement: %d corpus + %d generated pairs, %d mismatch(es)\n"
+    (List.length corpus) generated !mismatches;
+  let oc = open_out "BENCH_zx.json" in
+  output_string oc "{\n  \"timing\": [\n";
+  List.iteri
+    (fun i (name, inc, res, speedup) ->
+      Printf.fprintf oc
+        "    {\"benchmark\":%S,\
+         \"incremental\":{\"outcome\":%S,\"elapsed\":%.6f},\
+         \"rescan\":{\"outcome\":%S,\"elapsed\":%.6f},\
+         \"speedup\":%.3f}%s\n"
+        name
+        (Equivalence.outcome_to_string inc.outcome)
+        inc.time
+        (Equivalence.outcome_to_string res.outcome)
+        res.time speedup
+        (if i < List.length timing - 1 then "," else ""))
+    timing;
+  Printf.fprintf oc
+    "  ],\n  \"agreement\": {\"corpus\": %d, \"generated\": %d, \"mismatches\": %d}\n}\n"
+    (List.length corpus) generated !mismatches;
+  close_out oc;
+  Printf.printf "wrote BENCH_zx.json\n";
+  if !mismatches > 0 || !failures > 0 then begin
+    Printf.eprintf "zx smoke FAILED: %d verdict mismatch(es), %d timing failure(s)\n"
+      !mismatches !failures;
+    exit 1
+  end
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -744,6 +859,7 @@ let () =
     | "portfolio" -> portfolio_bench opts
     | "trace-smoke" -> trace_smoke ()
     | "fuzz-smoke" -> fuzz_smoke opts
+    | "zx-smoke" -> zx_smoke opts
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
@@ -754,10 +870,11 @@ let () =
         dd_stats_bench ();
         portfolio_bench opts;
         trace_smoke ();
-        fuzz_smoke opts
+        fuzz_smoke opts;
+        zx_smoke opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, zx-smoke, micro, all)\n"
           other;
         exit 2
   in

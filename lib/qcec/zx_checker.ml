@@ -19,9 +19,14 @@ let checker : Engine.checker =
         Engine.Ctx.add ctx (Engine.Zx_rewrite rule) count;
         Engine.Ctx.gauge ctx "zx.spiders" (Zx_graph.num_vertices diagram - boundaries)
       in
+      (* The incremental engine also reports its live worklist length;
+         the gauge keeps the peak under "zx.worklist.peak" so --trace
+         shows how much re-enqueued work the rewrites generated. *)
+      let on_pending n = Engine.Ctx.gauge ctx "zx.worklist" n in
       let completed =
         Engine.Ctx.span ctx ~cat:"zx" "full-reduce" (fun () ->
-            Zx_simplify.full_reduce ~should_stop:(Engine.Ctx.stopper ctx) ~observe diagram)
+            Zx_simplify.full_reduce ~should_stop:(Engine.Ctx.stopper ctx) ~observe
+              ~on_pending diagram)
       in
       let after = Zx_graph.spider_count diagram in
       (* [should_stop] swallows the guard's exceptions; re-raise

@@ -9,9 +9,21 @@ type vertex = {
   adj : (int, etype) Hashtbl.t;
 }
 
-type t = { mutable next : int; mutable peak : int; vs : (int, vertex) Hashtbl.t }
+type t = {
+  mutable next : int;
+  mutable peak : int;
+  vs : (int, vertex) Hashtbl.t;
+  mutable tracer : (int -> unit) option;
+}
 
-let create () = { next = 0; peak = 0; vs = Hashtbl.create 256 }
+let create () = { next = 0; peak = 0; vs = Hashtbl.create 256; tracer = None }
+
+let set_tracer g t = g.tracer <- t
+
+(* Every mutation funnels its touched vertices through here; the worklist
+   engine subscribes to re-enqueue dirty neighbourhoods.  With no tracer
+   installed the cost is a single branch. *)
+let touch g v = match g.tracer with None -> () | Some f -> f v
 
 (* Vertex creation is the only way the graph grows, so maintaining the
    running peak here captures every transient blow-up (boundary pivots,
@@ -22,6 +34,7 @@ let add_vertex g vk ~phase =
   Hashtbl.replace g.vs id { vk; ph = phase; adj = Hashtbl.create 4 };
   let live = Hashtbl.length g.vs in
   if live > g.peak then g.peak <- live;
+  touch g id;
   id
 
 let vertex g v =
@@ -31,9 +44,20 @@ let vertex g v =
 
 let kind g v = (vertex g v).vk
 let phase g v = (vertex g v).ph
-let set_phase g v p = (vertex g v).ph <- p
-let add_to_phase g v p = let vx = vertex g v in vx.ph <- Phase.add vx.ph p
-let set_kind g v k = (vertex g v).vk <- k
+
+let set_phase g v p =
+  (vertex g v).ph <- p;
+  touch g v
+
+let add_to_phase g v p =
+  let vx = vertex g v in
+  vx.ph <- Phase.add vx.ph p;
+  touch g v
+
+let set_kind g v k =
+  (vertex g v).vk <- k;
+  touch g v
+
 let vertices g = Hashtbl.fold (fun id _ acc -> id :: acc) g.vs []
 let num_vertices g = Hashtbl.length g.vs
 let peak_vertices g = g.peak
@@ -48,16 +72,41 @@ let connected g u v = Hashtbl.find_opt (vertex g u).adj v
 let neighbours g v = Hashtbl.fold (fun u ty acc -> (u, ty) :: acc) (vertex g v).adj []
 let neighbour_ids g v = Hashtbl.fold (fun u _ acc -> u :: acc) (vertex g v).adj []
 let degree g v = Hashtbl.length (vertex g v).adj
+let iter_neighbours g v f = Hashtbl.iter f (vertex g v).adj
+let fold_neighbours g v f acc = Hashtbl.fold f (vertex g v).adj acc
+
+exception Stop
+
+(* Early-exit scans over the adjacency table: the worklist matchers run
+   these on every dequeued vertex, so they must not allocate the
+   [neighbours] list. *)
+let exists_neighbour g v p =
+  try
+    iter_neighbours g v (fun u ty -> if p u ty then raise Stop);
+    false
+  with Stop -> true
+
+let for_all_neighbours g v p = not (exists_neighbour g v (fun u ty -> not (p u ty)))
+
+let find_neighbour g v p =
+  let found = ref None in
+  (try iter_neighbours g v (fun u ty -> if p u ty then (found := Some (u, ty); raise Stop))
+   with Stop -> ());
+  !found
 
 let add_edge g u v ty =
   if u = v then invalid_arg "Zx_graph.add_edge: self-loop";
   if connected g u v <> None then invalid_arg "Zx_graph.add_edge: parallel edge";
   Hashtbl.replace (vertex g u).adj v ty;
-  Hashtbl.replace (vertex g v).adj u ty
+  Hashtbl.replace (vertex g v).adj u ty;
+  touch g u;
+  touch g v
 
 let remove_edge g u v =
   Hashtbl.remove (vertex g u).adj v;
-  Hashtbl.remove (vertex g v).adj u
+  Hashtbl.remove (vertex g v).adj u;
+  touch g u;
+  touch g v
 
 let is_spider g v = match kind g v with Z | X -> true | B_in _ | B_out _ -> false
 
@@ -98,6 +147,7 @@ let add_edge_smart g u v ty =
             let final = if same then Simple else Had in
             Hashtbl.replace (vertex g u).adj v final;
             Hashtbl.replace (vertex g v).adj u final;
+            touch g v;
             add_to_phase g u Phase.pi)
 
 let toggle_edge g u v ty =
@@ -109,7 +159,11 @@ let toggle_edge g u v ty =
 
 let remove_vertex g v =
   let vx = vertex g v in
-  Hashtbl.iter (fun u _ -> Hashtbl.remove (vertex g u).adj v) vx.adj;
+  Hashtbl.iter
+    (fun u _ ->
+      Hashtbl.remove (vertex g u).adj v;
+      touch g u)
+    vx.adj;
   Hashtbl.remove g.vs v
 
 let is_boundary g v = match kind g v with B_in _ | B_out _ -> true | Z | X -> false
@@ -131,7 +185,9 @@ let copy g =
   Hashtbl.iter
     (fun id vx -> Hashtbl.replace vs id { vx with adj = Hashtbl.copy vx.adj })
     g.vs;
-  { next = g.next; peak = g.peak; vs }
+  (* Tracer subscriptions are tied to one engine instance and do not
+     survive copying. *)
+  { next = g.next; peak = g.peak; vs; tracer = None }
 
 let pp ppf g =
   let kind_str = function

@@ -59,6 +59,28 @@ val neighbours : t -> int -> (int * etype) list
 val neighbour_ids : t -> int -> int list
 val degree : t -> int -> int
 
+(** Allocation-free neighbourhood traversals — the worklist matchers run
+    on every dequeued vertex, so they must not build the [neighbours]
+    list.  Iteration order is unspecified. *)
+val iter_neighbours : t -> int -> (int -> etype -> unit) -> unit
+
+val fold_neighbours : t -> int -> (int -> etype -> 'a -> 'a) -> 'a -> 'a
+
+(** Early-exit scans over the adjacency table. *)
+val exists_neighbour : t -> int -> (int -> etype -> bool) -> bool
+
+val for_all_neighbours : t -> int -> (int -> etype -> bool) -> bool
+val find_neighbour : t -> int -> (int -> etype -> bool) -> (int * etype) option
+
+(** [set_tracer g (Some f)] subscribes [f] to vertex mutations: [f v] is
+    called whenever [v]'s local structure changes — its phase or kind is
+    written, an incident edge is added, removed or retyped, or a
+    neighbour of [v] is deleted (each surviving endpoint is reported).
+    [add_vertex] reports the fresh vertex.  The incremental simplifier
+    uses this to re-enqueue dirty neighbourhoods; at most one tracer is
+    installed at a time and {!copy} does not inherit it. *)
+val set_tracer : t -> (int -> unit) option -> unit
+
 (** [add_edge g u v ty] adds an edge that must not already exist
     ([u <> v]); raises [Invalid_argument] otherwise. *)
 val add_edge : t -> int -> int -> etype -> unit

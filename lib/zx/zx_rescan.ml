@@ -1,0 +1,308 @@
+open Oqec_base
+open Zx_rules
+
+(* The original full-rescan simplification engine: every pass is a
+   [while !progress] fixpoint loop that re-scans the whole vertex list
+   after each round of rewrites.  Kept intact as the differential
+   baseline for the incremental worklist engine (Zx_worklist): the
+   bench's [zx-smoke] target and the property suite compare the two
+   rewrite-for-rewrite. *)
+
+let never_stop () = false
+let no_observe _ _ = ()
+
+(* Report a pass's rewrite count to the tracing callback; zero-rewrite
+   passes stay silent so counters only carry rules that fired. *)
+let observed rule observe count =
+  if count > 0 then observe rule count;
+  count
+
+let spider_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    let try_vertex v =
+      if Zx_graph.mem g v && is_spider g v then
+        let candidate =
+          List.find_opt
+            (fun (u, ty) ->
+              ty = Zx_graph.Simple && is_spider g u
+              && Zx_graph.kind g u = Zx_graph.kind g v)
+            (Zx_graph.neighbours g v)
+        in
+        match candidate with
+        | Some (u, _) ->
+            Zx_graph.remove_edge g v u;
+            fuse g ~into:v u;
+            incr count;
+            progress := true
+        | None -> ()
+    in
+    List.iter try_vertex (Zx_graph.vertices g)
+  done;
+  observed "spider-fusion" observe !count
+
+let to_gh g = List.iter (to_gh_at g) (Zx_graph.vertices g)
+
+let id_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    let try_vertex v =
+      if
+        Zx_graph.mem g v && is_spider g v
+        && Phase.is_zero (Zx_graph.phase g v)
+        && Zx_graph.degree g v = 2
+      then begin
+        match Zx_graph.neighbours g v with
+        | [ (a, ta); (b, tb) ] ->
+            let combined =
+              if ta = tb then Zx_graph.Simple else Zx_graph.Had
+            in
+            Zx_graph.remove_vertex g v;
+            (* Both endpoints are spiders, or at least one is a boundary of
+               degree 1 with no existing a-b edge; smart addition covers
+               the spider-spider case. *)
+            if is_spider g a && is_spider g b then Zx_graph.add_edge_smart g a b combined
+            else Zx_graph.add_edge g a b combined;
+            incr count;
+            progress := true
+        | _ -> ()
+      end
+    in
+    List.iter try_vertex (Zx_graph.vertices g)
+  done;
+  observed "id-removal" observe !count
+
+(* A Pauli state plugged into a graph-like spider (a degree-1 Z-leaf with
+   phase 0 or pi on a Hadamard wire) collapses it: the leaf fixes the
+   spider's summation bit, so the spider and leaf disappear; a pi-leaf
+   additionally flips the sign seen by every other neighbour, i.e. adds pi
+   to their phases (tensor-verified). *)
+let pauli_leaf_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    let try_leaf leaf =
+      if
+        Zx_graph.mem g leaf && is_z g leaf
+        && Zx_graph.degree g leaf = 1
+        && Phase.is_pauli (Zx_graph.phase g leaf)
+      then
+        match Zx_graph.neighbours g leaf with
+        | [ (v, Zx_graph.Had) ]
+          when is_z g v
+               && Zx_graph.is_interior g v
+               && Zx_graph.for_all_neighbours g v (fun _ ty -> ty = Zx_graph.Had) ->
+            let flip = Phase.is_pi (Zx_graph.phase g leaf) in
+            let others = List.filter (fun w -> w <> leaf) (Zx_graph.neighbour_ids g v) in
+            Zx_graph.remove_vertex g leaf;
+            Zx_graph.remove_vertex g v;
+            if flip then List.iter (fun w -> Zx_graph.add_to_phase g w Phase.pi) others;
+            incr count;
+            progress := true
+        | _ -> ()
+    in
+    List.iter try_leaf (Zx_graph.vertices g)
+  done;
+  observed "pauli-leaf" observe !count
+
+let lcomp_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    let try_vertex v =
+      if interior_z_with g v Phase.is_proper_clifford then begin
+        lcomp_at g v;
+        incr count;
+        progress := true
+      end
+    in
+    List.iter try_vertex (Zx_graph.vertices g)
+  done;
+  observed "local-complement" observe !count
+
+let find_pivot_pair ?(symmetric = false) g pred_v =
+  let candidate u =
+    if pivot_candidate g u Phase.is_pauli then
+      List.find_map
+        (fun (v, ty) ->
+          if ty = Zx_graph.Had && ((not symmetric) || u < v) && pred_v v then
+            Some (u, v)
+          else None)
+        (Zx_graph.neighbours g u)
+    else None
+  in
+  List.find_map candidate (Zx_graph.vertices g)
+
+let pivot_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    match
+      find_pivot_pair ~symmetric:true g (fun v -> pivot_candidate g v Phase.is_pauli)
+    with
+    | Some (u, v) ->
+        pivot_at g u v;
+        incr count;
+        progress := true
+    | None -> ()
+  done;
+  observed "pivot" observe !count
+
+(* Also a single bounded sweep; the unfused phase-0 spiders it leaves
+   behind are cleaned up by id_simp in the caller's loop. *)
+let pivot_boundary_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let pick u =
+    if pivot_candidate g u Phase.is_pauli then
+      List.find_map
+        (fun (v, ty) -> if ty = Zx_graph.Had && boundary_pauli_z g v then Some (u, v) else None)
+        (Zx_graph.neighbours g u)
+    else None
+  in
+  let rec go () =
+    match List.find_map pick (Zx_graph.vertices g) with
+    | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
+        List.iter
+          (fun (b, ty) -> if not (is_spider g b) then unfuse_boundary g v b ty)
+          (Zx_graph.neighbours g v);
+        pivot_at g u v;
+        incr count;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  observed "pivot-boundary" observe !count
+
+(* One sweep only: the caller's fixpoint loops interleave this with the
+   cleanup passes.  The degree guard keeps gadget leaves (degree 1) from
+   being re-gadgetised forever. *)
+let pivot_gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let not_pauli p = not (Phase.is_pauli p) in
+  let gadget_target v = pivot_candidate g v not_pauli && Zx_graph.degree g v >= 2 in
+  let rec go () =
+    match find_pivot_pair g gadget_target with
+    | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
+        gadgetize g v;
+        pivot_at g u v;
+        incr count;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  observed "pivot-gadget" observe !count
+
+(* Normalise gadgets for merging: an axis with phase pi is equivalent to a
+   phase-0 axis with the leaf phase negated (tensor-verified).  Pauli
+   leaves themselves are eliminated by {!pauli_leaf_simp}. *)
+let gadget_cleanup g =
+  let count = ref 0 in
+  let consider leaf =
+    match gadget_of g leaf with
+    | Some (axis, _) ->
+        if Phase.is_pi (Zx_graph.phase g axis) then begin
+          Zx_graph.set_phase g axis Phase.zero;
+          Zx_graph.set_phase g leaf (Phase.neg (Zx_graph.phase g leaf));
+          incr count
+        end
+    | None -> ()
+  in
+  List.iter consider (Zx_graph.vertices g);
+  !count
+
+let gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let count = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    progress := false;
+    count := !count + gadget_cleanup g;
+    let table = Hashtbl.create 16 in
+    let consider leaf =
+      match gadget_of g leaf with
+      | Some (axis, support)
+        when support <> [] && Phase.is_zero (Zx_graph.phase g axis) -> (
+          match Hashtbl.find_opt table support with
+          | Some (leaf0, _) when Zx_graph.mem g leaf0 && leaf0 <> leaf ->
+              (* Merge this gadget into the recorded one. *)
+              Zx_graph.add_to_phase g leaf0 (Zx_graph.phase g leaf);
+              Zx_graph.remove_vertex g leaf;
+              Zx_graph.remove_vertex g axis;
+              incr count;
+              progress := true
+          | Some _ -> ()
+          | None -> Hashtbl.replace table support (leaf, axis))
+      | Some _ | None -> ()
+    in
+    List.iter consider (Zx_graph.vertices g)
+  done;
+  observed "gadget-fusion" observe !count
+
+(* ----------------------------------------------------------- Strategies *)
+
+(* Fusion, identity removal and Pauli-state absorption to fixpoint; this
+   is what peels mirrored miters layer by layer, so it must complete
+   before any pivoting or local complementation disturbs the structure. *)
+let basic_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let total = ref 0 in
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    let i1 = id_simp ~should_stop ~observe g in
+    let i2 = spider_simp ~should_stop ~observe g in
+    let i3 = pauli_leaf_simp ~should_stop ~observe g in
+    let round = i1 + i2 + i3 in
+    total := !total + round;
+    progress := round > 0
+  done;
+  !total
+
+let interior_clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let total = ref 0 in
+  total := spider_simp ~should_stop ~observe g;
+  to_gh g;
+  total := !total + basic_simp ~should_stop ~observe g;
+  let progress = ref true in
+  while !progress && not (should_stop ()) do
+    let i3 = pivot_simp ~should_stop ~observe g in
+    let i4 = lcomp_simp ~should_stop ~observe g in
+    let round = i3 + i4 + basic_simp ~should_stop ~observe g in
+    total := !total + round;
+    progress := round > 0
+  done;
+  !total
+
+let clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let total = ref 0 in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < 1000 && not (should_stop ()) do
+    incr rounds;
+    total := !total + interior_clifford_simp ~should_stop ~observe g;
+    let b = pivot_boundary_simp ~should_stop ~observe g in
+    total := !total + b;
+    progress := b > 0
+  done;
+  !total
+
+let full_reduce ?(should_stop = never_stop) ?(observe = no_observe) g =
+  let stopped () = should_stop () in
+  ignore (interior_clifford_simp ~should_stop ~observe g);
+  ignore (pivot_gadget_simp ~should_stop ~observe g);
+  let continue_ = ref true in
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 1000 && not (stopped ()) do
+    incr rounds;
+    ignore (clifford_simp ~should_stop ~observe g);
+    let i = gadget_simp ~should_stop ~observe g in
+    ignore (interior_clifford_simp ~should_stop ~observe g);
+    let j = pivot_gadget_simp ~should_stop ~observe g in
+    continue_ := i + j > 0
+  done;
+  if not (stopped ()) then ignore (clifford_simp ~should_stop ~observe g);
+  not (stopped ())

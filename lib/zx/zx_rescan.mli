@@ -1,0 +1,48 @@
+(** The original full-rescan simplification engine.
+
+    Every pass is a fixpoint loop that re-scans the whole vertex list
+    after each round of rewrites — quadratic-plus in practice.  It is
+    kept unchanged as the differential baseline for the incremental
+    worklist engine ({!Zx_worklist}): the bench's [zx-smoke] target and
+    the property suite in [test_zx_worklist.ml] assert that both engines
+    produce identical verdicts.  New code should reach these passes
+    through the {!Zx_simplify} facade. *)
+
+
+val spider_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val to_gh : Zx_graph.t -> unit
+
+val id_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val pauli_leaf_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val lcomp_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val pivot_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val pivot_boundary_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val pivot_gadget_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val gadget_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val basic_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val interior_clifford_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val clifford_simp :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
+
+val full_reduce :
+  ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> bool

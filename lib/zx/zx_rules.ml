@@ -1,0 +1,151 @@
+open Oqec_base
+
+(* Shared rewrite primitives and match predicates of the graph-like
+   simplifier.  Both engines — the global-rescan baseline (Zx_rescan) and
+   the incremental worklist engine (Zx_worklist) — apply exactly these
+   rewrites; they differ only in how candidate sites are scheduled, which
+   keeps the two engines rewrite-for-rewrite compatible and makes the
+   differential tests meaningful. *)
+
+let is_spider g v =
+  match Zx_graph.kind g v with
+  | Zx_graph.Z | Zx_graph.X -> true
+  | Zx_graph.B_in _ | Zx_graph.B_out _ -> false
+
+let is_z g v = Zx_graph.kind g v = Zx_graph.Z
+
+(* ------------------------------------------------------------- Fusion *)
+
+(* Fuse [u] into [v]: phases add, [u]'s edges move to [v] with smart
+   resolution.  The u-v wire must already be removed. *)
+let fuse g ~into:v u =
+  Zx_graph.add_to_phase g v (Zx_graph.phase g u);
+  let moved = Zx_graph.neighbours g u in
+  Zx_graph.remove_vertex g u;
+  List.iter
+    (fun (w, ty) -> if w <> v then Zx_graph.add_edge_smart g v w ty)
+    moved
+
+(* Colour-change one X-spider into a Z-spider, toggling its edge types. *)
+let to_gh_at g v =
+  let flip = function Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
+  if Zx_graph.mem g v && Zx_graph.kind g v = Zx_graph.X then begin
+    Zx_graph.set_kind g v Zx_graph.Z;
+    let ns = Zx_graph.neighbours g v in
+    List.iter
+      (fun (u, ty) ->
+        Zx_graph.remove_edge g v u;
+        (* The re-added edge can now clash with an existing edge only if
+           graphs carried parallel edges, which they never do. *)
+        Zx_graph.add_edge g v u (flip ty))
+      ns
+  end
+
+(* ------------------------------------------------------- Predicates *)
+
+let interior_z_with g v pred =
+  Zx_graph.mem g v && is_z g v
+  && pred (Zx_graph.phase g v)
+  && Zx_graph.is_interior g v
+  && Zx_graph.for_all_neighbours g v (fun _ ty -> ty = Zx_graph.Had)
+
+(* A vertex carrying a phase gadget (a degree-1 neighbour).  Pivoting such
+   vertices destroys and recreates gadgets forever; they are consumed by
+   the dedicated gadget rules instead. *)
+let has_leaf_neighbour g v =
+  Zx_graph.exists_neighbour g v (fun w _ -> Zx_graph.degree g w = 1)
+
+let pivot_candidate g v pred =
+  interior_z_with g v pred && not (has_leaf_neighbour g v)
+
+(* --------------------------------------------- Local complementation *)
+
+let lcomp_at g v =
+  let ns = Zx_graph.neighbour_ids g v in
+  let minus_phase = Phase.neg (Zx_graph.phase g v) in
+  Zx_graph.remove_vertex g v;
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter (fun b -> Zx_graph.toggle_edge g a b Zx_graph.Had) rest;
+        pairs rest
+  in
+  pairs ns;
+  List.iter (fun a -> Zx_graph.add_to_phase g a minus_phase) ns
+
+(* ------------------------------------------------------------ Pivoting *)
+
+let pivot_at g u v =
+  let phase_u = Zx_graph.phase g u and phase_v = Zx_graph.phase g v in
+  let nu = List.filter (fun w -> w <> v) (Zx_graph.neighbour_ids g u) in
+  let nv = List.filter (fun w -> w <> u) (Zx_graph.neighbour_ids g v) in
+  (* Classify each neighbourhood against the other side with the O(1)
+     edge lookup instead of quadratic list membership. *)
+  let in_nv w = Zx_graph.connected g v w <> None in
+  let in_nu w = Zx_graph.connected g u w <> None in
+  let shared = List.filter in_nv nu in
+  let only_u = List.filter (fun w -> not (in_nv w)) nu in
+  let only_v = List.filter (fun w -> not (in_nu w)) nv in
+  Zx_graph.remove_vertex g u;
+  Zx_graph.remove_vertex g v;
+  let toggle_groups xs ys =
+    List.iter (fun a -> List.iter (fun b -> Zx_graph.toggle_edge g a b Zx_graph.Had) ys) xs
+  in
+  toggle_groups only_u only_v;
+  toggle_groups only_u shared;
+  toggle_groups only_v shared;
+  List.iter (fun w -> Zx_graph.add_to_phase g w phase_v) only_u;
+  List.iter (fun w -> Zx_graph.add_to_phase g w phase_u) only_v;
+  List.iter
+    (fun w -> Zx_graph.add_to_phase g w (Phase.add (Phase.add phase_u phase_v) Phase.pi))
+    shared
+
+(* Unfuse a boundary wire of [v] so that [v] becomes interior: the wire
+   v -t- b becomes v -H- w(0) -t'- b with t' chosen so the composite
+   equals the original wire. *)
+let unfuse_boundary g v b ty =
+  Zx_graph.remove_edge g v b;
+  let w = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+  Zx_graph.add_edge g v w Zx_graph.Had;
+  let outer = match ty with Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
+  Zx_graph.add_edge g w b outer
+
+let boundary_pauli_z g v =
+  Zx_graph.mem g v && is_z g v
+  && Phase.is_pauli (Zx_graph.phase g v)
+  && (not (Zx_graph.is_interior g v))
+  && (not (has_leaf_neighbour g v))
+  && Zx_graph.for_all_neighbours g v (fun u ty ->
+         ty = Zx_graph.Had || not (is_spider g u))
+
+(* ------------------------------------------------------------- Gadgets *)
+
+(* Extract a non-Pauli phase into a gadget hanging off [v]. *)
+let gadgetize g v =
+  let ph = Zx_graph.phase g v in
+  Zx_graph.set_phase g v Phase.zero;
+  let axis = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
+  let leaf = Zx_graph.add_vertex g Zx_graph.Z ~phase:ph in
+  Zx_graph.add_edge g v axis Zx_graph.Had;
+  Zx_graph.add_edge g axis leaf Zx_graph.Had
+
+(* A phase gadget: a degree-1 leaf attached by a Hadamard wire to a
+   Pauli-phase axis all of whose other edges are Hadamard wires to
+   spiders. *)
+let gadget_of g leaf =
+  if
+    Zx_graph.mem g leaf && is_z g leaf
+    && Zx_graph.degree g leaf = 1
+  then
+    match Zx_graph.neighbours g leaf with
+    | [ (axis, Zx_graph.Had) ]
+      when is_z g axis
+           && Phase.is_pauli (Zx_graph.phase g axis)
+           && Zx_graph.is_interior g axis
+           && Zx_graph.for_all_neighbours g axis (fun _ ty -> ty = Zx_graph.Had) ->
+        let support =
+          List.sort compare (List.filter (fun w -> w <> leaf) (Zx_graph.neighbour_ids g axis))
+        in
+        Some (axis, support)
+    | _ -> None
+  else None

@@ -1,0 +1,53 @@
+(** Shared rewrite primitives of the graph-like ZX simplifier.
+
+    Both simplification engines — the global-rescan baseline
+    ({!Zx_rescan}) and the incremental worklist engine ({!Zx_worklist})
+    — apply exactly these rewrites and match predicates; they differ
+    only in how candidate sites are scheduled.  Each primitive preserves
+    the diagram's semantics up to a global scalar (certified against the
+    tensor evaluator in the test suite). *)
+
+open Oqec_base
+
+val is_spider : Zx_graph.t -> int -> bool
+val is_z : Zx_graph.t -> int -> bool
+
+(** [fuse g ~into:v u] fuses [u] into [v]: phases add and [u]'s edges
+    move to [v] with smart parallel-edge resolution.  The u-v wire must
+    already be removed. *)
+val fuse : Zx_graph.t -> into:int -> int -> unit
+
+(** Colour-change one X-spider into a Z-spider, toggling the types of
+    its incident edges; a no-op on non-X vertices. *)
+val to_gh_at : Zx_graph.t -> int -> unit
+
+(** [interior_z_with g v pred] holds for interior Z-spiders whose phase
+    satisfies [pred] and whose edges are all Hadamard wires. *)
+val interior_z_with : Zx_graph.t -> int -> (Phase.t -> bool) -> bool
+
+(** A vertex with a degree-1 neighbour (a phase-gadget leaf); pivoting
+    such vertices would destroy and recreate gadgets forever. *)
+val has_leaf_neighbour : Zx_graph.t -> int -> bool
+
+val pivot_candidate : Zx_graph.t -> int -> (Phase.t -> bool) -> bool
+
+(** Local complementation at [v] (which is removed). *)
+val lcomp_at : Zx_graph.t -> int -> unit
+
+(** Pivot along the Hadamard edge u-v (both are removed). *)
+val pivot_at : Zx_graph.t -> int -> int -> unit
+
+(** [unfuse_boundary g v b ty] splits the boundary wire v-[ty]-b into
+    v -H- w(0) -ty'- b so that [v] becomes interior. *)
+val unfuse_boundary : Zx_graph.t -> int -> int -> Zx_graph.etype -> unit
+
+(** The boundary partner of a boundary pivot: a Pauli Z-spider touching
+    the boundary, with no gadget leaf. *)
+val boundary_pauli_z : Zx_graph.t -> int -> bool
+
+(** Extract a non-Pauli phase on [v] into a fresh phase gadget. *)
+val gadgetize : Zx_graph.t -> int -> unit
+
+(** [gadget_of g leaf] recognises a phase gadget anchored at its leaf and
+    returns the axis and the sorted support. *)
+val gadget_of : Zx_graph.t -> int -> (int * int list) option

@@ -1,442 +1,43 @@
 open Oqec_base
 
-let is_spider g v =
-  match Zx_graph.kind g v with
-  | Zx_graph.Z | Zx_graph.X -> true
-  | Zx_graph.B_in _ | Zx_graph.B_out _ -> false
+(* Facade over the two simplification engines.
 
-let is_z g v = Zx_graph.kind g v = Zx_graph.Z
+   Single-rule passes delegate to the rescan implementation — "apply
+   this rule everywhere" has no scheduling to optimise and the figure
+   demos and rewrite-certification tests use them directly.  The
+   composite strategies delegate to the incremental worklist engine
+   (Zx_worklist), which replaced the global rescan fixpoint loops; the
+   original engine stays available as {!Rescan} and is raced against the
+   incremental one by the bench's [zx-smoke] target and the property
+   suite. *)
 
-(* ------------------------------------------------------------- Fusion *)
+module Rescan = Zx_rescan
+module Worklist = Zx_worklist
 
-(* Fuse [u] into [v]: phases add, [u]'s edges move to [v] with smart
-   resolution.  The u-v wire must already be removed. *)
-let fuse g ~into:v u =
-  Zx_graph.add_to_phase g v (Zx_graph.phase g u);
-  let moved = Zx_graph.neighbours g u in
-  Zx_graph.remove_vertex g u;
-  List.iter
-    (fun (w, ty) -> if w <> v then Zx_graph.add_edge_smart g v w ty)
-    moved
+let spider_simp = Zx_rescan.spider_simp
+let to_gh = Zx_rescan.to_gh
+let id_simp = Zx_rescan.id_simp
+let pauli_leaf_simp = Zx_rescan.pauli_leaf_simp
+let lcomp_simp = Zx_rescan.lcomp_simp
+let pivot_simp = Zx_rescan.pivot_simp
+let pivot_boundary_simp = Zx_rescan.pivot_boundary_simp
+let pivot_gadget_simp = Zx_rescan.pivot_gadget_simp
+let gadget_simp = Zx_rescan.gadget_simp
 
-let never_stop () = false
-let no_observe _ _ = ()
+let with_worklist f ?should_stop ?observe g =
+  let t = Zx_worklist.create g in
+  Fun.protect
+    ~finally:(fun () -> Zx_worklist.release t)
+    (fun () -> f ?should_stop ?observe t)
 
-(* Report a pass's rewrite count to the tracing callback; zero-rewrite
-   passes stay silent so counters only carry rules that fired. *)
-let observed rule observe count =
-  if count > 0 then observe rule count;
-  count
+let interior_clifford_simp ?should_stop ?observe g =
+  with_worklist Zx_worklist.interior_clifford_simp ?should_stop ?observe g
 
-let spider_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    let try_vertex v =
-      if Zx_graph.mem g v && is_spider g v then
-        let candidate =
-          List.find_opt
-            (fun (u, ty) ->
-              ty = Zx_graph.Simple && is_spider g u
-              && Zx_graph.kind g u = Zx_graph.kind g v)
-            (Zx_graph.neighbours g v)
-        in
-        match candidate with
-        | Some (u, _) ->
-            Zx_graph.remove_edge g v u;
-            fuse g ~into:v u;
-            incr count;
-            progress := true
-        | None -> ()
-    in
-    List.iter try_vertex (Zx_graph.vertices g)
-  done;
-  observed "spider-fusion" observe !count
+let clifford_simp ?should_stop ?observe g =
+  with_worklist Zx_worklist.clifford_simp ?should_stop ?observe g
 
-let to_gh g =
-  let flip = function Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
-  let convert v =
-    if Zx_graph.mem g v && Zx_graph.kind g v = Zx_graph.X then begin
-      Zx_graph.set_kind g v Zx_graph.Z;
-      let ns = Zx_graph.neighbours g v in
-      List.iter
-        (fun (u, ty) ->
-          Zx_graph.remove_edge g v u;
-          (* The re-added edge can now clash with an existing edge only if
-             graphs carried parallel edges, which they never do. *)
-          Zx_graph.add_edge g v u (flip ty))
-        ns
-    end
-  in
-  List.iter convert (Zx_graph.vertices g)
-
-let id_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    let try_vertex v =
-      if
-        Zx_graph.mem g v && is_spider g v
-        && Phase.is_zero (Zx_graph.phase g v)
-        && Zx_graph.degree g v = 2
-      then begin
-        match Zx_graph.neighbours g v with
-        | [ (a, ta); (b, tb) ] ->
-            let combined =
-              if ta = tb then Zx_graph.Simple else Zx_graph.Had
-            in
-            Zx_graph.remove_vertex g v;
-            (* Both endpoints are spiders, or at least one is a boundary of
-               degree 1 with no existing a-b edge; smart addition covers
-               the spider-spider case. *)
-            if is_spider g a && is_spider g b then Zx_graph.add_edge_smart g a b combined
-            else Zx_graph.add_edge g a b combined;
-            incr count;
-            progress := true
-        | _ -> ()
-      end
-    in
-    List.iter try_vertex (Zx_graph.vertices g)
-  done;
-  observed "id-removal" observe !count
-
-(* A Pauli state plugged into a graph-like spider (a degree-1 Z-leaf with
-   phase 0 or pi on a Hadamard wire) collapses it: the leaf fixes the
-   spider's summation bit, so the spider and leaf disappear; a pi-leaf
-   additionally flips the sign seen by every other neighbour, i.e. adds pi
-   to their phases (tensor-verified). *)
-let pauli_leaf_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    let try_leaf leaf =
-      if
-        Zx_graph.mem g leaf && is_z g leaf
-        && Zx_graph.degree g leaf = 1
-        && Phase.is_pauli (Zx_graph.phase g leaf)
-      then
-        match Zx_graph.neighbours g leaf with
-        | [ (v, Zx_graph.Had) ]
-          when is_z g v
-               && Zx_graph.is_interior g v
-               && List.for_all (fun (_, ty) -> ty = Zx_graph.Had) (Zx_graph.neighbours g v) ->
-            let flip = Phase.is_pi (Zx_graph.phase g leaf) in
-            let others = List.filter (fun w -> w <> leaf) (Zx_graph.neighbour_ids g v) in
-            Zx_graph.remove_vertex g leaf;
-            Zx_graph.remove_vertex g v;
-            if flip then List.iter (fun w -> Zx_graph.add_to_phase g w Phase.pi) others;
-            incr count;
-            progress := true
-        | _ -> ()
-    in
-    List.iter try_leaf (Zx_graph.vertices g)
-  done;
-  observed "pauli-leaf" observe !count
-
-(* --------------------------------------------- Local complementation *)
-
-let interior_z_with g v pred =
-  Zx_graph.mem g v && is_z g v
-  && pred (Zx_graph.phase g v)
-  && Zx_graph.is_interior g v
-  && List.for_all (fun (_, ty) -> ty = Zx_graph.Had) (Zx_graph.neighbours g v)
-
-(* A vertex carrying a phase gadget (a degree-1 neighbour).  Pivoting such
-   vertices destroys and recreates gadgets forever; they are consumed by
-   the dedicated gadget rules instead. *)
-let has_leaf_neighbour g v =
-  List.exists (fun w -> Zx_graph.degree g w = 1) (Zx_graph.neighbour_ids g v)
-
-let pivot_candidate g v pred =
-  interior_z_with g v pred && not (has_leaf_neighbour g v)
-
-let lcomp_at g v =
-  let ns = Zx_graph.neighbour_ids g v in
-  let minus_phase = Phase.neg (Zx_graph.phase g v) in
-  Zx_graph.remove_vertex g v;
-  let rec pairs = function
-    | [] -> ()
-    | a :: rest ->
-        List.iter (fun b -> Zx_graph.toggle_edge g a b Zx_graph.Had) rest;
-        pairs rest
-  in
-  pairs ns;
-  List.iter (fun a -> Zx_graph.add_to_phase g a minus_phase) ns
-
-let lcomp_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    let try_vertex v =
-      if interior_z_with g v Phase.is_proper_clifford then begin
-        lcomp_at g v;
-        incr count;
-        progress := true
-      end
-    in
-    List.iter try_vertex (Zx_graph.vertices g)
-  done;
-  observed "local-complement" observe !count
-
-(* ------------------------------------------------------------ Pivoting *)
-
-let pivot_at g u v =
-  let phase_u = Zx_graph.phase g u and phase_v = Zx_graph.phase g v in
-  let nu = List.filter (fun w -> w <> v) (Zx_graph.neighbour_ids g u) in
-  let nv = List.filter (fun w -> w <> u) (Zx_graph.neighbour_ids g v) in
-  let mem x l = List.mem x l in
-  let shared = List.filter (fun w -> mem w nv) nu in
-  let only_u = List.filter (fun w -> not (mem w nv)) nu in
-  let only_v = List.filter (fun w -> not (mem w nu)) nv in
-  Zx_graph.remove_vertex g u;
-  Zx_graph.remove_vertex g v;
-  let toggle_groups xs ys =
-    List.iter (fun a -> List.iter (fun b -> Zx_graph.toggle_edge g a b Zx_graph.Had) ys) xs
-  in
-  toggle_groups only_u only_v;
-  toggle_groups only_u shared;
-  toggle_groups only_v shared;
-  List.iter (fun w -> Zx_graph.add_to_phase g w phase_v) only_u;
-  List.iter (fun w -> Zx_graph.add_to_phase g w phase_u) only_v;
-  List.iter
-    (fun w -> Zx_graph.add_to_phase g w (Phase.add (Phase.add phase_u phase_v) Phase.pi))
-    shared
-
-let find_pivot_pair ?(symmetric = false) g pred_v =
-  let candidate u =
-    if pivot_candidate g u Phase.is_pauli then
-      List.find_map
-        (fun (v, ty) ->
-          if ty = Zx_graph.Had && ((not symmetric) || u < v) && pred_v v then
-            Some (u, v)
-          else None)
-        (Zx_graph.neighbours g u)
-    else None
-  in
-  List.find_map candidate (Zx_graph.vertices g)
-
-let pivot_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    match
-      find_pivot_pair ~symmetric:true g (fun v -> pivot_candidate g v Phase.is_pauli)
-    with
-    | Some (u, v) ->
-        pivot_at g u v;
-        incr count;
-        progress := true
-    | None -> ()
-  done;
-  observed "pivot" observe !count
-
-(* Unfuse a boundary wire of [v] so that [v] becomes interior: the wire
-   v -t- b becomes v -H- w(0) -t'- b with t' chosen so the composite
-   equals the original wire. *)
-let unfuse_boundary g v b ty =
-  Zx_graph.remove_edge g v b;
-  let w = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
-  Zx_graph.add_edge g v w Zx_graph.Had;
-  let outer = match ty with Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
-  Zx_graph.add_edge g w b outer
-
-let boundary_pauli_z g v =
-  Zx_graph.mem g v && is_z g v
-  && Phase.is_pauli (Zx_graph.phase g v)
-  && (not (Zx_graph.is_interior g v))
-  && (not (has_leaf_neighbour g v))
-  && List.for_all
-       (fun (u, ty) -> ty = Zx_graph.Had || not (is_spider g u))
-       (Zx_graph.neighbours g v)
-
-(* Also a single bounded sweep; the unfused phase-0 spiders it leaves
-   behind are cleaned up by id_simp in the caller's loop. *)
-let pivot_boundary_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let pick u =
-    if pivot_candidate g u Phase.is_pauli then
-      List.find_map
-        (fun (v, ty) -> if ty = Zx_graph.Had && boundary_pauli_z g v then Some (u, v) else None)
-        (Zx_graph.neighbours g u)
-    else None
-  in
-  let rec go () =
-    match List.find_map pick (Zx_graph.vertices g) with
-    | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
-        List.iter
-          (fun (b, ty) -> if not (is_spider g b) then unfuse_boundary g v b ty)
-          (Zx_graph.neighbours g v);
-        pivot_at g u v;
-        incr count;
-        go ()
-    | Some _ | None -> ()
-  in
-  go ();
-  observed "pivot-boundary" observe !count
-
-(* Extract a non-Pauli phase into a gadget hanging off [v]. *)
-let gadgetize g v =
-  let ph = Zx_graph.phase g v in
-  Zx_graph.set_phase g v Phase.zero;
-  let axis = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
-  let leaf = Zx_graph.add_vertex g Zx_graph.Z ~phase:ph in
-  Zx_graph.add_edge g v axis Zx_graph.Had;
-  Zx_graph.add_edge g axis leaf Zx_graph.Had
-
-(* One sweep only: the caller's fixpoint loops interleave this with the
-   cleanup passes.  The degree guard keeps gadget leaves (degree 1) from
-   being re-gadgetised forever. *)
-let pivot_gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let not_pauli p = not (Phase.is_pauli p) in
-  let gadget_target v = pivot_candidate g v not_pauli && Zx_graph.degree g v >= 2 in
-  let rec go () =
-    match find_pivot_pair g gadget_target with
-    | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
-        gadgetize g v;
-        pivot_at g u v;
-        incr count;
-        go ()
-    | Some _ | None -> ()
-  in
-  go ();
-  observed "pivot-gadget" observe !count
-
-(* A phase gadget: a degree-1 leaf attached by a Hadamard wire to a
-   Pauli-phase axis all of whose other edges are Hadamard wires to
-   spiders. *)
-let gadget_of g leaf =
-  if
-    Zx_graph.mem g leaf && is_z g leaf
-    && Zx_graph.degree g leaf = 1
-  then
-    match Zx_graph.neighbours g leaf with
-    | [ (axis, Zx_graph.Had) ]
-      when is_z g axis
-           && Phase.is_pauli (Zx_graph.phase g axis)
-           && Zx_graph.is_interior g axis
-           && List.for_all (fun (_, ty) -> ty = Zx_graph.Had) (Zx_graph.neighbours g axis) ->
-        let support =
-          List.sort compare (List.filter (fun w -> w <> leaf) (Zx_graph.neighbour_ids g axis))
-        in
-        Some (axis, support)
-    | _ -> None
-  else None
-
-(* Normalise gadgets for merging: an axis with phase pi is equivalent to a
-   phase-0 axis with the leaf phase negated (tensor-verified).  Pauli
-   leaves themselves are eliminated by {!pauli_leaf_simp}. *)
-let gadget_cleanup g =
-  let count = ref 0 in
-  let consider leaf =
-    match gadget_of g leaf with
-    | Some (axis, _) ->
-        if Phase.is_pi (Zx_graph.phase g axis) then begin
-          Zx_graph.set_phase g axis Phase.zero;
-          Zx_graph.set_phase g leaf (Phase.neg (Zx_graph.phase g leaf));
-          incr count
-        end
-    | None -> ()
-  in
-  List.iter consider (Zx_graph.vertices g);
-  !count
-
-let gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let count = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    progress := false;
-    count := !count + gadget_cleanup g;
-    let table = Hashtbl.create 16 in
-    let consider leaf =
-      match gadget_of g leaf with
-      | Some (axis, support)
-        when support <> [] && Phase.is_zero (Zx_graph.phase g axis) -> (
-          match Hashtbl.find_opt table support with
-          | Some (leaf0, _) when Zx_graph.mem g leaf0 && leaf0 <> leaf ->
-              (* Merge this gadget into the recorded one. *)
-              Zx_graph.add_to_phase g leaf0 (Zx_graph.phase g leaf);
-              Zx_graph.remove_vertex g leaf;
-              Zx_graph.remove_vertex g axis;
-              incr count;
-              progress := true
-          | Some _ -> ()
-          | None -> Hashtbl.replace table support (leaf, axis))
-      | Some _ | None -> ()
-    in
-    List.iter consider (Zx_graph.vertices g)
-  done;
-  observed "gadget-fusion" observe !count
-
-(* ----------------------------------------------------------- Strategies *)
-
-let never_stop () = false
-
-(* Fusion, identity removal and Pauli-state absorption to fixpoint; this
-   is what peels mirrored miters layer by layer, so it must complete
-   before any pivoting or local complementation disturbs the structure. *)
-let basic_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let total = ref 0 in
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    let i1 = id_simp ~should_stop ~observe g in
-    let i2 = spider_simp ~should_stop ~observe g in
-    let i3 = pauli_leaf_simp ~should_stop ~observe g in
-    let round = i1 + i2 + i3 in
-    total := !total + round;
-    progress := round > 0
-  done;
-  !total
-
-let interior_clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let total = ref 0 in
-  total := spider_simp ~should_stop ~observe g;
-  to_gh g;
-  total := !total + basic_simp ~should_stop ~observe g;
-  let progress = ref true in
-  while !progress && not (should_stop ()) do
-    let i3 = pivot_simp ~should_stop ~observe g in
-    let i4 = lcomp_simp ~should_stop ~observe g in
-    let round = i3 + i4 + basic_simp ~should_stop ~observe g in
-    total := !total + round;
-    progress := round > 0
-  done;
-  !total
-
-let clifford_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let total = ref 0 in
-  let progress = ref true in
-  let rounds = ref 0 in
-  while !progress && !rounds < 1000 && not (should_stop ()) do
-    incr rounds;
-    total := !total + interior_clifford_simp ~should_stop ~observe g;
-    let b = pivot_boundary_simp ~should_stop ~observe g in
-    total := !total + b;
-    progress := b > 0
-  done;
-  !total
-
-let full_reduce ?(should_stop = never_stop) ?(observe = no_observe) g =
-  let stopped () = should_stop () in
-  ignore (interior_clifford_simp ~should_stop ~observe g);
-  ignore (pivot_gadget_simp ~should_stop ~observe g);
-  let continue_ = ref true in
-  let rounds = ref 0 in
-  while !continue_ && !rounds < 1000 && not (stopped ()) do
-    incr rounds;
-    ignore (clifford_simp ~should_stop ~observe g);
-    let i = gadget_simp ~should_stop ~observe g in
-    ignore (interior_clifford_simp ~should_stop ~observe g);
-    let j = pivot_gadget_simp ~should_stop ~observe g in
-    continue_ := i + j > 0
-  done;
-  if not (stopped ()) then ignore (clifford_simp ~should_stop ~observe g);
-  not (stopped ())
+let full_reduce ?should_stop ?observe ?on_pending g =
+  Zx_worklist.full_reduce ?should_stop ?observe ?on_pending g
 
 (* ----------------------------------------------------------- Extraction *)
 

@@ -12,9 +12,25 @@
     diagram's semantics up to a global scalar (certified against the
     tensor evaluator in the test suite), and none of them increases the
     spider count — the property Section 5.1 of the paper relies on for
-    termination. *)
+    termination.
+
+    Two engines implement the strategies.  The composite passes below
+    ({!interior_clifford_simp}, {!clifford_simp}, {!full_reduce}) run on
+    the incremental worklist engine ({!Worklist}): rewrites re-enqueue
+    only the dirty neighbourhood instead of re-scanning every vertex.
+    The original global-rescan engine remains available as {!Rescan} and
+    serves as the differential baseline in the bench's [zx-smoke] target
+    and the old-vs-new property suite. *)
 
 open Oqec_base
+
+(** The original full-rescan engine, unchanged — the comparison
+    baseline. *)
+module Rescan : module type of Zx_rescan
+
+(** The incremental engine's full interface (per-rule queues, drains,
+    worklist introspection). *)
+module Worklist : module type of Zx_worklist
 
 (** Fuse same-colour spiders connected by plain wires. *)
 val spider_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
@@ -48,16 +64,24 @@ val gadget_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit
 val pauli_leaf_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** The inner Clifford loop: [to_gh] once, then [id]/[spider]/[pivot]/
-    [lcomp] to fixpoint. *)
+    [lcomp] to fixpoint (incremental engine). *)
 val interior_clifford_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
-(** [interior_clifford_simp] plus boundary pivoting, to fixpoint. *)
+(** [interior_clifford_simp] plus boundary pivoting, to fixpoint
+    (incremental engine). *)
 val clifford_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> int
 
 (** The full PyZX-style procedure: Clifford simplification interleaved
-    with gadget extraction and fusion, to fixpoint.  Returns [false] when
-    [should_stop] interrupted the run. *)
-val full_reduce : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> unit) -> Zx_graph.t -> bool
+    with gadget extraction and fusion, to fixpoint, on the incremental
+    worklist engine.  [on_pending] reports the live worklist length at
+    phase boundaries (the checker maps it to the ["zx.worklist"] trace
+    gauge).  Returns [false] when [should_stop] interrupted the run. *)
+val full_reduce :
+  ?should_stop:(unit -> bool) ->
+  ?observe:(string -> int -> unit) ->
+  ?on_pending:(int -> unit) ->
+  Zx_graph.t ->
+  bool
 
 (** [extract_permutation g] returns the wire permutation when the diagram
     consists solely of plain input-to-output wires (the success condition

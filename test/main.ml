@@ -7,6 +7,8 @@ let () =
       ("dd", Test_dd.suite);
       ("decompose", Test_decompose.suite);
       ("zx", Test_zx.suite);
+      ("zx-worklist", Test_zx_worklist.suite);
+      ("bench-fmt", Test_bench_fmt.suite);
       ("compile", Test_compile.suite);
       ("workloads", Test_workloads.suite);
       ("qcec", Test_qcec.suite);

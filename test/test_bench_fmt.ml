@@ -1,0 +1,53 @@
+(* The bench table-cell formatter, in particular the timeout clamping:
+   a timed-out cell must print the configured budget (">10"), never the
+   measured wall time with scheduling slack (">10.0013"). *)
+
+open Oqec_qcec
+
+let cell ?(timeout = 10.0) ~expected outcome time =
+  Bench_fmt.cell_to_string ~timeout ~expected outcome ~time
+
+let test_timeout_clamped () =
+  Alcotest.(check string)
+    "overshoot clamped to the budget" ">10"
+    (cell ~expected:`Equivalent Equivalence.Timed_out 10.0013);
+  Alcotest.(check string)
+    "non-default budget" ">30"
+    (cell ~timeout:30.0 ~expected:`Not_equivalent Equivalence.Timed_out 30.27);
+  Alcotest.(check string)
+    "fractional budget keeps %g rendering" ">2.5"
+    (cell ~timeout:2.5 ~expected:`Equivalent Equivalence.Timed_out 2.5061)
+
+let test_verdict_markers () =
+  Alcotest.(check string)
+    "expected equivalent" "1.23"
+    (cell ~expected:`Equivalent Equivalence.Equivalent 1.234);
+  Alcotest.(check string)
+    "expected non-equivalent" "0.50"
+    (cell ~expected:`Not_equivalent Equivalence.Not_equivalent 0.499);
+  Alcotest.(check string)
+    "no-information on faulty instance is expected for ZX" "0.10*"
+    (cell ~expected:`Not_equivalent Equivalence.No_information 0.1);
+  Alcotest.(check string)
+    "inconclusive on equivalent instance" "0.10?"
+    (cell ~expected:`Equivalent Equivalence.No_information 0.1);
+  Alcotest.(check string)
+    "wrong verdict flagged" "0.10!"
+    (cell ~expected:`Equivalent Equivalence.Not_equivalent 0.1);
+  Alcotest.(check string)
+    "wrong verdict flagged (other direction)" "0.10!"
+    (cell ~expected:`Not_equivalent Equivalence.Equivalent 0.1)
+
+let test_timeout_has_no_marker () =
+  Alcotest.(check string)
+    "timeout cell carries no verdict marker" ">10"
+    (cell ~expected:`Not_equivalent Equivalence.Timed_out 10.8)
+
+let suite =
+  [
+    Alcotest.test_case "bench-fmt: timeout cells clamp to the budget" `Quick
+      test_timeout_clamped;
+    Alcotest.test_case "bench-fmt: verdict markers" `Quick test_verdict_markers;
+    Alcotest.test_case "bench-fmt: timeouts carry no marker" `Quick
+      test_timeout_has_no_marker;
+  ]

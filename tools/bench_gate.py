@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare freshly emitted BENCH_*.json files against committed baselines.
+
+Usage: bench_gate.py BASELINE_DIR CURRENT_DIR [options]
+
+Walks every BENCH_*.json present in BASELINE_DIR and compares it with
+the file of the same name in CURRENT_DIR:
+
+- "outcome" leaves must be identical (a verdict change is always fatal);
+- "mismatches" / "failures" counters must not increase;
+- "elapsed" leaves may grow by at most --tolerance (default 1.5x), and
+  only when the baseline time is above --floor seconds (default 0.5) —
+  sub-floor timings are dominated by scheduler noise, not regressions.
+
+List entries are matched by their "benchmark" key when present, by
+position otherwise.  Extra keys on either side are ignored (the emitters
+are free to grow richer).  A human-readable report is written to
+--report for upload as a CI artifact.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+VERDICT_KEYS = {"outcome"}
+COUNTER_KEYS = {"mismatches", "failures"}
+TIME_KEYS = {"elapsed"}
+
+
+class Gate:
+    def __init__(self, tolerance, floor):
+        self.tolerance = tolerance
+        self.floor = floor
+        self.problems = []
+        self.checked_times = 0
+        self.checked_verdicts = 0
+
+    def fail(self, path, message):
+        self.problems.append(f"{path}: {message}")
+
+    def compare(self, path, base, cur):
+        if isinstance(base, dict):
+            if not isinstance(cur, dict):
+                self.fail(path, f"shape changed: expected object, got {type(cur).__name__}")
+                return
+            for key, bval in base.items():
+                if key not in cur:
+                    if key in VERDICT_KEYS | COUNTER_KEYS | TIME_KEYS:
+                        self.fail(path, f"gated key {key!r} disappeared")
+                    continue
+                self.compare_leaf(f"{path}.{key}", key, bval, cur[key])
+        elif isinstance(base, list):
+            if not isinstance(cur, list):
+                self.fail(path, f"shape changed: expected array, got {type(cur).__name__}")
+                return
+            for i, bitem in enumerate(base):
+                citem, label = self.match(bitem, cur, i)
+                if citem is None:
+                    self.fail(f"{path}[{label}]", "benchmark row disappeared")
+                else:
+                    self.compare(f"{path}[{label}]", bitem, citem)
+
+    @staticmethod
+    def match(bitem, cur, i):
+        if isinstance(bitem, dict) and "benchmark" in bitem:
+            name = bitem["benchmark"]
+            for citem in cur:
+                if isinstance(citem, dict) and citem.get("benchmark") == name:
+                    return citem, name
+            return None, name
+        return (cur[i], i) if i < len(cur) else (None, i)
+
+    def compare_leaf(self, path, key, bval, cval):
+        if key in VERDICT_KEYS:
+            self.checked_verdicts += 1
+            if bval != cval:
+                self.fail(path, f"verdict changed: {bval!r} -> {cval!r}")
+        elif key in COUNTER_KEYS:
+            if isinstance(bval, (int, float)) and isinstance(cval, (int, float)):
+                if cval > bval:
+                    self.fail(path, f"{key} increased: {bval} -> {cval}")
+        elif key in TIME_KEYS:
+            if isinstance(bval, (int, float)) and isinstance(cval, (int, float)):
+                if bval >= self.floor and cval > bval * self.tolerance:
+                    self.fail(
+                        path,
+                        f"wall time regressed {cval / bval:.2f}x "
+                        f"({bval:.3f}s -> {cval:.3f}s, tolerance {self.tolerance}x)",
+                    )
+                self.checked_times += 1
+        elif isinstance(bval, (dict, list)):
+            self.compare(path, bval, cval)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--tolerance", type=float, default=1.5)
+    ap.add_argument("--floor", type=float, default=0.5)
+    ap.add_argument("--report", default="bench-gate-report.txt")
+    args = ap.parse_args()
+
+    gate = Gate(args.tolerance, args.floor)
+    names = sorted(
+        n
+        for n in os.listdir(args.baseline_dir)
+        if n.startswith("BENCH_") and n.endswith(".json")
+    )
+    if not names:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    lines = [
+        f"bench gate: tolerance {args.tolerance}x, floor {args.floor}s",
+        f"baselines: {args.baseline_dir}  current: {args.current_dir}",
+        "",
+    ]
+    for name in names:
+        cur_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(cur_path):
+            gate.fail(name, "benchmark output was not produced")
+            lines.append(f"{name}: MISSING")
+            continue
+        with open(os.path.join(args.baseline_dir, name)) as f:
+            base = json.load(f)
+        with open(cur_path) as f:
+            cur = json.load(f)
+        before = len(gate.problems)
+        gate.compare(name, base, cur)
+        status = "ok" if len(gate.problems) == before else "REGRESSED"
+        lines.append(f"{name}: {status}")
+
+    lines.append("")
+    if gate.problems:
+        lines.append(f"{len(gate.problems)} regression(s):")
+        lines.extend(f"  {p}" for p in gate.problems)
+    else:
+        lines.append(
+            f"no regressions ({gate.checked_verdicts} verdicts, "
+            f"{gate.checked_times} timings checked)"
+        )
+    report = "\n".join(lines) + "\n"
+    with open(args.report, "w") as f:
+        f.write(report)
+    print(report, end="")
+    return 1 if gate.problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
