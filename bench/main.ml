@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
      dune exec bench/main.exe -- fuzz-smoke        differential fuzz -> BENCH_fuzz.json
      dune exec bench/main.exe -- zx-smoke          ZX engines differential -> BENCH_zx.json
+     dune exec bench/main.exe -- cert-smoke        certificates + validator -> BENCH_cert.json
      dune exec bench/main.exe -- micro             Bechamel micro-benchmarks
    Options:
      --paper        paper-scale instance sizes (hours; default is a scaled-down
@@ -786,6 +787,141 @@ let zx_smoke opts =
     exit 1
   end
 
+(* ------------------------------------------------------------ Cert smoke *)
+
+(* Certificate emission plus independent validation, written to
+   BENCH_cert.json:
+
+   - Table-1 compiled miters checked with the ZX strategy, plus one
+     deliberately broken pair refuted by simulation — every verdict
+     must carry a certificate that survives a serialize/parse round
+     trip and passes the independent validator; rows record the
+     certificate size and validation time;
+   - a sweep of the committed fuzz corpus through the combined
+     checker — any attached certificate failing validation is fatal. *)
+let cert_smoke opts =
+  let module Cert = Oqec_cert.Cert in
+  let module Validate = Oqec_cert.Cert_validate in
+  let module Fuzz_corpus = Oqec_fuzz.Fuzz_corpus in
+  print_endline "\n== Cert smoke: verdict certificates + independent validator ==";
+  let failures = ref 0 in
+  let steps_of = function
+    | Cert.Zx_proof { steps; _ } -> List.length steps
+    | Cert.Witness _ -> 0
+  in
+  let certify name strategy expected g g' =
+    let t0 = Mclock.now () in
+    let r = Qcec.check ~strategy ~timeout:opts.timeout ~sim_runs:16 ~seed:opts.seed g g' in
+    let check_time = Mclock.now () -. t0 in
+    let outcome = r.Equivalence.outcome in
+    if outcome <> expected then begin
+      incr failures;
+      Printf.printf "  FAIL %s: expected %s, engine answered %s\n" name
+        (Equivalence.outcome_to_string expected)
+        (Equivalence.outcome_to_string outcome)
+    end;
+    match r.Equivalence.certificate with
+    | None ->
+        incr failures;
+        Printf.printf "  FAIL %s: verdict carries no certificate\n" name;
+        (name, outcome, "none", 0, 0, check_time, 0.0)
+    | Some c ->
+        let wire = Cert.serialize c in
+        let t1 = Mclock.now () in
+        let verdict =
+          match Cert.parse wire with
+          | Error e -> Error ("round trip: " ^ e)
+          | Ok c' when not (Cert.equal c c') -> Error "round trip: not a fixpoint"
+          | Ok c' -> Validate.validate c'
+        in
+        let validate_time = Mclock.now () -. t1 in
+        (match verdict with
+        | Ok () -> ()
+        | Error e ->
+            incr failures;
+            Printf.printf "  FAIL %s: %s\n" name e);
+        let kind =
+          match c with Cert.Zx_proof _ -> "zx-proof" | Cert.Witness _ -> "witness"
+        in
+        Printf.printf "%-14s %-14s %-8s %5d steps %8d bytes  check %.3fs  validate %.3fs\n%!"
+          name
+          (Equivalence.outcome_to_string outcome)
+          kind (steps_of c) (String.length wire) check_time validate_time;
+        (name, outcome, kind, steps_of c, String.length wire, check_time, validate_time)
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let inst = compiled_instance opts name g in
+        certify name Qcec.Zx Equivalence.Equivalent inst.original inst.derived)
+      [ ("ghz-6", ghz 6); ("qft-4", qft 4); ("graphstate-6", graph_state ~seed:3 6) ]
+    @ [
+        (let g = ghz 5 in
+         certify "ghz-5-broken" Qcec.Simulation Equivalence.Not_equivalent g
+           (remove_gate ~seed:5 g));
+      ]
+  in
+  (* Corpus sweep: every decisive combined-checker verdict on a committed
+     regression pair must be certifiable (on demand when the winning
+     checker attaches none, as `oqec check --certify` does), and the
+     certificate must pass independent validation. *)
+  let corpus_dir = "corpus" in
+  let corpus = Fuzz_corpus.load corpus_dir in
+  let certified = ref 0 in
+  List.iter
+    (fun e ->
+      let g, g' = Fuzz_corpus.load_pair corpus_dir e in
+      let r =
+        Qcec.check ~strategy:Qcec.Combined ~timeout:opts.timeout ~sim_runs:16
+          ~seed:opts.seed g g'
+      in
+      let outcome = r.Equivalence.outcome in
+      let cert =
+        match r.Equivalence.certificate with
+        | Some c -> Ok c
+        | None -> Certify.certify outcome g g'
+      in
+      match (outcome, cert) with
+      | (Equivalence.Equivalent | Equivalence.Not_equivalent), Ok c -> (
+          incr certified;
+          match Validate.validate c with
+          | Ok () -> ()
+          | Error err ->
+              incr failures;
+              Printf.printf "  FAIL corpus:%s: %s\n" e.Fuzz_corpus.id err)
+      | (Equivalence.Equivalent | Equivalence.Not_equivalent), Error err ->
+          incr failures;
+          Printf.printf "  FAIL corpus:%s: decisive verdict not certifiable: %s\n"
+            e.Fuzz_corpus.id err
+      | _ -> ())
+    corpus;
+  if corpus = [] then
+    Printf.printf "  (corpus directory %S empty or absent — Table-1 rows only)\n"
+      corpus_dir;
+  Printf.printf "corpus: %d entries, %d certified, %d total failure(s)\n"
+    (List.length corpus) !certified !failures;
+  let oc = open_out "BENCH_cert.json" in
+  output_string oc "{\n  \"instances\": [\n";
+  List.iteri
+    (fun i (name, outcome, kind, steps, bytes, check_time, validate_time) ->
+      Printf.fprintf oc
+        "    {\"benchmark\":%S,\"outcome\":%S,\"kind\":%S,\"steps\":%d,\"bytes\":%d,\
+         \"elapsed\":%.6f,\"validate_elapsed\":%.6f}%s\n"
+        name
+        (Equivalence.outcome_to_string outcome)
+        kind steps bytes check_time validate_time
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"corpus\": {\"entries\": %d, \"certified\": %d, \"failures\": %d}\n}\n"
+    (List.length corpus) !certified !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_cert.json\n";
+  if !failures > 0 then begin
+    Printf.eprintf "cert smoke FAILED: %d failure(s)\n" !failures;
+    exit 1
+  end
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -860,6 +996,7 @@ let () =
     | "trace-smoke" -> trace_smoke ()
     | "fuzz-smoke" -> fuzz_smoke opts
     | "zx-smoke" -> zx_smoke opts
+    | "cert-smoke" -> cert_smoke opts
     | "micro" -> micro ()
     | "all" ->
         List.iter (fun f -> f ()) [ fig1; fig2; fig3; fig4; fig5; fig6 ];
@@ -871,10 +1008,11 @@ let () =
         portfolio_bench opts;
         trace_smoke ();
         fuzz_smoke opts;
-        zx_smoke opts
+        zx_smoke opts;
+        cert_smoke opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, zx-smoke, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, zx-smoke, cert-smoke, micro, all)\n"
           other;
         exit 2
   in

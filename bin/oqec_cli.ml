@@ -14,6 +14,15 @@ let load path =
     Printf.eprintf "error: %s: %s\n" path msg;
     exit 3
 
+(* Hidden test hook: deliberately corrupt the ZX worklist engine so the
+   certificate chain can demonstrate its independence — the fooled
+   engine reports a wrong verdict, and only [verify-cert] (or the fuzz
+   oracle's certificate cross-check) catches it. *)
+let set_engine_break_hook () =
+  match Sys.getenv_opt "OQEC_CERT_BREAK" with
+  | Some mode when mode <> "" -> Oqec_zx.Zx_worklist.break_hook := Some mode
+  | _ -> ()
+
 let arch_of_string = function
   | "manhattan" -> Some Oqec_compile.Architecture.manhattan
   | s -> (
@@ -126,8 +135,21 @@ let check_cmd =
             "Comma-separated checkers to race with --strategy portfolio: any of dd, zx, \
              sim, stab (default dd,zx,sim).")
   in
+  let certify =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certify" ] ~docv:"FILE"
+          ~doc:
+            "Write a replayable certificate substantiating a conclusive verdict to \
+             $(docv): a recorded ZX rewrite proof for equivalence, a refuting stimulus \
+             witness for non-equivalence.  Re-check it with $(b,oqec verify-cert).  \
+             Inconclusive verdicts produce no certificate; a conclusive verdict that \
+             cannot be certified exits with code 4.")
+  in
   let run file1 file2 strategy timeout tol sim_runs seed jobs approx gc_threshold dd_stats
-      json trace checkers =
+      json trace checkers certify =
+    set_engine_break_hook ();
     (match gc_threshold with
     | Some t when t < 0 ->
         Printf.eprintf "error: --gc-threshold must be >= 0 (got %d)\n" t;
@@ -136,6 +158,11 @@ let check_cmd =
     (match jobs with
     | Some j when j < 1 ->
         Printf.eprintf "error: --jobs must be >= 1 (got %d)\n" j;
+        exit 3
+    | _ -> ());
+    (match (certify, approx) with
+    | Some _, Some _ ->
+        Printf.eprintf "error: --certify cannot substantiate an approximate verdict\n";
         exit 3
     | _ -> ());
     let checkers =
@@ -178,6 +205,29 @@ let check_cmd =
         | Some s -> Format.printf "%a@." Oqec_dd.Dd.pp_stats s
         | None -> Format.printf "(no decision-diagram engine ran for this strategy)@."
     end;
+    (match (certify, report.Equivalence.outcome) with
+    | None, _ -> ()
+    | Some _, (Equivalence.No_information | Equivalence.Timed_out) ->
+        Printf.eprintf "note: inconclusive verdict, no certificate written\n"
+    | Some path, outcome -> (
+        (* Checkers attach certificates opportunistically; a bare
+           verdict (DD or stabilizer win, for instance) is certified
+           from scratch. *)
+        let cert =
+          match report.Equivalence.certificate with
+          | Some c -> Ok c
+          | None -> Certify.certify outcome g g'
+        in
+        match cert with
+        | Ok c ->
+            let oc = open_out path in
+            output_string oc (Oqec_cert.Cert.serialize c);
+            close_out oc;
+            Printf.eprintf "certificate written to %s (%s)\n" path
+              (Oqec_cert.Cert.summary c)
+        | Error msg ->
+            Printf.eprintf "error: cannot certify the verdict: %s\n" msg;
+            exit 4));
     match report.Equivalence.outcome with
     | Equivalence.Equivalent -> exit 0
     | Equivalence.Not_equivalent -> exit 1
@@ -187,7 +237,44 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
     Term.(
       const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ jobs
-      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers)
+      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers $ certify)
+
+(* ------------------------------------------------------- verify-cert cmd *)
+
+let verify_cert_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run file =
+    let text =
+      try
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 3
+    in
+    match Oqec_cert.Cert.parse text with
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" file msg;
+        exit 1
+    | Ok cert -> (
+        match Oqec_cert.Cert_validate.validate cert with
+        | Ok () ->
+            Printf.printf "certificate valid: %s\n" (Oqec_cert.Cert.summary cert);
+            exit 0
+        | Error msg ->
+            Printf.printf "certificate INVALID: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify-cert"
+       ~doc:
+         "Independently validate a certificate produced by $(b,oqec check --certify): \
+          replay a ZX proof step by step against the graph primitives, or re-simulate \
+          a refuting stimulus witness.  The validator shares no code with the \
+          equivalence-checking engines.")
+    Term.(const run $ file)
 
 (* ------------------------------------------------------------- info cmd *)
 
@@ -371,6 +458,7 @@ let fuzz_cmd =
     (match Sys.getenv_opt "OQEC_FUZZ_BREAK" with
     | Some name when name <> "" -> Oqec_fuzz.Fuzz_oracle.break_hook := Some name
     | _ -> ());
+    set_engine_break_hook ();
     let config =
       { Fuzz.profile; runs; max_qubits; max_gates; seed; shrink; corpus; only; timeout; checkers }
     in
@@ -397,6 +485,6 @@ let fuzz_cmd =
 let () =
   let doc = "equivalence checking of quantum circuits (DDs vs ZX-calculus)" in
   let main = Cmd.group (Cmd.info "oqec" ~version:"1.0.0" ~doc)
-      [ check_cmd; info_cmd; generate_cmd; compile_cmd; fuzz_cmd ]
+      [ check_cmd; verify_cert_cmd; info_cmd; generate_cmd; compile_cmd; fuzz_cmd ]
   in
   exit (Cmd.eval main)

@@ -108,6 +108,7 @@ let is_clifford = function
 
 let is_proper_clifford p = is_clifford p && not (is_pauli p)
 let is_exact = function Rat _ -> true | Approx _ -> false
+let to_pi_fraction = function Rat (n, d) -> Some (n, d) | Approx _ -> None
 
 let equal p q =
   match (p, q) with

@@ -61,6 +61,13 @@ val is_proper_clifford : t -> bool
     multiple of pi. *)
 val is_exact : t -> bool
 
+(** [to_pi_fraction p] is [Some (num, den)] with [p = num/den * pi] in
+    canonical form (den > 0, reduced, 0 <= num/den < 2) when the angle is
+    exact, [None] for float-represented angles.  The exact inverse of
+    {!of_pi_fraction} on exact angles — used by serialisers that must
+    round-trip phases losslessly. *)
+val to_pi_fraction : t -> (int * int) option
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

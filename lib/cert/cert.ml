@@ -1,0 +1,368 @@
+open Oqec_base
+open Oqec_circuit
+open Oqec_zx
+
+type t =
+  | Zx_proof of { a : Circuit.t; b : Circuit.t; steps : Zx_step.t list }
+  | Witness of {
+      a : Circuit.t;
+      b : Circuit.t;
+      index : int;
+      prep : Circuit.t;
+      fidelity : float;
+    }
+
+let summary = function
+  | Zx_proof { steps; _ } -> Printf.sprintf "zx-proof (%d steps)" (List.length steps)
+  | Witness { index; fidelity; _ } ->
+      Printf.sprintf "witness (stimulus #%d, fidelity %.9f)" index fidelity
+
+(* ------------------------------------------------------ Op serialisation *)
+
+(* Circuits inside a ZX proof must round-trip *structurally*: the
+   validator rebuilds the miter from the serialized ops, and replay
+   determinism (vertex-id allocation) depends on the exact op sequence.
+   QASM output is only semantically faithful (e.g. a controlled S prints
+   as cp(pi/2)), so proofs use this one-op-per-line format instead.
+   Witness circuits only need their semantics and embed QASM. *)
+
+let ph = Zx_step.phase_to_string
+
+let gate_to_string = function
+  | Gate.I -> "i"
+  | Gate.X -> "x"
+  | Gate.Y -> "y"
+  | Gate.Z -> "z"
+  | Gate.H -> "h"
+  | Gate.S -> "s"
+  | Gate.Sdg -> "sdg"
+  | Gate.T -> "t"
+  | Gate.Tdg -> "tdg"
+  | Gate.Sx -> "sx"
+  | Gate.Sxdg -> "sxdg"
+  | Gate.Rx p -> Printf.sprintf "rx(%s)" (ph p)
+  | Gate.Ry p -> Printf.sprintf "ry(%s)" (ph p)
+  | Gate.Rz p -> Printf.sprintf "rz(%s)" (ph p)
+  | Gate.P p -> Printf.sprintf "p(%s)" (ph p)
+  | Gate.U (a, b, c) -> Printf.sprintf "u(%s,%s,%s)" (ph a) (ph b) (ph c)
+
+let gate_of_string s =
+  let ( let* ) = Option.bind in
+  match String.index_opt s '(' with
+  | None -> (
+      match s with
+      | "i" -> Some Gate.I
+      | "x" -> Some Gate.X
+      | "y" -> Some Gate.Y
+      | "z" -> Some Gate.Z
+      | "h" -> Some Gate.H
+      | "s" -> Some Gate.S
+      | "sdg" -> Some Gate.Sdg
+      | "t" -> Some Gate.T
+      | "tdg" -> Some Gate.Tdg
+      | "sx" -> Some Gate.Sx
+      | "sxdg" -> Some Gate.Sxdg
+      | _ -> None)
+  | Some lp ->
+      let len = String.length s in
+      if s.[len - 1] <> ')' then None
+      else
+        let name = String.sub s 0 lp in
+        let args = String.sub s (lp + 1) (len - lp - 2) in
+        let args = String.split_on_char ',' args in
+        let* phases =
+          List.fold_right
+            (fun a acc ->
+              let* acc = acc in
+              let* p = Zx_step.phase_of_string a in
+              Some (p :: acc))
+            args (Some [])
+        in
+        (match (name, phases) with
+        | "rx", [ p ] -> Some (Gate.Rx p)
+        | "ry", [ p ] -> Some (Gate.Ry p)
+        | "rz", [ p ] -> Some (Gate.Rz p)
+        | "p", [ p ] -> Some (Gate.P p)
+        | "u", [ a; b; c ] -> Some (Gate.U (a, b, c))
+        | _ -> None)
+
+let op_to_string = function
+  | Circuit.Gate (g, q) -> Printf.sprintf "g %s %d" (gate_to_string g) q
+  | Circuit.Ctrl (cs, g, t) ->
+      Printf.sprintf "c %s %s %d"
+        (String.concat "," (List.map string_of_int cs))
+        (gate_to_string g) t
+  | Circuit.Swap (a, b) -> Printf.sprintf "swap %d %d" a b
+  | Circuit.Barrier -> "barrier"
+
+let op_of_string line =
+  let ( let* ) = Option.bind in
+  let int = int_of_string_opt in
+  match String.split_on_char ' ' line with
+  | [ "g"; g; q ] ->
+      let* g = gate_of_string g in
+      let* q = int q in
+      Some (Circuit.Gate (g, q))
+  | [ "c"; cs; g; t ] ->
+      let* cs =
+        List.fold_right
+          (fun c acc ->
+            let* acc = acc in
+            let* c = int c in
+            Some (c :: acc))
+          (String.split_on_char ',' cs)
+          (Some [])
+      in
+      let* g = gate_of_string g in
+      let* t = int t in
+      Some (Circuit.Ctrl (cs, g, t))
+  | [ "swap"; a; b ] ->
+      let* a = int a in
+      let* b = int b in
+      Some (Circuit.Swap (a, b))
+  | [ "barrier" ] -> Some Circuit.Barrier
+  | _ -> None
+
+(* --------------------------------------------------------- Serialisation *)
+
+let header = "OQEC-CERT 1"
+
+let lines_of_qasm c =
+  let text = Oqec_qasm.Qasm.to_string c in
+  let lines = String.split_on_char '\n' text in
+  (* Drop the trailing empty fragment of a newline-terminated string. *)
+  match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+
+let serialize cert =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" header;
+  (match cert with
+  | Zx_proof { a; b; steps } ->
+      line "claim equivalent";
+      line "qubits %d" (Circuit.num_qubits a);
+      let ops tag c =
+        let ops = Circuit.ops c in
+        line "ops %s %d" tag (List.length ops);
+        List.iter (fun op -> line "%s" (op_to_string op)) ops
+      in
+      ops "a" a;
+      ops "b" b;
+      line "steps %d" (List.length steps);
+      List.iter (fun s -> line "%s" (Zx_step.to_string s)) steps
+  | Witness { a; b; index; prep; fidelity } ->
+      line "claim not-equivalent";
+      line "witness %d %.17g" index fidelity;
+      let qasm tag c =
+        let ls = lines_of_qasm c in
+        line "qasm %s %d" tag (List.length ls);
+        List.iter (fun l -> line "%s" l) ls
+      in
+      qasm "a" a;
+      qasm "b" b;
+      qasm "stimulus" prep);
+  line "end";
+  Buffer.contents buf
+
+(* --------------------------------------------------------------- Parsing *)
+
+exception Bad of string
+
+let parse text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let pos = ref 0 in
+  let next what =
+    if !pos >= Array.length lines then raise (Bad (Printf.sprintf "unexpected end of certificate, expected %s" what))
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let expect_kv key what parse_v =
+    let l = next what in
+    match String.split_on_char ' ' l with
+    | k :: rest when k = key -> (
+        match parse_v rest with
+        | Some v -> v
+        | None -> raise (Bad (Printf.sprintf "malformed %s line: %S" what l)))
+    | _ -> raise (Bad (Printf.sprintf "expected %s line, got %S" what l))
+  in
+  let read_block n what parse_line =
+    List.init n (fun _ ->
+        let l = next what in
+        match parse_line l with
+        | Some v -> v
+        | None -> raise (Bad (Printf.sprintf "malformed %s line: %S" what l)))
+  in
+  let read_circuit_ops tag n =
+    let count =
+      expect_kv "ops" (Printf.sprintf "ops %s" tag) (function
+        | [ t; c ] when t = tag -> int_of_string_opt c
+        | _ -> None)
+    in
+    let ops = read_block count "op" op_of_string in
+    try List.fold_left Circuit.add (Circuit.create n) ops
+    with Invalid_argument msg -> raise (Bad (Printf.sprintf "invalid op in circuit %s: %s" tag msg))
+  in
+  let read_qasm tag =
+    let count =
+      expect_kv "qasm" (Printf.sprintf "qasm %s" tag) (function
+        | [ t; c ] when t = tag -> int_of_string_opt c
+        | _ -> None)
+    in
+    let ls = read_block count "qasm" (fun l -> Some l) in
+    try Oqec_qasm.Qasm.circuit_of_string (String.concat "\n" ls ^ "\n")
+    with Oqec_qasm.Qasm.Parse_error msg ->
+      raise (Bad (Printf.sprintf "invalid qasm in section %s: %s" tag msg))
+  in
+  let finish cert =
+    (match next "end" with
+    | "end" -> ()
+    | l -> raise (Bad (Printf.sprintf "expected end, got %S" l)));
+    (* Only blank lines may follow. *)
+    Array.iteri
+      (fun i l -> if i >= !pos && String.trim l <> "" then raise (Bad "trailing garbage after end"))
+      lines;
+    cert
+  in
+  try
+    (match next "header" with
+    | l when l = header -> ()
+    | l when String.length l >= 9 && String.sub l 0 9 = "OQEC-CERT" ->
+        raise (Bad (Printf.sprintf "unsupported certificate version: %S" l))
+    | l -> raise (Bad (Printf.sprintf "not a certificate (bad header %S)" l)));
+    match next "claim" with
+    | "claim equivalent" ->
+        let n =
+          expect_kv "qubits" "qubits" (function [ c ] -> int_of_string_opt c | _ -> None)
+        in
+        if n < 0 then raise (Bad "negative qubit count");
+        let a = read_circuit_ops "a" n in
+        let b = read_circuit_ops "b" n in
+        let count =
+          expect_kv "steps" "steps" (function [ c ] -> int_of_string_opt c | _ -> None)
+        in
+        let steps = read_block count "step" Zx_step.of_string in
+        Ok (finish (Zx_proof { a; b; steps }))
+    | "claim not-equivalent" ->
+        let index, fidelity =
+          expect_kv "witness" "witness" (function
+            | [ i; f ] -> (
+                match (int_of_string_opt i, float_of_string_opt f) with
+                | Some i, Some f -> Some (i, f)
+                | _ -> None)
+            | _ -> None)
+        in
+        let a = read_qasm "a" in
+        let b = read_qasm "b" in
+        let prep = read_qasm "stimulus" in
+        Ok (finish (Witness { a; b; index; prep; fidelity }))
+    | l -> raise (Bad (Printf.sprintf "expected claim line, got %S" l))
+  with Bad msg -> Error msg
+
+(* -------------------------------------------------------------- Equality *)
+
+let equal_circuit a b =
+  Circuit.num_qubits a = Circuit.num_qubits b
+  &&
+  let oa = Circuit.ops a and ob = Circuit.ops b in
+  List.length oa = List.length ob && List.for_all2 Circuit.equal_op oa ob
+
+let equal c1 c2 =
+  match (c1, c2) with
+  | Zx_proof p1, Zx_proof p2 ->
+      equal_circuit p1.a p2.a && equal_circuit p1.b p2.b
+      && List.length p1.steps = List.length p2.steps
+      && List.for_all2 Zx_step.equal p1.steps p2.steps
+  | Witness w1, Witness w2 ->
+      equal_circuit w1.a w2.a && equal_circuit w1.b w2.b && w1.index = w2.index
+      && equal_circuit w1.prep w2.prep
+      && Float.abs (w1.fidelity -. w2.fidelity) < 1e-9
+  | _, _ -> false
+
+(* ------------------------------------------------------- Witness search *)
+
+let max_witness_qubits = 12
+
+(* Dense search is quadratic in the 2^n dimension; cap below the
+   simulator's own limit. *)
+let max_search_qubits = 10
+
+let state_fidelity a b prep n =
+  let va = Oqec_circuit.Unitary.basis_state n 0 in
+  Oqec_circuit.Unitary.apply_to_vector prep va;
+  let vb = Array.copy va in
+  Oqec_circuit.Unitary.apply_to_vector a va;
+  Oqec_circuit.Unitary.apply_to_vector b vb;
+  let dot = ref Cx.zero in
+  Array.iteri (fun i x -> dot := Cx.add !dot (Cx.mul (Cx.conj x) vb.(i))) va;
+  Cx.mag !dot
+
+let prep_of_basis n x =
+  let c = ref (Circuit.create ~name:"stimulus" n) in
+  for q = 0 to n - 1 do
+    if x land (1 lsl q) <> 0 then c := Circuit.x !c q
+  done;
+  !c
+
+(* Prepare (|x> + |y>)/sqrt2: H on the lowest differing bit, CX it onto
+   the other differing bits (giving |0>+|mask>), then X^x. *)
+let prep_of_pair n x y =
+  let mask = x lxor y in
+  let p =
+    let rec lowest i = if mask land (1 lsl i) <> 0 then i else lowest (i + 1) in
+    lowest 0
+  in
+  let c = ref (Circuit.h (Circuit.create ~name:"stimulus" n) p) in
+  for q = 0 to n - 1 do
+    if q <> p && mask land (1 lsl q) <> 0 then c := Circuit.cx !c p q
+  done;
+  for q = 0 to n - 1 do
+    if x land (1 lsl q) <> 0 then c := Circuit.x !c q
+  done;
+  !c
+
+let find_witness ?(tol = 1e-6) a b =
+  let n = Circuit.num_qubits a in
+  if n <> Circuit.num_qubits b || n > max_search_qubits then None
+  else begin
+    let ua = Oqec_circuit.Unitary.unitary a
+    and ub = Oqec_circuit.Unitary.unitary b in
+    let dim = 1 lsl n in
+    (* Column overlaps o_x = <Ua x | Ub x>. *)
+    let overlap x =
+      let dot = ref Cx.zero in
+      for r = 0 to dim - 1 do
+        dot := Cx.add !dot (Cx.mul (Cx.conj (Dmatrix.get ua r x)) (Dmatrix.get ub r x))
+      done;
+      !dot
+    in
+    let o = Array.init dim overlap in
+    let verified index prep =
+      let fid = state_fidelity a b prep n in
+      if fid < 1.0 -. tol then Some (index, prep, fid) else None
+    in
+    (* Best basis-state stimulus first. *)
+    let best = ref 0 in
+    Array.iteri (fun x ox -> if Cx.mag ox < Cx.mag o.(!best) then best := x) o;
+    if Cx.mag o.(!best) < 1.0 -. tol then verified !best (prep_of_basis n !best)
+    else if dim < 2 then None
+    else begin
+      (* All columns preserved in magnitude: look for relative phases
+         with a two-column superposition, whose fidelity is
+         |o_x + o_y| / 2 up to negligible cross terms. *)
+      let bx = ref 0 and by = ref 1 and bmag = ref infinity in
+      for x = 0 to dim - 2 do
+        for y = x + 1 to dim - 1 do
+          let m = Cx.mag (Cx.add o.(x) o.(y)) in
+          if m < !bmag then begin
+            bmag := m;
+            bx := x;
+            by := y
+          end
+        done
+      done;
+      if !bmag /. 2.0 < 1.0 -. tol then verified !bx (prep_of_pair n !bx !by) else None
+    end
+  end

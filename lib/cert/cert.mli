@@ -1,0 +1,63 @@
+(** Replayable verdict certificates.
+
+    A certificate is a standalone artifact a skeptical consumer can
+    re-check without trusting the optimised equivalence-checking
+    engines:
+
+    - {!Zx_proof} carries the two (aligned, flattened) circuits plus
+      the full ordered sequence of ZX rewrites the worklist engine
+      fired while reducing their miter to the identity.  The
+      independent validator ({!Cert_validate}) replays the sequence
+      against {!Oqec_zx.Zx_graph} primitives only, re-checking every
+      step's preconditions.
+    - {!Witness} carries a refuting stimulus for a non-equivalence
+      verdict: a state-preparation circuit such that running both
+      circuits on the prepared state yields distinguishable states,
+      re-checkable by direct dense simulation.
+
+    The wire format is versioned, line-oriented text (header
+    ["OQEC-CERT 1"]); {!parse} rejects unknown versions and malformed
+    payloads with a descriptive error. *)
+
+open Oqec_circuit
+open Oqec_zx
+
+type t =
+  | Zx_proof of { a : Circuit.t; b : Circuit.t; steps : Zx_step.t list }
+      (** [a] and [b] are the aligned, flattened circuits whose miter
+          the recorded rewrite sequence reduces to the identity. *)
+  | Witness of {
+      a : Circuit.t;
+      b : Circuit.t;
+      index : int;  (** stimulus index (fuzz stimulus or basis state) *)
+      prep : Circuit.t;  (** state preparation applied before [a] / [b] *)
+      fidelity : float;  (** |<a prep 0 | b prep 0>| claimed by the prover *)
+    }
+
+(** One-line human summary, e.g. ["zx-proof (214 steps)"]. *)
+val summary : t -> string
+
+val serialize : t -> string
+
+(** Inverse of {!serialize}; [Error] describes the first malformed
+    line.  Certificates with an unknown version header are rejected. *)
+val parse : string -> (t, string) result
+
+(** Structural equality ({!Oqec_base.Phase.equal} on phases, 1e-9 on
+    the witness fidelity) — for round-trip tests. *)
+val equal : t -> t -> bool
+
+(** Width cap for witness certificates: dense replay of wider circuits
+    would be too expensive for a validator (12 qubits). *)
+val max_witness_qubits : int
+
+(** [find_witness a b] searches deterministically for a refuting
+    stimulus for two aligned circuits of equal width: first the basis
+    states (columns of the two unitaries), then superpositions of the
+    two most phase-divergent columns — the classical stimuli-and-phases
+    scheme of Burgholzer & Wille's advanced equivalence checking.
+    Returns [(index, prep, fidelity)] with the fidelity verified by
+    dense simulation, or [None] when no stimulus refutes within [tol]
+    (default 1e-6) or the circuits are too wide (> 10 qubits). *)
+val find_witness :
+  ?tol:float -> Circuit.t -> Circuit.t -> (int * Circuit.t * float) option

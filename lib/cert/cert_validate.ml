@@ -1,0 +1,306 @@
+open Oqec_base
+module G = Oqec_zx.Zx_graph
+module Step = Oqec_zx.Zx_step
+
+(* Replay a recorded rewrite sequence against the graph primitives,
+   re-deriving every precondition from the diagram itself.  Each replay
+   below is written from the published rewrite rule (spider fusion,
+   identity removal, Pauli absorption, local complementation, pivoting,
+   phase-gadget laws), NOT from the engine's implementation: sharing the
+   engine's matchers would make validation circular.
+
+   Replay must also issue graph mutations in the exact order the engine
+   does: fresh-vertex ids and adjacency iteration order are
+   deterministic functions of the mutation history, and the recorded
+   anchors of later steps refer to ids allocated by earlier ones. *)
+
+exception Reject of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+let is_spider g v =
+  G.mem g v && match G.kind g v with G.Z | G.X -> true | G.B_in _ | G.B_out _ -> false
+
+let require_spider g v =
+  if not (is_spider g v) then fail "vertex %d is not a live spider" v
+
+let require_z g v =
+  require_spider g v;
+  if G.kind g v <> G.Z then fail "vertex %d is not a Z spider" v
+
+(* Interior, all edges Hadamard: the graph-like context in which local
+   complementation, pivoting and the gadget laws are sound. *)
+let require_graphlike g v =
+  require_z g v;
+  if not (G.is_interior g v) then fail "vertex %d is not interior" v;
+  if not (G.for_all_neighbours g v (fun _ ty -> ty = G.Had)) then
+    fail "vertex %d has a non-Hadamard edge" v
+
+let require_phase g v recorded =
+  if not (Phase.equal (G.phase g v) recorded) then
+    fail "recorded phase %s of vertex %d does not match diagram phase %s"
+      (Phase.to_string recorded) v
+      (Phase.to_string (G.phase g v))
+
+let require_fresh what got expected =
+  if got <> expected then
+    fail "fresh %s vertex allocated as %d, certificate recorded %d" what got expected
+
+(* A phase gadget anchored at [leaf]: degree-1 Z leaf attached by a
+   Hadamard wire to a graph-like axis. *)
+let require_gadget g ~leaf ~axis =
+  require_z g leaf;
+  if G.degree g leaf <> 1 then fail "gadget leaf %d does not have degree 1" leaf;
+  (match G.connected g leaf axis with
+  | Some G.Had -> ()
+  | Some G.Simple | None -> fail "gadget leaf %d is not Hadamard-connected to axis %d" leaf axis);
+  require_graphlike g axis;
+  if not (Phase.is_pauli (G.phase g axis)) then
+    fail "gadget axis %d does not carry a Pauli phase" axis
+
+let gadget_support g ~leaf ~axis =
+  List.sort compare (List.filter (fun w -> w <> leaf) (G.neighbour_ids g axis))
+
+let apply_step g = function
+  | Step.Color v ->
+      (* Colour change: an X spider equals a Z spider with every incident
+         edge type flipped. *)
+      if not (G.mem g v) then fail "vertex %d is not live" v;
+      if G.kind g v <> G.X then fail "vertex %d is not an X spider" v;
+      G.set_kind g v G.Z;
+      List.iter
+        (fun (u, ty) ->
+          G.remove_edge g v u;
+          G.add_edge g v u (match ty with G.Simple -> G.Had | G.Had -> G.Simple))
+        (G.neighbours g v)
+  | Step.Fuse { into; src; ph } ->
+      (* Spider fusion: same-colour spiders on a plain wire merge, phases
+         adding. *)
+      require_spider g into;
+      require_spider g src;
+      if into = src then fail "fusion of vertex %d with itself" into;
+      if G.kind g into <> G.kind g src then
+        fail "fusion of differently coloured spiders %d and %d" into src;
+      (match G.connected g into src with
+      | Some G.Simple -> ()
+      | Some G.Had | None -> fail "spiders %d and %d share no plain wire" into src);
+      require_phase g src ph;
+      G.remove_edge g into src;
+      G.add_to_phase g into (G.phase g src);
+      let moved = G.neighbours g src in
+      G.remove_vertex g src;
+      List.iter (fun (w, ty) -> if w <> into then G.add_edge_smart g into w ty) moved
+  | Step.Id v ->
+      (* Identity removal: a phase-0 degree-2 spider is a wire; the
+         composite wire is Hadamard iff exactly one side was. *)
+      require_spider g v;
+      if not (Phase.is_zero (G.phase g v)) then
+        fail "identity removal of vertex %d with non-zero phase %s" v
+          (Phase.to_string (G.phase g v));
+      if G.degree g v <> 2 then fail "identity removal of vertex %d with degree %d" v (G.degree g v);
+      (match G.neighbours g v with
+      | [ (a, ta); (b, tb) ] ->
+          let combined = if ta = tb then G.Simple else G.Had in
+          G.remove_vertex g v;
+          if is_spider g a && is_spider g b then G.add_edge_smart g a b combined
+          else G.add_edge g a b combined
+      | _ -> fail "identity removal of vertex %d: malformed neighbourhood" v)
+  | Step.Absorb { leaf; axis; ph } ->
+      (* Pauli absorption: a degree-1 Pauli state plugged into a
+         graph-like spider removes both, copying pi onto the
+         neighbours when the state is |->.  (For any leaf phase the
+         remainder is a global scalar.) *)
+      require_z g leaf;
+      if G.degree g leaf <> 1 then fail "absorbed leaf %d does not have degree 1" leaf;
+      if not (Phase.is_pauli (G.phase g leaf)) then
+        fail "absorbed leaf %d does not carry a Pauli phase" leaf;
+      require_phase g leaf ph;
+      (match G.connected g leaf axis with
+      | Some G.Had -> ()
+      | Some G.Simple | None -> fail "leaf %d is not Hadamard-connected to %d" leaf axis);
+      require_graphlike g axis;
+      let flip = Phase.is_pi (G.phase g leaf) in
+      let others = List.filter (fun w -> w <> leaf) (G.neighbour_ids g axis) in
+      G.remove_vertex g leaf;
+      G.remove_vertex g axis;
+      if flip then List.iter (fun w -> G.add_to_phase g w Phase.pi) others
+  | Step.Lcomp { v; ph } ->
+      (* Local complementation at a proper-Clifford graph-like spider:
+         the spider vanishes, its neighbourhood is complemented and each
+         neighbour gains the negated phase. *)
+      require_graphlike g v;
+      if not (Phase.is_proper_clifford (G.phase g v)) then
+        fail "local complementation at %d with non-proper-Clifford phase %s" v
+          (Phase.to_string (G.phase g v));
+      require_phase g v ph;
+      let ns = G.neighbour_ids g v in
+      let minus_phase = Phase.neg (G.phase g v) in
+      G.remove_vertex g v;
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter (fun b -> G.toggle_edge g a b G.Had) rest;
+            pairs rest
+      in
+      pairs ns;
+      List.iter (fun a -> G.add_to_phase g a minus_phase) ns
+  | Step.Pivot { u; v; pu; pv } ->
+      (* Pivot along a Hadamard edge between two interior Pauli
+         graph-like spiders: both vanish, the three neighbourhood
+         classes are pairwise complemented and phases propagate. *)
+      require_graphlike g u;
+      require_graphlike g v;
+      if u = v then fail "pivot of vertex %d with itself" u;
+      if not (Phase.is_pauli (G.phase g u)) then
+        fail "pivot endpoint %d does not carry a Pauli phase" u;
+      if not (Phase.is_pauli (G.phase g v)) then
+        fail "pivot endpoint %d does not carry a Pauli phase" v;
+      (match G.connected g u v with
+      | Some G.Had -> ()
+      | Some G.Simple | None -> fail "pivot endpoints %d and %d share no Hadamard wire" u v);
+      require_phase g u pu;
+      require_phase g v pv;
+      let phase_u = G.phase g u and phase_v = G.phase g v in
+      let nu = List.filter (fun w -> w <> v) (G.neighbour_ids g u) in
+      let nv = List.filter (fun w -> w <> u) (G.neighbour_ids g v) in
+      let in_nv w = G.connected g v w <> None in
+      let in_nu w = G.connected g u w <> None in
+      let shared = List.filter in_nv nu in
+      let only_u = List.filter (fun w -> not (in_nv w)) nu in
+      let only_v = List.filter (fun w -> not (in_nu w)) nv in
+      G.remove_vertex g u;
+      G.remove_vertex g v;
+      let toggle_groups xs ys =
+        List.iter (fun a -> List.iter (fun b -> G.toggle_edge g a b G.Had) ys) xs
+      in
+      toggle_groups only_u only_v;
+      toggle_groups only_u shared;
+      toggle_groups only_v shared;
+      List.iter (fun w -> G.add_to_phase g w phase_v) only_u;
+      List.iter (fun w -> G.add_to_phase g w phase_u) only_v;
+      List.iter
+        (fun w -> G.add_to_phase g w (Phase.add (Phase.add phase_u phase_v) Phase.pi))
+        shared
+  | Step.Unfuse { v; b; w; ty } ->
+      (* Boundary unfusion: a wire v-[ty]-b equals v -H- w(0) -[ty']- b
+         with ty' flipped (H after H is a plain wire).  Sound for any
+         existing edge; [w] must come out as the recorded fresh id. *)
+      require_z g v;
+      if not (G.mem g b) then fail "unfuse target %d is not live" b;
+      if is_spider g b then fail "unfuse target %d is not a boundary vertex" b;
+      (match G.connected g v b with
+      | Some t when t = ty -> ()
+      | Some _ -> fail "edge %d-%d does not have the recorded type" v b
+      | None -> fail "no edge between %d and %d to unfuse" v b);
+      G.remove_edge g v b;
+      let w' = G.add_vertex g G.Z ~phase:Phase.zero in
+      require_fresh "unfuse" w' w;
+      G.add_edge g v w G.Had;
+      G.add_edge g w b (match ty with G.Simple -> G.Had | G.Had -> G.Simple)
+  | Step.Gadgetize { v; axis; leaf; ph } ->
+      (* Phase extraction: a Z spider with phase ph equals the same
+         spider at phase 0 with a fresh gadget axis(0) -H- leaf(ph)
+         hanging off it.  Sound for any Z spider. *)
+      require_z g v;
+      require_phase g v ph;
+      G.set_phase g v Phase.zero;
+      let axis' = G.add_vertex g G.Z ~phase:Phase.zero in
+      require_fresh "gadget axis" axis' axis;
+      let leaf' = G.add_vertex g G.Z ~phase:ph in
+      require_fresh "gadget leaf" leaf' leaf;
+      G.add_edge g v axis G.Had;
+      G.add_edge g axis leaf G.Had
+  | Step.Gadget_flip { axis; leaf } ->
+      (* Gadget normalisation: a pi-phase axis equals a 0-phase axis
+         with the leaf phase negated. *)
+      require_gadget g ~leaf ~axis;
+      if not (Phase.is_pi (G.phase g axis)) then
+        fail "gadget axis %d does not carry phase pi" axis;
+      G.set_phase g axis Phase.zero;
+      G.set_phase g leaf (Phase.neg (G.phase g leaf))
+  | Step.Gadget_merge { leaf; axis; leaf0; axis0; ph } ->
+      (* Gadget fusion: two gadgets with equal support and 0-phase axes
+         merge, leaf phases adding. *)
+      if leaf = leaf0 then fail "gadget merge of leaf %d with itself" leaf;
+      require_gadget g ~leaf ~axis;
+      require_gadget g ~leaf:leaf0 ~axis:axis0;
+      if not (Phase.is_zero (G.phase g axis)) then
+        fail "gadget axis %d does not carry phase 0" axis;
+      if not (Phase.is_zero (G.phase g axis0)) then
+        fail "gadget axis %d does not carry phase 0" axis0;
+      let support = gadget_support g ~leaf ~axis in
+      if support = [] then fail "gadget merge with empty support at axis %d" axis;
+      if support <> gadget_support g ~leaf:leaf0 ~axis:axis0 then
+        fail "gadgets at %d and %d have different supports" axis axis0;
+      require_phase g leaf ph;
+      G.add_to_phase g leaf0 (G.phase g leaf);
+      G.remove_vertex g leaf;
+      G.remove_vertex g axis
+
+(* The acceptance condition: no spiders remain and every input is wired
+   straight to the same-numbered output by a plain wire. *)
+let check_identity g n =
+  if G.spider_count g <> 0 then
+    fail "final diagram still contains %d spiders" (G.spider_count g);
+  let ins = G.inputs g and outs = G.outputs g in
+  if List.length ins <> n || List.length outs <> n then
+    fail "final diagram has %d inputs and %d outputs, expected %d" (List.length ins)
+      (List.length outs) n;
+  List.iter
+    (fun (q, vin) ->
+      match G.neighbours g vin with
+      | [ (w, G.Simple) ] -> (
+          match G.kind g w with
+          | G.B_out q' when q' = q -> ()
+          | G.B_out q' -> fail "input %d is wired to output %d, not the identity" q q'
+          | G.B_in _ | G.Z | G.X -> fail "input %d is not wired to an output" q)
+      | [ (_, G.Had) ] -> fail "input %d is connected through a Hadamard wire" q
+      | _ -> fail "input %d is not connected by a single wire" q)
+    ins
+
+let validate_zx a b steps =
+  let open Oqec_circuit in
+  let n = Circuit.num_qubits a in
+  if Circuit.num_qubits b <> n then fail "circuits have different widths";
+  let g = Oqec_zx.Zx_circuit.of_miter a b in
+  List.iteri
+    (fun i step ->
+      try apply_step g step with
+      | Reject msg -> fail "step %d (%s): %s" i (Step.to_string step) msg
+      | Invalid_argument msg | Failure msg ->
+          fail "step %d (%s): graph operation failed: %s" i (Step.to_string step) msg)
+    steps;
+  check_identity g n
+
+let witness_tol = 1e-6
+
+let validate_witness a b index prep fidelity =
+  let open Oqec_circuit in
+  let n = Circuit.num_qubits a in
+  if Circuit.num_qubits b <> n || Circuit.num_qubits prep <> n then
+    fail "witness circuits have different widths";
+  if n > Cert.max_witness_qubits then
+    fail "witness too wide to validate (%d qubits, max %d)" n Cert.max_witness_qubits;
+  let va = Unitary.basis_state n 0 in
+  (try Unitary.apply_to_vector prep va
+   with Invalid_argument msg -> fail "stimulus simulation failed: %s" msg);
+  let vb = Array.copy va in
+  Unitary.apply_to_vector a va;
+  Unitary.apply_to_vector b vb;
+  let dot = ref Cx.zero in
+  Array.iteri (fun i x -> dot := Cx.add !dot (Cx.mul (Cx.conj x) vb.(i))) va;
+  let fid = Cx.mag !dot in
+  if Float.abs (fid -. fidelity) > witness_tol then
+    fail "recorded fidelity %.9f does not match simulated %.9f (stimulus #%d)" fidelity fid
+      index;
+  if fid >= 1.0 -. witness_tol then
+    fail "stimulus #%d does not refute: fidelity %.9f" index fid
+
+let validate cert =
+  try
+    (match cert with
+    | Cert.Zx_proof { a; b; steps } -> validate_zx a b steps
+    | Cert.Witness { a; b; index; prep; fidelity } ->
+        validate_witness a b index prep fidelity);
+    Ok ()
+  with Reject msg -> Error msg

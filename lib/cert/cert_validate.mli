@@ -1,0 +1,25 @@
+(** Independent certificate validator.
+
+    The trusted base is deliberately tiny: {!Oqec_zx.Zx_graph} mutation
+    primitives, the circuit-to-diagram translation
+    ({!Oqec_zx.Zx_circuit}) and the dense reference simulator
+    ({!Oqec_circuit.Unitary}).  No code is shared with the rewrite
+    engines ([Zx_rules], [Zx_worklist], [Zx_rescan], [Zx_simplify]) —
+    a bug in the optimised engine cannot leak into validation, which is
+    what makes an accepted certificate evidence rather than an echo of
+    the engine's own verdict (asserted by the independence test in
+    [test_cert]).
+
+    A {!Oqec_cert.Cert.Zx_proof} is replayed step by step: each step's
+    semantic preconditions (vertex kinds, degrees, interiority, edge
+    types, recorded phases, fresh-vertex ids) are re-checked before its
+    mutations are applied, and the certificate is accepted iff the
+    final diagram is the identity — bare wires connecting each input to
+    the same-numbered output.  A {!Oqec_cert.Cert.Witness} is accepted
+    iff dense simulation of both circuits on the prepared stimulus
+    yields states with fidelity below [1 - 1e-6], matching the recorded
+    fidelity. *)
+
+(** [validate cert] replays and checks [cert]; [Error] pinpoints the
+    first failing step or the final-diagram mismatch. *)
+val validate : Cert.t -> (unit, string) result

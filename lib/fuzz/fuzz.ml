@@ -121,6 +121,34 @@ let repro_command config index =
 
 let total_gates a b = List.length (Circuit.ops a) + List.length (Circuit.ops b)
 
+(* Direct dense replay of a recorded refuting stimulus.  The MANIFEST's
+   [stimulus] field pins the index that refuted a witness pair, and the
+   (seed, index) -> bits contract is the engine's own
+   ({!Oqec_workloads.Workloads.random_bits} over {!Rng.split_at}), so
+   the replay needs no search: prepare that one basis state, run both
+   circuits, compare.  [None] when the pair is too wide to check
+   densely. *)
+let stimulus_still_refutes ~seed ~stimulus g g' =
+  let g, g' = Oqec_qcec.Flatten.align g g' in
+  let a = Oqec_qcec.Flatten.flatten g and b = Oqec_qcec.Flatten.flatten g' in
+  let n = Circuit.num_qubits a in
+  if n > Oqec_cert.Cert.max_witness_qubits then None
+  else begin
+    let bits = Workloads.random_bits (Rng.split_at (Rng.make ~seed) stimulus) n in
+    let prep = ref (Circuit.create ~name:"stimulus" n) in
+    for q = 0 to n - 1 do
+      if bits.(q) then prep := Circuit.x !prep q
+    done;
+    let va = Unitary.basis_state n 0 in
+    Unitary.apply_to_vector !prep va;
+    let vb = Array.copy va in
+    Unitary.apply_to_vector a va;
+    Unitary.apply_to_vector b vb;
+    let dot = ref Cx.zero in
+    Array.iteri (fun i x -> dot := Cx.add !dot (Cx.mul (Cx.conj x) vb.(i))) va;
+    Some (Cx.mag !dot < 1.0 -. 1e-6)
+  end
+
 (* ------------------------------------------------------------------ Run *)
 
 let run ?(log = fun _ -> ()) config =
@@ -142,9 +170,26 @@ let run ?(log = fun _ -> ()) config =
           let outcome =
             try
               let g, g' = Fuzz_corpus.load_pair dir e in
-              Option.map
-                (fun desc -> (desc, total_gates g g'))
-                (oracle ~expected:e.expected g g').Fuzz_oracle.violation
+              (* A recorded refuting stimulus is re-checked directly
+                 (no search): if it stopped refuting, either the pair
+                 was mis-filed or the stimulus contract drifted. *)
+              let stimulus_violation =
+                match e.stimulus with
+                | Some s when e.seed >= 0 -> (
+                    match stimulus_still_refutes ~seed:e.seed ~stimulus:s g g' with
+                    | Some false ->
+                        Some
+                          (Printf.sprintf
+                             "recorded refuting stimulus #%d no longer refutes the pair" s)
+                    | Some true | None -> None)
+                | _ -> None
+              in
+              let violation =
+                match stimulus_violation with
+                | Some _ as v -> v
+                | None -> (oracle ~expected:e.expected g g').Fuzz_oracle.violation
+              in
+              Option.map (fun desc -> (desc, total_gates g g')) violation
             with Sys_error msg | Failure msg -> Some ("replay error: " ^ msg, 0)
           in
           match outcome with
@@ -207,9 +252,17 @@ let run ?(log = fun _ -> ()) config =
             | None -> None
             | Some dir ->
                 let id = Fuzz_corpus.id_of_pair left right in
+                (* The refuting stimulus only describes the unshrunk
+                   pair: shrinking rewrites the circuits, so the index
+                   is dropped along with the expectation. *)
+                let stimulus =
+                  if entry_expected = Fuzz_oracle.Expect_not_equivalent then
+                    Fuzz_oracle.refuting_stimulus result
+                  else None
+                in
                 let entry =
                   { Fuzz_corpus.id; expected = entry_expected; seed = config.seed; index = i;
-                    note = desc }
+                    stimulus; note = desc }
                 in
                 if Fuzz_corpus.save ~dir entry left right then begin
                   incr corpus_new;

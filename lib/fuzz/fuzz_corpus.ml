@@ -6,6 +6,7 @@ type entry = {
   expected : Fuzz_oracle.expected;
   seed : int;
   index : int;
+  stimulus : int option;
   note : string;
 }
 
@@ -15,10 +16,13 @@ let pair_paths dir e =
   (Filename.concat dir (e.id ^ "-a.qasm"), Filename.concat dir (e.id ^ "-b.qasm"))
 
 let entry_to_json e =
-  Printf.sprintf "{\"id\":%s,\"expected\":%s,\"seed\":%d,\"index\":%d,\"note\":%s}"
+  Printf.sprintf "{\"id\":%s,\"expected\":%s,\"seed\":%d,\"index\":%d%s,\"note\":%s}"
     (Equivalence.json_string e.id)
     (Equivalence.json_string (Fuzz_oracle.expected_to_string e.expected))
     e.seed e.index
+    (match e.stimulus with
+    | Some s -> Printf.sprintf ",\"stimulus\":%d" s
+    | None -> "")
     (Equivalence.json_string e.note)
 
 (* ------------------------------------------------------------- Hashing *)
@@ -93,6 +97,7 @@ let entry_of_line line =
             expected;
             seed = Option.value ~default:(-1) (int_field line "seed");
             index = Option.value ~default:(-1) (int_field line "index");
+            stimulus = int_field line "stimulus";
             note = Option.value ~default:"" (string_field line "note");
           })
         (Fuzz_oracle.expected_of_string expected_s)

@@ -14,6 +14,10 @@ type entry = {
       (** the ground-truth relation of the pair, re-checked on replay *)
   seed : int;  (** fuzz seed that produced the entry; [-1] when unknown *)
   index : int;  (** case index under that seed; [-1] when unknown *)
+  stimulus : int option;
+      (** for witness pairs: the stimulus index (under [seed]) that
+          refuted the pair, so replays re-check it directly instead of
+          re-searching the stimulus stream; absent in older manifests *)
   note : string;  (** free-form provenance (violation description) *)
 }
 

@@ -15,7 +15,13 @@ let expected_of_string = function
   | "unknown" -> Some Expect_unknown
   | _ -> None
 
-type verdict = { checker : string; outcome : Equivalence.outcome; elapsed : float }
+type verdict = {
+  checker : string;
+  outcome : Equivalence.outcome;
+  elapsed : float;
+  certificate : Oqec_cert.Cert.t option;
+  cert_error : string option;
+}
 
 type result = {
   verdicts : verdict list;
@@ -39,13 +45,24 @@ let run_one ~timeout ~seed checker_name checker g g' =
   let deadline = Mclock.now () +. timeout in
   let ctx = Engine.Ctx.make ~deadline ~sim_runs:16 ~seed () in
   let t0 = Mclock.now () in
-  let outcome =
+  let outcome, certificate =
     match Engine.run_worker ctx checker g g' with
-    | v -> v.Engine.outcome
-    | exception Equivalence.Cancelled -> Equivalence.Timed_out
+    | v -> (v.Engine.outcome, v.Engine.certificate)
+    | exception Equivalence.Cancelled -> (Equivalence.Timed_out, None)
   in
   let outcome = if !break_hook = Some checker_name then corrupt outcome else outcome in
-  { checker = checker_name; outcome; elapsed = Mclock.now () -. t0 }
+  (* Cross-check: every attached certificate is replayed through the
+     independent validator, so an engine whose verdict and artifact
+     drift apart is caught even when every checker agrees. *)
+  let cert_error =
+    match certificate with
+    | None -> None
+    | Some c -> (
+        match Oqec_cert.Cert_validate.validate c with
+        | Ok () -> None
+        | Error e -> Some e)
+  in
+  { checker = checker_name; outcome; elapsed = Mclock.now () -. t0; certificate; cert_error }
 
 (* Soundness contract of one checker against the dense truth. *)
 let sound_vs_truth name truth outcome =
@@ -75,6 +92,19 @@ let find_violation ~expected ~truth verdicts =
     v.outcome = Equivalence.Equivalent || v.outcome = Equivalence.Not_equivalent
   in
   let out v = Equivalence.outcome_to_string v.outcome in
+  (* 0. certificate validation: an attached artifact that fails the
+     independent replay is a bug in the emitting engine regardless of
+     what the other checkers think. *)
+  let certificate_invalid =
+    List.find_map
+      (fun v ->
+        Option.map
+          (fun e ->
+            describe "%s attached a certificate that fails independent validation: %s"
+              v.checker e)
+          v.cert_error)
+      verdicts
+  in
   (* 1. metamorphic expectation vs dense truth: a mismatch means the
      mutation's proof obligation (or the circuit library under it) is
      broken — also a bug, reported distinctly. *)
@@ -130,7 +160,13 @@ let find_violation ~expected ~truth verdicts =
       conclusives
   in
   List.find_map Fun.id
-    [ expectation_vs_truth; checker_vs_truth; checker_vs_expected; checker_vs_checker ]
+    [
+      certificate_invalid;
+      expectation_vs_truth;
+      checker_vs_truth;
+      checker_vs_expected;
+      checker_vs_checker;
+    ]
 
 let run ?(timeout = 10.0) ?checkers ?(seed = 1) ~expected g g' =
   let selected =
@@ -155,3 +191,11 @@ let run ?(timeout = 10.0) ?checkers ?(seed = 1) ~expected g g' =
     else None
   in
   { verdicts; truth; violation = find_violation ~expected ~truth verdicts }
+
+let refuting_stimulus result =
+  List.find_map
+    (fun v ->
+      match v.certificate with
+      | Some (Oqec_cert.Cert.Witness { index; _ }) -> Some index
+      | Some (Oqec_cert.Cert.Zx_proof _) | None -> None)
+    result.verdicts

@@ -33,6 +33,11 @@ type verdict = {
   checker : string;
   outcome : Oqec_qcec.Equivalence.outcome;
   elapsed : float;
+  certificate : Oqec_cert.Cert.t option;
+      (** the artifact the checker attached to its verdict, if any *)
+  cert_error : string option;
+      (** why the independent validator rejected it ([None] = valid or
+          no certificate); any [Some] is reported as a violation *)
 }
 
 type result = {
@@ -65,3 +70,8 @@ val run :
   Circuit.t ->
   Circuit.t ->
   result
+
+(** The stimulus index of the first witness certificate among the
+    verdicts — the refuting stimulus the corpus records so a replay can
+    re-check it directly instead of re-searching the stream. *)
+val refuting_stimulus : result -> int option

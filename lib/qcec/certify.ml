@@ -1,0 +1,36 @@
+open Oqec_base
+open Oqec_zx
+open Oqec_cert
+
+let certify outcome g g' =
+  let aligned () =
+    let g, g' = Flatten.align g g' in
+    (Flatten.flatten g, Flatten.flatten g')
+  in
+  match outcome with
+  | Equivalence.Equivalent -> (
+      let a, b = aligned () in
+      let steps = ref [] in
+      let diagram = Zx_circuit.of_miter a b in
+      let completed =
+        Zx_simplify.full_reduce ~record:(fun s -> steps := s :: !steps) diagram
+      in
+      if not completed then Error "zx reduction was interrupted"
+      else
+        match Zx_simplify.extract_permutation diagram with
+        | Some p when Perm.is_identity p ->
+            Ok (Cert.Zx_proof { a; b; steps = List.rev !steps })
+        | Some _ | None ->
+            Error "zx reduction did not reach the identity; cannot certify equivalence"
+      )
+  | Equivalence.Not_equivalent -> (
+      let a, b = aligned () in
+      match Cert.find_witness a b with
+      | Some (index, prep, fidelity) ->
+          Ok (Cert.Witness { a; b; index; prep; fidelity })
+      | None ->
+          Error
+            "no refuting stimulus found (circuits too wide for dense search, or \
+             fidelity too close to 1)")
+  | Equivalence.No_information | Equivalence.Timed_out ->
+      Error "inconclusive outcomes cannot be certified"

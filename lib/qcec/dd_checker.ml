@@ -40,6 +40,7 @@ let verdict_of ctx ~pkg ~n d =
     simulations = 0;
     note = "";
     dd = Some st;
+    certificate = None;
   }
 
 (* Shared miter construction for the exact and approximate checkers.
@@ -179,6 +180,7 @@ let reference : Engine.checker =
         simulations = 0;
         note = "";
         dd = Some st;
+        certificate = None;
       }
   end)
 
@@ -224,6 +226,7 @@ let check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g' =
           simulations = 0;
           note = Printf.sprintf "(fidelity %.9f, threshold %g)" f threshold;
           dd = Some st;
+          certificate = None;
         }
     end)
   in

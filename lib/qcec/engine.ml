@@ -240,6 +240,7 @@ type verdict = {
   simulations : int;
   note : string;
   dd : Oqec_dd.Dd.stats option;
+  certificate : Oqec_cert.Cert.t option;
 }
 
 module type CHECKER = sig
@@ -261,6 +262,7 @@ let timed_out_verdict =
     simulations = 0;
     note = "";
     dd = None;
+    certificate = None;
   }
 
 (* Timeout is a verdict (the checker ran out of budget); Cancelled is
@@ -296,4 +298,5 @@ let run ~ctx ~method_used checker g g' =
           run_note = "";
         };
       ];
+    certificate = verdict.certificate;
   }

@@ -146,6 +146,9 @@ type verdict = {
   simulations : int;
   note : string;
   dd : Oqec_dd.Dd.stats option;
+  certificate : Oqec_cert.Cert.t option;
+      (** replayable evidence attached by the checker (ZX rewrite trace
+          or refuting stimulus); [None] when the checker produced none *)
 }
 
 module type CHECKER = sig

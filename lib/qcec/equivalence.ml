@@ -36,6 +36,7 @@ type report = {
   winner : string option;
   jobs : int;
   runs : checker_run list;
+  certificate : Oqec_cert.Cert.t option;
 }
 
 let dd_stats r =
@@ -129,7 +130,7 @@ let engine_stats_to_json e =
 
 let report_to_json r =
   Printf.sprintf
-    "{\"outcome\":%s,\"method\":%s,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%s,\"winner\":%s,\"jobs\":%d,\"runs\":[%s],\"engine_stats\":[%s]}"
+    "{\"outcome\":%s,\"method\":%s,\"elapsed\":%.6f,\"peak_size\":%d,\"final_size\":%d,\"simulations\":%d,\"note\":%s,\"winner\":%s,\"jobs\":%d,\"runs\":[%s],\"engine_stats\":[%s],\"certificate\":%s}"
     (json_string (outcome_to_string r.outcome))
     (json_string (method_to_string r.method_used))
     r.elapsed r.peak_size r.final_size r.simulations (json_string r.note)
@@ -137,6 +138,9 @@ let report_to_json r =
     r.jobs
     (String.concat "," (List.map checker_run_to_json r.runs))
     (String.concat "," (List.map engine_stats_to_json r.engine_stats))
+    (match r.certificate with
+    | Some c -> json_string (Oqec_cert.Cert.summary c)
+    | None -> "null")
 
 let pp_report ppf r =
   Format.fprintf ppf "%s [%s, %.3fs, peak %d, final %d%s]%s"

@@ -67,6 +67,11 @@ type report = {
   runs : checker_run list;
       (** per-worker breakdown of a race; a single entry for
           single-checker strategies *)
+  certificate : Oqec_cert.Cert.t option;
+      (** replayable proof of the verdict, when the deciding checker
+          produced one: a ZX rewrite trace for [Equivalent], a refuting
+          stimulus for [Not_equivalent] (see {!Oqec_cert.Cert}); only a
+          one-line summary appears in the JSON rendering *)
 }
 
 (** First engine entry carrying decision-diagram package statistics,

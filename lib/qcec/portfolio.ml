@@ -235,6 +235,8 @@ let race ~ctx ?(jobs = 1) ?resolve entries g g' =
     winner = winner_name;
     jobs;
     runs;
+    certificate =
+      (match winner with Some (_, v) -> v.Engine.certificate | None -> None);
   }
 
 let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline

@@ -44,6 +44,20 @@ let check_states ?tol ?gc_threshold ?deadline ?cancel g g' =
           simulations = 1;
           note = Printf.sprintf "(state fidelity %.9f)" fidelity;
           dd = Some (Dd.stats pkg);
+          certificate =
+            (* The single stimulus here is |0...0>, i.e. an empty
+               preparation circuit.  Only clear refutations are
+               certified: the validator re-checks with a strictly
+               tighter threshold (1e-6) than the verdict's 1e-9. *)
+            (if
+               outcome = Equivalence.Not_equivalent
+               && n <= Oqec_cert.Cert.max_witness_qubits
+               && fidelity < 1.0 -. 1e-6
+             then
+               Some
+                 (Oqec_cert.Cert.Witness
+                    { a; b; index = 0; prep = Circuit.create ~name:"stimulus" n; fidelity })
+             else None);
         }
     end)
   in
@@ -61,6 +75,8 @@ let stimulus_bits ~seed ~index n =
 type prepared = {
   pkg : Dd.pkg;
   n : int;
+  a : Circuit.t;  (** kept for witness-certificate export *)
+  b : Circuit.t;
   dds_a : Dd.edge list;
   dds_b : Dd.edge list;
   check : unit -> unit;
@@ -81,7 +97,7 @@ let prepare ctx ~check g g' =
   let dds_a = dds a and dds_b = dds b in
   List.iter (Dd.root pkg) dds_a;
   List.iter (Dd.root pkg) dds_b;
-  { pkg; n; dds_a; dds_b; check }
+  { pkg; n; a; b; dds_a; dds_b; check }
 
 (* One random-stimulus run: [Some fidelity] is a mismatch proof, [None]
    means the outputs agree on this input. *)
@@ -104,7 +120,24 @@ let defaults ctx =
   ( Option.value (Engine.Ctx.sim_runs ctx) ~default:16,
     Option.value (Engine.Ctx.seed ctx) ~default:1 )
 
-let verdict_of ~outcome ~performed ~note p =
+(* Export a refuting stimulus as a standalone witness certificate: the
+   preparation circuit rebuilds the random basis state from (seed,
+   index), so the artifact replays without the RNG.  Marginal
+   refutations (fidelity within 1e-6 of 1) are not certified — the
+   validator re-checks by dense simulation under exactly that
+   threshold. *)
+let witness_certificate p ~seed ~index ~fidelity =
+  if p.n <= Oqec_cert.Cert.max_witness_qubits && fidelity < 1.0 -. 1e-6 then begin
+    let bits = stimulus_bits ~seed ~index p.n in
+    let prep = ref (Circuit.create ~name:"stimulus" p.n) in
+    for q = 0 to p.n - 1 do
+      if bits.(q) then prep := Circuit.x !prep q
+    done;
+    Some (Oqec_cert.Cert.Witness { a = p.a; b = p.b; index; prep = !prep; fidelity })
+  end
+  else None
+
+let verdict_of ?certificate ~outcome ~performed ~note p =
   {
     Engine.outcome;
     peak_size = Dd.allocated p.pkg;
@@ -112,6 +145,7 @@ let verdict_of ~outcome ~performed ~note p =
     simulations = performed;
     note;
     dd = Some (Dd.stats p.pkg);
+    certificate;
   }
 
 let checker : Engine.checker =
@@ -145,7 +179,11 @@ let checker : Engine.checker =
                 Printf.sprintf "(stimulus #%d refutes, fidelity %.9f)" i fid
             | _, None -> ""
           in
-          verdict_of ~outcome ~performed ~note p)
+          let certificate =
+            Option.bind refuted (fun (i, fid) ->
+                witness_certificate p ~seed ~index:i ~fidelity:fid)
+          in
+          verdict_of ?certificate ~outcome ~performed ~note p)
   end)
 
 (* The portfolio worker over stimulus indices {shard, shard+jobs, ...}.
@@ -214,7 +252,11 @@ let shard ~shard ~jobs ~best : Engine.checker =
               (Equivalence.No_information, "(another shard refuted first)")
             else (Equivalence.No_information, Printf.sprintf "(%d stimuli agreed)" !performed)
       in
-      verdict_of ~outcome ~performed:!performed ~note p
+      let certificate =
+        Option.bind !refuted (fun (i, fid) ->
+            witness_certificate p ~seed ~index:i ~fidelity:fid)
+      in
+      verdict_of ?certificate ~outcome ~performed:!performed ~note p
   end)
 
 (* ----------------------------------------------- Compatibility wrappers *)

@@ -32,6 +32,7 @@ let checker : Engine.checker =
         simulations = 0;
         note;
         dd = None;
+        certificate = None;
       }
   end)
 

@@ -23,10 +23,14 @@ let checker : Engine.checker =
          the gauge keeps the peak under "zx.worklist.peak" so --trace
          shows how much re-enqueued work the rewrites generated. *)
       let on_pending n = Engine.Ctx.gauge ctx "zx.worklist" n in
+      (* Record the fired rewrites as certificate steps; the list only
+         becomes a certificate when the reduction proves equivalence. *)
+      let steps = ref [] in
+      let record s = steps := s :: !steps in
       let completed =
         Engine.Ctx.span ctx ~cat:"zx" "full-reduce" (fun () ->
             Zx_simplify.full_reduce ~should_stop:(Engine.Ctx.stopper ctx) ~observe
-              ~on_pending diagram)
+              ~on_pending ~record diagram)
       in
       let after = Zx_graph.spider_count diagram in
       (* [should_stop] swallows the guard's exceptions; re-raise
@@ -58,6 +62,13 @@ let checker : Engine.checker =
           | Equivalence.Equivalent | Equivalence.Not_equivalent | Equivalence.Timed_out ->
               "");
         dd = None;
+        certificate =
+          (match outcome with
+          | Equivalence.Equivalent ->
+              Some (Oqec_cert.Cert.Zx_proof { a; b; steps = List.rev !steps })
+          | Equivalence.Not_equivalent | Equivalence.No_information
+          | Equivalence.Timed_out ->
+              None);
       }
   end)
 

@@ -170,7 +170,7 @@ let pivot_boundary_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
     match List.find_map pick (Zx_graph.vertices g) with
     | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
         List.iter
-          (fun (b, ty) -> if not (is_spider g b) then unfuse_boundary g v b ty)
+          (fun (b, ty) -> if not (is_spider g b) then ignore (unfuse_boundary g v b ty))
           (Zx_graph.neighbours g v);
         pivot_at g u v;
         incr count;
@@ -190,7 +190,7 @@ let pivot_gadget_simp ?(should_stop = never_stop) ?(observe = no_observe) g =
   let rec go () =
     match find_pivot_pair g gadget_target with
     | Some (u, v) when !count < 10_000 && not (should_stop ()) ->
-        gadgetize g v;
+        ignore (gadgetize g v);
         pivot_at g u v;
         incr count;
         go ()

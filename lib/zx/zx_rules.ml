@@ -108,7 +108,8 @@ let unfuse_boundary g v b ty =
   let w = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
   Zx_graph.add_edge g v w Zx_graph.Had;
   let outer = match ty with Zx_graph.Simple -> Zx_graph.Had | Zx_graph.Had -> Zx_graph.Simple in
-  Zx_graph.add_edge g w b outer
+  Zx_graph.add_edge g w b outer;
+  w
 
 let boundary_pauli_z g v =
   Zx_graph.mem g v && is_z g v
@@ -127,7 +128,8 @@ let gadgetize g v =
   let axis = Zx_graph.add_vertex g Zx_graph.Z ~phase:Phase.zero in
   let leaf = Zx_graph.add_vertex g Zx_graph.Z ~phase:ph in
   Zx_graph.add_edge g v axis Zx_graph.Had;
-  Zx_graph.add_edge g axis leaf Zx_graph.Had
+  Zx_graph.add_edge g axis leaf Zx_graph.Had;
+  (axis, leaf)
 
 (* A phase gadget: a degree-1 leaf attached by a Hadamard wire to a
    Pauli-phase axis all of whose other edges are Hadamard wires to

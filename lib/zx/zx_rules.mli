@@ -38,15 +38,17 @@ val lcomp_at : Zx_graph.t -> int -> unit
 val pivot_at : Zx_graph.t -> int -> int -> unit
 
 (** [unfuse_boundary g v b ty] splits the boundary wire v-[ty]-b into
-    v -H- w(0) -ty'- b so that [v] becomes interior. *)
-val unfuse_boundary : Zx_graph.t -> int -> int -> Zx_graph.etype -> unit
+    v -H- w(0) -ty'- b so that [v] becomes interior; returns the fresh
+    spider [w] (recorded into verdict certificates). *)
+val unfuse_boundary : Zx_graph.t -> int -> int -> Zx_graph.etype -> int
 
 (** The boundary partner of a boundary pivot: a Pauli Z-spider touching
     the boundary, with no gadget leaf. *)
 val boundary_pauli_z : Zx_graph.t -> int -> bool
 
-(** Extract a non-Pauli phase on [v] into a fresh phase gadget. *)
-val gadgetize : Zx_graph.t -> int -> unit
+(** Extract a non-Pauli phase on [v] into a fresh phase gadget; returns
+    the fresh [(axis, leaf)] pair (recorded into verdict certificates). *)
+val gadgetize : Zx_graph.t -> int -> int * int
 
 (** [gadget_of g leaf] recognises a phase gadget anchored at its leaf and
     returns the axis and the sorted support. *)

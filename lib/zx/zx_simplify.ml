@@ -36,8 +36,8 @@ let interior_clifford_simp ?should_stop ?observe g =
 let clifford_simp ?should_stop ?observe g =
   with_worklist Zx_worklist.clifford_simp ?should_stop ?observe g
 
-let full_reduce ?should_stop ?observe ?on_pending g =
-  Zx_worklist.full_reduce ?should_stop ?observe ?on_pending g
+let full_reduce ?should_stop ?observe ?on_pending ?record g =
+  Zx_worklist.full_reduce ?should_stop ?observe ?on_pending ?record g
 
 (* ----------------------------------------------------------- Extraction *)
 

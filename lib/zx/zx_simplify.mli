@@ -75,11 +75,14 @@ val clifford_simp : ?should_stop:(unit -> bool) -> ?observe:(string -> int -> un
     with gadget extraction and fusion, to fixpoint, on the incremental
     worklist engine.  [on_pending] reports the live worklist length at
     phase boundaries (the checker maps it to the ["zx.worklist"] trace
-    gauge).  Returns [false] when [should_stop] interrupted the run. *)
+    gauge).  [record] receives every fired rewrite as a {!Zx_step.t}
+    (the verdict-certificate recording hook).  Returns [false] when
+    [should_stop] interrupted the run. *)
 val full_reduce :
   ?should_stop:(unit -> bool) ->
   ?observe:(string -> int -> unit) ->
   ?on_pending:(int -> unit) ->
+  ?record:(Zx_step.t -> unit) ->
   Zx_graph.t ->
   bool
 

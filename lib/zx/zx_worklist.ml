@@ -84,7 +84,16 @@ type t = {
   mutable pending_total : int;
   mutable peak_pending : int;
   mutable gh : bool;  (* the one-time graph-like conversion has run *)
+  (* Certificate sink: every fired rewrite is reported here, immediately
+     before the graph is mutated, so recorded phases are the pre-rewrite
+     values the independent validator re-checks. *)
+  record : (Zx_step.t -> unit) option;
 }
+
+(* Test-only sabotage switch ("identity-phase" drops the phase-0
+   precondition of identity removal), used to prove that certificate
+   validation catches engine bugs the engine itself cannot see. *)
+let break_hook : string option ref = ref None
 
 let full_mask = (1 lsl num_rules) - 1
 let never_stop () = false
@@ -122,7 +131,7 @@ let dirty t v =
     Zx_graph.iter_neighbours t.g v (fun u _ -> enqueue_all t u)
   end
 
-let create g =
+let create ?record g =
   let t =
     {
       g;
@@ -133,6 +142,7 @@ let create g =
       pending_total = 0;
       peak_pending = 0;
       gh = false;
+      record;
     }
   in
   Zx_graph.set_tracer g (Some (dirty t));
@@ -151,9 +161,14 @@ let fired t =
 
 (* Each matcher inspects one anchor vertex and fires at most one rewrite
    there, returning the number fired; re-dirtying via the tracer brings
-   the anchor back if more work remains. *)
+   the anchor back if more work remains.  Matchers take the engine (not
+   just the graph) so each fired rewrite can be reported to the
+   certificate sink before it mutates the graph. *)
 
-let try_fusion g v =
+let emit t step = match t.record with Some f -> f step | None -> ()
+
+let try_fusion t v =
+  let g = t.g in
   if Zx_graph.mem g v && is_spider g v then
     match
       Zx_graph.find_neighbour g v (fun u ty ->
@@ -161,20 +176,23 @@ let try_fusion g v =
           && Zx_graph.kind g u = Zx_graph.kind g v)
     with
     | Some (u, _) ->
+        emit t (Zx_step.Fuse { into = v; src = u; ph = Zx_graph.phase g u });
         Zx_graph.remove_edge g v u;
         fuse g ~into:v u;
         1
     | None -> 0
   else 0
 
-let try_identity g v =
+let try_identity t v =
+  let g = t.g in
   if
     Zx_graph.mem g v && is_spider g v
-    && Phase.is_zero (Zx_graph.phase g v)
+    && (Phase.is_zero (Zx_graph.phase g v) || !break_hook = Some "identity-phase")
     && Zx_graph.degree g v = 2
   then
     match Zx_graph.neighbours g v with
     | [ (a, ta); (b, tb) ] ->
+        emit t (Zx_step.Id v);
         let combined = if ta = tb then Zx_graph.Simple else Zx_graph.Had in
         Zx_graph.remove_vertex g v;
         if is_spider g a && is_spider g b then Zx_graph.add_edge_smart g a b combined
@@ -183,7 +201,8 @@ let try_identity g v =
     | _ -> 0
   else 0
 
-let try_pauli_leaf g leaf =
+let try_pauli_leaf t leaf =
+  let g = t.g in
   if
     Zx_graph.mem g leaf && is_z g leaf
     && Zx_graph.degree g leaf = 1
@@ -194,6 +213,7 @@ let try_pauli_leaf g leaf =
       when is_z g v
            && Zx_graph.is_interior g v
            && Zx_graph.for_all_neighbours g v (fun _ ty -> ty = Zx_graph.Had) ->
+        emit t (Zx_step.Absorb { leaf; axis = v; ph = Zx_graph.phase g leaf });
         let flip = Phase.is_pi (Zx_graph.phase g leaf) in
         let others = List.filter (fun w -> w <> leaf) (Zx_graph.neighbour_ids g v) in
         Zx_graph.remove_vertex g leaf;
@@ -203,21 +223,28 @@ let try_pauli_leaf g leaf =
     | _ -> 0
   else 0
 
-let try_lcomp g v =
+let try_lcomp t v =
+  let g = t.g in
   if interior_z_with g v Phase.is_proper_clifford then begin
+    emit t (Zx_step.Lcomp { v; ph = Zx_graph.phase g v });
     lcomp_at g v;
     1
   end
   else 0
 
-let try_pivot g a =
+let recorded_pivot t u v =
+  emit t (Zx_step.Pivot { u; v; pu = Zx_graph.phase t.g u; pv = Zx_graph.phase t.g v });
+  pivot_at t.g u v
+
+let try_pivot t a =
+  let g = t.g in
   if pivot_candidate g a Phase.is_pauli then
     match
       Zx_graph.find_neighbour g a (fun v ty ->
           ty = Zx_graph.Had && pivot_candidate g v Phase.is_pauli)
     with
     | Some (v, _) ->
-        pivot_at g a v;
+        recorded_pivot t a v;
         1
     | None -> 0
   else 0
@@ -225,20 +252,26 @@ let try_pivot g a =
 (* Boundary pivots are anchored at either endpoint: a neighbourhood
    change near the boundary spider dirties it but not necessarily its
    interior partner, so both orientations must match. *)
-let apply_boundary_pivot g u v =
+let apply_boundary_pivot t u v =
+  let g = t.g in
   List.iter
-    (fun (b, ty) -> if not (is_spider g b) then unfuse_boundary g v b ty)
+    (fun (b, ty) ->
+      if not (is_spider g b) then begin
+        let w = unfuse_boundary g v b ty in
+        emit t (Zx_step.Unfuse { v; b; w; ty })
+      end)
     (Zx_graph.neighbours g v);
-  pivot_at g u v
+  recorded_pivot t u v
 
-let try_pivot_boundary g a =
+let try_pivot_boundary t a =
+  let g = t.g in
   if pivot_candidate g a Phase.is_pauli then
     match
       Zx_graph.find_neighbour g a (fun v ty ->
           ty = Zx_graph.Had && boundary_pauli_z g v)
     with
     | Some (v, _) ->
-        apply_boundary_pivot g a v;
+        apply_boundary_pivot t a v;
         1
     | None -> 0
   else if boundary_pauli_z g a then
@@ -247,7 +280,7 @@ let try_pivot_boundary g a =
           ty = Zx_graph.Had && pivot_candidate g u Phase.is_pauli)
     with
     | Some (u, _) ->
-        apply_boundary_pivot g u a;
+        apply_boundary_pivot t u a;
         1
     | None -> 0
   else 0
@@ -255,14 +288,20 @@ let try_pivot_boundary g a =
 let gadget_target g v =
   pivot_candidate g v (fun p -> not (Phase.is_pauli p)) && Zx_graph.degree g v >= 2
 
-let try_pivot_gadget g a =
+let recorded_gadgetized_pivot t u v =
+  let ph = Zx_graph.phase t.g v in
+  let axis, leaf = gadgetize t.g v in
+  emit t (Zx_step.Gadgetize { v; axis; leaf; ph });
+  recorded_pivot t u v
+
+let try_pivot_gadget t a =
+  let g = t.g in
   if pivot_candidate g a Phase.is_pauli then
     match
       Zx_graph.find_neighbour g a (fun v ty -> ty = Zx_graph.Had && gadget_target g v)
     with
     | Some (v, _) ->
-        gadgetize g v;
-        pivot_at g a v;
+        recorded_gadgetized_pivot t a v;
         1
     | None -> 0
   else if gadget_target g a then
@@ -271,8 +310,7 @@ let try_pivot_gadget g a =
           ty = Zx_graph.Had && pivot_candidate g u Phase.is_pauli)
     with
     | Some (u, _) ->
-        gadgetize g a;
-        pivot_at g u a;
+        recorded_gadgetized_pivot t u a;
         1
     | None -> 0
   else 0
@@ -290,6 +328,7 @@ let try_gadget t leaf =
       (* Axis-phase normalisation (the old engine's gadget_cleanup): a
          pi-axis equals a 0-axis with the leaf phase negated. *)
       if Phase.is_pi (Zx_graph.phase g axis) then begin
+        emit t (Zx_step.Gadget_flip { axis; leaf });
         Zx_graph.set_phase g axis Phase.zero;
         Zx_graph.set_phase g leaf (Phase.neg (Zx_graph.phase g leaf));
         incr fires
@@ -308,6 +347,9 @@ let try_gadget t leaf =
         match Hashtbl.find_opt t.gadget_index support with
         | Some (leaf0, axis0) when valid leaf0 axis0 ->
             (* Merge this gadget into the recorded one. *)
+            emit t
+              (Zx_step.Gadget_merge
+                 { leaf; axis; leaf0; axis0; ph = Zx_graph.phase g leaf });
             Zx_graph.add_to_phase g leaf0 (Zx_graph.phase g leaf);
             Zx_graph.remove_vertex g leaf;
             Zx_graph.remove_vertex g axis;
@@ -329,13 +371,13 @@ let drain ?(should_stop = never_stop) ?(observe = no_observe) ?(limit = max_int)
   let count = ref 0 in
   let try_at =
     match rule with
-    | Fusion -> try_fusion t.g
-    | Identity -> try_identity t.g
-    | Pauli_leaf -> try_pauli_leaf t.g
-    | Lcomp -> try_lcomp t.g
-    | Pivot -> try_pivot t.g
-    | Pivot_boundary -> try_pivot_boundary t.g
-    | Pivot_gadget -> try_pivot_gadget t.g
+    | Fusion -> try_fusion t
+    | Identity -> try_identity t
+    | Pauli_leaf -> try_pauli_leaf t
+    | Lcomp -> try_lcomp t
+    | Pivot -> try_pivot t
+    | Pivot_boundary -> try_pivot_boundary t
+    | Pivot_gadget -> try_pivot_gadget t
     | Gadget -> try_gadget t
   in
   let bit = 1 lsl qi in
@@ -380,7 +422,13 @@ let basic_simp ?(should_stop = never_stop) ?(observe = no_observe) t =
    engine repeats on every entry. *)
 let to_gh_once t =
   if not t.gh then begin
-    List.iter (to_gh_at t.g) (Zx_graph.vertices t.g);
+    List.iter
+      (fun v ->
+        if Zx_graph.mem t.g v && Zx_graph.kind t.g v = Zx_graph.X then begin
+          emit t (Zx_step.Color v);
+          to_gh_at t.g v
+        end)
+      (Zx_graph.vertices t.g);
     t.gh <- true
   end
 
@@ -439,8 +487,8 @@ let full_reduce_t ?(should_stop = never_stop) ?(observe = no_observe)
   tick ();
   not (should_stop ())
 
-let full_reduce ?should_stop ?observe ?on_pending g =
-  let t = create g in
+let full_reduce ?should_stop ?observe ?on_pending ?record g =
+  let t = create ?record g in
   Fun.protect
     ~finally:(fun () -> release t)
     (fun () -> full_reduce_t ?should_stop ?observe ?on_pending t)

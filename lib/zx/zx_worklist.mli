@@ -34,7 +34,18 @@ val rule_name : rule -> string
     {!release} uninstalls the tracer (mutations stop being tracked). *)
 type t
 
-val create : Zx_graph.t -> t
+(** [create ?record g] builds an engine on [g].  When [record] is given
+    it receives every fired rewrite as a {!Zx_step.t}, emitted
+    immediately before the graph mutation — the recording hook of the
+    verdict-certificate subsystem ([oqec.cert]). *)
+val create : ?record:(Zx_step.t -> unit) -> Zx_graph.t -> t
+
+(** Test-only sabotage switch: setting it to [Some "identity-phase"]
+    drops the phase-0 precondition of identity removal, making the
+    engine unsound on purpose.  Used (via [OQEC_CERT_BREAK]) to
+    demonstrate that certificate validation catches engine bugs the
+    engine itself cannot detect.  Always [None] in production. *)
+val break_hook : string option ref
 val release : t -> unit
 val graph : t -> Zx_graph.t
 
@@ -82,10 +93,12 @@ val full_reduce_t :
   bool
 
 (** Convenience wrapper: create an engine on [g], run {!full_reduce_t},
-    release the tracer (even on exceptions). *)
+    release the tracer (even on exceptions).  [record] is forwarded to
+    {!create}. *)
 val full_reduce :
   ?should_stop:(unit -> bool) ->
   ?observe:(string -> int -> unit) ->
   ?on_pending:(int -> unit) ->
+  ?record:(Zx_step.t -> unit) ->
   Zx_graph.t ->
   bool

@@ -144,3 +144,72 @@ passes once the corruption is gone (exit code 0):
   [1]
   $ oqec fuzz --runs 0 --corpus fuzz-corpus | sed 's/ in [0-9.]*s$//'
   fuzz: 0 cases, 0 failures (corpus: 1 replayed, 0 failing, 0 new)
+
+Verdict certificates: --certify writes a replayable artifact and
+verify-cert replays it through the independent validator (exit 0):
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s zx --certify ghz.cert > /dev/null
+  certificate written to ghz.cert (zx-proof (10 steps))
+  $ head -3 ghz.cert
+  OQEC-CERT 1
+  claim equivalent
+  qubits 5
+  $ oqec verify-cert ghz.cert
+  certificate valid: zx-proof (10 steps)
+
+A DD verdict carries no certificate of its own, so one is built from
+scratch; the JSON report names the attached certificate:
+
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --certify dd.cert > /dev/null
+  certificate written to dd.cert (zx-proof (10 steps))
+  $ oqec verify-cert dd.cert > /dev/null
+  $ oqec check ghz.qasm ghz_lin.qasm -s zx --json | grep -c '"certificate":"zx-proof'
+  1
+
+A refutation exports its refuting stimulus as a standalone witness,
+re-checked by direct simulation:
+
+  $ oqec check ghz.qasm broken.qasm -s combined --certify ne.cert > /dev/null
+  certificate written to ne.cert (witness (stimulus #0, fidelity 0.500000000))
+  [1]
+  $ oqec verify-cert ne.cert
+  certificate valid: witness (stimulus #0, fidelity 0.500000000)
+
+Tampered or truncated certificates are rejected (exit 1); a missing
+file is an I/O error (exit 3):
+
+  $ sed 's/^claim not-equivalent/claim equivalent/' ne.cert > tampered.cert
+  $ oqec verify-cert tampered.cert
+  error: tampered.cert: expected qubits line, got "witness 0 0.49999999999999989"
+  [1]
+  $ head -5 ghz.cert > truncated.cert
+  $ oqec verify-cert truncated.cert 2>&1 | grep -c 'error'
+  1
+  $ oqec verify-cert nothere.cert
+  error: nothere.cert: No such file or directory
+  [3]
+
+The hidden OQEC_CERT_BREAK hook corrupts the ZX engine's identity rule:
+the engine is fooled into proving T = I (exit 0), but the recorded
+certificate cannot be replayed — only the independent validator catches
+the bug, which is the point of the subsystem:
+
+  $ printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nt q[0];\n' > t.qasm
+  $ printf 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\n' > id.qasm
+  $ OQEC_CERT_BREAK=identity-phase oqec check -s zx --certify fooled.cert t.qasm id.qasm
+  equivalent [zx-calculus, 0.000s, peak 1, final 0]
+  certificate written to fooled.cert (zx-proof (1 steps))
+  $ oqec verify-cert fooled.cert
+  certificate INVALID: step 0 (id 1): identity removal of vertex 1 with non-zero phase 7*pi/4
+  [1]
+  $ oqec check -s zx t.qasm id.qasm > /dev/null
+  [2]
+
+The fuzz oracle cross-checks every attached certificate, so the same
+engine corruption surfaces as a violation without OQEC_FUZZ_BREAK:
+
+  $ OQEC_CERT_BREAK=identity-phase oqec fuzz --runs 1 --seed 5 \
+  >   | sed -e 's/ in [0-9.]*s$//' -e 's/step [0-9]* (id [0-9]*).*/step N/'
+  case 0: zx attached a certificate that fails independent validation: step N
+    repro: oqec fuzz --profile mixed --max-qubits 6 --max-gates 24 --seed 5 --only 0
+  fuzz: 1 cases, 1 failures (corpus: 0 replayed, 0 failing, 0 new)

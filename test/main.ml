@@ -22,4 +22,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("qasm-roundtrip", Test_qasm_roundtrip.suite);
       ("compile-fuzz", Test_compile_fuzz.suite);
+      ("cert", Test_cert.suite);
     ]

@@ -215,6 +215,7 @@ let report_with ~note ~counters =
           run_note = note;
         };
       ];
+    certificate = None;
   }
 
 let test_report_json_adversarial =

@@ -216,6 +216,7 @@ let test_corpus_roundtrip () =
           expected = Fuzz_oracle.Expect_unknown;
           seed = 9;
           index = 4;
+          stimulus = Some 5;
           note = "a note with \"quotes\" and\nnewlines";
         }
       in
@@ -226,6 +227,7 @@ let test_corpus_roundtrip () =
           Alcotest.(check string) "id" id e.Fuzz_corpus.id;
           Alcotest.(check int) "seed" 9 e.Fuzz_corpus.seed;
           Alcotest.(check int) "index" 4 e.Fuzz_corpus.index;
+          Alcotest.(check (option int)) "stimulus" (Some 5) e.Fuzz_corpus.stimulus;
           Alcotest.(check bool)
             "expected" true
             (e.Fuzz_corpus.expected = Fuzz_oracle.Expect_unknown);
@@ -242,6 +244,65 @@ let test_corpus_id_stable () =
   Alcotest.(check bool)
     "order matters" true
     (Fuzz_corpus.id_of_pair g g' <> Fuzz_corpus.id_of_pair g' g)
+
+(* Witness entries pin the refuting stimulus index so a replay re-checks
+   it directly instead of re-searching the stream.  Old manifests
+   without the field must still load, and a recorded stimulus that
+   stopped refuting must be flagged. *)
+let test_corpus_stimulus_recorded () =
+  in_temp_dir (fun dir ->
+      let g = Workloads.ghz 3 in
+      let g' = Circuit.x g 0 in
+      (* the oracle surfaces the refuting stimulus of the sim witness *)
+      let result = Fuzz_oracle.run ~expected:Fuzz_oracle.Expect_unknown ~seed:9 g g' in
+      let stimulus = Fuzz_oracle.refuting_stimulus result in
+      Alcotest.(check bool) "oracle reports a refuting stimulus" true (stimulus <> None);
+      let entry =
+        {
+          Fuzz_corpus.id = Fuzz_corpus.id_of_pair g g';
+          expected = Fuzz_oracle.Expect_not_equivalent;
+          seed = 9;
+          index = 0;
+          stimulus;
+          note = "witness regression";
+        }
+      in
+      Alcotest.(check bool) "saved" true (Fuzz_corpus.save ~dir entry g g');
+      let config =
+        { (config_of ~runs:0 ~seed:9 ()) with Fuzz.runs = 0; corpus = Some dir }
+      in
+      let replay = Fuzz.run config in
+      Alcotest.(check int) "recorded stimulus still refutes" 0 replay.Fuzz.corpus_failures;
+      (* a stale stimulus on an equivalent pair is caught by the direct
+         re-check, before the oracle even runs *)
+      let entry' =
+        { entry with Fuzz_corpus.id = Fuzz_corpus.id_of_pair g g; note = "stale" }
+      in
+      Alcotest.(check bool) "stale entry saved" true (Fuzz_corpus.save ~dir entry' g g);
+      let stale = Fuzz.run config in
+      Alcotest.(check int) "stale stimulus flagged" 1 stale.Fuzz.corpus_failures;
+      Alcotest.(check bool)
+        "violation names the stimulus" true
+        (List.exists
+           (fun v ->
+             let d = v.Fuzz.v_description in
+             let n = String.length d and pat = "no longer refutes" in
+             let m = String.length pat in
+             let rec go i = i + m <= n && (String.sub d i m = pat || go (i + 1)) in
+             go 0)
+           stale.Fuzz.violations);
+      (* manifests predating the field load with [stimulus = None] *)
+      let oc =
+        open_out_gen [ Open_append ] 0o644 (Fuzz_corpus.manifest_path dir)
+      in
+      output_string oc
+        "{\"id\":\"case-legacy\",\"expected\":\"unknown\",\"seed\":1,\"index\":2,\"note\":\"old\"}\n";
+      close_out oc;
+      match List.rev (Fuzz_corpus.load dir) with
+      | legacy :: _ ->
+          Alcotest.(check string) "legacy id" "case-legacy" legacy.Fuzz_corpus.id;
+          Alcotest.(check (option int)) "legacy stimulus" None legacy.Fuzz_corpus.stimulus
+      | [] -> Alcotest.fail "legacy entry did not load")
 
 (* ------------------------------------------------------------ End to end *)
 
@@ -320,6 +381,8 @@ let suite =
     Alcotest.test_case "shrink: budget respected" `Quick test_shrink_budget;
     Alcotest.test_case "corpus: save/load round-trip" `Quick test_corpus_roundtrip;
     Alcotest.test_case "corpus: content-derived ids" `Quick test_corpus_id_stable;
+    Alcotest.test_case "corpus: refuting stimulus recorded and re-checked" `Quick
+      test_corpus_stimulus_recorded;
     Alcotest.test_case "run: clean end to end" `Quick test_run_clean;
     Alcotest.test_case "run: --only isolates one case" `Quick test_run_only;
     Alcotest.test_case "run: break hook end to end" `Quick test_run_break_hook_end_to_end;
