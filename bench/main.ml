@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig1 .. fig6      figure demos
      dune exec bench/main.exe -- ablations         Section 6.2 ablations
      dune exec bench/main.exe -- dd-stats          DD engine statistics
+     dune exec bench/main.exe -- dd-arena          arena vs boxed DD core -> BENCH_dd_arena.json
      dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
      dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
      dune exec bench/main.exe -- fuzz-smoke        differential fuzz -> BENCH_fuzz.json
@@ -922,6 +923,152 @@ let cert_smoke opts =
     exit 1
   end
 
+(* ---------------------------------------------------- Arena DD benchmark *)
+
+(* Boxed vs arena DD core on the DD-heavy Table-1 miters, plus the
+   streamed large-circuit tier (generator-backed twin pairs far larger
+   than the batch representation is meant for), written to
+   BENCH_dd_arena.json.
+
+   Self-checking on the properties the arena core must hold:
+   - the two cores must agree on every verdict (fatal otherwise — the
+     representation must never leak into the answer);
+   - the arena must reach >= 2x on at least two instances (fatal
+     otherwise — the point of the struct-of-arrays core);
+   - the process peak RSS is recorded so the baseline gate catches
+     memory regressions (an arena whose capacity grows with total
+     allocations instead of live size). *)
+let dd_arena_bench opts =
+  print_endline "\n== Arena DD core vs boxed baseline ==";
+  let failures = ref 0 in
+  let speedups = ref [] in
+  let check_agreement name boxed arena =
+    if boxed <> arena then begin
+      incr failures;
+      Printf.printf "  FAIL %s: boxed %s, arena %s\n" name
+        (Equivalence.outcome_to_string boxed)
+        (Equivalence.outcome_to_string arena)
+    end
+  in
+  (* DD-heavy miters: the alternating scheme alone (no simulation
+     screen), so the whole wall time is DD manipulation. *)
+  let miter_rows =
+    List.map
+      (fun (name, g) ->
+        let inst = compiled_instance opts name g in
+        let time core =
+          let t0 = Mclock.now () in
+          let r =
+            Qcec.check ~strategy:Qcec.Alternating ~timeout:opts.timeout
+              ~seed:opts.seed ~dd_core:core inst.original inst.derived
+          in
+          (Mclock.now () -. t0, r.Equivalence.outcome)
+        in
+        let t_boxed, o_boxed = time Oqec_dd.Dd_core.Boxed in
+        let t_arena, o_arena = time Oqec_dd.Dd_core.Arena in
+        check_agreement name o_boxed o_arena;
+        let speedup = t_boxed /. t_arena in
+        speedups := (name, speedup) :: !speedups;
+        Printf.printf "%-16s boxed %-14s %7.3fs | arena %-14s %7.3fs | speedup %5.2fx\n%!"
+          name
+          (Equivalence.outcome_to_string o_boxed)
+          t_boxed
+          (Equivalence.outcome_to_string o_arena)
+          t_arena speedup;
+        (name, o_boxed, t_boxed, o_arena, t_arena, speedup))
+      [
+        ("qft-12", qft 12);
+        ("qpe-exact-11", qpe_exact ~seed:3 10);
+        ("qwalk-6", random_walk ~steps:6 6);
+        ("graphstate-14", graph_state ~seed:3 14);
+      ]
+  in
+  (* Streamed tier: twin pairs produced by the generator with barrier
+     sync points, checked straight off the files.  Far larger than the
+     miter rows — this is where the flat node store pays. *)
+  let stream_gates = match opts.scale with Small -> 100_000 | Paper -> 1_000_000 in
+  let emit twin =
+    let path = Filename.temp_file "oqec_bench" ".qasm" in
+    let oc = open_out path in
+    stream_qasm ~seed:11 ~qubits:8 ~gates:stream_gates ~barrier_every:500 ~twin oc;
+    close_out oc;
+    path
+  in
+  let base = emit false and twin = emit true in
+  let stream_rows =
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove base;
+        Sys.remove twin)
+      (fun () ->
+        List.map
+          (fun (label, core) ->
+            let t0 = Mclock.now () in
+            let r = Stream_checker.check ~core base twin in
+            let dt = Mclock.now () -. t0 in
+            Printf.printf "stream-%-9s %-14s %7.3fs (%d gates, twin pair)\n%!" label
+              (Equivalence.outcome_to_string r.Equivalence.outcome)
+              dt stream_gates;
+            (label, r.Equivalence.outcome, dt))
+          [ ("boxed", Oqec_dd.Dd_core.Boxed); ("arena", Oqec_dd.Dd_core.Arena) ])
+  in
+  (match stream_rows with
+  | [ (_, o_boxed, t_boxed); (_, o_arena, t_arena) ] ->
+      check_agreement "stream-twin" o_boxed o_arena;
+      if o_arena <> Equivalence.Equivalent then begin
+        incr failures;
+        Printf.printf "  FAIL stream-twin: expected equivalent, got %s\n"
+          (Equivalence.outcome_to_string o_arena)
+      end;
+      let speedup = t_boxed /. t_arena in
+      speedups := ("stream-twin", speedup) :: !speedups;
+      Printf.printf "stream speedup %.2fx\n" speedup
+  | _ -> assert false);
+  let mem_peak_kb = Option.value ~default:0 (Meminfo.vm_hwm_kb ()) in
+  let fast = List.filter (fun (_, s) -> s >= 2.0) !speedups in
+  Printf.printf "instances at >= 2x: %d/%d%s; peak RSS %d kB\n"
+    (List.length fast) (List.length !speedups)
+    (match fast with
+    | [] -> ""
+    | _ -> " (" ^ String.concat " " (List.map fst fast) ^ ")")
+    mem_peak_kb;
+  let oc = open_out "BENCH_dd_arena.json" in
+  output_string oc "{\n  \"miters\": [\n";
+  List.iteri
+    (fun i (name, o_boxed, t_boxed, o_arena, t_arena, speedup) ->
+      Printf.fprintf oc
+        "    {\"benchmark\":%S,\
+         \"boxed\":{\"outcome\":%S,\"elapsed\":%.6f},\
+         \"arena\":{\"outcome\":%S,\"elapsed\":%.6f},\
+         \"speedup\":%.3f}%s\n"
+        name
+        (Equivalence.outcome_to_string o_boxed)
+        t_boxed
+        (Equivalence.outcome_to_string o_arena)
+        t_arena speedup
+        (if i < List.length miter_rows - 1 then "," else ""))
+    miter_rows;
+  output_string oc "  ],\n  \"stream\": [\n";
+  List.iteri
+    (fun i (label, outcome, dt) ->
+      Printf.fprintf oc
+        "    {\"benchmark\":\"stream-%s\",\"gates\":%d,\"outcome\":%S,\"elapsed\":%.6f}%s\n"
+        label stream_gates
+        (Equivalence.outcome_to_string outcome)
+        dt
+        (if i < List.length stream_rows - 1 then "," else ""))
+    stream_rows;
+  Printf.fprintf oc
+    "  ],\n  \"mem_peak_kb\": %d,\n  \"speedups_ge_2x\": %d,\n  \"failures\": %d\n}\n"
+    mem_peak_kb (List.length fast) !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_dd_arena.json\n";
+  if !failures > 0 || List.length fast < 2 then begin
+    Printf.eprintf "dd-arena FAILED: %d disagreement(s), %d/%d instance(s) at >= 2x\n"
+      !failures (List.length fast) (List.length !speedups);
+    exit 1
+  end
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -992,6 +1139,7 @@ let () =
     | "table-extended" -> run_extended opts
     | "ablations" -> run_ablations ()
     | "dd-stats" -> dd_stats_bench ()
+    | "dd-arena" -> dd_arena_bench opts
     | "portfolio" -> portfolio_bench opts
     | "trace-smoke" -> trace_smoke ()
     | "fuzz-smoke" -> fuzz_smoke opts
@@ -1005,6 +1153,7 @@ let () =
         run_extended opts;
         run_ablations ();
         dd_stats_bench ();
+        dd_arena_bench opts;
         portfolio_bench opts;
         trace_smoke ();
         fuzz_smoke opts;
@@ -1012,7 +1161,7 @@ let () =
         cert_smoke opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, portfolio, trace-smoke, fuzz-smoke, zx-smoke, cert-smoke, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, dd-arena, portfolio, trace-smoke, fuzz-smoke, zx-smoke, cert-smoke, micro, all)\n"
           other;
         exit 2
   in

@@ -135,6 +135,41 @@ let check_cmd =
             "Comma-separated checkers to race with --strategy portfolio: any of dd, zx, \
              sim, stab (default dd,zx,sim).")
   in
+  let dd_core =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dd-core" ] ~docv:"CORE"
+          ~doc:
+            "Decision-diagram package representation: $(b,boxed) (pointer-based \
+             records, the differential baseline; default) or $(b,arena) \
+             (struct-of-arrays node store with packed integer edges).  Verdicts and \
+             counterexamples are independent of the core.")
+  in
+  let oracle =
+    Arg.(
+      value
+      & opt string "proportional"
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:
+            "Gate-interleaving policy of the alternating-DD miter: $(b,proportional) \
+             (advance the side lagging in relative progress; default) or \
+             $(b,lookahead) (apply one gate from each side speculatively and keep the \
+             smaller diagram — roughly twice the work per step, but resistant to \
+             drift when the circuits' structures diverge).")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream both files through the alternating-DD miter without materialising \
+             the circuits: memory use is bounded by the diagram plus one input chunk \
+             per side, so checks can run over files far larger than memory.  Implies \
+             the alternating strategy; gates are interleaved proportionally to input \
+             bytes consumed.  The streamed subset excludes measure and layout \
+             metadata.")
+  in
   let certify =
     Arg.(
       value
@@ -148,8 +183,26 @@ let check_cmd =
              cannot be certified exits with code 4.")
   in
   let run file1 file2 strategy timeout tol sim_runs seed jobs approx gc_threshold dd_stats
-      json trace checkers certify =
+      json trace checkers dd_core oracle stream certify =
     set_engine_break_hook ();
+    let oracle =
+      match oracle with
+      | "proportional" -> Dd_checker.Proportional
+      | "lookahead" -> Dd_checker.Lookahead
+      | s ->
+          Printf.eprintf "error: --oracle must be proportional or lookahead (got %S)\n" s;
+          exit 3
+    in
+    let dd_core =
+      match dd_core with
+      | None -> None
+      | Some s -> (
+          match Oqec_dd.Dd_core.kind_of_string s with
+          | Some k -> Some k
+          | None ->
+              Printf.eprintf "error: --dd-core must be boxed or arena (got %S)\n" s;
+              exit 3)
+    in
     (match gc_threshold with
     | Some t when t < 0 ->
         Printf.eprintf "error: --gc-threshold must be >= 0 (got %d)\n" t;
@@ -175,20 +228,75 @@ let check_cmd =
               Printf.eprintf "error: --checkers: %s\n" msg;
               exit 3)
     in
-    let g = load file1 and g' = load file2 in
+    (match (stream, approx, certify) with
+    | true, Some _, _ ->
+        Printf.eprintf "error: --approx is not supported with --stream\n";
+        exit 3
+    | true, _, Some _ ->
+        Printf.eprintf
+          "error: --certify is not supported with --stream (certification replays the \
+           materialised circuits)\n";
+        exit 3
+    | true, None, None -> (
+        match strategy with
+        | Qcec.Alternating | Qcec.Combined -> ()
+        | s ->
+            Printf.eprintf
+              "error: --stream only supports the alternating strategy (got %s)\n"
+              (Qcec.strategy_to_string s);
+            exit 3)
+    | false, _, _ -> ());
     let sink = Option.map (fun _ -> Engine.Trace.create ()) trace in
+    if stream then begin
+      let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
+      let report =
+        try
+          Stream_checker.check ?core:dd_core ~oracle ?tol ?gc_threshold ?deadline ?sink
+            file1 file2
+        with
+        | Oqec_qasm.Qasm_stream.Unsupported msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 3
+        | Oqec_qasm.Qasm_parser.Error (msg, line) ->
+            Printf.eprintf "error: line %d: %s\n" line msg;
+            exit 3
+        | Oqec_qasm.Qasm.Parse_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 3
+      in
+      (match (trace, sink) with
+      | Some path, Some s ->
+          let oc = open_out path in
+          output_string oc (Engine.Trace.to_chrome_json s);
+          output_char oc '\n';
+          close_out oc
+      | _ -> ());
+      if json then print_endline (Equivalence.report_to_json report)
+      else begin
+        Format.printf "%a@." Equivalence.pp_report report;
+        if dd_stats then
+          match Equivalence.dd_stats report with
+          | Some s -> Format.printf "%a@." Oqec_dd.Dd.pp_stats s
+          | None -> ()
+      end;
+      match report.Equivalence.outcome with
+      | Equivalence.Equivalent -> exit 0
+      | Equivalence.Not_equivalent -> exit 1
+      | Equivalence.No_information | Equivalence.Timed_out -> exit 2
+    end;
+    let g = load file1 and g' = load file2 in
     let report =
       match approx with
       | Some threshold ->
           let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
           let r, _fid =
-            Dd_checker.check_approximate ?tol ?gc_threshold:gc_threshold ?deadline ?sink
-              ~threshold g g'
+            Dd_checker.check_approximate ?core:dd_core ?tol ?gc_threshold:gc_threshold
+              ?deadline ?sink ~threshold g g'
           in
           r
       | None ->
           Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed
-            ?jobs ?checkers ?sink g g'
+            ?jobs ~oracle ?checkers ?dd_core ?sink g g'
     in
     (match (trace, sink) with
     | Some path, Some s ->
@@ -237,7 +345,8 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
     Term.(
       const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ jobs
-      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers $ certify)
+      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers $ dd_core $ oracle
+      $ stream $ certify)
 
 (* ------------------------------------------------------- verify-cert cmd *)
 
@@ -302,29 +411,81 @@ let generate_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"KIND"
-          ~doc:"ghz, graphstate, qft, qpe, grover, qwalk, adder or urf.")
+          ~doc:
+            "ghz, graphstate, qft, qpe, grover, qwalk, adder, urf or stream (a random \
+             Clifford+T circuit written directly as QASM text, sized by --gates; see \
+             --twin).")
   in
   let size = Arg.(value & opt int 4 & info [ "n"; "size" ] ~docv:"N") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
-  let run kind size seed out =
-    match generator_of_string ~seed ~size kind with
-    | None ->
-        Printf.eprintf "error: unknown generator %S\n" kind;
+  let gates =
+    Arg.(
+      value & opt int 1000
+      & info [ "gates" ] ~docv:"G"
+          ~doc:
+            "Gate count for the $(b,stream) kind.  The circuit is emitted straight to \
+             the output without being materialised, so gate counts in the millions are \
+             fine.")
+  in
+  let twin =
+    Arg.(
+      value & flag
+      & info [ "twin" ]
+          ~doc:
+            "With the $(b,stream) kind: emit the provably equivalent twin of the same \
+             (seed, size, gates) stream — every gate rewritten through an exact local \
+             identity, with identity pairs interleaved.  A (base, twin) pair is a \
+             ready-made test case for $(b,oqec check --stream).")
+  in
+  let barrier_every =
+    Arg.(
+      value & opt int 0
+      & info [ "barrier-every" ] ~docv:"K"
+          ~doc:
+            "With the $(b,stream) kind: emit a $(b,barrier) at matching logical \
+             positions every K base gates (0 = none).  The streaming checker uses \
+             matching barriers to re-synchronise its two cursors, keeping the miter \
+             small on long streams; recommended for large --gates counts.")
+  in
+  let run kind size seed out gates barrier_every twin =
+    let with_out f =
+      match out with
+      | Some path ->
+          let oc = open_out path in
+          f oc;
+          close_out oc
+      | None -> f stdout
+    in
+    if kind = "stream" then begin
+      if size < 2 then begin
+        Printf.eprintf "error: stream needs --size >= 2 (got %d)\n" size;
         exit 3
-    | Some c -> (
-        let lowered = Decompose.elementary c in
-        let text = Oqec_qasm.Qasm.to_string lowered in
-        match out with
-        | Some path ->
-            let oc = open_out path in
-            output_string oc text;
-            close_out oc
-        | None -> print_string text)
+      end;
+      if gates < 1 then begin
+        Printf.eprintf "error: --gates must be >= 1 (got %d)\n" gates;
+        exit 3
+      end;
+      if barrier_every < 0 then begin
+        Printf.eprintf "error: --barrier-every must be >= 0 (got %d)\n" barrier_every;
+        exit 3
+      end;
+      with_out (fun oc ->
+          Oqec_workloads.Workloads.stream_qasm ~seed ~qubits:size ~gates ~barrier_every
+            ~twin oc)
+    end
+    else
+      match generator_of_string ~seed ~size kind with
+      | None ->
+          Printf.eprintf "error: unknown generator %S\n" kind;
+          exit 3
+      | Some c ->
+          let lowered = Decompose.elementary c in
+          with_out (fun oc -> output_string oc (Oqec_qasm.Qasm.to_string lowered))
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a benchmark circuit as OpenQASM.")
-    Term.(const run $ kind $ size $ seed $ out)
+    Term.(const run $ kind $ size $ seed $ out $ gates $ barrier_every $ twin)
 
 (* ---------------------------------------------------------- compile cmd *)
 
@@ -421,8 +582,18 @@ let fuzz_cmd =
       & info [ "checkers" ] ~docv:"LIST"
           ~doc:"Comma-separated subset of the oracle's checkers: dd, zx, sim, stab.")
   in
+  let dd_core =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dd-core" ] ~docv:"CORE"
+          ~doc:
+            "DD package representation for the dd/sim checkers: boxed (default) or \
+             arena.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit run statistics as one JSON object.") in
-  let run profile runs max_qubits max_gates seed shrink corpus only timeout checkers json =
+  let run profile runs max_qubits max_gates seed shrink corpus only timeout checkers
+      dd_core json =
     let profile =
       match Fuzz_gen.profile_of_string profile with
       | Some p -> p
@@ -453,6 +624,16 @@ let fuzz_cmd =
             names;
           Some names
     in
+    let dd_core =
+      match dd_core with
+      | None -> None
+      | Some s -> (
+          match Oqec_dd.Dd_core.kind_of_string s with
+          | Some k -> Some k
+          | None ->
+              Printf.eprintf "error: --dd-core must be boxed or arena (got %S)\n" s;
+              exit 3)
+    in
     (* Hidden test hook: deliberately corrupt one checker's verdicts so the
        oracle/shrink/corpus path can be exercised end to end. *)
     (match Sys.getenv_opt "OQEC_FUZZ_BREAK" with
@@ -460,7 +641,19 @@ let fuzz_cmd =
     | _ -> ());
     set_engine_break_hook ();
     let config =
-      { Fuzz.profile; runs; max_qubits; max_gates; seed; shrink; corpus; only; timeout; checkers }
+      {
+        Fuzz.profile;
+        runs;
+        max_qubits;
+        max_gates;
+        seed;
+        shrink;
+        corpus;
+        only;
+        timeout;
+        checkers;
+        dd_core;
+      }
     in
     let log = if json then fun line -> prerr_endline line else print_endline in
     let stats = Fuzz.run ~log config in
@@ -480,7 +673,7 @@ let fuzz_cmd =
           persisted as a regression.")
     Term.(
       const run $ profile $ runs $ max_qubits $ max_gates $ seed $ shrink $ corpus $ only
-      $ timeout $ checkers $ json)
+      $ timeout $ checkers $ dd_core $ json)
 
 let () =
   let doc = "equivalence checking of quantum circuits (DDs vs ZX-calculus)" in

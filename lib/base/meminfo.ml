@@ -1,0 +1,33 @@
+(* /proc/self/status is a small text file of "Key:\tvalue unit" lines;
+   parsing it on demand costs microseconds, which is negligible next to
+   the benchmark runs it instruments. *)
+
+let field_kb key =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let prefix = key ^ ":" in
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line when String.length line > String.length prefix
+                        && String.sub line 0 (String.length prefix) = prefix -> (
+                (* "VmHWM:     12345 kB" *)
+                let rest =
+                  String.sub line (String.length prefix)
+                    (String.length line - String.length prefix)
+                in
+                match
+                  Scanf.sscanf rest " %d kB" (fun kb -> kb)
+                with
+                | kb -> Some kb
+                | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> None)
+            | _ -> scan ()
+          in
+          scan ())
+
+let vm_hwm_kb () = field_kb "VmHWM"
+let vm_rss_kb () = field_kb "VmRSS"

@@ -1,0 +1,20 @@
+(** Process memory statistics (Linux [/proc], best effort).
+
+    Used by the benchmark harness to record the peak resident set of a
+    run alongside wall times, so memory regressions (e.g. a decision
+    diagram arena that grows with total allocations instead of live
+    size) are caught by the same baseline gate as time regressions.
+
+    The counters are process-wide and monotonic: [vm_hwm_kb] is the high
+    water mark since process start, so it attributes memory to whatever
+    phase peaked first.  That is the right shape for a regression gate
+    (a leak anywhere raises it) but not for per-phase attribution. *)
+
+(** Peak resident set size in kilobytes ([VmHWM] in
+    [/proc/self/status]); [None] when the file or the field is
+    unavailable (non-Linux systems). *)
+val vm_hwm_kb : unit -> int option
+
+(** Current resident set size in kilobytes ([VmRSS]); [None] when
+    unavailable. *)
+val vm_rss_kb : unit -> int option

@@ -387,6 +387,17 @@ let node_count e =
 
 let allocated pkg = pkg.next_id - 1
 
+type arena_stats = {
+  a_capacity : int;
+  a_occupancy : int;
+  a_resizes : int;
+  a_compactions : int;
+  a_shards : int;
+  a_contended : int;
+  a_shard_resizes : int;
+  a_weights : int;
+}
+
 type stats = {
   allocated : int;
   live : int;
@@ -399,6 +410,7 @@ type stats = {
   adj : Ccache.stats;
   inner_ : Ccache.stats;
   ctable_entries : int;
+  arena : arena_stats option;
 }
 
 let stats pkg =
@@ -414,6 +426,7 @@ let stats pkg =
     adj = Ccache.stats pkg.adj_cache;
     inner_ = Ccache.stats pkg.inner_cache;
     ctable_entries = Ctable.size pkg.ctab;
+    arena = None;
   }
 
 let cache_hits s =
@@ -436,7 +449,15 @@ let pp_stats ppf s =
   cache "add" s.add_;
   cache "adj" s.adj;
   cache "inner" s.inner_;
-  Format.fprintf ppf "ctable: %d distinct reals@]" s.ctable_entries
+  Format.fprintf ppf "ctable: %d distinct reals" s.ctable_entries;
+  (match s.arena with
+  | None -> ()
+  | Some a ->
+      Format.fprintf ppf "@,arena: %d/%d slots, %d resize(s), %d compaction(s)@,"
+        a.a_occupancy a.a_capacity a.a_resizes a.a_compactions;
+      Format.fprintf ppf "arena: %d shard(s), %d contended cons, %d shard resize(s), %d weights"
+        a.a_shards a.a_contended a.a_shard_resizes a.a_weights);
+  Format.fprintf ppf "@]"
 
 let stats_to_json s =
   let cache (c : Ccache.stats) =
@@ -445,10 +466,19 @@ let stats_to_json s =
       c.Ccache.s_hits c.Ccache.s_misses c.Ccache.s_overwrites (Ccache.hit_rate c)
       c.Ccache.s_filled c.Ccache.capacity
   in
+  let arena =
+    match s.arena with
+    | None -> ""
+    | Some a ->
+        Printf.sprintf
+          ",\"arena\":{\"capacity\":%d,\"occupancy\":%d,\"resizes\":%d,\"compactions\":%d,\"shards\":%d,\"shard_contended\":%d,\"shard_resizes\":%d,\"weights\":%d}"
+          a.a_capacity a.a_occupancy a.a_resizes a.a_compactions a.a_shards a.a_contended
+          a.a_shard_resizes a.a_weights
+  in
   Printf.sprintf
-    "{\"allocated\":%d,\"live\":%d,\"peak_live\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d,\"ctable_entries\":%d,\"mm\":%s,\"mv\":%s,\"add\":%s,\"adj\":%s,\"inner\":%s}"
+    "{\"allocated\":%d,\"live\":%d,\"peak_live\":%d,\"gc_runs\":%d,\"gc_reclaimed\":%d,\"ctable_entries\":%d,\"mm\":%s,\"mv\":%s,\"add\":%s,\"adj\":%s,\"inner\":%s%s}"
     s.allocated s.live s.peak_live s.gc_runs s.gc_reclaimed s.ctable_entries (cache s.mm)
-    (cache s.mv) (cache s.add_) (cache s.adj) (cache s.inner_)
+    (cache s.mv) (cache s.add_) (cache s.adj) (cache s.inner_) arena
 
 let pp_edge ppf e =
   Format.fprintf ppf "edge(w=%a, nodes=%d)" Cx.pp e.w (node_count e)

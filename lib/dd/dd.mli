@@ -164,8 +164,20 @@ val live : pkg -> int
 (** [clear_caches pkg] drops the compute tables (not the unique table). *)
 val clear_caches : pkg -> unit
 
-(** Engine statistics: node accounting, GC activity, per-compute-table
-    hit/miss/overwrite counters and complex-table size. *)
+(** Arena-core extras, populated only by {!Dd_arena.stats}: slot
+    occupancy, growth/compaction counters and unique-table sharding
+    tallies.  The boxed package reports [None]. *)
+type arena_stats = {
+  a_capacity : int;  (** node slots allocated in the arena *)
+  a_occupancy : int;  (** node slots currently live *)
+  a_resizes : int;  (** whole-arena growth events *)
+  a_compactions : int;  (** compaction passes run *)
+  a_shards : int;  (** unique-table shard count *)
+  a_contended : int;  (** cons operations that hit a locked shard *)
+  a_shard_resizes : int;  (** per-shard bucket-array doublings *)
+  a_weights : int;  (** distinct interned complex weights *)
+}
+
 type stats = {
   allocated : int;  (** nodes ever hash-consed *)
   live : int;  (** unique-table entries right now *)
@@ -178,7 +190,10 @@ type stats = {
   adj : Ccache.stats;  (** adjoint cache *)
   inner_ : Ccache.stats;  (** inner-product cache *)
   ctable_entries : int;  (** distinct interned reals *)
+  arena : arena_stats option;  (** arena-core extras; [None] when boxed *)
 }
+(** Engine statistics: node accounting, GC activity, per-compute-table
+    hit/miss/overwrite counters and complex-table size. *)
 
 val stats : pkg -> stats
 

@@ -1,0 +1,892 @@
+open Oqec_base
+
+(* Arena-backed QMDD package: the same canonical decision diagrams as
+   {!Dd}, stored as an int-indexed struct-of-arrays arena instead of
+   boxed records.
+
+   Layout (see DESIGN.md, "Arena DD core"):
+
+   - An {e edge} is one immediate integer, [node_id lor (weight_id lsl
+     32)].  Weight ids come from {!Wtable}, which pins id 0 to zero and
+     id 1 to one, so the zero edge is [0] and the scalar-one edge is
+     [1 lsl 32] — compile-time constants, invisible to the OCaml GC.
+   - Node columns are Bigarrays indexed by node id: [var] (int16 level),
+     [kids] (4 packed edges per node; vector nodes park [-1] sentinels
+     in slots 2 and 3 so they can never collide with matrix nodes in the
+     unique table), [next] (unique-table chain link) and [mark] (GC mark
+     byte).  Node id 0 is the terminal.
+   - The unique table is sharded by hash: each shard owns a bucket
+     array, an entry count and a mutex.  Chains thread through the
+     shared [next] column (every node lives in exactly one shard).
+     Single-owner packages skip the locks entirely; shared arenas
+     (see {!create_shared}/{!attach}) pay one try_lock per cons and
+     count the collisions they observe.
+   - Compute caches are direct-mapped parallel int arrays — probing
+     allocates nothing.
+
+   GC is a pinned-root compaction pass: rooted nodes never move (client
+   edges stay valid across safe points, as {!Dd} documents), dead nodes
+   free their slots, and surviving interior nodes slide down into the
+   holes with every kid pointer, the identity cache and the unique table
+   rebuilt to match.  Unlike the boxed package, an {e unrooted} edge
+   held across a collection must not be used again: its slot may have
+   been reassigned. *)
+
+type edge = int
+
+let nid (e : edge) = e land 0xFFFFFFFF
+let wid (e : edge) = e lsr 32
+let pack n w : edge = n lor (w lsl 32)
+let zero_edge : edge = 0
+let one_edge : edge = pack 0 Wtable.one_id
+let is_zero_edge (e : edge) = e = 0
+let is_terminal_id n = n = 0
+
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i16_col = (int, Bigarray.int16_signed_elt, Bigarray.c_layout) Bigarray.Array1.t
+type i8_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let int_col n : int_col = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let i16_col n : i16_col = Bigarray.Array1.create Bigarray.int16_signed Bigarray.c_layout n
+let i8_col n : i8_col = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n
+
+(* Sentinel parked in the kid slots a vector node does not use. *)
+let no_kid = -1
+
+type shard = {
+  lock : Mutex.t;
+  mutable buckets : int_col;  (* head node id per bucket; 0 = empty *)
+  mutable bmask : int;
+  mutable count : int;
+  mutable contended : int;  (* try_lock failures observed *)
+  mutable bresizes : int;
+}
+
+type arena = {
+  w : Wtable.t;
+  shards : shard array;
+  shard_mask : int;
+  shared : bool;
+  mutable cap : int;
+  next_free : int Atomic.t;  (* bump allocator: next unused slot *)
+  (* Dead slots left behind by the last compaction that the slide could
+     not fill (pinned roots sit above them and the bump pointer cannot
+     come back down past a pinned slot).  Reusing them is safe exactly
+     because compaction clears the compute caches and rebuilds the
+     unique table: no stale reference to a freed id survives the
+     collection that freed it.  Single-owner arenas only — shared
+     arenas never compact, so their free list stays empty. *)
+  mutable free_slots : int list;
+  live : int Atomic.t;
+  allocated : int Atomic.t;  (* nodes ever consed; monotonic *)
+  mutable var_c : i16_col;
+  mutable kids : int_col;  (* 4 packed edges per node *)
+  mutable next_c : int_col;
+  mutable mark_c : i8_col;
+  mutable resizes : int;
+  mutable compactions : int;
+}
+
+(* ------------------------------------------------- direct-mapped caches *)
+
+(* Keys and values are immediate ints, stored in parallel arrays; a slot
+   is empty while its value is [min_int] (no packed edge or interned
+   weight id is ever negative). *)
+type icache = {
+  k1 : int array;
+  k2 : int array;
+  k3 : int array;
+  v : int array;
+  cmask : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable overwrites : int;
+  mutable filled : int;
+}
+
+let icache_create bits =
+  let n = 1 lsl bits in
+  {
+    k1 = Array.make n 0;
+    k2 = Array.make n 0;
+    k3 = Array.make n 0;
+    v = Array.make n min_int;
+    cmask = n - 1;
+    hits = 0;
+    misses = 0;
+    overwrites = 0;
+    filled = 0;
+  }
+
+let icache_clear c =
+  Array.fill c.v 0 (Array.length c.v) min_int;
+  c.filled <- 0
+
+(* Multiplicative mixing over native ints; the constants fit in 62 bits. *)
+let mix h k =
+  let h = (h lxor k) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let hash3 a b c = mix (mix (mix 0x9E3779B9 a) b) c land max_int
+
+let icache_find c h k1 k2 k3 =
+  let i = h land c.cmask in
+  if c.v.(i) <> min_int && c.k1.(i) = k1 && c.k2.(i) = k2 && c.k3.(i) = k3 then begin
+    c.hits <- c.hits + 1;
+    c.v.(i)
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    min_int
+  end
+
+let icache_store c h k1 k2 k3 value =
+  let i = h land c.cmask in
+  if c.v.(i) = min_int then c.filled <- c.filled + 1
+  else if not (c.k1.(i) = k1 && c.k2.(i) = k2 && c.k3.(i) = k3) then
+    c.overwrites <- c.overwrites + 1;
+  c.k1.(i) <- k1;
+  c.k2.(i) <- k2;
+  c.k3.(i) <- k3;
+  c.v.(i) <- value
+
+let icache_stats c =
+  {
+    Ccache.capacity = c.cmask + 1;
+    s_filled = c.filled;
+    s_hits = c.hits;
+    s_misses = c.misses;
+    s_overwrites = c.overwrites;
+  }
+
+(* --------------------------------------------------------------- package *)
+
+type pkg = {
+  a : arena;
+  owns_arena : bool;  (* false for {!attach}ed handles: GC is disabled *)
+  mm_cache : icache;
+  mv_cache : icache;
+  add_cache : icache;
+  adj_cache : icache;
+  inner_cache : icache;
+  roots : (int, int) Hashtbl.t;  (* node id -> registration count *)
+  id_cache : (int, edge) Hashtbl.t;  (* qubit count -> identity edge *)
+  gc_threshold : int;
+  mutable gc_limit : int;
+  mutable gc_runs : int;
+  mutable gc_reclaimed : int;
+  mutable peak_live : int;
+  mutable safe_point_hook : unit -> unit;
+}
+
+let default_gc_threshold = 65536
+let default_cache_bits = 14
+let default_shard_bits = 3
+let default_capacity = 1 lsl 16
+
+let make_arena ~tol ~shard_bits ~capacity ~shared =
+  let nshards = 1 lsl shard_bits in
+  let shard () =
+    let b = int_col 1024 in
+    Bigarray.Array1.fill b 0;
+    { lock = Mutex.create (); buckets = b; bmask = 1023; count = 0; contended = 0; bresizes = 0 }
+  in
+  let w = Wtable.create ~tol () in
+  if shared then Wtable.set_shared w;
+  let a =
+    {
+      w;
+      shards = Array.init nshards (fun _ -> shard ());
+      shard_mask = nshards - 1;
+      shared;
+      cap = capacity;
+      next_free = Atomic.make 1;
+      free_slots = [];
+      live = Atomic.make 0;
+      allocated = Atomic.make 0;
+      var_c = i16_col capacity;
+      kids = int_col (4 * capacity);
+      next_c = int_col capacity;
+      mark_c = i8_col capacity;
+      resizes = 0;
+      compactions = 0;
+    }
+  in
+  a.var_c.{0} <- -1;
+  Bigarray.Array1.fill a.mark_c 0;
+  a
+
+let make_pkg ~arena ~owns_arena ~gc_threshold ~cache_bits =
+  if gc_threshold < 0 then invalid_arg "Dd_arena: gc_threshold must be >= 0";
+  {
+    a = arena;
+    owns_arena;
+    mm_cache = icache_create cache_bits;
+    mv_cache = icache_create cache_bits;
+    add_cache = icache_create cache_bits;
+    adj_cache = icache_create (min cache_bits 10);
+    inner_cache = icache_create (min cache_bits 10);
+    roots = Hashtbl.create 64;
+    id_cache = Hashtbl.create 8;
+    gc_threshold;
+    gc_limit = gc_threshold;
+    gc_runs = 0;
+    gc_reclaimed = 0;
+    peak_live = 0;
+    safe_point_hook = ignore;
+  }
+
+let create ?(tol = Cx.default_tolerance) ?(gc_threshold = default_gc_threshold)
+    ?(cache_bits = default_cache_bits) ?(shard_bits = default_shard_bits)
+    ?(capacity = default_capacity) () =
+  let arena = make_arena ~tol ~shard_bits ~capacity:(max 16 capacity) ~shared:false in
+  make_pkg ~arena ~owns_arena:true ~gc_threshold ~cache_bits
+
+type shared_arena = arena
+
+let create_shared ?(tol = Cx.default_tolerance) ?(shard_bits = default_shard_bits)
+    ~capacity () =
+  if capacity < 16 then invalid_arg "Dd_arena.create_shared: capacity too small";
+  make_arena ~tol ~shard_bits ~capacity ~shared:true
+
+(* Attached handles never collect: compaction would move nodes under the
+   other handles' feet.  Shared arenas are preallocated instead. *)
+let attach ?(cache_bits = default_cache_bits) arena =
+  make_pkg ~arena ~owns_arena:false ~gc_threshold:max_int ~cache_bits
+
+let on_safe_point pkg f = pkg.safe_point_hook <- f
+let at_safe_point_hook pkg = pkg.safe_point_hook ()
+let tolerance pkg = Wtable.tolerance pkg.a.w
+let weight pkg (e : edge) = Wtable.get pkg.a.w (wid e)
+
+let wmag2 a w =
+  let re = Wtable.re a.w w and im = Wtable.im a.w w in
+  (re *. re) +. (im *. im)
+
+(* ------------------------------------------------------------ allocation *)
+
+let grow_arena a ~need =
+  let cap = ref a.cap in
+  while need > !cap do
+    cap := 2 * !cap
+  done;
+  let cap = !cap in
+  let var_c = i16_col cap
+  and kids = int_col (4 * cap)
+  and next_c = int_col cap
+  and mark_c = i8_col cap in
+  let blit src dst len sub_len =
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub src 0 (len * sub_len))
+      (Bigarray.Array1.sub dst 0 (len * sub_len))
+  in
+  blit a.var_c var_c a.cap 1;
+  blit a.kids kids a.cap 4;
+  blit a.next_c next_c a.cap 1;
+  Bigarray.Array1.fill mark_c 0;
+  a.var_c <- var_c;
+  a.kids <- kids;
+  a.next_c <- next_c;
+  a.mark_c <- mark_c;
+  a.cap <- cap;
+  a.resizes <- a.resizes + 1
+
+let alloc_slot a =
+  match a.free_slots with
+  | idx :: rest when not a.shared ->
+      a.free_slots <- rest;
+      idx
+  | _ ->
+      let idx = Atomic.fetch_and_add a.next_free 1 in
+      if idx >= a.cap then
+        if a.shared then
+          failwith
+            (Printf.sprintf "Dd_arena: shared arena capacity exhausted (%d nodes)" a.cap)
+        else grow_arena a ~need:(idx + 1);
+      idx
+
+(* ------------------------------------------------------------ hash-consing *)
+
+let edge_of pkg ~w n : edge =
+  let id = Wtable.intern pkg.a.w w in
+  if id = Wtable.zero_id then zero_edge else pack n id
+
+let scale pkg z (e : edge) =
+  if is_zero_edge e then zero_edge
+  else edge_of pkg ~w:(Cx.mul z (weight pkg e)) (nid e)
+
+let node_hash a i =
+  let base = 4 * i in
+  let h = mix 0x9E3779B9 a.var_c.{i} in
+  let h = mix h a.kids.{base} in
+  let h = mix h a.kids.{base + 1} in
+  let h = mix h a.kids.{base + 2} in
+  mix h a.kids.{base + 3} land max_int
+
+let key_hash var k0 k1 k2 k3 =
+  mix (mix (mix (mix (mix 0x9E3779B9 var) k0) k1) k2) k3 land max_int
+
+let shard_of a h = a.shards.(h land a.shard_mask)
+let bucket_index h bmask = (h lsr 8) land bmask
+
+let shard_insert a s h i =
+  a.next_c.{i} <- s.buckets.{bucket_index h s.bmask};
+  s.buckets.{bucket_index h s.bmask} <- i;
+  s.count <- s.count + 1;
+  if s.count > 2 * (s.bmask + 1) then begin
+    (* Double this shard's bucket array and redistribute its chains. *)
+    let nmask = (2 * (s.bmask + 1)) - 1 in
+    let nb = int_col (nmask + 1) in
+    Bigarray.Array1.fill nb 0;
+    for b = 0 to s.bmask do
+      let node = ref s.buckets.{b} in
+      while !node <> 0 do
+        let next = a.next_c.{!node} in
+        let h = node_hash a !node in
+        let nbi = bucket_index h nmask in
+        a.next_c.{!node} <- nb.{nbi};
+        nb.{nbi} <- !node;
+        node := next
+      done
+    done;
+    s.buckets <- nb;
+    s.bmask <- nmask;
+    s.bresizes <- s.bresizes + 1
+  end
+
+(* Find-or-cons the already-normalised kid quadruple. *)
+let cons pkg var k0 k1 k2 k3 =
+  let a = pkg.a in
+  let h = key_hash var k0 k1 k2 k3 in
+  let s = shard_of a h in
+  if a.shared then
+    if not (Mutex.try_lock s.lock) then begin
+      s.contended <- s.contended + 1;
+      Mutex.lock s.lock
+    end;
+  let found = ref 0 in
+  let i = ref s.buckets.{bucket_index h s.bmask} in
+  while !found = 0 && !i <> 0 do
+    let n = !i in
+    let base = 4 * n in
+    if
+      a.var_c.{n} = var
+      && a.kids.{base} = k0
+      && a.kids.{base + 1} = k1
+      && a.kids.{base + 2} = k2
+      && a.kids.{base + 3} = k3
+    then found := n
+    else i := a.next_c.{n}
+  done;
+  let node =
+    if !found <> 0 then !found
+    else begin
+      let n = alloc_slot a in
+      let base = 4 * n in
+      a.var_c.{n} <- var;
+      a.kids.{base} <- k0;
+      a.kids.{base + 1} <- k1;
+      a.kids.{base + 2} <- k2;
+      a.kids.{base + 3} <- k3;
+      shard_insert a s h n;
+      Atomic.incr a.allocated;
+      let live = Atomic.fetch_and_add a.live 1 + 1 in
+      if live > pkg.peak_live then pkg.peak_live <- live;
+      n
+    end
+  in
+  if a.shared then Mutex.unlock s.lock;
+  node
+
+(* Normalising constructor, mirroring {!Dd.make_node}: the first edge of
+   maximal magnitude carries weight one, its weight is extracted onto
+   the returned edge. *)
+let make_node pkg var (edges : edge array) : edge =
+  assert (var >= 0);
+  let a = pkg.a in
+  let width = Array.length edges in
+  let best = ref (-1) and best_mag = ref 0.0 in
+  for i = 0 to width - 1 do
+    let e = edges.(i) in
+    if not (is_zero_edge e) then begin
+      let m = wmag2 a (wid e) in
+      if m > !best_mag then begin
+        best := i;
+        best_mag := m
+      end
+    end
+  done;
+  if !best < 0 then zero_edge
+  else begin
+    let top = Wtable.get a.w (wid edges.(!best)) in
+    let normalise i =
+      let e = edges.(i) in
+      if is_zero_edge e then zero_edge
+      else if i = !best then pack (nid e) Wtable.one_id
+      else edge_of pkg ~w:(Cx.div (weight pkg e) top) (nid e)
+    in
+    let k0 = normalise 0 and k1 = normalise 1 in
+    let k2 = if width > 2 then normalise 2 else no_kid
+    and k3 = if width > 2 then normalise 3 else no_kid in
+    let n = cons pkg var k0 k1 k2 k3 in
+    edge_of pkg ~w:top n
+  end
+
+(* ------------------------------------------------------------- structure *)
+
+let var_of pkg n = pkg.a.var_c.{n}
+let kid pkg n i = pkg.a.kids.{(4 * n) + i}
+let is_vector_node pkg n = kid pkg n 2 = no_kid
+let node_id (e : edge) = nid e
+let live pkg = Atomic.get pkg.a.live
+let allocated pkg = Atomic.get pkg.a.allocated
+
+let root pkg (e : edge) =
+  let n = nid e in
+  if not (is_terminal_id n) then
+    match Hashtbl.find_opt pkg.roots n with
+    | Some c -> Hashtbl.replace pkg.roots n (c + 1)
+    | None -> Hashtbl.replace pkg.roots n 1
+
+let unroot pkg (e : edge) =
+  let n = nid e in
+  if not (is_terminal_id n) then
+    match Hashtbl.find_opt pkg.roots n with
+    | Some c when c > 1 -> Hashtbl.replace pkg.roots n (c - 1)
+    | Some _ -> Hashtbl.remove pkg.roots n
+    | None -> ()
+
+let clear_caches pkg =
+  icache_clear pkg.mm_cache;
+  icache_clear pkg.mv_cache;
+  icache_clear pkg.add_cache;
+  icache_clear pkg.adj_cache;
+  icache_clear pkg.inner_cache
+
+(* Memoised identity chain, as in the boxed package; the cached edges
+   double as GC roots through the marking pass below. *)
+let identity pkg n =
+  match Hashtbl.find_opt pkg.id_cache n with
+  | Some e -> e
+  | None ->
+      let rec build v acc =
+        if v >= n then acc
+        else build (v + 1) (make_node pkg v [| acc; zero_edge; zero_edge; acc |])
+      in
+      let e = build 0 one_edge in
+      Hashtbl.replace pkg.id_cache n e;
+      e
+
+let is_identity ?(up_to_phase = true) pkg n e =
+  let id = identity pkg n in
+  nid e = nid id
+  &&
+  let m = Cx.mag (weight pkg e) in
+  if up_to_phase then Float.abs (m -. 1.0) <= 1e-8
+  else Cx.approx_equal ~tol:1e-8 (weight pkg e) Cx.one
+
+(* --------------------------------------------------------------------- GC *)
+
+(* Pinned-root compaction.  Phases:
+   1. mark everything reachable from the registered roots and the
+      memoised identities (iterative, explicit stack);
+   2. slide surviving unpinned nodes from the top of the arena into the
+      lowest dead slots (rooted nodes are pinned: client-held edges keep
+      their ids);
+   3. remap every kid pointer and identity-cache entry, rebuild the
+      unique table chains, drop the compute caches. *)
+let gc pkg =
+  if not pkg.owns_arena then 0
+  else begin
+    let a = pkg.a in
+    let top = Atomic.get a.next_free in
+    let before = Atomic.get a.live in
+    (* 1. mark *)
+    let stack = ref [] in
+    let push_edge e = if not (is_terminal_id (nid e)) then stack := nid e :: !stack in
+    Hashtbl.iter (fun n _ -> stack := n :: !stack) pkg.roots;
+    Hashtbl.iter (fun _ e -> push_edge e) pkg.id_cache;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          if a.mark_c.{n} = 0 then begin
+            a.mark_c.{n} <- 1;
+            let base = 4 * n in
+            for j = 0 to 3 do
+              let k = a.kids.{base + j} in
+              if k <> no_kid && not (is_zero_edge k) then begin
+                let kn = nid k in
+                if not (is_terminal_id kn) && a.mark_c.{kn} = 0 then stack := kn :: !stack
+              end
+            done
+          end
+    done;
+    (* 2. compact: two-finger, dead slots collected bottom-up, survivors
+       moved top-down.  Pinned (rooted) nodes never move. *)
+    let deads = ref [] and ndead = ref 0 in
+    for i = top - 1 downto 1 do
+      if a.mark_c.{i} = 0 then begin
+        deads := i :: !deads;
+        incr ndead
+      end
+    done;
+    let remap = Hashtbl.create (max 64 (!ndead / 4)) in
+    let rec move i deads =
+      if i >= 1 then
+        match deads with
+        | f :: rest when f < i ->
+            if a.mark_c.{i} = 1 && not (Hashtbl.mem pkg.roots i) then begin
+              a.var_c.{f} <- a.var_c.{i};
+              let bi = 4 * i and bf = 4 * f in
+              for j = 0 to 3 do
+                a.kids.{bf + j} <- a.kids.{bi + j}
+              done;
+              a.mark_c.{f} <- 1;
+              a.mark_c.{i} <- 0;
+              Hashtbl.replace remap i f;
+              move (i - 1) rest
+            end
+            else move (i - 1) deads
+        | _ -> ()
+    in
+    move (top - 1) !deads;
+    let new_top = ref 0 in
+    for i = 1 to top - 1 do
+      if a.mark_c.{i} = 1 then new_top := i
+    done;
+    let remap_edge e =
+      if is_zero_edge e || e = no_kid then e
+      else
+        let n = nid e in
+        match Hashtbl.find_opt remap n with
+        | Some f -> pack f (wid e)
+        | None -> e
+    in
+    (* 3. remap kids + identity cache, rebuild the unique table. *)
+    for i = 1 to !new_top do
+      if a.mark_c.{i} = 1 then begin
+        let base = 4 * i in
+        for j = 0 to 3 do
+          a.kids.{base + j} <- remap_edge a.kids.{base + j}
+        done
+      end
+    done;
+    let ids = Hashtbl.fold (fun k e acc -> (k, remap_edge e) :: acc) pkg.id_cache [] in
+    Hashtbl.reset pkg.id_cache;
+    List.iter (fun (k, e) -> Hashtbl.replace pkg.id_cache k e) ids;
+    Array.iter
+      (fun s ->
+        Bigarray.Array1.fill s.buckets 0;
+        s.count <- 0)
+      a.shards;
+    let after = ref 0 in
+    for i = 1 to !new_top do
+      if a.mark_c.{i} = 1 then begin
+        incr after;
+        let h = node_hash a i in
+        let s = shard_of a h in
+        shard_insert a s h i
+      end
+    done;
+    (* Dead slots below the highest survivor that the slide could not
+       fill (they sit under pinned roots): hand them to the allocator,
+       or the bump pointer — which can never come back down past a
+       pinned slot — leaks them and the arena grows without bound on
+       long runs. *)
+    let fl = ref [] in
+    for i = !new_top - 1 downto 1 do
+      if a.mark_c.{i} = 0 then fl := i :: !fl
+    done;
+    a.free_slots <- !fl;
+    Bigarray.Array1.fill (Bigarray.Array1.sub a.mark_c 0 top) 0;
+    Atomic.set a.next_free (!new_top + 1);
+    Atomic.set a.live !after;
+    a.compactions <- a.compactions + 1;
+    pkg.gc_runs <- pkg.gc_runs + 1;
+    pkg.gc_reclaimed <- pkg.gc_reclaimed + (before - !after);
+    clear_caches pkg;
+    if pkg.gc_threshold > 0 && !after > pkg.gc_limit * 3 / 4 then
+      pkg.gc_limit <- pkg.gc_limit * 2;
+    before - !after
+  end
+
+let maybe_gc pkg = if pkg.owns_arena && live pkg >= pkg.gc_limit then ignore (gc pkg)
+
+(* ------------------------------------------------------------ arithmetic *)
+
+(* The recursions mirror {!Dd} operation for operation so the two cores
+   stay differentially comparable: same operand ordering, same cache
+   keys modulo representation, same normalisation. *)
+
+let rec add pkg (e1 : edge) (e2 : edge) : edge =
+  if is_zero_edge e1 then e2
+  else if is_zero_edge e2 then e1
+  else if nid e1 = nid e2 then
+    edge_of pkg ~w:(Cx.add (weight pkg e1) (weight pkg e2)) (nid e1)
+  else begin
+    let e1, e2 = if nid e1 <= nid e2 then (e1, e2) else (e2, e1) in
+    let ratio = Cx.div (weight pkg e2) (weight pkg e1) in
+    let rw = Wtable.intern pkg.a.w ratio in
+    let ratio = Wtable.get pkg.a.w rw in
+    let n1 = nid e1 and n2 = nid e2 in
+    let h = hash3 n1 n2 rw in
+    let cached = icache_find pkg.add_cache h n1 n2 rw in
+    let base =
+      if cached <> min_int then cached
+      else begin
+        let r =
+          if is_terminal_id n1 then begin
+            assert (is_terminal_id n2);
+            edge_of pkg ~w:(Cx.add Cx.one ratio) 0
+          end
+          else begin
+            let v = max (var_of pkg n1) (var_of pkg n2) in
+            let vector = is_vector_node pkg n1 in
+            let c2 j =
+              let k = kid pkg n2 j in
+              if is_zero_edge k then zero_edge
+              else edge_of pkg ~w:(Cx.mul ratio (weight pkg k)) (nid k)
+            in
+            if vector then
+              make_node pkg v
+                [| add pkg (kid pkg n1 0) (c2 0); add pkg (kid pkg n1 1) (c2 1) |]
+            else
+              make_node pkg v
+                [|
+                  add pkg (kid pkg n1 0) (c2 0);
+                  add pkg (kid pkg n1 1) (c2 1);
+                  add pkg (kid pkg n1 2) (c2 2);
+                  add pkg (kid pkg n1 3) (c2 3);
+                |]
+          end
+        in
+        icache_store pkg.add_cache h n1 n2 rw r;
+        r
+      end
+    in
+    scale pkg (weight pkg e1) base
+  end
+
+let rec mul pkg (e1 : edge) (e2 : edge) : edge =
+  if is_zero_edge e1 || is_zero_edge e2 then zero_edge
+  else begin
+    let n1 = nid e1 and n2 = nid e2 in
+    if is_terminal_id n1 && is_terminal_id n2 then
+      edge_of pkg ~w:(Cx.mul (weight pkg e1) (weight pkg e2)) 0
+    else begin
+      assert (var_of pkg n1 = var_of pkg n2);
+      let v = var_of pkg n1 in
+      let h = hash3 n1 n2 0 in
+      let cached = icache_find pkg.mm_cache h n1 n2 0 in
+      let base =
+        if cached <> min_int then cached
+        else begin
+          let a i = kid pkg n1 i and b j = kid pkg n2 j in
+          let entry i j =
+            add pkg
+              (mul pkg (a ((2 * i) + 0)) (b ((2 * 0) + j)))
+              (mul pkg (a ((2 * i) + 1)) (b ((2 * 1) + j)))
+          in
+          let r = make_node pkg v [| entry 0 0; entry 0 1; entry 1 0; entry 1 1 |] in
+          icache_store pkg.mm_cache h n1 n2 0 r;
+          r
+        end
+      in
+      scale pkg (Cx.mul (weight pkg e1) (weight pkg e2)) base
+    end
+  end
+
+let rec mul_vec pkg (m : edge) (x : edge) : edge =
+  if is_zero_edge m || is_zero_edge x then zero_edge
+  else begin
+    let nm = nid m and nx = nid x in
+    if is_terminal_id nm && is_terminal_id nx then
+      edge_of pkg ~w:(Cx.mul (weight pkg m) (weight pkg x)) 0
+    else begin
+      assert (var_of pkg nm = var_of pkg nx);
+      let lvl = var_of pkg nm in
+      let h = hash3 nm nx 1 in
+      let cached = icache_find pkg.mv_cache h nm nx 1 in
+      let base =
+        if cached <> min_int then cached
+        else begin
+          let a i = kid pkg nm i and v j = kid pkg nx j in
+          let entry i =
+            add pkg (mul_vec pkg (a ((2 * i) + 0)) (v 0)) (mul_vec pkg (a ((2 * i) + 1)) (v 1))
+          in
+          let r = make_node pkg lvl [| entry 0; entry 1 |] in
+          icache_store pkg.mv_cache h nm nx 1 r;
+          r
+        end
+      in
+      scale pkg (Cx.mul (weight pkg m) (weight pkg x)) base
+    end
+  end
+
+let rec adjoint pkg (e : edge) : edge =
+  if is_zero_edge e then zero_edge
+  else if is_terminal_id (nid e) then edge_of pkg ~w:(Cx.conj (weight pkg e)) 0
+  else begin
+    let n = nid e in
+    let h = hash3 n 0 2 in
+    let cached = icache_find pkg.adj_cache h n 0 2 in
+    let base =
+      if cached <> min_int then cached
+      else begin
+        let v = var_of pkg n in
+        let c i = kid pkg n i in
+        let r =
+          make_node pkg v
+            [| adjoint pkg (c 0); adjoint pkg (c 2); adjoint pkg (c 1); adjoint pkg (c 3) |]
+        in
+        icache_store pkg.adj_cache h n 0 2 r;
+        r
+      end
+    in
+    scale pkg (Cx.conj (weight pkg e)) base
+  end
+
+let rec inner pkg (e1 : edge) (e2 : edge) : Cx.t =
+  if is_zero_edge e1 || is_zero_edge e2 then Cx.zero
+  else begin
+    let n1 = nid e1 and n2 = nid e2 in
+    if is_terminal_id n1 && is_terminal_id n2 then
+      Cx.mul (Cx.conj (weight pkg e1)) (weight pkg e2)
+    else begin
+      assert (var_of pkg n1 = var_of pkg n2);
+      let h = hash3 n1 n2 3 in
+      let cached = icache_find pkg.inner_cache h n1 n2 3 in
+      let base_wid =
+        if cached <> min_int then cached
+        else begin
+          let a i = kid pkg n1 i and b j = kid pkg n2 j in
+          let r = Cx.add (inner pkg (a 0) (b 0)) (inner pkg (a 1) (b 1)) in
+          let rw = Wtable.intern pkg.a.w r in
+          icache_store pkg.inner_cache h n1 n2 3 rw;
+          rw
+        end
+      in
+      Cx.mul
+        (Cx.mul (Cx.conj (weight pkg e1)) (weight pkg e2))
+        (Wtable.get pkg.a.w base_wid)
+    end
+  end
+
+let kets_bits pkg n bit =
+  let rec build v acc =
+    if v >= n then acc
+    else
+      let edges = if bit v then [| zero_edge; acc |] else [| acc; zero_edge |] in
+      build (v + 1) (make_node pkg v edges)
+  in
+  build 0 one_edge
+
+let kets pkg n i = kets_bits pkg n (fun v -> (i lsr v) land 1 = 1)
+
+let trace pkg (e : edge) =
+  let cache : (int, Cx.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec node_trace n =
+    if is_terminal_id n then Cx.one
+    else
+      match Hashtbl.find_opt cache n with
+      | Some t -> t
+      | None ->
+          let sub c =
+            if is_zero_edge c then Cx.zero
+            else Cx.mul (weight pkg c) (node_trace (nid c))
+          in
+          let t = Cx.add (sub (kid pkg n 0)) (sub (kid pkg n 3)) in
+          Hashtbl.replace cache n t;
+          t
+  in
+  if is_zero_edge e then Cx.zero else Cx.mul (weight pkg e) (node_trace (nid e))
+
+let fidelity_to_identity pkg ~n e = Cx.mag (trace pkg e) /. Float.pow 2.0 (float_of_int n)
+
+(* ------------------------------------------------------------ diagnostics *)
+
+let node_count pkg (e : edge) =
+  let seen = Hashtbl.create 256 in
+  let rec visit n =
+    if (not (is_terminal_id n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      for j = 0 to 3 do
+        let k = kid pkg n j in
+        if k <> no_kid && not (is_zero_edge k) then visit (nid k)
+      done
+    end
+  in
+  visit (nid e);
+  Hashtbl.length seen
+
+(* Dense exports for the differential tests (small circuits only). *)
+let to_dmatrix pkg (e : edge) ~n =
+  let dim = 1 lsl n in
+  let m = Dmatrix.zero dim dim in
+  let rec fill e v row col w =
+    if not (is_zero_edge e) then begin
+      let w = Cx.mul w (weight pkg e) in
+      if v < 0 then Dmatrix.set m row col (Cx.add (Dmatrix.get m row col) w)
+      else begin
+        let half = 1 lsl v in
+        let node = nid e in
+        let sub j = kid pkg node j in
+        fill (sub 0) (v - 1) row col w;
+        fill (sub 1) (v - 1) row (col + half) w;
+        fill (sub 2) (v - 1) (row + half) col w;
+        fill (sub 3) (v - 1) (row + half) (col + half) w
+      end
+    end
+  in
+  fill e (n - 1) 0 0 Cx.one;
+  m
+
+let to_vector pkg (e : edge) ~n =
+  let v = Array.make (1 lsl n) Cx.zero in
+  let rec fill e lvl idx w =
+    if not (is_zero_edge e) then begin
+      let w = Cx.mul w (weight pkg e) in
+      if lvl < 0 then v.(idx) <- Cx.add v.(idx) w
+      else begin
+        let half = 1 lsl lvl in
+        let node = nid e in
+        fill (kid pkg node 0) (lvl - 1) idx w;
+        fill (kid pkg node 1) (lvl - 1) (idx + half) w
+      end
+    end
+  in
+  fill e (n - 1) 0 Cx.one;
+  v
+
+let arena_stats pkg =
+  let a = pkg.a in
+  let contended = Array.fold_left (fun acc s -> acc + s.contended) 0 a.shards in
+  let bresizes = Array.fold_left (fun acc s -> acc + s.bresizes) 0 a.shards in
+  {
+    Dd.a_capacity = a.cap;
+    a_occupancy = Atomic.get a.live;
+    a_resizes = a.resizes;
+    a_compactions = a.compactions;
+    a_shards = Array.length a.shards;
+    a_contended = contended;
+    a_shard_resizes = bresizes;
+    a_weights = Wtable.size a.w;
+  }
+
+let stats pkg =
+  {
+    Dd.allocated = allocated pkg;
+    live = live pkg;
+    peak_live = pkg.peak_live;
+    gc_runs = pkg.gc_runs;
+    gc_reclaimed = pkg.gc_reclaimed;
+    mm = icache_stats pkg.mm_cache;
+    mv = icache_stats pkg.mv_cache;
+    add_ = icache_stats pkg.add_cache;
+    adj = icache_stats pkg.adj_cache;
+    inner_ = icache_stats pkg.inner_cache;
+    ctable_entries = Wtable.size pkg.a.w;
+    arena = Some (arena_stats pkg);
+  }

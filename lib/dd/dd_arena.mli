@@ -1,0 +1,112 @@
+(** Arena-backed QMDD package.
+
+    Same canonical decision diagrams and operation semantics as {!Dd},
+    different representation: nodes live in an int-indexed
+    struct-of-arrays arena (Bigarray columns, invisible to the OCaml
+    GC), an edge is one immediate integer packing a node id with a dense
+    weight id from {!Wtable}, and the unique table is sharded by hash so
+    several domains can cons into one shared arena.
+
+    Garbage collection is a pinned-root compaction pass.  The
+    {!root}/{!unroot}/{!on_safe_point} contract matches {!Dd} with one
+    sharpening: after a collection, an edge that was {e not} rooted (and
+    is not reachable from a rooted edge) must not be used again — its
+    slot may have been reassigned, whereas the boxed package merely lets
+    such edges lose canonicity. *)
+
+open Oqec_base
+
+type pkg
+type edge
+
+(** {1 Package lifecycle} *)
+
+val default_gc_threshold : int
+val default_cache_bits : int
+
+(** Single-owner package: lock-free consing, growable arena, compaction
+    enabled.  [capacity] is the initial slot count (doubles on
+    exhaustion); [shard_bits] sets the unique-table shard count to
+    [2^shard_bits]. *)
+val create :
+  ?tol:float ->
+  ?gc_threshold:int ->
+  ?cache_bits:int ->
+  ?shard_bits:int ->
+  ?capacity:int ->
+  unit ->
+  pkg
+
+(** A shared arena several packages can {!attach} to, e.g. one handle
+    per portfolio domain.  Interning serialises through per-shard locks
+    and the weight table's mutex; the arena is preallocated at exactly
+    [capacity] slots and raises [Failure] when full (growth and
+    compaction would move nodes under the other handles' feet). *)
+type shared_arena
+
+val create_shared : ?tol:float -> ?shard_bits:int -> capacity:int -> unit -> shared_arena
+val attach : ?cache_bits:int -> shared_arena -> pkg
+
+(** {1 Edges} *)
+
+val zero_edge : edge
+val one_edge : edge
+val is_zero_edge : edge -> bool
+
+(** The arena slot index carried by an edge (0 = terminal).  Stable
+    across safe points for rooted edges; exposed for tests and
+    diagnostics. *)
+val node_id : edge -> int
+
+val weight : pkg -> edge -> Cx.t
+val tolerance : pkg -> float
+
+(** {1 Construction} *)
+
+(** Normalising constructor; same normalisation rule as
+    {!Dd.make_node}: the first edge of maximal magnitude carries weight
+    one.  [edges] has length 4 (matrix node) or 2 (vector node). *)
+val make_node : pkg -> int -> edge array -> edge
+
+val edge_of : pkg -> w:Cx.t -> int -> edge
+val identity : pkg -> int -> edge
+val kets : pkg -> int -> int -> edge
+val kets_bits : pkg -> int -> (int -> bool) -> edge
+
+(** {1 Operations} *)
+
+val add : pkg -> edge -> edge -> edge
+val mul : pkg -> edge -> edge -> edge
+val mul_vec : pkg -> edge -> edge -> edge
+val adjoint : pkg -> edge -> edge
+val inner : pkg -> edge -> edge -> Cx.t
+val scale : pkg -> Cx.t -> edge -> edge
+val trace : pkg -> edge -> Cx.t
+val is_identity : ?up_to_phase:bool -> pkg -> int -> edge -> bool
+val fidelity_to_identity : pkg -> n:int -> edge -> float
+
+(** {1 Memory management} *)
+
+val root : pkg -> edge -> unit
+val unroot : pkg -> edge -> unit
+
+(** Runs a mark-and-compact pass; returns the number of slots
+    reclaimed.  No-op (returns 0) on {!attach}ed handles. *)
+val gc : pkg -> int
+
+val maybe_gc : pkg -> unit
+val on_safe_point : pkg -> (unit -> unit) -> unit
+val at_safe_point_hook : pkg -> unit
+val clear_caches : pkg -> unit
+
+(** {1 Diagnostics} *)
+
+val live : pkg -> int
+val allocated : pkg -> int
+val node_count : pkg -> edge -> int
+val stats : pkg -> Dd.stats
+
+(** {1 Dense export (tests; exponential in [n])} *)
+
+val to_dmatrix : pkg -> edge -> n:int -> Dmatrix.t
+val to_vector : pkg -> edge -> n:int -> Cx.t array

@@ -1,0 +1,139 @@
+open Oqec_base
+open Oqec_circuit
+
+(* Circuit application generic over the DD package representation: the
+   boxed {!Dd} package and the arena package ({!Dd_arena}) share one
+   implementation of gate-DD construction and the safe-point protocol by
+   instantiating {!Make} (see {!Dd_circuit} and {!Dd_core}). *)
+
+module type PRIM = sig
+  type pkg
+  type edge
+
+  val zero_edge : edge
+  val one_edge : edge
+  val make_node : pkg -> int -> edge array -> edge
+  val add : pkg -> edge -> edge -> edge
+  val scale : pkg -> Cx.t -> edge -> edge
+  val mul : pkg -> edge -> edge -> edge
+  val mul_vec : pkg -> edge -> edge -> edge
+  val identity : pkg -> int -> edge
+  val kets : pkg -> int -> int -> edge
+  val root : pkg -> edge -> unit
+  val unroot : pkg -> edge -> unit
+  val maybe_gc : pkg -> unit
+  val at_safe_point_hook : pkg -> unit
+end
+
+let swap_ops a b =
+  [
+    Circuit.Ctrl ([ a ], Gate.X, b);
+    Circuit.Ctrl ([ b ], Gate.X, a);
+    Circuit.Ctrl ([ a ], Gate.X, b);
+  ]
+
+module Make (P : PRIM) = struct
+  (* Build the DD of a (multi-)controlled single-qubit gate embedded in
+     [n] qubits, bottom-up.  Below the target we carry two diagonal
+     operators: [act], the projector onto "all controls seen so far are
+     1" (tensored with identity on non-control wires), and
+     [inact] = I - act; at the target level the gate applies on the
+     active part and identity on the inactive part; above the target,
+     further controls select between the accumulated operator and the
+     identity. *)
+  let gate_dd pkg n ~controls ~target (u : Dmatrix.t) : P.edge =
+    assert (target >= 0 && target < n);
+    let is_control = Array.make n false in
+    List.iter
+      (fun c ->
+        assert (c >= 0 && c < n && c <> target);
+        is_control.(c) <- true)
+      controls;
+    let wrap v e = P.make_node pkg v [| e; P.zero_edge; P.zero_edge; e |] in
+    let u00 = Dmatrix.get u 0 0
+    and u01 = Dmatrix.get u 0 1
+    and u10 = Dmatrix.get u 1 0
+    and u11 = Dmatrix.get u 1 1 in
+    let rec below v ~act ~inact ~ident =
+      if v = target then begin
+        let gate =
+          P.make_node pkg v
+            [|
+              P.add pkg (P.scale pkg u00 act) inact;
+              P.scale pkg u01 act;
+              P.scale pkg u10 act;
+              P.add pkg (P.scale pkg u11 act) inact;
+            |]
+        in
+        above (v + 1) ~gate ~ident:(wrap v ident)
+      end
+      else if is_control.(v) then
+        below (v + 1)
+          ~act:(P.make_node pkg v [| P.zero_edge; P.zero_edge; P.zero_edge; act |])
+          ~inact:(P.make_node pkg v [| ident; P.zero_edge; P.zero_edge; inact |])
+          ~ident:(wrap v ident)
+      else below (v + 1) ~act:(wrap v act) ~inact:(wrap v inact) ~ident:(wrap v ident)
+    and above v ~gate ~ident =
+      if v >= n then gate
+      else if is_control.(v) then
+        above (v + 1)
+          ~gate:(P.make_node pkg v [| ident; P.zero_edge; P.zero_edge; gate |])
+          ~ident:(wrap v ident)
+      else above (v + 1) ~gate:(wrap v gate) ~ident:(wrap v ident)
+    in
+    below 0 ~act:P.one_edge ~inact:P.zero_edge ~ident:P.one_edge
+
+  let swap_ops = swap_ops
+
+  (* The DDs of one circuit operation (SWAPs expand to three CNOTs). *)
+  let op_dds pkg n (op : Circuit.op) : P.edge list =
+    match op with
+    | Circuit.Gate (g, t) -> [ gate_dd pkg n ~controls:[] ~target:t (Gate.matrix g) ]
+    | Circuit.Ctrl (cs, g, t) -> [ gate_dd pkg n ~controls:cs ~target:t (Gate.matrix g) ]
+    | Circuit.Swap (a, b) ->
+        List.map
+          (function
+            | Circuit.Ctrl ([ c ], Gate.X, t) ->
+                gate_dd pkg n ~controls:[ c ] ~target:t (Gate.matrix Gate.X)
+            | _ -> assert false)
+          (swap_ops a b)
+    | Circuit.Barrier -> []
+
+  (* Gate application doubles as the package's GC safe point: the
+     incoming diagram is pinned, a collection may run, and only then are
+     the gate DDs built (so they can never be swept mid-application). *)
+  let at_safe_point pkg dd f =
+    P.at_safe_point_hook pkg;
+    P.root pkg dd;
+    P.maybe_gc pkg;
+    match f () with
+    | r ->
+        P.unroot pkg dd;
+        r
+    | exception e ->
+        P.unroot pkg dd;
+        raise e
+
+  let apply_op pkg n (dd : P.edge) (op : Circuit.op) : P.edge =
+    at_safe_point pkg dd (fun () ->
+        List.fold_left (fun acc g -> P.mul pkg g acc) dd (op_dds pkg n op))
+
+  let apply_op_left pkg n (dd : P.edge) (op : Circuit.op) : P.edge =
+    at_safe_point pkg dd (fun () ->
+        List.fold_left (fun acc g -> P.mul pkg acc g) dd (op_dds pkg n op))
+
+  let apply_op_vec pkg n (v : P.edge) (op : Circuit.op) : P.edge =
+    at_safe_point pkg v (fun () ->
+        List.fold_left (fun acc g -> P.mul_vec pkg g acc) v (op_dds pkg n op))
+
+  let of_circuit pkg (c : Circuit.t) : P.edge =
+    let n = Circuit.num_qubits c in
+    List.fold_left (fun acc op -> apply_op pkg n acc op) (P.identity pkg n) (Circuit.ops c)
+
+  let simulate pkg (c : Circuit.t) ~(input : int) : P.edge =
+    let n = Circuit.num_qubits c in
+    List.fold_left
+      (fun acc op -> apply_op_vec pkg n acc op)
+      (P.kets pkg n input)
+      (Circuit.ops c)
+end

@@ -1,0 +1,110 @@
+open Oqec_base
+open Oqec_circuit
+
+(* The DD-core seam: everything the checking paradigms need from a DD
+   package, abstracted over the representation so the boxed package
+   ({!Dd}, pointer-based records) and the arena package ({!Dd_arena},
+   struct-of-arrays, packed integer edges) are interchangeable behind
+   [--dd-core {boxed,arena}].  The boxed core stays the differential
+   baseline; checkers instantiate their implementation functor once per
+   core and dispatch on {!kind}. *)
+
+type kind = Boxed | Arena
+
+let kind_of_string = function
+  | "boxed" -> Some Boxed
+  | "arena" -> Some Arena
+  | _ -> None
+
+let kind_to_string = function Boxed -> "boxed" | Arena -> "arena"
+
+module type S = sig
+  type pkg
+  type edge
+
+  val kind : kind
+  val create : ?tol:float -> ?gc_threshold:int -> unit -> pkg
+  val on_safe_point : pkg -> (unit -> unit) -> unit
+  val identity : pkg -> int -> edge
+  val kets_bits : pkg -> int -> (int -> bool) -> edge
+  val root : pkg -> edge -> unit
+  val unroot : pkg -> edge -> unit
+  val is_identity : ?up_to_phase:bool -> pkg -> int -> edge -> bool
+  val fidelity_to_identity : pkg -> n:int -> edge -> float
+  val node_count : pkg -> edge -> int
+  val allocated : pkg -> int
+  val stats : pkg -> Dd.stats
+  val mul : pkg -> edge -> edge -> edge
+  val mul_vec : pkg -> edge -> edge -> edge
+  val adjoint : pkg -> edge -> edge
+  val inner : pkg -> edge -> edge -> Cx.t
+
+  (** Structural root equality — meaningful only under canonicity, i.e.
+      while both edges are rooted or no collection has intervened. *)
+  val same_node : edge -> edge -> bool
+
+  val weight : pkg -> edge -> Cx.t
+  val op_dds : pkg -> int -> Circuit.op -> edge list
+  val apply_op : pkg -> int -> edge -> Circuit.op -> edge
+  val apply_op_left : pkg -> int -> edge -> Circuit.op -> edge
+  val apply_op_vec : pkg -> int -> edge -> Circuit.op -> edge
+end
+
+module Boxed_core : S with type pkg = Dd.pkg and type edge = Dd.edge = struct
+  type pkg = Dd.pkg
+  type edge = Dd.edge
+
+  let kind = Boxed
+  let create ?tol ?gc_threshold () = Dd.create ?tol ?gc_threshold ()
+  let on_safe_point = Dd.on_safe_point
+  let identity = Dd.identity
+  let kets_bits = Dd.kets_bits
+  let root = Dd.root
+  let unroot = Dd.unroot
+  let is_identity ?up_to_phase pkg n e = Dd.is_identity ?up_to_phase pkg n e
+  let fidelity_to_identity _pkg ~n e = Dd.fidelity_to_identity ~n e
+  let node_count _pkg e = Dd.node_count e
+  let allocated = Dd.allocated
+  let stats = Dd.stats
+  let mul = Dd.mul
+  let mul_vec = Dd.mul_vec
+  let adjoint = Dd.adjoint
+  let inner = Dd.inner
+  let same_node (e1 : edge) (e2 : edge) = e1.Dd.node == e2.Dd.node
+  let weight _pkg (e : edge) = e.Dd.w
+  let op_dds = Dd_circuit.op_dds
+  let apply_op = Dd_circuit.apply_op
+  let apply_op_left = Dd_circuit.apply_op_left
+  let apply_op_vec = Dd_circuit.apply_op_vec
+end
+
+module Arena_core : S with type pkg = Dd_arena.pkg and type edge = Dd_arena.edge = struct
+  type pkg = Dd_arena.pkg
+  type edge = Dd_arena.edge
+
+  let kind = Arena
+  let create ?tol ?gc_threshold () = Dd_arena.create ?tol ?gc_threshold ()
+  let on_safe_point = Dd_arena.on_safe_point
+  let identity = Dd_arena.identity
+  let kets_bits = Dd_arena.kets_bits
+  let root = Dd_arena.root
+  let unroot = Dd_arena.unroot
+  let is_identity ?up_to_phase pkg n e = Dd_arena.is_identity ?up_to_phase pkg n e
+  let fidelity_to_identity pkg ~n e = Dd_arena.fidelity_to_identity pkg ~n e
+  let node_count = Dd_arena.node_count
+  let allocated = Dd_arena.allocated
+  let stats = Dd_arena.stats
+  let mul = Dd_arena.mul
+  let mul_vec = Dd_arena.mul_vec
+  let adjoint = Dd_arena.adjoint
+  let inner = Dd_arena.inner
+  let same_node (e1 : edge) (e2 : edge) = Dd_arena.node_id e1 = Dd_arena.node_id e2
+  let weight = Dd_arena.weight
+
+  module C = Dd_circuit_core.Make (Dd_arena)
+
+  let op_dds = C.op_dds
+  let apply_op = C.apply_op
+  let apply_op_left = C.apply_op_left
+  let apply_op_vec = C.apply_op_vec
+end

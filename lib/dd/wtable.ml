@@ -1,0 +1,170 @@
+open Oqec_base
+
+(* Dense-id complex-weight interning for the arena DD core.
+
+   The boxed package interns weights by value ({!Ctable} maps each float
+   onto a canonical representative within the tolerance); the arena packs
+   edges into immediate integers, so weights must additionally collapse
+   onto small dense ids.  Every weight is first canonicalised through the
+   shared {!Ctable} (which also folds [-0.] onto [+0.]), then the
+   canonical (re, im) pair is mapped onto an id.
+
+   The id lookup is on the hot path of every edge construction, so the
+   main index is an open-addressed int-array table (no allocation per
+   probe): slots hold [id + 1] (0 = empty), hashing the canonical IEEE
+   bit patterns and comparing candidates by float equality against the
+   stored columns.  Float equality is exact on canonical representatives
+   — [-0.] is folded onto [+0.] before storing and probing — except for
+   NaNs ([nan <> nan]); weights with a NaN component take a slow path
+   through a bit-pattern-keyed hashtable, which keeps interning total
+   (every NaN payload maps to one id) where float equality is not.
+
+   Ids 0 and 1 are pinned to zero and one, so the arena's zero and
+   identity edges are compile-time constants. *)
+
+type t = {
+  ctab : Ctable.t;
+  mutable slots : int array;  (* open addressing: id + 1, 0 = empty *)
+  mutable smask : int;
+  nan_ids : (int64 * int64, int) Hashtbl.t;  (* NaN-component slow path *)
+  mutable re : float array;
+  mutable im : float array;
+  mutable n : int;
+  lock : Mutex.t;
+  mutable locked : bool;  (* shared arenas serialise interning *)
+}
+
+let zero_id = 0
+let one_id = 1
+
+(* Canonicalise [-0.] at the bit level: Ctable's value-level
+   normalisation covers components it interns, but non-finite weights
+   pass through uninterned and an explicit fold keeps [-0.] from
+   splitting off a second id for zero. *)
+let norm v = if v = 0.0 then 0.0 else v
+
+let hash_weight re im =
+  let h =
+    Int64.to_int (Int64.bits_of_float re) * 0x2545F4914F6CDD1D
+    lxor Int64.to_int (Int64.bits_of_float im)
+  in
+  let h = h * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let create ?(tol = Cx.default_tolerance) () =
+  let t =
+    {
+      ctab = Ctable.create ~tol;
+      slots = Array.make 4096 0;
+      smask = 4095;
+      nan_ids = Hashtbl.create 16;
+      re = Array.make 1024 0.0;
+      im = Array.make 1024 0.0;
+      n = 0;
+      lock = Mutex.create ();
+      locked = false;
+    }
+  in
+  let pin re im =
+    let id = t.n in
+    t.re.(id) <- re;
+    t.im.(id) <- im;
+    t.n <- id + 1;
+    let h = ref (hash_weight re im land t.smask) in
+    while t.slots.(!h) <> 0 do
+      h := (!h + 1) land t.smask
+    done;
+    t.slots.(!h) <- id + 1
+  in
+  pin 0.0 0.0;
+  pin 1.0 0.0;
+  t
+
+let set_shared t = t.locked <- true
+let tolerance t = Ctable.tolerance t.ctab
+let size t = t.n
+let re t id = t.re.(id)
+let im t id = t.im.(id)
+let get t id = Cx.make t.re.(id) t.im.(id)
+
+let grow_values t =
+  let cap = Array.length t.re in
+  if t.n >= cap then begin
+    let re = Array.make (2 * cap) 0.0 and im = Array.make (2 * cap) 0.0 in
+    Array.blit t.re 0 re 0 cap;
+    Array.blit t.im 0 im 0 cap;
+    t.re <- re;
+    t.im <- im
+  end
+
+let grow_slots t =
+  (* Keep the load factor under 1/2; NaN-path ids are absent from the
+     slot table by construction, so rehashing from the value columns
+     must skip them. *)
+  if 2 * t.n >= t.smask + 1 then begin
+    let size = 2 * (t.smask + 1) in
+    let slots = Array.make size 0 and smask = size - 1 in
+    for id = 0 to t.n - 1 do
+      let rv = t.re.(id) and iv = t.im.(id) in
+      if not (Float.is_nan rv || Float.is_nan iv) then begin
+        let h = ref (hash_weight rv iv land smask) in
+        while slots.(!h) <> 0 do
+          h := (!h + 1) land smask
+        done;
+        slots.(!h) <- id + 1
+      end
+    done;
+    t.slots <- slots;
+    t.smask <- smask
+  end
+
+let fresh_id t rv iv =
+  grow_values t;
+  let id = t.n in
+  t.re.(id) <- rv;
+  t.im.(id) <- iv;
+  t.n <- id + 1;
+  id
+
+let intern_nan t rv iv =
+  let key = (Int64.bits_of_float rv, Int64.bits_of_float iv) in
+  match Hashtbl.find_opt t.nan_ids key with
+  | Some id -> id
+  | None ->
+      let id = fresh_id t rv iv in
+      Hashtbl.replace t.nan_ids key id;
+      id
+
+let intern_uncontended t (z : Cx.t) =
+  let z = Ctable.intern t.ctab z in
+  let rv = norm z.Cx.re and iv = norm z.Cx.im in
+  if Float.is_nan rv || Float.is_nan iv then intern_nan t rv iv
+  else begin
+    let h = ref (hash_weight rv iv land t.smask) in
+    let found = ref (-1) in
+    while !found < 0 && t.slots.(!h) <> 0 do
+      let id = t.slots.(!h) - 1 in
+      if t.re.(id) = rv && t.im.(id) = iv then found := id
+      else h := (!h + 1) land t.smask
+    done;
+    if !found >= 0 then !found
+    else begin
+      let id = fresh_id t rv iv in
+      t.slots.(!h) <- id + 1;
+      grow_slots t;
+      id
+    end
+  end
+
+let intern t z =
+  if t.locked then begin
+    Mutex.lock t.lock;
+    match intern_uncontended t z with
+    | id ->
+        Mutex.unlock t.lock;
+        id
+    | exception e ->
+        Mutex.unlock t.lock;
+        raise e
+  end
+  else intern_uncontended t z

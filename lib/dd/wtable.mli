@@ -1,0 +1,33 @@
+(** Dense-id complex-weight interning for the arena DD core.
+
+    Weights are canonicalised through a {!Ctable} (tolerance bucketing,
+    [-0.] folded onto [+0.]) and then assigned small dense ids keyed by
+    the canonical IEEE bit patterns, so that a whole edge — node id plus
+    weight id — packs into one immediate integer.  Ids {!zero_id} and
+    {!one_id} are pinned at creation. *)
+
+open Oqec_base
+
+type t
+
+val create : ?tol:float -> unit -> t
+
+(** Serialise subsequent {!intern} calls behind a mutex (used by shared
+    arenas where several domains intern concurrently). *)
+val set_shared : t -> unit
+
+val tolerance : t -> float
+
+(** Number of distinct weight ids assigned so far. *)
+val size : t -> int
+
+val zero_id : int
+val one_id : int
+
+(** [intern t z] is the dense id of [z]'s canonical representative,
+    allocating a fresh id on first sight. *)
+val intern : t -> Cx.t -> int
+
+val get : t -> int -> Cx.t
+val re : t -> int -> float
+val im : t -> int -> float

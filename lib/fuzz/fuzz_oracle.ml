@@ -168,12 +168,12 @@ let find_violation ~expected ~truth verdicts =
       checker_vs_checker;
     ]
 
-let run ?(timeout = 10.0) ?checkers ?(seed = 1) ~expected g g' =
+let run ?(timeout = 10.0) ?checkers ?dd_core ?(seed = 1) ~expected g g' =
   let selected =
     match checkers with
-    | None -> Qcec.oracle_checkers ()
+    | None -> Qcec.oracle_checkers ?dd_core ()
     | Some names ->
-        List.filter (fun (n, _, _) -> List.mem n names) (Qcec.oracle_checkers ())
+        List.filter (fun (n, _, _) -> List.mem n names) (Qcec.oracle_checkers ?dd_core ())
   in
   let verdicts =
     List.map (fun (name, _, checker) -> run_one ~timeout ~seed name checker g g') selected

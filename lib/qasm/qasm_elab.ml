@@ -1,0 +1,308 @@
+open Oqec_base
+open Oqec_circuit
+
+(* Elaboration of parsed QASM statements into circuit operations, shared
+   between the whole-program reader ({!Qasm}) and the streaming front
+   end ({!Qasm_stream}).  Operations are delivered through [env.emit] as
+   they are produced, so the streaming path never materialises the
+   operation list; the batch path simply accumulates. *)
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------ Evaluation *)
+
+let rec eval_expr env (e : Qasm_ast.expr) : float =
+  match e with
+  | Qasm_ast.Num f -> f
+  | Qasm_ast.Pi -> Float.pi
+  | Qasm_ast.Ident name -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "unbound parameter %S" name)))
+  | Qasm_ast.Neg e -> -.eval_expr env e
+  | Qasm_ast.Binop (op, a, b) -> (
+      let a = eval_expr env a and b = eval_expr env b in
+      match op with
+      | '+' -> a +. b
+      | '-' -> a -. b
+      | '*' -> a *. b
+      | '/' -> a /. b
+      | '^' -> Float.pow a b
+      | c -> raise (Parse_error (Printf.sprintf "unknown operator %C" c)))
+  | Qasm_ast.Call (f, e) -> (
+      let v = eval_expr env e in
+      match f with
+      | "sin" -> sin v
+      | "cos" -> cos v
+      | "tan" -> tan v
+      | "exp" -> exp v
+      | "ln" -> log v
+      | "sqrt" -> sqrt v
+      | _ -> raise (Parse_error (Printf.sprintf "unknown function %S" f)))
+
+(* ------------------------------------------------------- Builtin gates *)
+
+(* Each builtin maps evaluated parameters and resolved wires to ops.
+   [arity] is (number of parameters, number of qubit arguments). *)
+
+let single g = fun _ wires ->
+  match wires with [ q ] -> [ Circuit.Gate (g, q) ] | _ -> assert false
+
+let single1 mk = fun ps wires ->
+  match (ps, wires) with
+  | [ a ], [ q ] -> [ Circuit.Gate (mk a, q) ]
+  | _ -> assert false
+
+let ctrl1 g = fun _ wires ->
+  match wires with [ c; t ] -> [ Circuit.Ctrl ([ c ], g, t) ] | _ -> assert false
+
+let ctrl1p mk = fun ps wires ->
+  match (ps, wires) with
+  | [ a ], [ c; t ] -> [ Circuit.Ctrl ([ c ], mk a, t) ]
+  | _ -> assert false
+
+let builtins :
+    (string * (int * int * (Phase.t list -> int list -> Circuit.op list))) list =
+  [
+    ("id", (0, 1, single Gate.I));
+    ("x", (0, 1, single Gate.X));
+    ("y", (0, 1, single Gate.Y));
+    ("z", (0, 1, single Gate.Z));
+    ("h", (0, 1, single Gate.H));
+    ("s", (0, 1, single Gate.S));
+    ("sdg", (0, 1, single Gate.Sdg));
+    ("t", (0, 1, single Gate.T));
+    ("tdg", (0, 1, single Gate.Tdg));
+    ("sx", (0, 1, single Gate.Sx));
+    ("sxdg", (0, 1, single Gate.Sxdg));
+    ("rx", (1, 1, single1 (fun a -> Gate.Rx a)));
+    ("ry", (1, 1, single1 (fun a -> Gate.Ry a)));
+    ("rz", (1, 1, single1 (fun a -> Gate.Rz a)));
+    ("p", (1, 1, single1 (fun a -> Gate.P a)));
+    ("u1", (1, 1, single1 (fun a -> Gate.P a)));
+    ( "u2",
+      ( 2,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b ], [ q ] -> [ Circuit.Gate (Gate.U (Phase.half_pi, a, b), q) ]
+          | _ -> assert false ) );
+    ( "u3",
+      ( 3,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ q ] -> [ Circuit.Gate (Gate.U (a, b, c), q) ]
+          | _ -> assert false ) );
+    ( "u",
+      ( 3,
+        1,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ q ] -> [ Circuit.Gate (Gate.U (a, b, c), q) ]
+          | _ -> assert false ) );
+    ("cx", (0, 2, ctrl1 Gate.X));
+    ("CX", (0, 2, ctrl1 Gate.X));
+    ("cy", (0, 2, ctrl1 Gate.Y));
+    ("cz", (0, 2, ctrl1 Gate.Z));
+    ("ch", (0, 2, ctrl1 Gate.H));
+    ("csx", (0, 2, ctrl1 Gate.Sx));
+    ("cp", (1, 2, ctrl1p (fun a -> Gate.P a)));
+    ("cu1", (1, 2, ctrl1p (fun a -> Gate.P a)));
+    ("crx", (1, 2, ctrl1p (fun a -> Gate.Rx a)));
+    ("cry", (1, 2, ctrl1p (fun a -> Gate.Ry a)));
+    ("crz", (1, 2, ctrl1p (fun a -> Gate.Rz a)));
+    ( "cu3",
+      ( 3,
+        2,
+        fun ps wires ->
+          match (ps, wires) with
+          | [ a; b; c ], [ ctl; tgt ] -> [ Circuit.Ctrl ([ ctl ], Gate.U (a, b, c), tgt) ]
+          | _ -> assert false ) );
+    ( "swap",
+      ( 0,
+        2,
+        fun _ wires ->
+          match wires with [ a; b ] -> [ Circuit.Swap (a, b) ] | _ -> assert false ) );
+    ( "ccx",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ a; b; t ] -> [ Circuit.Ctrl ([ a; b ], Gate.X, t) ]
+          | _ -> assert false ) );
+    ( "ccz",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ a; b; t ] -> [ Circuit.Ctrl ([ a; b ], Gate.Z, t) ]
+          | _ -> assert false ) );
+    ( "cswap",
+      ( 0,
+        3,
+        fun _ wires ->
+          match wires with
+          | [ c; a; b ] ->
+              (* Fredkin = CX(b,a) . CCX(c,a,b) . CX(b,a) *)
+              [
+                Circuit.Ctrl ([ b ], Gate.X, a);
+                Circuit.Ctrl ([ c; a ], Gate.X, b);
+                Circuit.Ctrl ([ b ], Gate.X, a);
+              ]
+          | _ -> assert false ) );
+    ( "c3x",
+      ( 0,
+        4,
+        fun _ wires ->
+          match wires with
+          | [ a; b; c; t ] -> [ Circuit.Ctrl ([ a; b; c ], Gate.X, t) ]
+          | _ -> assert false ) );
+    ( "c4x",
+      ( 0,
+        5,
+        fun _ wires ->
+          match wires with
+          | [ a; b; c; d; t ] -> [ Circuit.Ctrl ([ a; b; c; d ], Gate.X, t) ]
+          | _ -> assert false ) );
+  ]
+
+(* ------------------------------------------------------------ Elaboration *)
+
+type env = {
+  mutable qregs : (string * int) list;  (* name -> offset *)
+  mutable qreg_sizes : (string * int) list;
+  mutable cregs : (string * int) list;
+  mutable creg_sizes : (string * int) list;
+  mutable n_qubits : int;
+  mutable n_clbits : int;
+  defs : (string, Qasm_ast.gate_def) Hashtbl.t;
+  mutable emit : Circuit.op -> unit;  (* receives ops in program order *)
+  mutable ops : Circuit.op list;  (* reversed; fed by the default [emit] *)
+  mutable measures : (int * int) list;  (* reversed *)
+}
+
+(* The default [emit] accumulates into [env.ops] (the batch reader's
+   path); the streaming front end replaces it per statement. *)
+let make_env () =
+  let env =
+    {
+      qregs = [];
+      qreg_sizes = [];
+      cregs = [];
+      creg_sizes = [];
+      n_qubits = 0;
+      n_clbits = 0;
+      defs = Hashtbl.create 16;
+      emit = ignore;
+      ops = [];
+      measures = [];
+    }
+  in
+  env.emit <- (fun op -> env.ops <- op :: env.ops);
+  env
+
+let resolve_q env (a : Qasm_ast.arg) : int list =
+  match List.assoc_opt a.Qasm_ast.reg env.qregs with
+  | None -> raise (Parse_error (Printf.sprintf "unknown quantum register %S" a.Qasm_ast.reg))
+  | Some offset -> (
+      let size = List.assoc a.Qasm_ast.reg env.qreg_sizes in
+      match a.Qasm_ast.index with
+      | Some i ->
+          if i < 0 || i >= size then
+            raise (Parse_error (Printf.sprintf "index %d out of range for %S" i a.Qasm_ast.reg));
+          [ offset + i ]
+      | None -> List.init size (fun i -> offset + i))
+
+let resolve_c env (a : Qasm_ast.arg) : int list =
+  match List.assoc_opt a.Qasm_ast.reg env.cregs with
+  | None -> raise (Parse_error (Printf.sprintf "unknown classical register %S" a.Qasm_ast.reg))
+  | Some offset -> (
+      let size = List.assoc a.Qasm_ast.reg env.creg_sizes in
+      match a.Qasm_ast.index with
+      | Some i ->
+          if i < 0 || i >= size then
+            raise (Parse_error (Printf.sprintf "index %d out of range for %S" i a.Qasm_ast.reg));
+          [ offset + i ]
+      | None -> List.init size (fun i -> offset + i))
+
+(* Broadcast register arguments: all whole-register args must have the same
+   length; indexed args are repeated. *)
+let broadcast (arg_wires : int list list) : int list list =
+  let lengths = List.filter (fun ws -> List.length ws > 1) arg_wires in
+  match lengths with
+  | [] -> [ List.map (function [ w ] -> w | _ -> assert false) arg_wires ]
+  | ws :: rest ->
+      let n = List.length ws in
+      if List.exists (fun l -> List.length l <> n) rest then
+        raise (Parse_error "mismatched register sizes in broadcast");
+      List.init n (fun i ->
+          List.map (fun l -> if List.length l = 1 then List.hd l else List.nth l i) arg_wires)
+
+let rec apply_gate env (app : Qasm_ast.gate_app) (param_env : (string * float) list)
+    (qarg_env : (string * int) list option) =
+  let params = List.map (eval_expr param_env) app.Qasm_ast.params in
+  let phases = List.map Phase.of_float params in
+  let wires_of_arg (a : Qasm_ast.arg) : int list =
+    match qarg_env with
+    | Some bindings -> (
+        (* Inside a gate body: arguments are formal names, no indices. *)
+        match List.assoc_opt a.Qasm_ast.reg bindings with
+        | Some w -> [ w ]
+        | None -> raise (Parse_error (Printf.sprintf "unbound gate argument %S" a.Qasm_ast.reg)))
+    | None -> resolve_q env a
+  in
+  let arg_wires = List.map wires_of_arg app.Qasm_ast.args in
+  let instances = broadcast arg_wires in
+  let emit wires =
+    match List.assoc_opt app.Qasm_ast.gate_name builtins with
+    | Some (n_params, n_qargs, build) ->
+        if List.length params <> n_params then
+          raise
+            (Parse_error
+               (Printf.sprintf "%s expects %d parameter(s)" app.Qasm_ast.gate_name n_params));
+        if List.length wires <> n_qargs then
+          raise
+            (Parse_error
+               (Printf.sprintf "%s expects %d qubit argument(s)" app.Qasm_ast.gate_name n_qargs));
+        List.iter env.emit (build phases wires)
+    | None -> (
+        match Hashtbl.find_opt env.defs app.Qasm_ast.gate_name with
+        | None ->
+            raise (Parse_error (Printf.sprintf "unknown gate %S" app.Qasm_ast.gate_name))
+        | Some def ->
+            if List.length params <> List.length def.Qasm_ast.def_params then
+              raise (Parse_error (Printf.sprintf "%s: wrong parameter count" def.Qasm_ast.def_name));
+            if List.length wires <> List.length def.Qasm_ast.def_qargs then
+              raise (Parse_error (Printf.sprintf "%s: wrong argument count" def.Qasm_ast.def_name));
+            let params_bound = List.combine def.Qasm_ast.def_params params in
+            let qargs_bound = List.combine def.Qasm_ast.def_qargs wires in
+            List.iter
+              (fun inner -> apply_gate env inner params_bound (Some qargs_bound))
+              def.Qasm_ast.def_body)
+  in
+  List.iter emit instances
+
+let handle_stmt env = function
+  | Qasm_ast.Include _ -> ()
+  | Qasm_ast.Qreg (name, size) ->
+      if List.mem_assoc name env.qregs then
+        raise (Parse_error (Printf.sprintf "duplicate register %S" name));
+      env.qregs <- (name, env.n_qubits) :: env.qregs;
+      env.qreg_sizes <- (name, size) :: env.qreg_sizes;
+      env.n_qubits <- env.n_qubits + size
+  | Qasm_ast.Creg (name, size) ->
+      if List.mem_assoc name env.cregs then
+        raise (Parse_error (Printf.sprintf "duplicate register %S" name));
+      env.cregs <- (name, env.n_clbits) :: env.cregs;
+      env.creg_sizes <- (name, size) :: env.creg_sizes;
+      env.n_clbits <- env.n_clbits + size
+  | Qasm_ast.Gate_def def -> Hashtbl.replace env.defs def.Qasm_ast.def_name def
+  | Qasm_ast.App app -> apply_gate env app [] None
+  | Qasm_ast.Barrier _ -> env.emit Circuit.Barrier
+  | Qasm_ast.Measure (qa, ca) ->
+      let qs = resolve_q env qa and cs = resolve_c env ca in
+      if List.length qs <> List.length cs then
+        raise (Parse_error "measure: register size mismatch");
+      List.iter2 (fun q c -> env.measures <- (q, c) :: env.measures) qs cs
+  | Qasm_ast.Reset _ -> raise (Parse_error "reset is not supported")

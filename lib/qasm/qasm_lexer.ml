@@ -34,14 +34,56 @@ type token =
 
 exception Error of string * int  (* message, line *)
 
+(* The lexer runs over a window into the input.  In whole-string mode
+   ([make]) the window is the entire source and never moves.  In
+   streaming mode ([make_refill]) the window holds only the bytes still
+   needed: when [pos] runs off the end, [refill] supplies the next chunk
+   and everything before the current token ([mark], or [pos] itself
+   between tokens) is discarded, so memory use is bounded by one chunk
+   plus the longest token regardless of input size. *)
 type lexer = {
-  src : string;
-  mutable pos : int;
+  mutable src : string;  (* current window *)
+  mutable pos : int;  (* cursor, relative to the window *)
   mutable line : int;
+  refill : (unit -> string option) option;  (* [None] = whole-string mode *)
+  mutable eof : bool;  (* refill returned [None] *)
+  mutable mark : int;  (* start of the token being lexed; [max_int] between tokens *)
+  mutable base : int;  (* bytes discarded before [src.[0]] *)
 }
 
-let make src = { src; pos = 0; line = 1 }
-let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+let make src =
+  { src; pos = 0; line = 1; refill = None; eof = true; mark = max_int; base = 0 }
+
+let make_refill refill =
+  { src = ""; pos = 0; line = 1; refill = Some refill; eof = false; mark = max_int; base = 0 }
+
+(* Absolute byte offset of the cursor in the underlying input. *)
+let offset lx = lx.base + lx.pos
+
+(* Ensure [pos + n <= length src], pulling and appending chunks in
+   streaming mode.  Returns [false] when the input is exhausted first. *)
+let rec ensure lx n =
+  if lx.pos + n <= String.length lx.src then true
+  else
+    match lx.refill with
+    | None -> false
+    | Some refill ->
+        if lx.eof then false
+        else begin
+          (match refill () with
+          | None -> lx.eof <- true
+          | Some chunk ->
+              let keep = min lx.mark lx.pos in
+              let tail = String.sub lx.src keep (String.length lx.src - keep) in
+              lx.src <- tail ^ chunk;
+              lx.pos <- lx.pos - keep;
+              if lx.mark <> max_int then lx.mark <- lx.mark - keep;
+              lx.base <- lx.base + keep);
+          ensure lx n
+        end
+
+let peek_char lx = if ensure lx 1 then Some lx.src.[lx.pos] else None
+let peek_char2 lx = if ensure lx 2 then Some lx.src.[lx.pos + 1] else None
 
 let advance lx =
   (match peek_char lx with Some '\n' -> lx.line <- lx.line + 1 | Some _ | None -> ());
@@ -56,7 +98,7 @@ let rec skip_ws lx =
   | Some (' ' | '\t' | '\r' | '\n') ->
       advance lx;
       skip_ws lx
-  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+  | Some '/' when peek_char2 lx = Some '/' ->
       let rec to_eol () =
         match peek_char lx with
         | Some '\n' | None -> ()
@@ -68,8 +110,10 @@ let rec skip_ws lx =
       skip_ws lx
   | Some _ | None -> ()
 
+(* Token text accumulates between [mark] and [pos]; refills inside the
+   loop slide the window but preserve everything from [mark] on. *)
 let lex_while lx pred =
-  let start = lx.pos in
+  lx.mark <- lx.pos;
   let rec go () =
     match peek_char lx with
     | Some c when pred c ->
@@ -78,7 +122,9 @@ let lex_while lx pred =
     | Some _ | None -> ()
   in
   go ();
-  String.sub lx.src start (lx.pos - start)
+  let text = String.sub lx.src lx.mark (lx.pos - lx.mark) in
+  lx.mark <- max_int;
+  text
 
 let keyword = function
   | "OPENQASM" -> Some OPENQASM

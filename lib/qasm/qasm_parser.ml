@@ -11,10 +11,11 @@ type parser_state = {
 
 let fail st msg = raise (Error (msg, st.lx.Qasm_lexer.line))
 
-let make src =
-  let lx = Qasm_lexer.make src in
+let make_from_lexer lx =
   try { lx; tok = Qasm_lexer.next lx }
   with Qasm_lexer.Error (m, l) -> raise (Error (m, l))
+
+let make src = make_from_lexer (Qasm_lexer.make src)
 
 let advance st =
   try st.tok <- Qasm_lexer.next st.lx
@@ -236,68 +237,72 @@ let parse_reg st kind =
   expect st Qasm_lexer.SEMI;
   match kind with `Q -> Qreg (name, size) | `C -> Creg (name, size)
 
-let parse_program src =
-  let st = make src in
-  (* Optional version header. *)
+(* Optional version header. *)
+let parse_header st =
   if st.tok = Qasm_lexer.OPENQASM then begin
     advance st;
     (match st.tok with
     | Qasm_lexer.NUM _ | Qasm_lexer.INT _ -> advance st
     | t -> fail st (Printf.sprintf "expected version number, found %s" (Qasm_lexer.token_to_string t)));
     expect st Qasm_lexer.SEMI
-  end;
+  end
+
+(* One top-level statement; [None] at end of input.  The incremental
+   entry point of the streaming front end ({!Qasm_stream}): each call
+   consumes exactly one statement's worth of tokens. *)
+let parse_statement st =
+  match st.tok with
+  | Qasm_lexer.EOF -> None
+  | Qasm_lexer.INCLUDE ->
+      advance st;
+      (match st.tok with
+      | Qasm_lexer.STRING file ->
+          advance st;
+          expect st Qasm_lexer.SEMI;
+          Some (Include file)
+      | t -> fail st (Printf.sprintf "expected file name, found %s" (Qasm_lexer.token_to_string t)))
+  | Qasm_lexer.QREG ->
+      advance st;
+      Some (parse_reg st `Q)
+  | Qasm_lexer.CREG ->
+      advance st;
+      Some (parse_reg st `C)
+  | Qasm_lexer.GATE ->
+      advance st;
+      Some (parse_gate_def st)
+  | Qasm_lexer.BARRIER ->
+      advance st;
+      let args = parse_arg_list st in
+      expect st Qasm_lexer.SEMI;
+      Some (Barrier args)
+  | Qasm_lexer.MEASURE ->
+      advance st;
+      let src_arg = parse_arg st in
+      expect st Qasm_lexer.ARROW;
+      let dst = parse_arg st in
+      expect st Qasm_lexer.SEMI;
+      Some (Measure (src_arg, dst))
+  | Qasm_lexer.RESET ->
+      advance st;
+      let a = parse_arg st in
+      expect st Qasm_lexer.SEMI;
+      Some (Reset a)
+  | Qasm_lexer.IF -> fail st "classical conditioning (if) is not supported"
+  | Qasm_lexer.ID name ->
+      advance st;
+      Some (App (parse_app st name))
+  | t -> fail st (Printf.sprintf "unexpected %s" (Qasm_lexer.token_to_string t))
+
+let parse_program src =
+  let st = make src in
+  parse_header st;
   let stmts = ref [] in
-  let push s = stmts := s :: !stmts in
   let rec loop () =
-    match st.tok with
-    | Qasm_lexer.EOF -> ()
-    | Qasm_lexer.INCLUDE ->
-        advance st;
-        (match st.tok with
-        | Qasm_lexer.STRING file ->
-            advance st;
-            expect st Qasm_lexer.SEMI;
-            push (Include file)
-        | t -> fail st (Printf.sprintf "expected file name, found %s" (Qasm_lexer.token_to_string t)));
+    match parse_statement st with
+    | None -> ()
+    | Some s ->
+        stmts := s :: !stmts;
         loop ()
-    | Qasm_lexer.QREG ->
-        advance st;
-        push (parse_reg st `Q);
-        loop ()
-    | Qasm_lexer.CREG ->
-        advance st;
-        push (parse_reg st `C);
-        loop ()
-    | Qasm_lexer.GATE ->
-        advance st;
-        push (parse_gate_def st);
-        loop ()
-    | Qasm_lexer.BARRIER ->
-        advance st;
-        let args = parse_arg_list st in
-        expect st Qasm_lexer.SEMI;
-        push (Barrier args);
-        loop ()
-    | Qasm_lexer.MEASURE ->
-        advance st;
-        let src_arg = parse_arg st in
-        expect st Qasm_lexer.ARROW;
-        let dst = parse_arg st in
-        expect st Qasm_lexer.SEMI;
-        push (Measure (src_arg, dst));
-        loop ()
-    | Qasm_lexer.RESET ->
-        advance st;
-        let a = parse_arg st in
-        expect st Qasm_lexer.SEMI;
-        push (Reset a);
-        loop ()
-    | Qasm_lexer.IF -> fail st "classical conditioning (if) is not supported"
-    | Qasm_lexer.ID name ->
-        advance st;
-        push (App (parse_app st name));
-        loop ()
-    | t -> fail st (Printf.sprintf "unexpected %s" (Qasm_lexer.token_to_string t))
   in
   loop ();
   List.rev !stmts

@@ -1,0 +1,131 @@
+(* Streaming QASM front end: an incremental lexer/parser/elaboration
+   pipeline that hands circuit operations to a callback statement by
+   statement, so a check can run over circuits far larger than memory.
+   See {!Qasm_stream} (mli) for the supported subset. *)
+
+exception Unsupported of string
+
+type t = {
+  ic : in_channel;
+  path : string;
+  st : Qasm_parser.parser_state;
+  env : Qasm_elab.env;
+  total_bytes : int;
+  mutable qreg_seen : bool;
+  mutable closed : bool;
+}
+
+let fail_unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let open_file ?(chunk_size = 65536) path =
+  let ic = open_in_bin path in
+  let total_bytes = in_channel_length ic in
+  let buf = Bytes.create chunk_size in
+  let first_chunk = ref true in
+  let refill () =
+    match input ic buf 0 chunk_size with
+    | 0 -> None
+    | exception End_of_file -> None
+    | k ->
+        let chunk = Bytes.sub_string buf 0 k in
+        (* Layout metadata travels in a comment the lexer never sees;
+           the batch reader honours it, streaming cannot, so reject it
+           loudly rather than silently checking a different circuit.
+           Best effort: the comment sits in the header in practice, and
+           a chunk boundary splitting it is vanishingly unlikely. *)
+        if !first_chunk then begin
+          first_chunk := false;
+          let pat = "oqec:layout" in
+          let limit = String.length chunk - String.length pat in
+          let found = ref false in
+          for i = 0 to limit do
+            if String.sub chunk i (String.length pat) = pat then found := true
+          done;
+          if !found then
+            fail_unsupported
+              "%s: layout metadata (// oqec:layout) is not supported in streaming \
+               mode; use the batch reader"
+              path
+        end;
+        Some chunk
+  in
+  let lx = Qasm_lexer.make_refill refill in
+  match
+    let st = Qasm_parser.make_from_lexer lx in
+    Qasm_parser.parse_header st;
+    st
+  with
+  | st ->
+      {
+        ic;
+        path;
+        st;
+        env = Qasm_elab.make_env ();
+        total_bytes;
+        qreg_seen = false;
+        closed = false;
+      }
+  | exception e ->
+      close_in_noerr ic;
+      raise e
+
+let total_bytes s = s.total_bytes
+
+(* Bytes of the input already consumed by the lexer (the cursor's
+   absolute offset; trailing unread input is not counted). *)
+let consumed_bytes s = Qasm_lexer.offset s.st.Qasm_parser.lx
+
+let num_qubits s =
+  if not s.qreg_seen then
+    fail_unsupported "%s: no qreg declared yet (call step until the header is done)" s.path;
+  s.env.Qasm_elab.n_qubits
+
+let header_done s = s.qreg_seen
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    close_in_noerr s.ic
+  end
+
+(* Consume one statement, delivering its operations to [emit].  Returns
+   [false] at end of input.  Statements the streaming subset cannot
+   represent raise {!Unsupported} with the reason. *)
+let step s ~emit =
+  s.env.Qasm_elab.emit <- emit;
+  match Qasm_parser.parse_statement s.st with
+  | None -> false
+  | Some stmt ->
+      (match stmt with
+      | Qasm_ast.Qreg _ when s.qreg_seen ->
+          fail_unsupported
+            "%s: multiple qreg declarations are not supported in streaming mode" s.path
+      | Qasm_ast.Qreg _ ->
+          Qasm_elab.handle_stmt s.env stmt;
+          s.qreg_seen <- true
+      | Qasm_ast.Measure _ ->
+          fail_unsupported
+            "%s: measure (output-permutation metadata) is not supported in streaming \
+             mode; use the batch reader"
+            s.path
+      | Qasm_ast.Reset _ -> fail_unsupported "%s: reset is not supported" s.path
+      | Qasm_ast.App _ when not s.qreg_seen ->
+          fail_unsupported "%s: gate application before any qreg declaration" s.path
+      | Qasm_ast.Include _ | Qasm_ast.Creg _ | Qasm_ast.Gate_def _ | Qasm_ast.App _
+      | Qasm_ast.Barrier _ ->
+          Qasm_elab.handle_stmt s.env stmt);
+      true
+
+(* Drive the stream to the end: parse the header statements until the
+   qreg is known, then fold every operation. *)
+let fold ?chunk_size path ~init ~f =
+  let s = open_file ?chunk_size path in
+  Fun.protect
+    ~finally:(fun () -> close s)
+    (fun () ->
+      let acc = ref init in
+      let emit op = acc := f !acc op in
+      while step s ~emit do
+        ()
+      done;
+      (num_qubits s, !acc))

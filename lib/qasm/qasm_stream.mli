@@ -1,0 +1,52 @@
+(** Streaming OpenQASM 2.0 front end.
+
+    Parses a QASM file incrementally — a refilling lexer window, one
+    statement per {!step} — and delivers elaborated circuit operations
+    to a callback without materialising the AST or the operation list.
+    Memory use is bounded by one input chunk plus the gate-definition
+    table, independent of circuit length, so checks can run over files
+    far larger than memory (the [--stream] mode of [oqec check]).
+
+    Supported subset relative to the batch reader ({!Qasm}): a single
+    [qreg], [creg] declarations (accepted, ignored), [include], gate
+    definitions, gate applications with broadcasting and [barrier].
+    [measure] / [reset] statements and [// oqec:layout] metadata raise
+    {!Unsupported} — their circuit-level meaning (output permutations,
+    initial layouts) is whole-program metadata that streaming
+    consumers cannot apply retroactively. *)
+
+open Oqec_circuit
+
+exception Unsupported of string
+
+type t
+
+(** [open_file path] opens the stream and parses the version header.
+    [chunk_size] is the refill granularity in bytes (default 64 KiB). *)
+val open_file : ?chunk_size:int -> string -> t
+
+(** [step s ~emit] consumes one statement, delivering its operations
+    (in program order) to [emit]; returns [false] at end of input.
+    Raises {!Unsupported} on statements outside the streaming subset
+    and [Qasm_parser.Error] on malformed input. *)
+val step : t -> emit:(Circuit.op -> unit) -> bool
+
+(** Declared qubit count.  Raises {!Unsupported} until the [qreg]
+    declaration has been consumed by {!step} (check {!header_done}). *)
+val num_qubits : t -> int
+
+val header_done : t -> bool
+
+(** Bytes already consumed by the lexer (absolute cursor offset) and the
+    file's total size — the progress measure used by the streaming
+    checker's bytes-proportional alternation. *)
+val consumed_bytes : t -> int
+
+val total_bytes : t -> int
+
+val close : t -> unit
+
+(** [fold path ~init ~f] drives a whole file and folds every operation;
+    returns the qubit count and the final accumulator. *)
+val fold :
+  ?chunk_size:int -> string -> init:'a -> f:('a -> Circuit.op -> 'a) -> int * 'a

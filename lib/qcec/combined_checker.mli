@@ -4,6 +4,8 @@
     refuting screen short-circuits; otherwise the DD verdict is returned
     with the screen's simulation count merged in. *)
 
-(** [checker ?oracle ()] is the ["combined"] checker; [oracle] selects
-    the alternating scheme's gate-scheduling oracle. *)
-val checker : ?oracle:Dd_checker.oracle -> unit -> Engine.checker
+(** [checker ?core ?oracle ()] is the ["combined"] checker; [oracle]
+    selects the alternating scheme's gate-scheduling oracle and [core]
+    the DD package representation (both phases use the same core). *)
+val checker :
+  ?core:Oqec_dd.Dd_core.kind -> ?oracle:Dd_checker.oracle -> unit -> Engine.checker

@@ -7,204 +7,200 @@ open Oqec_dd
    the tolerance-aware fallback (Section 3). *)
 let fidelity_threshold = 1.0 -. 1e-9
 
-let conclude pkg n d =
-  if Dd.is_identity ~up_to_phase:true pkg n d then Equivalence.Equivalent
-  else if Dd.fidelity_to_identity ~n d >= fidelity_threshold then Equivalence.Equivalent
-  else Equivalence.Not_equivalent
-
 type oracle = Proportional | Lookahead
 
-(* Gate application is the package's collection safe point; it doubles as
-   the engine's counting and deadline/cancellation polling point. *)
-let hook_pkg ctx pkg =
-  Dd.on_safe_point pkg (fun () ->
-      Engine.Ctx.incr ctx Engine.Dd_gate_applied;
-      Engine.Ctx.check ctx)
+(* The checking logic is generic over the DD core (boxed records vs the
+   struct-of-arrays arena); it is instantiated statically for both cores
+   below and dispatched on {!Dd_core.kind}. *)
+module Of (C : Dd_core.S) = struct
+  let conclude pkg n d =
+    if C.is_identity ~up_to_phase:true pkg n d then Equivalence.Equivalent
+    else if C.fidelity_to_identity pkg ~n d >= fidelity_threshold then
+      Equivalence.Equivalent
+    else Equivalence.Not_equivalent
 
-(* Fold the package's own accounting into the engine counters once the
-   run is over (these are maintained inside the package, not observable
-   per event from out here). *)
-let package_counters ctx pkg =
-  let st = Dd.stats pkg in
-  Engine.Ctx.set ctx Engine.Dd_gc_run st.Dd.gc_runs;
-  Engine.Ctx.set ctx Engine.Dd_cache_hit (Dd.cache_hits st);
-  st
+  (* Gate application is the package's collection safe point; it doubles
+     as the engine's counting and deadline/cancellation polling point. *)
+  let hook_pkg ctx pkg =
+    C.on_safe_point pkg (fun () ->
+        Engine.Ctx.incr ctx Engine.Dd_gate_applied;
+        Engine.Ctx.check ctx)
 
-let verdict_of ctx ~pkg ~n d =
-  let outcome = conclude pkg n d in
-  let st = package_counters ctx pkg in
-  {
-    Engine.outcome;
-    peak_size = Dd.allocated pkg;
-    final_size = Dd.node_count d;
-    simulations = 0;
-    note = "";
-    dd = Some st;
-    certificate = None;
-  }
+  (* Fold the package's own accounting into the engine counters once the
+     run is over (these are maintained inside the package, not
+     observable per event from out here). *)
+  let package_counters ctx pkg =
+    let st = C.stats pkg in
+    Engine.Ctx.set ctx Engine.Dd_gc_run st.Dd.gc_runs;
+    Engine.Ctx.set ctx Engine.Dd_cache_hit (Dd.cache_hits st);
+    (match st.Dd.arena with
+    | None -> ()
+    | Some a ->
+        Engine.Ctx.gauge ctx "dd.arena_occupancy" a.Dd.a_occupancy;
+        Engine.Ctx.set ctx Engine.Dd_arena_compaction a.Dd.a_compactions;
+        Engine.Ctx.set ctx Engine.Dd_shard_contention a.Dd.a_contended);
+    st
 
-(* Shared miter construction for the exact and approximate checkers.
+  let verdict_of ctx ~pkg ~n d =
+    let outcome = conclude pkg n d in
+    let st = package_counters ctx pkg in
+    {
+      Engine.outcome;
+      peak_size = C.allocated pkg;
+      final_size = C.node_count pkg d;
+      simulations = 0;
+      note = "";
+      dd = Some st;
+      certificate = None;
+    }
 
-   The circuits are lowered to elementary gates first: the alternating
-   scheme inverts operation by operation, and controlled rotations only
-   invert exactly after decomposition (their inverse-angle form differs
-   by a controlled sign, rotation angles being canonical modulo 2*pi).
+  (* Shared miter construction for the exact and approximate checkers.
 
-   The evolving miter edge is pinned as a GC root throughout: gate
-   application is the package's collection safe point, and an unrooted
-   miter would lose canonicity (and with it the structural identity
-   test) the moment a collection runs. *)
-let build_miter ctx ~oracle ?trace g g' =
-  let g, g' = Flatten.align g g' in
-  let a = Decompose.elementary (Flatten.flatten g)
-  and b = Decompose.elementary (Flatten.flatten g') in
-  let n = Circuit.num_qubits a in
-  let pkg =
-    Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
-  in
-  hook_pkg ctx pkg;
-  let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
-  let ka = Array.length ops_a and kb = Array.length ops_b in
-  let d = ref (Dd.identity pkg n) in
-  Dd.root pkg !d;
-  let commit nd =
-    Dd.root pkg nd;
-    Dd.unroot pkg !d;
-    d := nd
-  in
-  let ia = ref 0 and ib = ref 0 in
-  let record () = match trace with Some f -> f (Dd.node_count !d) | None -> () in
-  record ();
-  (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D.
-     Deadline/cancellation polling happens inside the applications: gate
-     application is the package's GC safe point and runs the engine hook
-     registered above. *)
-  let apply_a () = Dd_circuit.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
-  let apply_b () = Dd_circuit.apply_op pkg n !d ops_b.(!ib) in
-  while !ia < ka || !ib < kb do
-    if !ia >= ka then begin
-      commit (apply_b ());
-      incr ib
-    end
-    else if !ib >= kb then begin
-      commit (apply_a ());
-      incr ia
-    end
-    else begin
-      match oracle with
-      | Proportional ->
-          (* Advance the side that lags behind relative to its total gate
-             count, keeping the product balanced around the identity. *)
-          if !ia * kb <= !ib * ka then begin
-            commit (apply_a ());
-            incr ia
-          end
+     The circuits are lowered to elementary gates first: the alternating
+     scheme inverts operation by operation, and controlled rotations
+     only invert exactly after decomposition (their inverse-angle form
+     differs by a controlled sign, rotation angles being canonical
+     modulo 2*pi).
+
+     The evolving miter edge is pinned as a GC root throughout: gate
+     application is the package's collection safe point, and an unrooted
+     miter would lose canonicity (and with it the structural identity
+     test) the moment a collection runs. *)
+  let build_miter ctx ~oracle ?trace g g' =
+    let g, g' = Flatten.align g g' in
+    let a = Decompose.elementary (Flatten.flatten g)
+    and b = Decompose.elementary (Flatten.flatten g') in
+    let n = Circuit.num_qubits a in
+    let pkg =
+      C.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
+    in
+    hook_pkg ctx pkg;
+    let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
+    let ka = Array.length ops_a and kb = Array.length ops_b in
+    let d = ref (C.identity pkg n) in
+    C.root pkg !d;
+    let commit nd =
+      C.root pkg nd;
+      C.unroot pkg !d;
+      d := nd
+    in
+    let ia = ref 0 and ib = ref 0 in
+    let record () = match trace with Some f -> f (C.node_count pkg !d) | None -> () in
+    record ();
+    (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D.
+       Deadline/cancellation polling happens inside the applications:
+       gate application is the package's GC safe point and runs the
+       engine hook registered above. *)
+    let apply_a () = C.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
+    let apply_b () = C.apply_op pkg n !d ops_b.(!ib) in
+    while !ia < ka || !ib < kb do
+      if !ia >= ka then begin
+        commit (apply_b ());
+        incr ib
+      end
+      else if !ib >= kb then begin
+        commit (apply_a ());
+        incr ia
+      end
+      else begin
+        match oracle with
+        | Proportional ->
+            (* Advance the side that lags behind relative to its total
+               gate count, keeping the product balanced around the
+               identity. *)
+            if !ia * kb <= !ib * ka then begin
+              commit (apply_a ());
+              incr ia
+            end
+            else begin
+              commit (apply_b ());
+              incr ib
+            end
+        | Lookahead ->
+            (* Apply one gate from each side speculatively; commit to
+               the smaller resulting diagram (hash-consing makes the
+               discarded candidate cheap to abandon).  The first
+               candidate must be pinned while the second is computed —
+               applying the second gate may trigger a collection. *)
+            let cand_a = apply_a () in
+            C.root pkg cand_a;
+            let cand_b = apply_b () in
+            C.unroot pkg cand_a;
+            if C.node_count pkg cand_a <= C.node_count pkg cand_b then begin
+              commit cand_a;
+              incr ia
+            end
+            else begin
+              commit cand_b;
+              incr ib
+            end
+      end;
+      record ()
+    done;
+    (pkg, n, !d)
+
+  let alternating ~oracle ?trace () : Engine.checker =
+    (module struct
+      let name = "alternating-dd"
+
+      let run ctx g g' =
+        let pkg, n, d =
+          Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
+              build_miter ctx ~oracle ?trace g g')
+        in
+        Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> verdict_of ctx ~pkg ~n d)
+    end)
+
+  let reference : Engine.checker =
+    (module struct
+      let name = "reference-dd"
+
+      let run ctx g g' =
+        let g, g' = Flatten.align g g' in
+        let a = Flatten.flatten g and b = Flatten.flatten g' in
+        let n = Circuit.num_qubits a in
+        let pkg =
+          C.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx)
+            ()
+        in
+        hook_pkg ctx pkg;
+        let build c =
+          List.fold_left
+            (fun acc op -> C.apply_op pkg n acc op)
+            (C.identity pkg n) (Circuit.ops c)
+        in
+        let da = Engine.Ctx.span ctx ~cat:"dd" "build-left" (fun () -> build a) in
+        (* Pin the first system matrix: building the second one runs
+           through GC safe points, and the root comparison below needs
+           canonicity. *)
+        C.root pkg da;
+        let db = Engine.Ctx.span ctx ~cat:"dd" "build-right" (fun () -> build b) in
+        C.root pkg db;
+        let outcome =
+          if
+            C.same_node da db
+            && Float.abs (Cx.mag (C.weight pkg da) -. Cx.mag (C.weight pkg db)) < 1e-9
+          then Equivalence.Equivalent
           else begin
-            commit (apply_b ());
-            incr ib
+            (* Canonicity says different roots mean different matrices,
+               but close-to-tolerance cases deserve the numeric check. *)
+            let miter = C.mul pkg (C.adjoint pkg da) db in
+            conclude pkg n miter
           end
-      | Lookahead ->
-          (* Apply one gate from each side speculatively; commit to the
-             smaller resulting diagram (hash-consing makes the discarded
-             candidate cheap to abandon).  The first candidate must be
-             pinned while the second is computed — applying the second
-             gate may trigger a collection. *)
-          let cand_a = apply_a () in
-          Dd.root pkg cand_a;
-          let cand_b = apply_b () in
-          Dd.unroot pkg cand_a;
-          if Dd.node_count cand_a <= Dd.node_count cand_b then begin
-            commit cand_a;
-            incr ia
-          end
-          else begin
-            commit cand_b;
-            incr ib
-          end
-    end;
-    record ()
-  done;
-  (pkg, n, !d)
+        in
+        let st = package_counters ctx pkg in
+        {
+          Engine.outcome;
+          peak_size = C.allocated pkg;
+          final_size = C.node_count pkg da + C.node_count pkg db;
+          simulations = 0;
+          note = "";
+          dd = Some st;
+          certificate = None;
+        }
+    end)
 
-let alternating ?(oracle = Proportional) ?trace () : Engine.checker =
-  (module struct
-    let name = "alternating-dd"
-
-    let run ctx g g' =
-      let pkg, n, d =
-        Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
-            build_miter ctx ~oracle ?trace g g')
-      in
-      Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> verdict_of ctx ~pkg ~n d)
-  end)
-
-let reference : Engine.checker =
-  (module struct
-    let name = "reference-dd"
-
-    let run ctx g g' =
-      let g, g' = Flatten.align g g' in
-      let a = Flatten.flatten g and b = Flatten.flatten g' in
-      let n = Circuit.num_qubits a in
-      let pkg =
-        Dd.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
-      in
-      hook_pkg ctx pkg;
-      let build c =
-        List.fold_left
-          (fun acc op -> Dd_circuit.apply_op pkg n acc op)
-          (Dd.identity pkg n) (Circuit.ops c)
-      in
-      let da = Engine.Ctx.span ctx ~cat:"dd" "build-left" (fun () -> build a) in
-      (* Pin the first system matrix: building the second one runs through
-         GC safe points, and the root-pointer comparison below needs
-         canonicity. *)
-      Dd.root pkg da;
-      let db = Engine.Ctx.span ctx ~cat:"dd" "build-right" (fun () -> build b) in
-      Dd.root pkg db;
-      let outcome =
-        if da.Dd.node == db.Dd.node && Float.abs (Cx.mag da.Dd.w -. Cx.mag db.Dd.w) < 1e-9
-        then Equivalence.Equivalent
-        else begin
-          (* Canonicity says different roots mean different matrices, but
-             close-to-tolerance cases deserve the numeric check. *)
-          let miter = Dd.mul pkg (Dd.adjoint pkg da) db in
-          conclude pkg n miter
-        end
-      in
-      let st = package_counters ctx pkg in
-      {
-        Engine.outcome;
-        peak_size = Dd.allocated pkg;
-        final_size = Dd.node_count da + Dd.node_count db;
-        simulations = 0;
-        note = "";
-        dd = Some st;
-        certificate = None;
-      }
-  end)
-
-(* ----------------------------------------------- Compatibility wrappers *)
-
-let ctx_of ?tol ?gc_threshold ?deadline ?cancel () =
-  Engine.Ctx.make ?deadline
-    ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
-    ?tol ?gc_threshold ()
-
-let check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
-  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
-  Engine.run ~ctx ~method_used:Equivalence.Alternating_dd
-    (alternating ?oracle ?trace ())
-    g g'
-
-let check_reference ?tol ?gc_threshold ?deadline ?cancel g g' =
-  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
-  Engine.run ~ctx ~method_used:Equivalence.Reference_dd reference g g'
-
-let check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g' =
-  let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ?sink () in
-  let fidelity = ref nan in
-  let checker : Engine.checker =
+  let approximate ~threshold ~fidelity : Engine.checker =
     (module struct
       let name = "approximate-dd"
 
@@ -213,7 +209,7 @@ let check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g' =
           Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
               build_miter ctx ~oracle:Proportional g g')
         in
-        let f = Dd.fidelity_to_identity ~n d in
+        let f = C.fidelity_to_identity pkg ~n d in
         fidelity := f;
         let outcome =
           if f >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
@@ -221,14 +217,56 @@ let check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g' =
         let st = package_counters ctx pkg in
         {
           Engine.outcome;
-          peak_size = Dd.allocated pkg;
-          final_size = Dd.node_count d;
+          peak_size = C.allocated pkg;
+          final_size = C.node_count pkg d;
           simulations = 0;
           note = Printf.sprintf "(fidelity %.9f, threshold %g)" f threshold;
           dd = Some st;
           certificate = None;
         }
     end)
+end
+
+module Boxed = Of (Dd_core.Boxed_core)
+module Arena = Of (Dd_core.Arena_core)
+
+let alternating ?(core = Dd_core.Boxed) ?(oracle = Proportional) ?trace () :
+    Engine.checker =
+  match core with
+  | Dd_core.Boxed -> Boxed.alternating ~oracle ?trace ()
+  | Dd_core.Arena -> Arena.alternating ~oracle ?trace ()
+
+let reference_core = function
+  | Dd_core.Boxed -> Boxed.reference
+  | Dd_core.Arena -> Arena.reference
+
+let reference : Engine.checker = Boxed.reference
+
+(* ----------------------------------------------- Compatibility wrappers *)
+
+let ctx_of ?tol ?gc_threshold ?deadline ?cancel () =
+  Engine.Ctx.make ?deadline
+    ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
+    ?tol ?gc_threshold ()
+
+let check_alternating ?core ?oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
+  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
+  Engine.run ~ctx ~method_used:Equivalence.Alternating_dd
+    (alternating ?core ?oracle ?trace ())
+    g g'
+
+let check_reference ?(core = Dd_core.Boxed) ?tol ?gc_threshold ?deadline ?cancel g g' =
+  let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
+  Engine.run ~ctx ~method_used:Equivalence.Reference_dd (reference_core core) g g'
+
+let check_approximate ?(core = Dd_core.Boxed) ?tol ?gc_threshold ?deadline ?sink
+    ~threshold g g' =
+  let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ?sink () in
+  let fidelity = ref nan in
+  let checker =
+    match core with
+    | Dd_core.Boxed -> Boxed.approximate ~threshold ~fidelity
+    | Dd_core.Arena -> Arena.approximate ~threshold ~fidelity
   in
   let report = Engine.run ~ctx ~method_used:Equivalence.Alternating_dd checker g g' in
   (report, !fidelity)

@@ -6,6 +6,7 @@
     and report assembly live in {!Engine.run}. *)
 
 open Oqec_circuit
+open Oqec_dd
 
 (** Gate-scheduling oracles for the alternating scheme ([20]):
     [Proportional] advances the side that lags relative to its total gate
@@ -23,13 +24,19 @@ type oracle = Proportional | Lookahead
     ablations).  The DD package's interning tolerance and collection
     trigger come from the execution context ({!Engine.Ctx.tol},
     {!Engine.Ctx.gc_threshold}); every gate application bumps the
-    ["dd.gates_applied"] counter and polls the context's guard. *)
-val alternating : ?oracle:oracle -> ?trace:(int -> unit) -> unit -> Engine.checker
+    ["dd.gates_applied"] counter and polls the context's guard.  [core]
+    selects the DD package representation ({!Dd_core.kind}; default
+    boxed, the differential baseline). *)
+val alternating :
+  ?core:Dd_core.kind -> ?oracle:oracle -> ?trace:(int -> unit) -> unit -> Engine.checker
 
 (** The ["reference-dd"] checker: constructs both system-matrix DDs
     independently and compares root pointers (canonicity makes this a
     constant-time comparison once built). *)
 val reference : Engine.checker
+
+(** {!reference} over an explicit DD core. *)
+val reference_core : Dd_core.kind -> Engine.checker
 
 (** [check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline
     ?cancel g g'] runs {!alternating} under a fresh context.  [deadline]
@@ -37,6 +44,7 @@ val reference : Engine.checker
     at every gate-application safe point (raises
     {!Equivalence.Cancelled} when set). *)
 val check_alternating :
+  ?core:Dd_core.kind ->
   ?oracle:oracle ->
   ?tol:float ->
   ?gc_threshold:int ->
@@ -50,6 +58,7 @@ val check_alternating :
 (** [check_reference ?tol ?gc_threshold ?deadline ?cancel g g'] runs
     {!reference} under a fresh context. *)
 val check_reference :
+  ?core:Dd_core.kind ->
   ?tol:float ->
   ?gc_threshold:int ->
   ?deadline:float ->
@@ -65,6 +74,7 @@ val check_reference :
     overlap [|tr (U^dag V)| / 2^n] reaches [threshold].  Returns the
     report together with the measured fidelity ([nan] on timeout). *)
 val check_approximate :
+  ?core:Dd_core.kind ->
   ?tol:float ->
   ?gc_threshold:int ->
   ?deadline:float ->

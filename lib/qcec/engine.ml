@@ -69,6 +69,8 @@ type counter =
   | Dd_gate_applied
   | Dd_gc_run
   | Dd_cache_hit
+  | Dd_arena_compaction
+  | Dd_shard_contention
   | Zx_rewrite of string
   | Sim_stimulus
   | Stab_row
@@ -77,6 +79,8 @@ let counter_key = function
   | Dd_gate_applied -> "dd.gates_applied"
   | Dd_gc_run -> "dd.gc_runs"
   | Dd_cache_hit -> "dd.cache_hits"
+  | Dd_arena_compaction -> "dd.arena_compactions"
+  | Dd_shard_contention -> "dd.shard_contention"
   | Zx_rewrite rule -> "zx.rewrites." ^ rule
   | Sim_stimulus -> "sim.stimuli"
   | Stab_row -> "stab.rows_canonicalized"

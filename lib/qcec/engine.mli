@@ -55,6 +55,8 @@ type counter =
   | Dd_gate_applied  (** ["dd.gates_applied"] *)
   | Dd_gc_run  (** ["dd.gc_runs"] *)
   | Dd_cache_hit  (** ["dd.cache_hits"] *)
+  | Dd_arena_compaction  (** ["dd.arena_compactions"] *)
+  | Dd_shard_contention  (** ["dd.shard_contention"] *)
   | Zx_rewrite of string  (** ["zx.rewrites.<rule>"] *)
   | Sim_stimulus  (** ["sim.stimuli"] *)
   | Stab_row  (** ["stab.rows_canonicalized"] *)

@@ -240,14 +240,17 @@ let race ~ctx ?(jobs = 1) ?resolve entries g g' =
   }
 
 let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
-    ?(oracle = Dd_checker.Proportional) ?(checkers = default_selection) ?sink g g' =
+    ?(oracle = Dd_checker.Proportional) ?(checkers = default_selection) ?dd_core ?sink g
+    g' =
   let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
   let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
   let best = Atomic.make max_int in
   let fixed =
     List.concat
       [
-        (if checkers.use_dd then [ entry (Dd_checker.alternating ~oracle ()) ] else []);
+        (if checkers.use_dd then
+           [ entry (Dd_checker.alternating ?core:dd_core ~oracle ()) ]
+         else []);
         (if checkers.use_zx then [ entry Zx_checker.checker ] else []);
         (if checkers.use_stab then [ entry Stab_checker.checker ] else []);
       ]
@@ -255,7 +258,8 @@ let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
   let sim_base = List.length fixed in
   let shards =
     if checkers.use_sim then
-      List.init jobs (fun s -> entry ~drain:true (Sim_checker.shard ~shard:s ~jobs ~best))
+      List.init jobs (fun s ->
+          entry ~drain:true (Sim_checker.shard ?core:dd_core ~shard:s ~jobs ~best ()))
     else []
   in
   let entries = fixed @ shards in

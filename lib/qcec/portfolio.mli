@@ -71,6 +71,7 @@ val check :
   ?deadline:float ->
   ?oracle:Dd_checker.oracle ->
   ?checkers:selection ->
+  ?dd_core:Oqec_dd.Dd_core.kind ->
   ?sink:Engine.Trace.sink ->
   Circuit.t ->
   Circuit.t ->

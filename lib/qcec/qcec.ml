@@ -24,11 +24,13 @@ let strategy_of_string = function
 (* The differential-oracle checker set: one complete checker (dd), two
    one-sided ones (zx proves either verdict but may get stuck, sim only
    refutes) and one fragment-complete one (stab, Clifford only). *)
-let oracle_checkers () =
+let oracle_checkers ?dd_core () =
   [
-    ("dd", Equivalence.Alternating_dd, Dd_checker.alternating ());
+    ("dd", Equivalence.Alternating_dd, Dd_checker.alternating ?core:dd_core ());
     ("zx", Equivalence.Zx_calculus, Zx_checker.checker);
-    ("sim", Equivalence.Simulation, Sim_checker.checker);
+    ( "sim",
+      Equivalence.Simulation,
+      Sim_checker.checker_core (Option.value dd_core ~default:Oqec_dd.Dd_core.Boxed) );
     ("stab", Equivalence.Stabilizer, Stab_checker.checker);
   ]
 
@@ -37,17 +39,19 @@ let oracle_checkers () =
    centralised in {!Engine.run}; the portfolio is the same thing raced
    over several workers. *)
 let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1)
-    ?jobs ?(oracle = Dd_checker.Proportional) ?checkers ?sink g g' =
+    ?jobs ?(oracle = Dd_checker.Proportional) ?checkers ?dd_core ?sink g g' =
   let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
+  let core = Option.value dd_core ~default:Oqec_dd.Dd_core.Boxed in
   let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
   let run method_used checker = Engine.run ~ctx ~method_used checker g g' in
   match strategy with
-  | Reference -> run Equivalence.Reference_dd Dd_checker.reference
-  | Alternating -> run Equivalence.Alternating_dd (Dd_checker.alternating ~oracle ())
-  | Simulation -> run Equivalence.Simulation Sim_checker.checker
+  | Reference -> run Equivalence.Reference_dd (Dd_checker.reference_core core)
+  | Alternating ->
+      run Equivalence.Alternating_dd (Dd_checker.alternating ?core:dd_core ~oracle ())
+  | Simulation -> run Equivalence.Simulation (Sim_checker.checker_core core)
   | Zx -> run Equivalence.Zx_calculus Zx_checker.checker
   | Clifford -> run Equivalence.Stabilizer Stab_checker.checker
-  | Combined -> run Equivalence.Combined (Combined_checker.checker ~oracle ())
+  | Combined -> run Equivalence.Combined (Combined_checker.checker ?core:dd_core ~oracle ())
   | Portfolio ->
       Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ~oracle ?checkers
-        ?sink g g'
+        ?dd_core ?sink g g'

@@ -47,7 +47,10 @@ val strategy_of_string : string -> strategy option
     is exactly what the fuzzing subsystem ([oqec.fuzz]) checks: each
     entry is run through {!Engine.run_worker} under its own context and
     any verdict disagreement is a bug by construction. *)
-val oracle_checkers : unit -> (string * Equivalence.method_used * Engine.checker) list
+val oracle_checkers :
+  ?dd_core:Oqec_dd.Dd_core.kind ->
+  unit ->
+  (string * Equivalence.method_used * Engine.checker) list
 
 (** [check ?strategy ?timeout ?tol ?gc_threshold ?sim_runs ?seed g g']
     decides whether the circuits are equivalent up to global phase and
@@ -63,7 +66,10 @@ val oracle_checkers : unit -> (string * Equivalence.method_used * Engine.checker
     never depend on it); [oracle] selects the alternating scheme's gate
     scheduling (default [Proportional]); [checkers] restricts the
     [Portfolio] strategy's racers (default {!Portfolio.default_selection},
-    ignored by the other strategies); [sink] collects Chrome
+    ignored by the other strategies); [dd_core] selects the DD package
+    representation for every DD-based engine
+    ({!Oqec_dd.Dd_core.kind}: boxed records or the struct-of-arrays
+    arena; default boxed — verdicts never depend on it); [sink] collects Chrome
     [trace_event] spans and counters (see {!Engine.Trace}).
 
     Every strategy runs through {!Engine.run}: the report's
@@ -81,6 +87,7 @@ val check :
   ?jobs:int ->
   ?oracle:Dd_checker.oracle ->
   ?checkers:Portfolio.selection ->
+  ?dd_core:Oqec_dd.Dd_core.kind ->
   ?sink:Engine.Trace.sink ->
   Circuit.t ->
   Circuit.t ->

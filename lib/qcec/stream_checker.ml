@@ -1,0 +1,230 @@
+open Oqec_circuit
+open Oqec_dd
+open Oqec_qasm
+
+(* Streaming alternating-miter equivalence check: both circuits are
+   consumed through {!Qasm_stream} and applied to the miter as they are
+   parsed, so memory use is bounded by the diagram (plus one input
+   chunk per side) rather than by circuit length.
+
+   The alternation policy mirrors {!Dd_checker}'s proportional oracle,
+   with bytes of input consumed standing in for gate indices: total gate
+   counts are unknown until the streams are exhausted, but file sizes
+   are known up front and gate density is near-uniform for generated
+   workloads, so the byte ratio keeps the product balanced around the
+   identity just as the gate-count ratio does.
+
+   Operations are lowered to elementary gates one at a time (the same
+   {!Decompose.elementary} pass the batch checker runs over the whole
+   circuit; it is local, so per-operation lowering produces the same
+   gate stream), and the left side is inverted operation by operation:
+   D accumulates b_j ... b_0 * inv(a_0) ... inv(a_i), which is the
+   identity at the end iff the circuits agree. *)
+
+let fidelity_threshold = 1.0 -. 1e-9
+
+module Of (C : Dd_core.S) = struct
+  let conclude pkg n d =
+    if C.is_identity ~up_to_phase:true pkg n d then Equivalence.Equivalent
+    else if C.fidelity_to_identity pkg ~n d >= fidelity_threshold then
+      Equivalence.Equivalent
+    else Equivalence.Not_equivalent
+
+  let package_counters ctx pkg =
+    let st = C.stats pkg in
+    Engine.Ctx.set ctx Engine.Dd_gc_run st.Dd.gc_runs;
+    Engine.Ctx.set ctx Engine.Dd_cache_hit (Dd.cache_hits st);
+    (match st.Dd.arena with
+    | None -> ()
+    | Some a ->
+        Engine.Ctx.gauge ctx "dd.arena_occupancy" a.Dd.a_occupancy;
+        Engine.Ctx.set ctx Engine.Dd_arena_compaction a.Dd.a_compactions;
+        Engine.Ctx.set ctx Engine.Dd_shard_contention a.Dd.a_contended);
+    st
+
+  (* Parse header statements (includes, gate definitions) until the qreg
+     is known.  Stray pre-qreg barriers are dropped — they carry no
+     unitary meaning. *)
+  let drive_header s =
+    while (not (Qasm_stream.header_done s)) && Qasm_stream.step s ~emit:ignore do
+      ()
+    done;
+    if not (Qasm_stream.header_done s) then
+      raise (Qasm_stream.Unsupported "stream ended before any qreg declaration")
+
+  (* Refill [q] with the elementary lowering of the next operations;
+     false when the stream is exhausted and the queue stays empty.  At
+     most one op-producing statement is parsed per call: the lexer
+     cursor must track the application frontier, or the byte-ratio
+     policy below would lose its progress signal. *)
+  let refill s q ~lower =
+    if Queue.is_empty q then begin
+      let got = ref false in
+      let emit op =
+        List.iter
+          (fun o ->
+            Queue.add o q;
+            got := true)
+          (lower op)
+      in
+      while (not !got) && Qasm_stream.step s ~emit do
+        ()
+      done
+    end;
+    not (Queue.is_empty q)
+
+  let checker ~oracle sa sb : Engine.checker =
+    (module struct
+      let name = "stream-dd"
+
+      let run ctx _ _ =
+        drive_header sa;
+        drive_header sb;
+        let n = max (Qasm_stream.num_qubits sa) (Qasm_stream.num_qubits sb) in
+        let pkg =
+          C.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx)
+            ()
+        in
+        let lower op = Circuit.ops (Decompose.elementary (Circuit.add (Circuit.create n) op)) in
+        let qa = Queue.create () and qb = Queue.create () in
+        let d = ref (C.identity pkg n) in
+        C.root pkg !d;
+        C.on_safe_point pkg (fun () ->
+            Engine.Ctx.incr ctx Engine.Dd_gate_applied;
+            Engine.Ctx.check ctx);
+        let commit nd =
+          C.root pkg nd;
+          C.unroot pkg !d;
+          d := nd
+        in
+        (* Barriers are never applied to the diagram (they lower to no
+           gates); they are counted as synchronisation tokens.  When the
+           two sides were produced with barriers at matching logical
+           positions, the policy below bounds cursor skew by one barrier
+           interval — without a hard alignment signal, byte-proportional
+           alternation drifts like a random walk and the miter grows
+           with stream length.  Mismatched or absent barriers degrade
+           scheduling, never correctness. *)
+        let bars_a = ref 0 and bars_b = ref 0 in
+        (* Re-anchor at sync points: when both sides have crossed the
+           same number of barriers and the miter passes the same
+           identity test the final verdict uses, snap it back to the
+           exact identity.  This discards the accumulated global phase
+           and, crucially, the floating-point dirt of the interval —
+           without it the weight set grows without bound (every interval
+           starts from a slightly dirty quasi-identity, canonical
+           weights stop collapsing, sharing and cache hits degrade) and
+           per-gate cost grows linearly with stream position.  Each
+           interval is judged against the tolerance independently, so
+           errors do not accumulate across intervals. *)
+        (* Byte anchors of the last sync point.  The proportional rule
+           below measures progress from these rather than from the start
+           of the stream: the byte-density difference between the two
+           sides is a random walk, and measured globally it makes the
+           intra-interval cursor skew — and with it the transient miter
+           size — grow with stream position. *)
+        let last_a = ref 0 and last_b = ref 0 in
+        let reanchor () =
+          if !bars_a = !bars_b then begin
+            last_a := Qasm_stream.consumed_bytes sa;
+            last_b := Qasm_stream.consumed_bytes sb;
+            if
+              C.is_identity ~up_to_phase:true pkg n !d
+              || C.fidelity_to_identity pkg ~n !d >= fidelity_threshold
+            then commit (C.identity pkg n)
+          end
+        in
+        let apply_a () =
+          match Queue.pop qa with
+          | Circuit.Barrier ->
+              incr bars_a;
+              reanchor ()
+          | op -> commit (C.apply_op_left pkg n !d (Circuit.inverse_op op))
+        in
+        let apply_b () =
+          match Queue.pop qb with
+          | Circuit.Barrier ->
+              incr bars_b;
+              reanchor ()
+          | op -> commit (C.apply_op pkg n !d op)
+        in
+        let ta = Qasm_stream.total_bytes sa and tb = Qasm_stream.total_bytes sb in
+        let continue = ref true in
+        while !continue do
+          let have_a = refill sa qa ~lower and have_b = refill sb qb ~lower in
+          if not (have_a || have_b) then continue := false
+          else if not have_b then apply_a ()
+          else if not have_a then apply_b ()
+          else if !bars_a > !bars_b then apply_b ()
+          else if !bars_b > !bars_a then apply_a ()
+          else if Queue.peek qa = Circuit.Barrier then apply_a ()
+          else if Queue.peek qb = Circuit.Barrier then apply_b ()
+          else begin
+            match oracle with
+            | Dd_checker.Proportional ->
+                (* Advance the side lagging in consumed-bytes proportion,
+                   mirroring the proportional oracle's ia*kb <= ib*ka.
+                   Bytes are a fuzzy stand-in for gate indices, so the
+                   product can drift away from the identity when the
+                   sides' gate densities diverge; Lookahead resists the
+                   drift at the price of applying each gate twice. *)
+                if
+                  (Qasm_stream.consumed_bytes sa - !last_a) * tb
+                  <= (Qasm_stream.consumed_bytes sb - !last_b) * ta
+                then apply_a ()
+                else apply_b ()
+            | Dd_checker.Lookahead ->
+                (* Apply one gate from each side speculatively and keep
+                   the smaller diagram (see {!Dd_checker.build_miter});
+                   the losing side's gate stays queued. *)
+                let cand_a = C.apply_op_left pkg n !d (Circuit.inverse_op (Queue.peek qa)) in
+                C.root pkg cand_a;
+                let cand_b = C.apply_op pkg n !d (Queue.peek qb) in
+                C.unroot pkg cand_a;
+                if C.node_count pkg cand_a <= C.node_count pkg cand_b then begin
+                  ignore (Queue.pop qa);
+                  commit cand_a
+                end
+                else begin
+                  ignore (Queue.pop qb);
+                  commit cand_b
+                end
+          end
+        done;
+        let outcome = Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> conclude pkg n !d) in
+        let st = package_counters ctx pkg in
+        {
+          Engine.outcome;
+          peak_size = C.allocated pkg;
+          final_size = C.node_count pkg !d;
+          simulations = 0;
+          note = "";
+          dd = Some st;
+          certificate = None;
+        }
+    end)
+end
+
+module Boxed = Of (Dd_core.Boxed_core)
+module Arena = Of (Dd_core.Arena_core)
+
+(* [check ?core ... path_a path_b] streams both files through the
+   alternating miter.  The dummy circuits handed to {!Engine.run} are
+   never inspected: the checker closes over the streams instead. *)
+let check ?(core = Dd_core.Boxed) ?(oracle = Dd_checker.Proportional) ?chunk_size
+    ?tol ?gc_threshold ?deadline ?sink path_a path_b =
+  let sa = Qasm_stream.open_file ?chunk_size path_a
+  and sb = Qasm_stream.open_file ?chunk_size path_b in
+  Fun.protect
+    ~finally:(fun () ->
+      Qasm_stream.close sa;
+      Qasm_stream.close sb)
+    (fun () ->
+      let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ?sink () in
+      let checker =
+        match core with
+        | Dd_core.Boxed -> Boxed.checker ~oracle sa sb
+        | Dd_core.Arena -> Arena.checker ~oracle sa sb
+      in
+      Engine.run ~ctx ~method_used:Equivalence.Alternating_dd checker (Circuit.create 0)
+        (Circuit.create 0))

@@ -573,3 +573,83 @@ let random_basis_state rng n =
   !r
 
 let random_bits rng n = Array.init n (fun _ -> Rng.bool rng)
+
+(* ------------------------------------------------- Streaming generator *)
+
+(* Write a large random Clifford+T circuit directly as QASM text,
+   never materialising a {!Circuit.t}: the driver for the streaming
+   front end's large-circuit bench tier, where circuits of millions of
+   gates must be produced and checked in bounded memory.
+
+   With [twin = true] the same (seed, qubits, gates) stream is written
+   with each gate rewritten through an exact local identity chosen by
+   the gate index (Hadamard conjugation of CX/CZ, S = T*T, inserted
+   gg^-1 pairs).  The twin is provably equivalent by construction, so a
+   (base, twin) pair exercises the checker end to end with a known
+   verdict and no whole-circuit oracle. *)
+let stream_qasm ~seed ~qubits:n ~gates ?(barrier_every = 0) ~twin oc =
+  if n < 2 then invalid_arg "Workloads.stream_qasm: need at least 2 qubits";
+  let rng = Rng.make ~seed in
+  Printf.fprintf oc "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n" n;
+  let g1 fmt_name q = Printf.fprintf oc "%s q[%d];\n" fmt_name q in
+  let g2 fmt_name a b = Printf.fprintf oc "%s q[%d],q[%d];\n" fmt_name a b in
+  for i = 0 to gates - 1 do
+    (* Matching barriers in base and twin let the streaming checker
+       re-synchronise its two cursors: without them, byte-proportional
+       alternation drifts like a random walk and the miter grows with
+       stream length instead of staying near the identity. *)
+    if barrier_every > 0 && i > 0 && i mod barrier_every = 0 then
+      Printf.fprintf oc "barrier q;\n";
+    let q = Rng.int rng n in
+    let p =
+      let p = Rng.int rng (n - 1) in
+      if p >= q then p + 1 else p
+    in
+    let kind = Rng.int rng 7 in
+    if not twin then begin
+      match kind with
+      | 0 -> g1 "h" q
+      | 1 -> g1 "x" q
+      | 2 -> g1 "s" q
+      | 3 -> g1 "t" q
+      | 4 -> g1 "tdg" q
+      | 5 -> g2 "cx" q p
+      | _ -> g2 "cz" q p
+    end
+    else begin
+      (* Exact rewrites, cycled by gate index so both density and the
+         byte-offset skew vary along the stream. *)
+      (match i mod 3 with
+      | 0 -> ()
+      | 1 ->
+          g1 "h" q;
+          g1 "h" q
+      | _ ->
+          g1 "t" p;
+          g1 "tdg" p);
+      match kind with
+      | 0 -> g1 "h" q
+      | 1 ->
+          (* X = H Z H, Z = S S *)
+          g1 "h" q;
+          g1 "s" q;
+          g1 "s" q;
+          g1 "h" q
+      | 2 ->
+          (* S = T T *)
+          g1 "t" q;
+          g1 "t" q
+      | 3 -> g1 "t" q
+      | 4 -> g1 "tdg" q
+      | 5 ->
+          (* CX(q,p) = H_p CZ(q,p) H_p *)
+          g1 "h" p;
+          g2 "cz" q p;
+          g1 "h" p
+      | _ ->
+          (* CZ(q,p) = H_p CX(q,p) H_p *)
+          g1 "h" p;
+          g2 "cx" q p;
+          g1 "h" p
+    end
+  done

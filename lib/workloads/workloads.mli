@@ -135,3 +135,17 @@ val random_basis_state : Rng.t -> int -> int
 (** [random_bits rng n] draws a basis state as a bit array — usable beyond
     the native-integer width (e.g. the 65-qubit Manhattan register). *)
 val random_bits : Rng.t -> int -> bool array
+
+(** [stream_qasm ~seed ~qubits ~gates ?barrier_every ~twin oc] writes a
+    random Clifford+T circuit of [gates] operations directly as OpenQASM
+    text without materialising a circuit — the generator behind the
+    streaming checker's large-circuit bench tier.  With [twin = true]
+    the same stream is written with each gate rewritten through an
+    exact local identity (plus inserted [g g^-1] pairs), producing a
+    provably equivalent partner of different length and byte layout.
+    [barrier_every > 0] emits a [barrier] at matching logical positions
+    every that many base gates in both outputs; the streaming checker
+    uses matching barriers to re-synchronise its cursors, which keeps
+    the miter small on arbitrarily long streams. *)
+val stream_qasm :
+  seed:int -> qubits:int -> gates:int -> ?barrier_every:int -> twin:bool -> out_channel -> unit

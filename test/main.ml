@@ -23,4 +23,5 @@ let () =
       ("qasm-roundtrip", Test_qasm_roundtrip.suite);
       ("compile-fuzz", Test_compile_fuzz.suite);
       ("cert", Test_cert.suite);
+      ("dd-arena", Test_dd_arena.suite);
     ]

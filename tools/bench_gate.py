@@ -10,7 +10,12 @@ the file of the same name in CURRENT_DIR:
 - "mismatches" / "failures" counters must not increase;
 - "elapsed" leaves may grow by at most --tolerance (default 1.5x), and
   only when the baseline time is above --floor seconds (default 0.5) —
-  sub-floor timings are dominated by scheduler noise, not regressions.
+  sub-floor timings are dominated by scheduler noise, not regressions;
+- "mem_peak_kb" / "vm_hwm_kb" leaves may grow by at most
+  --mem-tolerance (default 3.0x) — peak RSS is far noisier than wall
+  time (allocator arenas, GC timing), but an order-of-magnitude jump
+  means a leak, e.g. a DD arena growing with total allocations instead
+  of live size.
 
 List entries are matched by their "benchmark" key when present, by
 position otherwise.  Extra keys on either side are ignored (the emitters
@@ -26,14 +31,17 @@ import sys
 VERDICT_KEYS = {"outcome"}
 COUNTER_KEYS = {"mismatches", "failures"}
 TIME_KEYS = {"elapsed"}
+MEM_KEYS = {"mem_peak_kb", "vm_hwm_kb"}
 
 
 class Gate:
-    def __init__(self, tolerance, floor):
+    def __init__(self, tolerance, floor, mem_tolerance):
         self.tolerance = tolerance
         self.floor = floor
+        self.mem_tolerance = mem_tolerance
         self.problems = []
         self.checked_times = 0
+        self.checked_mem = 0
         self.checked_verdicts = 0
 
     def fail(self, path, message):
@@ -46,7 +54,7 @@ class Gate:
                 return
             for key, bval in base.items():
                 if key not in cur:
-                    if key in VERDICT_KEYS | COUNTER_KEYS | TIME_KEYS:
+                    if key in VERDICT_KEYS | COUNTER_KEYS | TIME_KEYS | MEM_KEYS:
                         self.fail(path, f"gated key {key!r} disappeared")
                     continue
                 self.compare_leaf(f"{path}.{key}", key, bval, cur[key])
@@ -89,6 +97,17 @@ class Gate:
                         f"({bval:.3f}s -> {cval:.3f}s, tolerance {self.tolerance}x)",
                     )
                 self.checked_times += 1
+        elif key in MEM_KEYS:
+            if isinstance(bval, (int, float)) and isinstance(cval, (int, float)):
+                # A zero baseline means /proc was unavailable there —
+                # nothing meaningful to compare against.
+                if bval > 0 and cval > bval * self.mem_tolerance:
+                    self.fail(
+                        path,
+                        f"peak memory regressed {cval / bval:.2f}x "
+                        f"({bval} kB -> {cval} kB, tolerance {self.mem_tolerance}x)",
+                    )
+                self.checked_mem += 1
         elif isinstance(bval, (dict, list)):
             self.compare(path, bval, cval)
 
@@ -99,10 +118,11 @@ def main():
     ap.add_argument("current_dir")
     ap.add_argument("--tolerance", type=float, default=1.5)
     ap.add_argument("--floor", type=float, default=0.5)
+    ap.add_argument("--mem-tolerance", type=float, default=3.0)
     ap.add_argument("--report", default="bench-gate-report.txt")
     args = ap.parse_args()
 
-    gate = Gate(args.tolerance, args.floor)
+    gate = Gate(args.tolerance, args.floor, args.mem_tolerance)
     names = sorted(
         n
         for n in os.listdir(args.baseline_dir)
@@ -113,7 +133,8 @@ def main():
         return 2
 
     lines = [
-        f"bench gate: tolerance {args.tolerance}x, floor {args.floor}s",
+        f"bench gate: tolerance {args.tolerance}x, floor {args.floor}s, "
+        f"mem tolerance {args.mem_tolerance}x",
         f"baselines: {args.baseline_dir}  current: {args.current_dir}",
         "",
     ]
@@ -139,7 +160,7 @@ def main():
     else:
         lines.append(
             f"no regressions ({gate.checked_verdicts} verdicts, "
-            f"{gate.checked_times} timings checked)"
+            f"{gate.checked_times} timings, {gate.checked_mem} memory peaks checked)"
         )
     report = "\n".join(lines) + "\n"
     with open(args.report, "w") as f:
