@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- ablations         Section 6.2 ablations
      dune exec bench/main.exe -- dd-stats          DD engine statistics
      dune exec bench/main.exe -- dd-arena          arena vs boxed DD core -> BENCH_dd_arena.json
+     dune exec bench/main.exe -- dd-schemes        application schemes -> BENCH_dd_schemes.json
+                                                   (also regenerates bench/dispatch.json)
      dune exec bench/main.exe -- portfolio         parallel portfolio vs Combined
      dune exec bench/main.exe -- trace-smoke       traced run -> BENCH_trace.json
      dune exec bench/main.exe -- fuzz-smoke        differential fuzz -> BENCH_fuzz.json
@@ -251,7 +253,7 @@ let fig4 () =
   let g = ghz 3 in
   let g' = Compile.run (Architecture.linear 5) g in
   let trace = ref [] in
-  let r = Dd_checker.check_alternating ~trace:(fun k -> trace := k :: !trace) g g' in
+  let r = Dd_checker.check_miter ~trace:(fun k -> trace := k :: !trace) g g' in
   Printf.printf "intermediate node counts: %s\n"
     (String.concat " " (List.rev_map string_of_int !trace));
   Format.printf "verdict: %a@." Equivalence.pp_report r;
@@ -263,7 +265,7 @@ let fig4 () =
   Printf.printf "for contrast, qft-10 built sequentially: %d nodes; " (Dd.node_count seq);
   let tr = ref 0 in
   let r2 =
-    Dd_checker.check_alternating ~trace:(fun k -> tr := max !tr k) (qft 10) (qft 10)
+    Dd_checker.check_miter ~trace:(fun k -> tr := max !tr k) (qft 10) (qft 10)
   in
   Printf.printf "alternating miter of qft-10 with itself peaks at %d nodes (%s)\n" !tr
     (Equivalence.outcome_to_string r2.Equivalence.outcome)
@@ -330,7 +332,7 @@ let ablation_tolerance () =
   let exact = noisy_qft n 0.0 and noisy = noisy_qft n 1e-11 in
   List.iter
     (fun tol ->
-      let r = Dd_checker.check_alternating ~tol exact noisy in
+      let r = Dd_checker.check_miter ~tol exact noisy in
       Printf.printf "tol=%.0e : %-14s peak %7d nodes, final %5d, %.3fs\n" tol
         (Equivalence.outcome_to_string r.Equivalence.outcome)
         r.Equivalence.peak_size r.Equivalence.final_size r.Equivalence.elapsed)
@@ -400,7 +402,7 @@ let ablation_oracle () =
     (fun (name, g) ->
       let arch = Architecture.ring (Circuit.num_qubits g + 1) in
       let g' = Compile.run arch g in
-      let alt = Dd_checker.check_alternating g g' in
+      let alt = Dd_checker.check_miter g g' in
       let ref_ = Dd_checker.check_reference g g' in
       Printf.printf "%-10s alternating: peak %7d (%.3fs) ; reference: peak %7d (%.3fs)\n" name
         alt.Equivalence.peak_size alt.Equivalence.elapsed ref_.Equivalence.peak_size
@@ -446,7 +448,7 @@ let dd_stats_bench () =
         let ctx = Engine.Ctx.make ~gc_threshold ~sink () in
         let t0 = Mclock.now () in
         let r =
-          Engine.run ~ctx ~method_used:Equivalence.Alternating_dd (Dd_checker.alternating ())
+          Engine.run ~ctx ~method_used:Equivalence.Alternating_dd (Dd_checker.scheme_checker ())
             g g'
         in
         let dt = Mclock.now () -. t0 in
@@ -1069,6 +1071,194 @@ let dd_arena_bench opts =
     exit 1
   end
 
+(* ---------------------------------------- Application-scheme benchmark *)
+
+(* All four concrete application schemes plus the profile-guided auto
+   mode on the DD-heavy compiled Table-1 miters, written to
+   BENCH_dd_schemes.json.  The measured winners are persisted as the
+   dispatch table (bench/dispatch.json) that [--dd-scheme auto]
+   consults, so the profiling run and the profile consumer can never
+   drift: auto is timed against the table this very run just wrote.
+
+   Self-checking:
+   - every scheme must agree on every conclusive verdict (fatal — a
+     scheme only reorders gate applications, it must never change the
+     answer; a timeout is not a disagreement);
+   - auto must match or beat alternating on every row, within a noise
+     allowance (fatal otherwise — the fallback for unseen fingerprints
+     IS alternating, so auto being slower means the table misfired);
+   - at least two rows must improve >= 1.5x under some non-alternating
+     scheme (fatal otherwise — on compiled instances |G'| >> |G|, so
+     strict 1:1 alternation starves the short side and the scheme
+     family is the point of the refactor). *)
+let dd_schemes_bench opts =
+  print_endline "\n== DD application schemes on compiled Table-1 miters ==";
+  let failures = ref 0 in
+  let conclusive = function
+    | Equivalence.Equivalent | Equivalence.Not_equivalent -> true
+    | Equivalence.No_information | Equivalence.Timed_out -> false
+  in
+  let time ?table scheme inst =
+    let t0 = Mclock.now () in
+    let r =
+      Qcec.check ~strategy:Qcec.Alternating ~timeout:opts.timeout ~seed:opts.seed
+        ~scheme ?table inst.original inst.derived
+    in
+    (Mclock.now () -. t0, r.Equivalence.outcome, r.Equivalence.peak_size)
+  in
+  (* Concrete schemes first; their winners become the dispatch table. *)
+  let measured =
+    List.map
+      (fun (name, g) ->
+        let inst = compiled_instance opts name g in
+        let runs = List.map (fun s -> (s, time s inst)) Dd_scheme.all in
+        (match List.filter (fun (_, (_, o, _)) -> conclusive o) runs with
+        | [] -> ()
+        | (s0, (_, o0, _)) :: rest ->
+            List.iter
+              (fun (s, (_, o, _)) ->
+                if o <> o0 then begin
+                  incr failures;
+                  Printf.printf "  FAIL %s: %s says %s but %s says %s\n" name
+                    (Dd_scheme.to_string s)
+                    (Equivalence.outcome_to_string o)
+                    (Dd_scheme.to_string s0)
+                    (Equivalence.outcome_to_string o0)
+                end)
+              rest);
+        let best =
+          List.fold_left
+            (fun acc ((_, (dt, o, _)) as r) ->
+              if not (conclusive o) then acc
+              else
+                match acc with
+                | Some (_, (best_dt, _, _)) when best_dt <= dt -> acc
+                | _ -> Some r)
+            None runs
+        in
+        (name, inst, runs, best))
+      [
+        ("qft-12", qft 12);
+        ("qpe-exact-11", qpe_exact ~seed:3 10);
+        ("qwalk-6", random_walk ~steps:6 6);
+        ("graphstate-14", graph_state ~seed:3 14);
+      ]
+  in
+  (* Persist the winners: one entry per distinct fingerprint (first row
+     wins on a collision — the rows are fixed, so a collision means the
+     instances are structurally indistinguishable anyway). *)
+  let table =
+    List.fold_left
+      (fun acc (_, inst, _, best) ->
+        match best with
+        | None -> acc
+        | Some (s, _) ->
+            let fp = Dd_dispatch.fingerprint inst.original inst.derived in
+            if List.exists (fun e -> e.Dd_dispatch.fingerprint = fp) acc then acc
+            else acc @ [ { Dd_dispatch.fingerprint = fp; scheme = s } ])
+      [] measured
+  in
+  let dispatch_path =
+    if Sys.file_exists "bench" && Sys.is_directory "bench" then Dd_dispatch.default_path
+    else Filename.basename Dd_dispatch.default_path
+  in
+  Dd_dispatch.save dispatch_path table;
+  Printf.printf "wrote %s (%d entr%s)\n" dispatch_path (List.length table)
+    (if List.length table = 1 then "y" else "ies");
+  (* Auto against the freshly written table, plus the per-row summary. *)
+  let rows =
+    List.map
+      (fun (name, inst, runs, best) ->
+        let auto = time ~table Dd_scheme.Auto inst in
+        let resolved = Dd_dispatch.choose ~table inst.original inst.derived in
+        let t_auto, o_auto, _ = auto in
+        let t_alt, o_alt, _ = List.assoc Dd_scheme.Alternating runs in
+        (match List.filter (fun (_, (_, o, _)) -> conclusive o) runs with
+        | (_, (_, o0, _)) :: _ when conclusive o_auto && o_auto <> o0 ->
+            incr failures;
+            Printf.printf "  FAIL %s: auto says %s but the concrete schemes say %s\n"
+              name
+              (Equivalence.outcome_to_string o_auto)
+              (Equivalence.outcome_to_string o0)
+        | _ -> ());
+        if conclusive o_alt && not (conclusive o_auto) then begin
+          incr failures;
+          Printf.printf "  FAIL %s: auto %s where alternating concluded\n" name
+            (Equivalence.outcome_to_string o_auto)
+        end;
+        if conclusive o_alt && t_auto > (t_alt *. 1.25) +. 0.1 then begin
+          incr failures;
+          Printf.printf "  FAIL %s: auto %.3fs slower than alternating %.3fs\n" name
+            t_auto t_alt
+        end;
+        (* Best non-alternating speedup over alternating; a timed-out
+           alternating run makes it a lower bound. *)
+        let speedup =
+          List.fold_left
+            (fun acc (s, (dt, o, _)) ->
+              if s = Dd_scheme.Alternating || not (conclusive o) then acc
+              else Float.max acc (t_alt /. dt))
+            0.0 runs
+        in
+        List.iter
+          (fun (s, (dt, o, peak)) ->
+            Printf.printf "%-16s %-12s %-14s %7.3fs  peak %7d\n%!" name
+              (Dd_scheme.to_string s)
+              (Equivalence.outcome_to_string o)
+              dt peak)
+          (runs @ [ (Dd_scheme.Auto, auto) ]);
+        Printf.printf "%-16s best %s, non-alternating speedup %s%.2fx (auto -> %s)\n%!"
+          name
+          (match best with Some (s, _) -> Dd_scheme.to_string s | None -> "-")
+          (if conclusive o_alt then "" else ">=")
+          speedup
+          (Dd_scheme.to_string resolved);
+        (name, runs, auto, resolved, speedup))
+      measured
+  in
+  let fast = List.filter (fun (_, _, _, _, s) -> s >= 1.5) rows in
+  Printf.printf "rows at >= 1.5x under a non-alternating scheme: %d/%d%s\n"
+    (List.length fast) (List.length rows)
+    (match fast with
+    | [] -> ""
+    | _ -> " (" ^ String.concat " " (List.map (fun (n, _, _, _, _) -> n) fast) ^ ")");
+  let oc = open_out "BENCH_dd_schemes.json" in
+  output_string oc "{\n  \"rows\": [\n";
+  let scheme_cell (dt, o, peak) =
+    (* A timed-out wall time only measures where the deadline poll
+       landed inside a long multiply, so it stays out of the gated
+       "elapsed" key. *)
+    Printf.sprintf "{\"outcome\":%S,\"%s\":%.6f,\"peak_size\":%d}"
+      (Equivalence.outcome_to_string o)
+      (if conclusive o then "elapsed" else "elapsed_timeout")
+      dt peak
+  in
+  List.iteri
+    (fun i (name, runs, auto, resolved, speedup) ->
+      Printf.fprintf oc "    {\"benchmark\":%S,%s,\"auto\":%s,\"resolved\":%S,\
+                         \"best_speedup_vs_alternating\":%.3f}%s\n"
+        name
+        (String.concat ","
+           (List.map
+              (fun (s, cell) ->
+                Printf.sprintf "\"%s\":%s" (Dd_scheme.to_string s) (scheme_cell cell))
+              runs))
+        (scheme_cell auto)
+        (Dd_scheme.to_string resolved)
+        speedup
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"dispatch_entries\": %d,\n  \"rows_ge_1_5x\": %d,\n  \"failures\": %d\n}\n"
+    (List.length table) (List.length fast) !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_dd_schemes.json\n";
+  if !failures > 0 || List.length fast < 2 then begin
+    Printf.eprintf "dd-schemes FAILED: %d failure(s), %d/%d row(s) at >= 1.5x\n"
+      !failures (List.length fast) (List.length rows);
+    exit 1
+  end
+
 (* ------------------------------------------------------- Micro (Bechamel) *)
 
 let micro () =
@@ -1083,7 +1273,7 @@ let micro () =
     Test.make_grouped ~name:"oqec" ~fmt:"%s %s"
       [
         Test.make ~name:"dd: ghz-8 miter check"
-          (Staged.stage (fun () -> ignore (Dd_checker.check_alternating ghz8 ghz8)));
+          (Staged.stage (fun () -> ignore (Dd_checker.check_miter ghz8 ghz8)));
         Test.make ~name:"dd: qft-6 circuit build"
           (Staged.stage (fun () ->
                let pkg = Dd.create () in
@@ -1140,6 +1330,7 @@ let () =
     | "ablations" -> run_ablations ()
     | "dd-stats" -> dd_stats_bench ()
     | "dd-arena" -> dd_arena_bench opts
+    | "dd-schemes" -> dd_schemes_bench opts
     | "portfolio" -> portfolio_bench opts
     | "trace-smoke" -> trace_smoke ()
     | "fuzz-smoke" -> fuzz_smoke opts
@@ -1154,6 +1345,7 @@ let () =
         run_ablations ();
         dd_stats_bench ();
         dd_arena_bench opts;
+        dd_schemes_bench opts;
         portfolio_bench opts;
         trace_smoke ();
         fuzz_smoke opts;
@@ -1161,7 +1353,7 @@ let () =
         cert_smoke opts
     | other ->
         Printf.eprintf
-          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, dd-arena, portfolio, trace-smoke, fuzz-smoke, zx-smoke, cert-smoke, micro, all)\n"
+          "unknown command %S (use fig1..fig6, table1-compiled, table1-optimized, table-extended, ablations, dd-stats, dd-arena, dd-schemes, portfolio, trace-smoke, fuzz-smoke, zx-smoke, cert-smoke, micro, all)\n"
           other;
         exit 2
   in

@@ -20,7 +20,7 @@ let load path =
    oracle's certificate cross-check) catches it. *)
 let set_engine_break_hook () =
   match Sys.getenv_opt "OQEC_CERT_BREAK" with
-  | Some mode when mode <> "" -> Oqec_zx.Zx_worklist.break_hook := Some mode
+  | Some mode when mode <> "" -> Atomic.set Oqec_zx.Zx_worklist.break_hook (Some mode)
   | _ -> ()
 
 let arch_of_string = function
@@ -146,17 +146,23 @@ let check_cmd =
              (struct-of-arrays node store with packed integer edges).  Verdicts and \
              counterexamples are independent of the core.")
   in
-  let oracle =
+  let dd_scheme =
     Arg.(
       value
       & opt string "proportional"
-      & info [ "oracle" ] ~docv:"ORACLE"
+      & info [ "dd-scheme" ] ~docv:"SCHEME"
           ~doc:
-            "Gate-interleaving policy of the alternating-DD miter: $(b,proportional) \
-             (advance the side lagging in relative progress; default) or \
-             $(b,lookahead) (apply one gate from each side speculatively and keep the \
-             smaller diagram — roughly twice the work per step, but resistant to \
-             drift when the circuits' structures diverge).")
+            "Application scheme of the DD miter — the policy deciding which side \
+             contributes the next gate: $(b,alternating) (strict one-to-one, the \
+             paper's baseline), $(b,proportional) (advance the side lagging in \
+             relative progress; default), $(b,lookahead) (apply one gate from each \
+             side speculatively and keep the smaller diagram — roughly twice the work \
+             per step, but resistant to drift when the circuits' structures diverge), \
+             $(b,cost) (proportional over per-gate growth weights) or $(b,auto) \
+             (profile-guided: a structural fingerprint of the instance is looked up \
+             in the dispatch table written by $(b,bench dd-schemes) — \
+             $(b,OQEC_DISPATCH), else bench/dispatch.json, else the compiled-in \
+             snapshot — falling back to alternating on unseen fingerprints).")
   in
   let stream =
     Arg.(
@@ -166,9 +172,11 @@ let check_cmd =
             "Stream both files through the alternating-DD miter without materialising \
              the circuits: memory use is bounded by the diagram plus one input chunk \
              per side, so checks can run over files far larger than memory.  Implies \
-             the alternating strategy; gates are interleaved proportionally to input \
-             bytes consumed.  The streamed subset excludes measure and layout \
-             metadata.")
+             the alternating strategy; by default gates are interleaved proportionally \
+             to input bytes consumed ($(b,--dd-scheme) adapts: alternating and \
+             lookahead keep their semantics, cost and auto degrade to the \
+             byte-proportional rule).  The streamed subset excludes measure and \
+             layout metadata.")
   in
   let certify =
     Arg.(
@@ -183,15 +191,20 @@ let check_cmd =
              cannot be certified exits with code 4.")
   in
   let run file1 file2 strategy timeout tol sim_runs seed jobs approx gc_threshold dd_stats
-      json trace checkers dd_core oracle stream certify =
+      json trace checkers dd_core dd_scheme stream certify =
     set_engine_break_hook ();
-    let oracle =
-      match oracle with
-      | "proportional" -> Dd_checker.Proportional
-      | "lookahead" -> Dd_checker.Lookahead
-      | s ->
-          Printf.eprintf "error: --oracle must be proportional or lookahead (got %S)\n" s;
+    let scheme =
+      match Dd_scheme.of_string dd_scheme with
+      | Some s -> s
+      | None ->
+          Printf.eprintf
+            "error: --dd-scheme must be alternating, proportional, lookahead, cost or \
+             auto (got %S)\n"
+            dd_scheme;
           exit 3
+    in
+    let table =
+      match scheme with Dd_scheme.Auto -> Some (Dd_dispatch.default_table ()) | _ -> None
     in
     let dd_core =
       match dd_core with
@@ -251,7 +264,7 @@ let check_cmd =
       let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
       let report =
         try
-          Stream_checker.check ?core:dd_core ~oracle ?tol ?gc_threshold ?deadline ?sink
+          Stream_checker.check ?core:dd_core ~scheme ?tol ?gc_threshold ?deadline ?sink
             file1 file2
         with
         | Oqec_qasm.Qasm_stream.Unsupported msg ->
@@ -296,7 +309,7 @@ let check_cmd =
           r
       | None ->
           Qcec.check ~strategy ?timeout ?tol ?gc_threshold:gc_threshold ~sim_runs ~seed
-            ?jobs ~oracle ?checkers ?dd_core ?sink g g'
+            ?jobs ~scheme ?table ?checkers ?dd_core ?sink g g'
     in
     (match (trace, sink) with
     | Some path, Some s ->
@@ -345,7 +358,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check two OpenQASM circuits for equivalence.")
     Term.(
       const run $ file1 $ file2 $ strategy $ timeout $ tol $ sim_runs $ seed $ jobs
-      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers $ dd_core $ oracle
+      $ approx $ gc_threshold $ dd_stats $ json $ trace $ checkers $ dd_core $ dd_scheme
       $ stream $ certify)
 
 (* ------------------------------------------------------- verify-cert cmd *)
@@ -637,7 +650,8 @@ let fuzz_cmd =
     (* Hidden test hook: deliberately corrupt one checker's verdicts so the
        oracle/shrink/corpus path can be exercised end to end. *)
     (match Sys.getenv_opt "OQEC_FUZZ_BREAK" with
-    | Some name when name <> "" -> Oqec_fuzz.Fuzz_oracle.break_hook := Some name
+    | Some name when name <> "" ->
+        Atomic.set Oqec_fuzz.Fuzz_oracle.break_hook (Some name)
     | _ -> ());
     set_engine_break_hook ();
     let config =

@@ -231,21 +231,12 @@ let is_identity ?(up_to_phase = true) pkg n e =
   else Cx.approx_equal ~tol:1e-8 e.w Cx.one
 
 let trace e =
-  let cache : (int, Cx.t) Hashtbl.t = Hashtbl.create 256 in
-  let rec node_trace n =
-    if is_terminal n then Cx.one
-    else
-      match Hashtbl.find_opt cache n.id with
-      | Some t -> t
-      | None ->
-          let sub (c : edge) =
-            if is_zero_edge c then Cx.zero else Cx.mul c.w (node_trace c.node)
-          in
-          let t = Cx.add (sub n.edges.(0)) (sub n.edges.(3)) in
-          Hashtbl.replace cache n.id t;
-          t
-  in
-  if is_zero_edge e then Cx.zero else Cx.mul e.w (node_trace e.node)
+  Dd_trace.trace ~is_zero:is_zero_edge
+    ~is_terminal:(fun (c : edge) -> is_terminal c.node)
+    ~weight:(fun (c : edge) -> c.w)
+    ~node_key:(fun (c : edge) -> c.node.id)
+    ~diag:(fun (c : edge) j -> c.node.edges.(j))
+    e
 
 (* Computed in floats: [2^n] overflows native integers beyond 62 qubits
    (the Manhattan register has 65). *)

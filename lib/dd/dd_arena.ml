@@ -786,22 +786,12 @@ let kets_bits pkg n bit =
 let kets pkg n i = kets_bits pkg n (fun v -> (i lsr v) land 1 = 1)
 
 let trace pkg (e : edge) =
-  let cache : (int, Cx.t) Hashtbl.t = Hashtbl.create 256 in
-  let rec node_trace n =
-    if is_terminal_id n then Cx.one
-    else
-      match Hashtbl.find_opt cache n with
-      | Some t -> t
-      | None ->
-          let sub c =
-            if is_zero_edge c then Cx.zero
-            else Cx.mul (weight pkg c) (node_trace (nid c))
-          in
-          let t = Cx.add (sub (kid pkg n 0)) (sub (kid pkg n 3)) in
-          Hashtbl.replace cache n t;
-          t
-  in
-  if is_zero_edge e then Cx.zero else Cx.mul (weight pkg e) (node_trace (nid e))
+  Dd_trace.trace ~is_zero:is_zero_edge
+    ~is_terminal:(fun c -> is_terminal_id (nid c))
+    ~weight:(weight pkg)
+    ~node_key:(fun c -> nid c)
+    ~diag:(fun c j -> kid pkg (nid c) j)
+    e
 
 let fidelity_to_identity pkg ~n e = Cx.mag (trace pkg e) /. Float.pow 2.0 (float_of_int n)
 

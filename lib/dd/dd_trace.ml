@@ -1,0 +1,30 @@
+open Oqec_base
+
+(* Shared memoised diagonal-trace walk over a QMDD, generic in the edge
+   representation so the boxed ({!Dd}) and arena ({!Dd_arena}) cores run
+   one implementation instead of two copy-pasted ones.
+
+   [tr D] sums the two diagonal cofactor traces per node, memoised on
+   the node key: sharing makes the walk linear in the number of distinct
+   nodes rather than exponential in the qubit count.  The weight of an
+   edge multiplies the trace of the node below it; terminal nodes
+   contribute one. *)
+
+let trace (type e) ~(is_zero : e -> bool) ~(is_terminal : e -> bool)
+    ~(weight : e -> Cx.t) ~(node_key : e -> int) ~(diag : e -> int -> e) (root : e) =
+  let cache : (int, Cx.t) Hashtbl.t = Hashtbl.create 256 in
+  (* Trace of the node under [e]; [e]'s own weight is applied by the
+     caller (either [sub] one level up or the top-level multiply). *)
+  let rec node_trace e =
+    if is_terminal e then Cx.one
+    else
+      let k = node_key e in
+      match Hashtbl.find_opt cache k with
+      | Some t -> t
+      | None ->
+          let sub c = if is_zero c then Cx.zero else Cx.mul (weight c) (node_trace c) in
+          let t = Cx.add (sub (diag e 0)) (sub (diag e 3)) in
+          Hashtbl.replace cache k t;
+          t
+  in
+  if is_zero root then Cx.zero else Cx.mul (weight root) (node_trace root)

@@ -1,0 +1,18 @@
+open Oqec_base
+
+(** Memoised diagonal-trace walk shared by the boxed and arena DD cores.
+
+    [trace ~is_zero ~is_terminal ~weight ~node_key ~diag e] computes
+    [tr M(e)], the (unnormalised) matrix trace of the QMDD rooted at
+    [e]: per node the traces of diagonal cofactors 0 and 3 are summed,
+    memoised on [node_key] so shared nodes are visited once.  [diag e j]
+    must return the [j]-th outgoing edge (j in {0, 3}) of [e]'s node;
+    it is only called on non-terminal edges. *)
+val trace :
+  is_zero:('e -> bool) ->
+  is_terminal:('e -> bool) ->
+  weight:('e -> Cx.t) ->
+  node_key:('e -> int) ->
+  diag:('e -> int -> 'e) ->
+  'e ->
+  Cx.t

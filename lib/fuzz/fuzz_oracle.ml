@@ -30,7 +30,10 @@ type result = {
 }
 
 let dense_max_qubits = 8
-let break_hook = ref None
+
+(* Read once per {!run} into [sabotage] below: the oracle may be driven
+   from several domains at once and must never observe a mid-run flip. *)
+let break_hook : string option Atomic.t = Atomic.make None
 
 (* The deliberate corruption applied by the test hook: conclusive
    verdicts flip, an inconclusive one becomes a (false) equivalence
@@ -41,7 +44,7 @@ let corrupt = function
   | Equivalence.No_information -> Equivalence.Equivalent
   | Equivalence.Timed_out -> Equivalence.Timed_out
 
-let run_one ~timeout ~seed checker_name checker g g' =
+let run_one ~timeout ~seed ~sabotage checker_name checker g g' =
   let deadline = Mclock.now () +. timeout in
   let ctx = Engine.Ctx.make ~deadline ~sim_runs:16 ~seed () in
   let t0 = Mclock.now () in
@@ -50,7 +53,7 @@ let run_one ~timeout ~seed checker_name checker g g' =
     | v -> (v.Engine.outcome, v.Engine.certificate)
     | exception Equivalence.Cancelled -> (Equivalence.Timed_out, None)
   in
-  let outcome = if !break_hook = Some checker_name then corrupt outcome else outcome in
+  let outcome = if sabotage = Some checker_name then corrupt outcome else outcome in
   (* Cross-check: every attached certificate is replayed through the
      independent validator, so an engine whose verdict and artifact
      drift apart is caught even when every checker agrees. *)
@@ -175,8 +178,11 @@ let run ?(timeout = 10.0) ?checkers ?dd_core ?(seed = 1) ~expected g g' =
     | Some names ->
         List.filter (fun (n, _, _) -> List.mem n names) (Qcec.oracle_checkers ?dd_core ())
   in
+  let sabotage = Atomic.get break_hook in
   let verdicts =
-    List.map (fun (name, _, checker) -> run_one ~timeout ~seed name checker g g') selected
+    List.map
+      (fun (name, _, checker) -> run_one ~timeout ~seed ~sabotage name checker g g')
+      selected
   in
   let truth =
     if

@@ -54,9 +54,10 @@ val dense_max_qubits : int
     verdicts flipped, [No_information] promoted to [Equivalent]) before
     the soundness contracts are evaluated — a known-buggy checker for
     validating that the oracle, shrinker and corpus actually catch
-    disagreements end to end.  Driven by the [OQEC_FUZZ_BREAK]
-    environment variable in the CLI. *)
-val break_hook : string option ref
+    disagreements end to end.  Read once at the start of each {!run}
+    (never mid-run, so concurrent runs cannot tear).  Driven by the
+    [OQEC_FUZZ_BREAK] environment variable in the CLI. *)
+val break_hook : string option Atomic.t
 
 (** [run ?timeout ?checkers ?seed ~expected g g'] runs every (selected)
     checker under its own engine context.  [timeout] is per checker

@@ -7,7 +7,7 @@ open Oqec_base
    slice: on simulation-hostile circuits (QFT-like output states have
    exponential vector DDs) the parallel original would simply cancel the
    simulations, so blocking on them here would distort the comparison. *)
-let checker ?core ?(oracle = Dd_checker.Proportional) () : Engine.checker =
+let checker ?core ?scheme ?table () : Engine.checker =
   (module struct
     let name = "combined"
 
@@ -41,7 +41,7 @@ let checker ?core ?(oracle = Dd_checker.Proportional) () : Engine.checker =
             match screen with Some v -> v.Engine.simulations | None -> 0
           in
           let module Dd =
-            (val Dd_checker.alternating ?core ~oracle () : Engine.CHECKER)
+            (val Dd_checker.scheme_checker ?core ?scheme ?table () : Engine.CHECKER)
           in
           let v = Dd.run ctx g g' in
           { v with Engine.simulations = sims }

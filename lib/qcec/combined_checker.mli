@@ -1,11 +1,16 @@
 (** The paper's combined strategy as a single {!Engine.CHECKER}: a short
     random-stimuli screen (at most 8 runs, with its own small time
-    slice) followed by the alternating-DD completeness argument.  A
-    refuting screen short-circuits; otherwise the DD verdict is returned
-    with the screen's simulation count merged in. *)
+    slice) followed by the miter-DD completeness argument.  A refuting
+    screen short-circuits; otherwise the DD verdict is returned with the
+    screen's simulation count merged in. *)
 
-(** [checker ?core ?oracle ()] is the ["combined"] checker; [oracle]
-    selects the alternating scheme's gate-scheduling oracle and [core]
-    the DD package representation (both phases use the same core). *)
+(** [checker ?core ?scheme ?table ()] is the ["combined"] checker;
+    [scheme] selects the DD application scheme (default proportional;
+    [Auto] resolves through [table]) and [core] the DD package
+    representation (both phases use the same core). *)
 val checker :
-  ?core:Oqec_dd.Dd_core.kind -> ?oracle:Dd_checker.oracle -> unit -> Engine.checker
+  ?core:Oqec_dd.Dd_core.kind ->
+  ?scheme:Dd_scheme.t ->
+  ?table:Dd_dispatch.table ->
+  unit ->
+  Engine.checker

@@ -2,22 +2,17 @@ open Oqec_base
 open Oqec_circuit
 open Oqec_dd
 
-(* Equivalence of unitaries is decided on the miter DD: structural
-   identity up to phase, with the Hilbert-Schmidt overlap |tr D| / 2^n as
-   the tolerance-aware fallback (Section 3). *)
-let fidelity_threshold = 1.0 -. 1e-9
+(* DD-based checkers, rebuilt around the {!Miter} core: the exact
+   checker is a driver that walks a miter under an
+   {!Dd_scheme.APPLICATION_SCHEME}, so the hardwired alternating loop of
+   the paper becomes one policy among several (and [auto] picks one per
+   instance through {!Dd_dispatch}).
 
-type oracle = Proportional | Lookahead
-
-(* The checking logic is generic over the DD core (boxed records vs the
+   The checking logic is generic over the DD core (boxed records vs the
    struct-of-arrays arena); it is instantiated statically for both cores
    below and dispatched on {!Dd_core.kind}. *)
 module Of (C : Dd_core.S) = struct
-  let conclude pkg n d =
-    if C.is_identity ~up_to_phase:true pkg n d then Equivalence.Equivalent
-    else if C.fidelity_to_identity pkg ~n d >= fidelity_threshold then
-      Equivalence.Equivalent
-    else Equivalence.Not_equivalent
+  module M = Miter.Make (C)
 
   (* Gate application is the package's collection safe point; it doubles
      as the engine's counting and deadline/cancellation polling point. *)
@@ -41,114 +36,55 @@ module Of (C : Dd_core.S) = struct
         Engine.Ctx.set ctx Engine.Dd_shard_contention a.Dd.a_contended);
     st
 
-  let verdict_of ctx ~pkg ~n d =
-    let outcome = conclude pkg n d in
-    let st = package_counters ctx pkg in
+  let verdict_of ctx m =
+    let outcome = M.conclude m in
+    let st = package_counters ctx (M.package m) in
     {
       Engine.outcome;
-      peak_size = C.allocated pkg;
-      final_size = C.node_count pkg d;
+      peak_size = C.allocated (M.package m);
+      final_size = M.live_size m;
       simulations = 0;
       note = "";
       dd = Some st;
       certificate = None;
     }
 
-  (* Shared miter construction for the exact and approximate checkers.
+  (* Fold both circuits into the miter under the scheme's side policy.
+     The scheme is only consulted while both sides have gates; a lone
+     surviving side is forced.  Deadline/cancellation polling happens
+     inside the applications: gate application is the package's GC safe
+     point and runs the engine hook. *)
+  let drive m (module S : Dd_scheme.APPLICATION_SCHEME) =
+    while not (M.exhausted m) do
+      let side =
+        if M.left_remaining m = 0 then Dd_scheme.Right
+        else if M.right_remaining m = 0 then Dd_scheme.Left
+        else S.choose (M.probe m)
+      in
+      M.apply m side
+    done
 
-     The circuits are lowered to elementary gates first: the alternating
-     scheme inverts operation by operation, and controlled rotations
-     only invert exactly after decomposition (their inverse-angle form
-     differs by a controlled sign, rotation angles being canonical
-     modulo 2*pi).
+  (* [Auto] resolves through the dispatch table per instance; the
+     resolved scheme is recorded in the ["dd.scheme.<name>"] counter so
+     [--json] reports show what actually ran. *)
+  let resolve ?table scheme g g' =
+    match scheme with Dd_scheme.Auto -> Dd_dispatch.choose ?table g g' | s -> s
 
-     The evolving miter edge is pinned as a GC root throughout: gate
-     application is the package's collection safe point, and an unrooted
-     miter would lose canonicity (and with it the structural identity
-     test) the moment a collection runs. *)
-  let build_miter ctx ~oracle ?trace g g' =
-    let g, g' = Flatten.align g g' in
-    let a = Decompose.elementary (Flatten.flatten g)
-    and b = Decompose.elementary (Flatten.flatten g') in
-    let n = Circuit.num_qubits a in
-    let pkg =
-      C.create ?tol:(Engine.Ctx.tol ctx) ?gc_threshold:(Engine.Ctx.gc_threshold ctx) ()
-    in
-    hook_pkg ctx pkg;
-    let ops_a = Circuit.ops_array a and ops_b = Circuit.ops_array b in
-    let ka = Array.length ops_a and kb = Array.length ops_b in
-    let d = ref (C.identity pkg n) in
-    C.root pkg !d;
-    let commit nd =
-      C.root pkg nd;
-      C.unroot pkg !d;
-      d := nd
-    in
-    let ia = ref 0 and ib = ref 0 in
-    let record () = match trace with Some f -> f (C.node_count pkg !d) | None -> () in
-    record ();
-    (* Right side: D <- D * g_i^dagger;  left side: D <- g'_j * D.
-       Deadline/cancellation polling happens inside the applications:
-       gate application is the package's GC safe point and runs the
-       engine hook registered above. *)
-    let apply_a () = C.apply_op_left pkg n !d (Circuit.inverse_op ops_a.(!ia)) in
-    let apply_b () = C.apply_op pkg n !d ops_b.(!ib) in
-    while !ia < ka || !ib < kb do
-      if !ia >= ka then begin
-        commit (apply_b ());
-        incr ib
-      end
-      else if !ib >= kb then begin
-        commit (apply_a ());
-        incr ia
-      end
-      else begin
-        match oracle with
-        | Proportional ->
-            (* Advance the side that lags behind relative to its total
-               gate count, keeping the product balanced around the
-               identity. *)
-            if !ia * kb <= !ib * ka then begin
-              commit (apply_a ());
-              incr ia
-            end
-            else begin
-              commit (apply_b ());
-              incr ib
-            end
-        | Lookahead ->
-            (* Apply one gate from each side speculatively; commit to
-               the smaller resulting diagram (hash-consing makes the
-               discarded candidate cheap to abandon).  The first
-               candidate must be pinned while the second is computed —
-               applying the second gate may trigger a collection. *)
-            let cand_a = apply_a () in
-            C.root pkg cand_a;
-            let cand_b = apply_b () in
-            C.unroot pkg cand_a;
-            if C.node_count pkg cand_a <= C.node_count pkg cand_b then begin
-              commit cand_a;
-              incr ia
-            end
-            else begin
-              commit cand_b;
-              incr ib
-            end
-      end;
-      record ()
-    done;
-    (pkg, n, !d)
-
-  let alternating ~oracle ?trace () : Engine.checker =
+  let scheme_checker ?(scheme = Dd_scheme.Proportional) ?table ?trace () :
+      Engine.checker =
     (module struct
-      let name = "alternating-dd"
+      let name = "dd-" ^ Dd_scheme.to_string scheme
 
       let run ctx g g' =
-        let pkg, n, d =
+        let resolved = resolve ?table scheme g g' in
+        Engine.Ctx.set ctx (Engine.Dd_scheme_used (Dd_scheme.to_string resolved)) 1;
+        let m =
           Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
-              build_miter ctx ~oracle ?trace g g')
+              let m = M.create ctx ?trace g g' in
+              drive m (Dd_scheme.impl resolved);
+              m)
         in
-        Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> verdict_of ctx ~pkg ~n d)
+        Engine.Ctx.span ctx ~cat:"dd" "conclude" (fun () -> verdict_of ctx m)
     end)
 
   let reference : Engine.checker =
@@ -185,7 +121,10 @@ module Of (C : Dd_core.S) = struct
             (* Canonicity says different roots mean different matrices,
                but close-to-tolerance cases deserve the numeric check. *)
             let miter = C.mul pkg (C.adjoint pkg da) db in
-            conclude pkg n miter
+            if C.is_identity ~up_to_phase:true pkg n miter then Equivalence.Equivalent
+            else if C.fidelity_to_identity pkg ~n miter >= Miter.fidelity_threshold
+            then Equivalence.Equivalent
+            else Equivalence.Not_equivalent
           end
         in
         let st = package_counters ctx pkg in
@@ -205,20 +144,22 @@ module Of (C : Dd_core.S) = struct
       let name = "approximate-dd"
 
       let run ctx g g' =
-        let pkg, n, d =
+        let m =
           Engine.Ctx.span ctx ~cat:"dd" "build-miter" (fun () ->
-              build_miter ctx ~oracle:Proportional g g')
+              let m = M.create ctx g g' in
+              drive m Dd_scheme.proportional;
+              m)
         in
-        let f = C.fidelity_to_identity pkg ~n d in
+        let f = M.fidelity m in
         fidelity := f;
         let outcome =
           if f >= threshold then Equivalence.Equivalent else Equivalence.Not_equivalent
         in
-        let st = package_counters ctx pkg in
+        let st = package_counters ctx (M.package m) in
         {
           Engine.outcome;
-          peak_size = C.allocated pkg;
-          final_size = C.node_count pkg d;
+          peak_size = C.allocated (M.package m);
+          final_size = M.live_size m;
           simulations = 0;
           note = Printf.sprintf "(fidelity %.9f, threshold %g)" f threshold;
           dd = Some st;
@@ -230,11 +171,10 @@ end
 module Boxed = Of (Dd_core.Boxed_core)
 module Arena = Of (Dd_core.Arena_core)
 
-let alternating ?(core = Dd_core.Boxed) ?(oracle = Proportional) ?trace () :
-    Engine.checker =
+let scheme_checker ?(core = Dd_core.Boxed) ?scheme ?table ?trace () : Engine.checker =
   match core with
-  | Dd_core.Boxed -> Boxed.alternating ~oracle ?trace ()
-  | Dd_core.Arena -> Arena.alternating ~oracle ?trace ()
+  | Dd_core.Boxed -> Boxed.scheme_checker ?scheme ?table ?trace ()
+  | Dd_core.Arena -> Arena.scheme_checker ?scheme ?table ?trace ()
 
 let reference_core = function
   | Dd_core.Boxed -> Boxed.reference
@@ -249,10 +189,10 @@ let ctx_of ?tol ?gc_threshold ?deadline ?cancel () =
     ?cancel:(Option.map (fun flag () -> Atomic.get flag) cancel)
     ?tol ?gc_threshold ()
 
-let check_alternating ?core ?oracle ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
+let check_miter ?core ?scheme ?table ?tol ?gc_threshold ?trace ?deadline ?cancel g g' =
   let ctx = ctx_of ?tol ?gc_threshold ?deadline ?cancel () in
   Engine.run ~ctx ~method_used:Equivalence.Alternating_dd
-    (alternating ?core ?oracle ?trace ())
+    (scheme_checker ?core ?scheme ?table ?trace ())
     g g'
 
 let check_reference ?(core = Dd_core.Boxed) ?tol ?gc_threshold ?deadline ?cancel g g' =

@@ -3,32 +3,41 @@
     Both strategies decide [G ~ G'] up to global phase, honouring layout
     metadata and absorbing SWAPs via {!Flatten}.  The checkers are
     {!Engine.CHECKER} instances; timing, deadline/cancellation polling
-    and report assembly live in {!Engine.run}. *)
+    and report assembly live in {!Engine.run}.
+
+    The miter-based checker is a driver over the {!Miter} core,
+    parameterised by a {!Dd_scheme.APPLICATION_SCHEME}: the scheme
+    decides which side contributes the next gate, the miter does the
+    bookkeeping, and [Auto] resolves to a concrete scheme per instance
+    through the {!Dd_dispatch} table. *)
 
 open Oqec_circuit
 open Oqec_dd
 
-(** Gate-scheduling oracles for the alternating scheme ([20]):
-    [Proportional] advances the side that lags relative to its total gate
-    count; [Lookahead] applies one gate from each side speculatively and
-    commits to whichever keeps the diagram smaller (more bookkeeping per
-    step, but it adapts when the two circuits' structures do not line up
-    proportionally). *)
-type oracle = Proportional | Lookahead
-
-(** [alternating ?oracle ?trace ()] is the ["alternating-dd"] checker: it
-    builds the miter [U(G') * U(G)^dagger] starting from the identity,
-    taking gates from both circuits so the intermediate diagram stays
-    close to the identity.  [trace] receives the intermediate node count
-    after every gate application (used by the Fig. 4 demo and the
-    ablations).  The DD package's interning tolerance and collection
-    trigger come from the execution context ({!Engine.Ctx.tol},
-    {!Engine.Ctx.gc_threshold}); every gate application bumps the
-    ["dd.gates_applied"] counter and polls the context's guard.  [core]
-    selects the DD package representation ({!Dd_core.kind}; default
-    boxed, the differential baseline). *)
-val alternating :
-  ?core:Dd_core.kind -> ?oracle:oracle -> ?trace:(int -> unit) -> unit -> Engine.checker
+(** [scheme_checker ?core ?scheme ?table ?trace ()] is the
+    ["dd-<scheme>"] checker: it builds the miter [U(G') * U(G)^dagger]
+    starting from the identity, taking gates from both circuits under
+    [scheme]'s side policy (default [Proportional], the repo's
+    long-standing default) so the intermediate diagram stays close to
+    the identity.  [Dd_scheme.Auto] is resolved per instance through
+    [table] (default {!Dd_dispatch.builtin}), recording the resolved
+    scheme in the ["dd.scheme.<name>"] counter.  [trace] receives the
+    intermediate node count after every commit (used by the Fig. 4 demo
+    and the ablations).  The DD package's interning tolerance and
+    collection trigger come from the execution context
+    ({!Engine.Ctx.tol}, {!Engine.Ctx.gc_threshold}); every gate
+    application bumps the ["dd.gates_applied"] counter and polls the
+    context's guard, and per-side applications land in
+    ["dd.left_applied"] / ["dd.right_applied"].  [core] selects the DD
+    package representation ({!Dd_core.kind}; default boxed, the
+    differential baseline). *)
+val scheme_checker :
+  ?core:Dd_core.kind ->
+  ?scheme:Dd_scheme.t ->
+  ?table:Dd_dispatch.table ->
+  ?trace:(int -> unit) ->
+  unit ->
+  Engine.checker
 
 (** The ["reference-dd"] checker: constructs both system-matrix DDs
     independently and compares root pointers (canonicity makes this a
@@ -38,14 +47,15 @@ val reference : Engine.checker
 (** {!reference} over an explicit DD core. *)
 val reference_core : Dd_core.kind -> Engine.checker
 
-(** [check_alternating ?oracle ?tol ?gc_threshold ?trace ?deadline
-    ?cancel g g'] runs {!alternating} under a fresh context.  [deadline]
-    is absolute monotonic time; [cancel] is a portfolio stop flag polled
-    at every gate-application safe point (raises
-    {!Equivalence.Cancelled} when set). *)
-val check_alternating :
+(** [check_miter ?core ?scheme ?table ?tol ?gc_threshold ?trace
+    ?deadline ?cancel g g'] runs {!scheme_checker} under a fresh
+    context.  [deadline] is absolute monotonic time; [cancel] is a
+    portfolio stop flag polled at every gate-application safe point
+    (raises {!Equivalence.Cancelled} when set). *)
+val check_miter :
   ?core:Dd_core.kind ->
-  ?oracle:oracle ->
+  ?scheme:Dd_scheme.t ->
+  ?table:Dd_dispatch.table ->
   ?tol:float ->
   ?gc_threshold:int ->
   ?trace:(int -> unit) ->
@@ -69,7 +79,7 @@ val check_reference :
 
 (** [check_approximate ?tol ?gc_threshold ?deadline ?sink ~threshold g g']
     decides approximate equivalence in the sense of the paper's
-    reference [16]: the miter is built with the alternating scheme and
+    reference [16]: the miter is built with the proportional scheme and
     the circuits count as equivalent when the normalised Hilbert-Schmidt
     overlap [|tr (U^dag V)| / 2^n] reaches [threshold].  Returns the
     report together with the measured fidelity ([nan] on timeout). *)

@@ -1,0 +1,326 @@
+open Oqec_circuit
+
+(* Profile-guided scheme selection: a coarse structural fingerprint of
+   the instance is looked up in a persisted table mapping fingerprints
+   to the application scheme that won the last [bench dd-schemes] run.
+   Unseen fingerprints fall back to {!Dd_scheme.Alternating} — the
+   paper's baseline, never a regression against it. *)
+
+(* ------------------------------------------------------------ fingerprint *)
+
+(* The fingerprint buckets every feature so that instances of the same
+   family land on the same key across small perturbations:
+     v1:q<qubits>:s<log2 size>:r<depth ratio, halves>:c<Clifford decile>
+       :h<1q-Clifford>.<1q-other>.<2q>.<multi> (deciles)
+   Gate classes are counted over both circuits; barriers are ignored. *)
+
+let clamp lo hi x = max lo (min hi x)
+
+let fingerprint g g' =
+  let n = max (Circuit.num_qubits g) (Circuit.num_qubits g') in
+  let c1q_clif = ref 0 and c1q_other = ref 0 and c2q = ref 0 and cmulti = ref 0 in
+  let cclif = ref 0 and total = ref 0 in
+  let count op =
+    match op with
+    | Circuit.Barrier -> ()
+    | Circuit.Gate (g, _) ->
+        incr total;
+        if Gate.is_clifford g then begin
+          incr c1q_clif;
+          incr cclif
+        end
+        else incr c1q_other
+    | Circuit.Swap _ ->
+        incr total;
+        incr c2q;
+        incr cclif
+    | Circuit.Ctrl (cs, g, _) ->
+        incr total;
+        if List.length cs = 1 then incr c2q else incr cmulti;
+        (* CX/CZ-style gates are the Clifford two-qubit generators. *)
+        if List.length cs = 1 && (g = Gate.X || g = Gate.Z || g = Gate.Y) then
+          incr cclif
+  in
+  List.iter count (Circuit.ops g);
+  List.iter count (Circuit.ops g');
+  let tot = max 1 !total in
+  let decile k = clamp 0 10 (((10 * k) + (tot / 2)) / tot) in
+  let rec lg acc k = if k <= 1 then acc else lg (acc + 1) (k / 2) in
+  let da = max 1 (Circuit.depth g) and db = max 1 (Circuit.depth g') in
+  let ratio_halves =
+    clamp 0 40 (int_of_float (Float.round (2.0 *. float_of_int db /. float_of_int da)))
+  in
+  Printf.sprintf "v1:q%d:s%d:r%d:c%d:h%d.%d.%d.%d" n (lg 0 tot) ratio_halves
+    (decile !cclif) (decile !c1q_clif) (decile !c1q_other) (decile !c2q)
+    (decile !cmulti)
+
+(* ------------------------------------------------------------ table *)
+
+type entry = { fingerprint : string; scheme : Dd_scheme.t }
+type table = entry list
+
+let lookup table fp =
+  List.find_map (fun e -> if e.fingerprint = fp then Some e.scheme else None) table
+
+(* ------------------------------------------------------------ JSON *)
+
+(* The repo has no JSON dependency; emission is hand-rolled everywhere
+   and this is the one place that needs parsing, so a minimal recursive
+   descent over the generic value shape keeps the file format honest
+   (whitespace, key order and escapes all tolerated). *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape"
+           else
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'u' ->
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 pos := !pos + 4;
+                 let code =
+                   try int_of_string ("0x" ^ hex)
+                   with _ -> fail "bad \\u escape"
+                 in
+                 (* The table only ever holds ASCII fingerprints; encode
+                    the BMP code point as UTF-8 for good measure. *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+             | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number"
+    else
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                J_obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_arr []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                J_arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s =
+  match parse_json s with
+  | exception Bad msg -> Error ("dispatch table: " ^ msg)
+  | J_obj fields -> (
+      match (List.assoc_opt "version" fields, List.assoc_opt "entries" fields) with
+      | Some (J_num v), _ when int_of_float v <> 1 ->
+          Error
+            (Printf.sprintf "dispatch table: unsupported version %d" (int_of_float v))
+      | _, Some (J_arr entries) -> (
+          let entry = function
+            | J_obj e -> (
+                match
+                  (List.assoc_opt "fingerprint" e, List.assoc_opt "scheme" e)
+                with
+                | Some (J_str fp), Some (J_str sch) -> (
+                    match Dd_scheme.of_string sch with
+                    | Some (Dd_scheme.Auto) | None ->
+                        Error ("dispatch table: bad scheme " ^ sch)
+                    | Some scheme -> Ok { fingerprint = fp; scheme })
+                | _ -> Error "dispatch table: entry needs fingerprint and scheme")
+            | _ -> Error "dispatch table: entry is not an object"
+          in
+          match
+            List.fold_left
+              (fun acc e ->
+                match (acc, entry e) with
+                | Error _, _ -> acc
+                | _, Error m -> Error m
+                | Ok es, Ok x -> Ok (x :: es))
+              (Ok []) entries
+          with
+          | Ok es -> Ok (List.rev es)
+          | Error m -> Error m)
+      | _, _ -> Error "dispatch table: missing entries array")
+  | _ -> Error "dispatch table: top level is not an object"
+
+let to_json table =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"version\":1,\"entries\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      (* Fingerprints are ASCII by construction; scheme names likewise —
+         no escaping needed. *)
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"fingerprint\":\"%s\",\"scheme\":\"%s\"}" e.fingerprint
+           (Dd_scheme.to_string e.scheme)))
+    table;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> parse contents
+
+let save path table =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_json table))
+
+(* ------------------------------------------------------------ builtin *)
+
+(* Snapshot of bench/dispatch.json, compiled in so [--dd-scheme auto]
+   works without the repo checkout.  Regenerated by [bench dd-schemes];
+   keep the two in sync. *)
+let builtin_json =
+  {|{"version":1,"entries":[
+  {"fingerprint":"v1:q65:s9:r20:c6:h0.3.7.0","scheme":"cost"},
+  {"fingerprint":"v1:q65:s9:r14:c7:h1.3.7.0","scheme":"cost"},
+  {"fingerprint":"v1:q65:s13:r40:c6:h1.4.5.0","scheme":"lookahead"},
+  {"fingerprint":"v1:q65:s7:r18:c10:h2.0.8.0","scheme":"proportional"}
+]}
+|}
+
+let builtin = match parse builtin_json with Ok t -> t | Error _ -> []
+
+let default_path = Filename.concat "bench" "dispatch.json"
+
+let default_table () =
+  let candidate =
+    match Sys.getenv_opt "OQEC_DISPATCH" with
+    | Some p when p <> "" -> Some p
+    | _ -> if Sys.file_exists default_path then Some default_path else None
+  in
+  match candidate with
+  | None -> builtin
+  | Some p -> ( match load p with Ok t -> t | Error _ -> builtin)
+
+let choose ?(table = builtin) g g' =
+  match lookup table (fingerprint g g') with
+  | Some scheme -> scheme
+  | None -> Dd_scheme.Alternating

@@ -1,0 +1,51 @@
+open Oqec_circuit
+
+(** Profile-guided application-scheme dispatch.
+
+    [--dd-scheme auto] maps a coarse structural fingerprint of the
+    instance through a persisted table ([bench/dispatch.json], written
+    by [bench dd-schemes]) to the scheme that won the last profiling
+    run.  Unseen fingerprints fall back to
+    {!Dd_scheme.Alternating}. *)
+
+(** Structural fingerprint of an instance pair: qubit count, log2 size
+    class, depth ratio (in halves), Clifford fraction decile and a
+    gate-class histogram in deciles.  Format (stable, versioned):
+    [v1:q<n>:s<log2 gates>:r<2*depth'/depth>:c<clifford decile>
+    :h<1q-Clifford>.<1q-other>.<2q>.<multi>]. *)
+val fingerprint : Circuit.t -> Circuit.t -> string
+
+type entry = { fingerprint : string; scheme : Dd_scheme.t }
+type table = entry list
+
+(** First entry matching the fingerprint, if any. *)
+val lookup : table -> string -> Dd_scheme.t option
+
+(** Parse the JSON wire form
+    [{"version":1,"entries":[{"fingerprint":...,"scheme":...},...]}].
+    Rejects unknown versions, non-concrete schemes and malformed
+    JSON. *)
+val parse : string -> (table, string) result
+
+(** Serialise; [parse (to_json t)] returns [t]. *)
+val to_json : table -> string
+
+val load : string -> (table, string) result
+val save : string -> table -> unit
+
+(** Compiled-in snapshot of [bench/dispatch.json], used when no table
+    file is reachable. *)
+val builtin : table
+
+(** The committed table location, [bench/dispatch.json]. *)
+val default_path : string
+
+(** Table the CLI consults for [--dd-scheme auto]: the [OQEC_DISPATCH]
+    file if set, else [bench/dispatch.json] if present in the working
+    directory, else {!builtin}.  Unreadable files degrade to
+    {!builtin}. *)
+val default_table : unit -> table
+
+(** Resolve an instance to a concrete scheme: table hit, else
+    {!Dd_scheme.Alternating}.  [table] defaults to {!builtin}. *)
+val choose : ?table:table -> Circuit.t -> Circuit.t -> Dd_scheme.t

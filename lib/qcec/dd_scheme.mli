@@ -1,0 +1,71 @@
+open Oqec_circuit
+
+(** Application schemes for the DD miter.
+
+    An application scheme decides, at every step of the miter
+    construction [D = U(G') * U(G)^dagger], which side contributes the
+    next gate.  The choice does not affect the verdict (the final
+    product is the same), only how far the intermediate product strays
+    from the identity — and DD sizes, and with them run time, track that
+    distance.  See Burgholzer & Wille, "Advanced Equivalence Checking
+    for Quantum Circuits" (PAPERS.md). *)
+
+type t =
+  | Alternating  (** strict one-to-one alternation (the paper's scheme) *)
+  | Proportional  (** interleave by total gate-count ratio *)
+  | Lookahead  (** speculate one gate per side, keep the smaller DD *)
+  | Cost_metric  (** interleave by accumulated per-gate growth cost *)
+  | Auto  (** resolved per instance through the {!Dd_dispatch} table *)
+
+(** The concrete schemes, i.e. every constructor except [Auto]. *)
+val all : t list
+
+val to_string : t -> string
+
+(** Inverse of {!to_string} (accepting a couple of spellings for
+    [Cost_metric]); [None] on unknown names. *)
+val of_string : string -> t option
+
+type side = Left | Right
+
+(** Snapshot of the miter state handed to {!APPLICATION_SCHEME.choose}.
+    Counts are gates (resp. accumulated {!op_cost}) applied so far and
+    in total per side; the thunks probe live DD sizes — [peek_left] /
+    [peek_right] speculatively apply the side's next gate and return the
+    resulting node count (memoised by the miter, so a subsequent apply
+    of that side commits the cached candidate). *)
+type probe = {
+  left_applied : int;
+  left_total : int;
+  right_applied : int;
+  right_total : int;
+  left_cost_applied : int;
+  left_cost_total : int;
+  right_cost_applied : int;
+  right_cost_total : int;
+  live_size : unit -> int;
+  peek_left : unit -> int;
+  peek_right : unit -> int;
+}
+
+module type APPLICATION_SCHEME = sig
+  val name : string
+
+  (** Pick the side whose next gate is applied.  Only called while both
+      sides still have gates pending. *)
+  val choose : probe -> side
+end
+
+(** Static growth weight of one operation, the currency of
+    [Cost_metric] (documented in DESIGN.md "Application schemes and
+    dispatch"). *)
+val op_cost : Circuit.op -> int
+
+val alternating : (module APPLICATION_SCHEME)
+val proportional : (module APPLICATION_SCHEME)
+val lookahead : (module APPLICATION_SCHEME)
+val cost_metric : (module APPLICATION_SCHEME)
+
+(** First-class module for a concrete scheme.
+    @raise Invalid_argument on [Auto] — resolve it first. *)
+val impl : t -> (module APPLICATION_SCHEME)

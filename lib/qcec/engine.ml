@@ -67,6 +67,9 @@ end
 
 type counter =
   | Dd_gate_applied
+  | Dd_left_applied
+  | Dd_right_applied
+  | Dd_scheme_used of string
   | Dd_gc_run
   | Dd_cache_hit
   | Dd_arena_compaction
@@ -77,6 +80,9 @@ type counter =
 
 let counter_key = function
   | Dd_gate_applied -> "dd.gates_applied"
+  | Dd_left_applied -> "dd.left_applied"
+  | Dd_right_applied -> "dd.right_applied"
+  | Dd_scheme_used scheme -> "dd.scheme." ^ scheme
   | Dd_gc_run -> "dd.gc_runs"
   | Dd_cache_hit -> "dd.cache_hits"
   | Dd_arena_compaction -> "dd.arena_compactions"

@@ -53,6 +53,11 @@ end
     tracks. *)
 type counter =
   | Dd_gate_applied  (** ["dd.gates_applied"] *)
+  | Dd_left_applied  (** ["dd.left_applied"] — miter gates taken from G *)
+  | Dd_right_applied  (** ["dd.right_applied"] — miter gates taken from G' *)
+  | Dd_scheme_used of string
+      (** ["dd.scheme.<name>"] — set to 1 for the application scheme a DD
+          run resolved to (records what [auto] picked) *)
   | Dd_gc_run  (** ["dd.gc_runs"] *)
   | Dd_cache_hit  (** ["dd.cache_hits"] *)
   | Dd_arena_compaction  (** ["dd.arena_compactions"] *)

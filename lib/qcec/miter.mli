@@ -1,0 +1,73 @@
+open Oqec_circuit
+open Oqec_dd
+
+(** Explicit miter state for the DD checkers.
+
+    A miter holds the evolving product
+    [D = b_j ... b_0 * inv(a_0) ... inv(a_i)] over a DD package, plus
+    the per-side cursors: the left side consumes [G] inverted from the
+    right, the right side consumes [G'] from the left, and [D] is the
+    identity once both are exhausted iff the circuits agree.  The order
+    of applications — the application scheme — is the caller's business:
+    drivers pick sides via {!Dd_scheme.APPLICATION_SCHEME} over
+    {!Make.probe} snapshots. *)
+
+(** Fidelity at or above this counts as identity, mirroring the
+    structural test's tolerance. *)
+val fidelity_threshold : float
+
+module Make (C : Dd_core.S) : sig
+  type t
+
+  (** [create ctx ?trace g g'] aligns and lowers both circuits to
+      elementary gates, allocates a package from the context's tuning
+      knobs and pins the identity as the initial miter.  [trace] is
+      called with the live node count after every commit (and once at
+      creation).  Gate application is the package's GC safe point and
+      the engine's deadline/cancellation polling point. *)
+  val create : Engine.Ctx.t -> ?trace:(int -> unit) -> Circuit.t -> Circuit.t -> t
+
+  val package : t -> C.pkg
+  val qubits : t -> int
+
+  (** The live (rooted) miter edge. *)
+  val edge : t -> C.edge
+
+  val left_remaining : t -> int
+  val right_remaining : t -> int
+  val exhausted : t -> bool
+
+  (** Node count of the live miter. *)
+  val live_size : t -> int
+
+  (** Speculatively apply the side's next gate and return the resulting
+      node count.  The candidate is memoised (and GC-rooted) until the
+      next commit, so a following apply of the same side promotes it
+      without recomputation. *)
+  val peek_left : t -> int
+
+  val peek_right : t -> int
+
+  (** Commit the side's next gate into the miter (reusing the peeked
+      candidate if one is cached), advance the cursor and bump the
+      engine's per-side counter. *)
+  val apply_left : t -> unit
+
+  val apply_right : t -> unit
+  val apply : t -> Dd_scheme.side -> unit
+
+  (** Snapshot handed to {!Dd_scheme.APPLICATION_SCHEME.choose}. *)
+  val probe : t -> Dd_scheme.probe
+
+  (** Hilbert-Schmidt fidelity of the miter to the identity,
+      [|tr D| / 2^n]. *)
+  val fidelity : t -> float
+
+  (** [1 - fidelity], the distance the schemes try to keep small. *)
+  val identity_distance : t -> float
+
+  (** Verdict on the (normally exhausted) miter: structural identity up
+      to phase, with the fidelity fallback against
+      {!fidelity_threshold}. *)
+  val conclude : t -> Equivalence.outcome
+end

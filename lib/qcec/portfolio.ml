@@ -239,17 +239,38 @@ let race ~ctx ?(jobs = 1) ?resolve entries g g' =
       (match winner with Some (_, v) -> v.Engine.certificate | None -> None);
   }
 
+(* DD racers for one race: a concrete scheme races alone (the historical
+   behaviour), while [Auto] is resolved through the dispatch table and
+   paired with a structurally different scheme — when the table's
+   profile-guided pick is wrong for this instance, the diverse partner
+   covers for it, at the cost of one extra domain. *)
+let scheme_racers ?table scheme g g' =
+  match scheme with
+  | Dd_scheme.Auto ->
+      let resolved = Dd_dispatch.choose ?table g g' in
+      let diverse =
+        if resolved = Dd_scheme.Lookahead then Dd_scheme.Proportional
+        else Dd_scheme.Lookahead
+      in
+      [ resolved; diverse ]
+  | s -> [ s ]
+
 let check ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1) ?jobs ?deadline
-    ?(oracle = Dd_checker.Proportional) ?(checkers = default_selection) ?dd_core ?sink g
-    g' =
+    ?(scheme = Dd_scheme.Proportional) ?table ?schemes
+    ?(checkers = default_selection) ?dd_core ?sink g g' =
   let jobs = match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs () in
   let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
   let best = Atomic.make max_int in
+  let dd_schemes =
+    match schemes with Some ss -> ss | None -> scheme_racers ?table scheme g g'
+  in
   let fixed =
     List.concat
       [
         (if checkers.use_dd then
-           [ entry (Dd_checker.alternating ?core:dd_core ~oracle ()) ]
+           List.map
+             (fun s -> entry (Dd_checker.scheme_checker ?core:dd_core ~scheme:s ?table ()))
+             dd_schemes
          else []);
         (if checkers.use_zx then [ entry Zx_checker.checker ] else []);
         (if checkers.use_stab then [ entry Stab_checker.checker ] else []);

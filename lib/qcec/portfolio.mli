@@ -55,13 +55,19 @@ val race :
   Circuit.t ->
   Equivalence.report
 
-(** [check ?tol ?gc_threshold ?sim_runs ?seed ?jobs ?deadline ?oracle
-    ?checkers ?sink g g'] races the selected checkers ([jobs] simulation
-    shards splitting [sim_runs] stimuli round-robin, plus one worker per
-    selected non-simulation checker).  The report's [method_used] is
-    [Portfolio]; its [winner]/[jobs]/[runs] fields record the winning
-    checker and the per-checker outcome/elapsed breakdown, and
-    [engine_stats] carries one counter payload per worker. *)
+(** [check ?tol ?gc_threshold ?sim_runs ?seed ?jobs ?deadline ?scheme
+    ?table ?schemes ?checkers ?sink g g'] races the selected checkers
+    ([jobs] simulation shards splitting [sim_runs] stimuli round-robin,
+    plus one worker per selected non-simulation checker).  [scheme]
+    picks the DD application scheme (default proportional); a concrete
+    scheme races as a single ["dd-<scheme>"] worker, while
+    [Dd_scheme.Auto] resolves through [table] and races the resolved
+    scheme alongside a structurally different partner (scheme-diverse DD
+    racers).  [schemes] overrides that derivation with an explicit racer
+    list.  The report's [method_used] is [Portfolio]; its
+    [winner]/[jobs]/[runs] fields record the winning checker and the
+    per-checker outcome/elapsed breakdown, and [engine_stats] carries
+    one counter payload per worker. *)
 val check :
   ?tol:float ->
   ?gc_threshold:int ->
@@ -69,7 +75,9 @@ val check :
   ?seed:int ->
   ?jobs:int ->
   ?deadline:float ->
-  ?oracle:Dd_checker.oracle ->
+  ?scheme:Dd_scheme.t ->
+  ?table:Dd_dispatch.table ->
+  ?schemes:Dd_scheme.t list ->
   ?checkers:selection ->
   ?dd_core:Oqec_dd.Dd_core.kind ->
   ?sink:Engine.Trace.sink ->

@@ -26,7 +26,7 @@ let strategy_of_string = function
    refutes) and one fragment-complete one (stab, Clifford only). *)
 let oracle_checkers ?dd_core () =
   [
-    ("dd", Equivalence.Alternating_dd, Dd_checker.alternating ?core:dd_core ());
+    ("dd", Equivalence.Alternating_dd, Dd_checker.scheme_checker ?core:dd_core ());
     ("zx", Equivalence.Zx_calculus, Zx_checker.checker);
     ( "sim",
       Equivalence.Simulation,
@@ -39,7 +39,7 @@ let oracle_checkers ?dd_core () =
    centralised in {!Engine.run}; the portfolio is the same thing raced
    over several workers. *)
 let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(seed = 1)
-    ?jobs ?(oracle = Dd_checker.Proportional) ?checkers ?dd_core ?sink g g' =
+    ?jobs ?scheme ?table ?checkers ?dd_core ?sink g g' =
   let deadline = Option.map (fun t -> Mclock.now () +. t) timeout in
   let core = Option.value dd_core ~default:Oqec_dd.Dd_core.Boxed in
   let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ~sim_runs ~seed ?sink () in
@@ -47,11 +47,13 @@ let check ?(strategy = Combined) ?timeout ?tol ?gc_threshold ?(sim_runs = 16) ?(
   match strategy with
   | Reference -> run Equivalence.Reference_dd (Dd_checker.reference_core core)
   | Alternating ->
-      run Equivalence.Alternating_dd (Dd_checker.alternating ?core:dd_core ~oracle ())
+      run Equivalence.Alternating_dd
+        (Dd_checker.scheme_checker ?core:dd_core ?scheme ?table ())
   | Simulation -> run Equivalence.Simulation (Sim_checker.checker_core core)
   | Zx -> run Equivalence.Zx_calculus Zx_checker.checker
   | Clifford -> run Equivalence.Stabilizer Stab_checker.checker
-  | Combined -> run Equivalence.Combined (Combined_checker.checker ?core:dd_core ~oracle ())
+  | Combined ->
+      run Equivalence.Combined (Combined_checker.checker ?core:dd_core ?scheme ?table ())
   | Portfolio ->
-      Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ~oracle ?checkers
-        ?dd_core ?sink g g'
+      Portfolio.check ?tol ?gc_threshold ~sim_runs ~seed ?jobs ?deadline ?scheme ?table
+        ?checkers ?dd_core ?sink g g'

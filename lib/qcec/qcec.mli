@@ -63,8 +63,11 @@ val oracle_checkers :
     paper's setup); [seed] makes stimuli reproducible; [jobs] the
     [Portfolio] strategy's simulation shard count (default
     {!Portfolio.default_jobs}; ignored by the other strategies — verdicts
-    never depend on it); [oracle] selects the alternating scheme's gate
-    scheduling (default [Proportional]); [checkers] restricts the
+    never depend on it); [scheme] selects the DD application scheme
+    (default [Proportional]; [Dd_scheme.Auto] resolves per instance
+    through [table], default {!Dd_dispatch.builtin}, and makes the
+    [Portfolio] strategy race scheme-diverse DD workers); [checkers]
+    restricts the
     [Portfolio] strategy's racers (default {!Portfolio.default_selection},
     ignored by the other strategies); [dd_core] selects the DD package
     representation for every DD-based engine
@@ -85,7 +88,8 @@ val check :
   ?sim_runs:int ->
   ?seed:int ->
   ?jobs:int ->
-  ?oracle:Dd_checker.oracle ->
+  ?scheme:Dd_scheme.t ->
+  ?table:Dd_dispatch.table ->
   ?checkers:Portfolio.selection ->
   ?dd_core:Oqec_dd.Dd_core.kind ->
   ?sink:Engine.Trace.sink ->

@@ -7,12 +7,17 @@ open Oqec_qasm
    parsed, so memory use is bounded by the diagram (plus one input
    chunk per side) rather than by circuit length.
 
-   The alternation policy mirrors {!Dd_checker}'s proportional oracle,
-   with bytes of input consumed standing in for gate indices: total gate
-   counts are unknown until the streams are exhausted, but file sizes
-   are known up front and gate density is near-uniform for generated
+   The scheduling policy adapts {!Dd_scheme} to the streaming setting,
+   where total gate counts are unknown until the streams are exhausted:
+   [Proportional] (and [Cost_metric], whose gate-weight totals are
+   equally unknowable up front) fall back to byte proportions — file
+   sizes are known and gate density is near-uniform for generated
    workloads, so the byte ratio keeps the product balanced around the
-   identity just as the gate-count ratio does.
+   identity just as the gate-count ratio does.  [Alternating] alternates
+   strictly on applied-operation counts, and [Lookahead] applies one
+   gate from each side speculatively and keeps the smaller diagram.
+   [Auto] has no whole-circuit fingerprint to dispatch on and degrades
+   to the byte-proportional rule.
 
    Operations are lowered to elementary gates one at a time (the same
    {!Decompose.elementary} pass the batch checker runs over the whole
@@ -73,7 +78,7 @@ module Of (C : Dd_core.S) = struct
     end;
     not (Queue.is_empty q)
 
-  let checker ~oracle sa sb : Engine.checker =
+  let checker ~scheme sa sb : Engine.checker =
     (module struct
       let name = "stream-dd"
 
@@ -134,19 +139,26 @@ module Of (C : Dd_core.S) = struct
             then commit (C.identity pkg n)
           end
         in
+        let ops_a = ref 0 and ops_b = ref 0 in
         let apply_a () =
           match Queue.pop qa with
           | Circuit.Barrier ->
               incr bars_a;
               reanchor ()
-          | op -> commit (C.apply_op_left pkg n !d (Circuit.inverse_op op))
+          | op ->
+              incr ops_a;
+              Engine.Ctx.incr ctx Engine.Dd_left_applied;
+              commit (C.apply_op_left pkg n !d (Circuit.inverse_op op))
         in
         let apply_b () =
           match Queue.pop qb with
           | Circuit.Barrier ->
               incr bars_b;
               reanchor ()
-          | op -> commit (C.apply_op pkg n !d op)
+          | op ->
+              incr ops_b;
+              Engine.Ctx.incr ctx Engine.Dd_right_applied;
+              commit (C.apply_op pkg n !d op)
         in
         let ta = Qasm_stream.total_bytes sa and tb = Qasm_stream.total_bytes sb in
         let continue = ref true in
@@ -160,10 +172,14 @@ module Of (C : Dd_core.S) = struct
           else if Queue.peek qa = Circuit.Barrier then apply_a ()
           else if Queue.peek qb = Circuit.Barrier then apply_b ()
           else begin
-            match oracle with
-            | Dd_checker.Proportional ->
+            match scheme with
+            | Dd_scheme.Alternating ->
+                (* Strict one-to-one alternation on applied operations,
+                   the batch checker's baseline scheme. *)
+                if !ops_a <= !ops_b then apply_a () else apply_b ()
+            | Dd_scheme.Proportional | Dd_scheme.Cost_metric | Dd_scheme.Auto ->
                 (* Advance the side lagging in consumed-bytes proportion,
-                   mirroring the proportional oracle's ia*kb <= ib*ka.
+                   mirroring the proportional scheme's ia*kb <= ib*ka.
                    Bytes are a fuzzy stand-in for gate indices, so the
                    product can drift away from the identity when the
                    sides' gate densities diverge; Lookahead resists the
@@ -173,9 +189,9 @@ module Of (C : Dd_core.S) = struct
                   <= (Qasm_stream.consumed_bytes sb - !last_b) * ta
                 then apply_a ()
                 else apply_b ()
-            | Dd_checker.Lookahead ->
+            | Dd_scheme.Lookahead ->
                 (* Apply one gate from each side speculatively and keep
-                   the smaller diagram (see {!Dd_checker.build_miter});
+                   the smaller diagram (see {!Miter.Make.peek_left});
                    the losing side's gate stays queued. *)
                 let cand_a = C.apply_op_left pkg n !d (Circuit.inverse_op (Queue.peek qa)) in
                 C.root pkg cand_a;
@@ -183,10 +199,14 @@ module Of (C : Dd_core.S) = struct
                 C.unroot pkg cand_a;
                 if C.node_count pkg cand_a <= C.node_count pkg cand_b then begin
                   ignore (Queue.pop qa);
+                  incr ops_a;
+                  Engine.Ctx.incr ctx Engine.Dd_left_applied;
                   commit cand_a
                 end
                 else begin
                   ignore (Queue.pop qb);
+                  incr ops_b;
+                  Engine.Ctx.incr ctx Engine.Dd_right_applied;
                   commit cand_b
                 end
           end
@@ -211,8 +231,8 @@ module Arena = Of (Dd_core.Arena_core)
 (* [check ?core ... path_a path_b] streams both files through the
    alternating miter.  The dummy circuits handed to {!Engine.run} are
    never inspected: the checker closes over the streams instead. *)
-let check ?(core = Dd_core.Boxed) ?(oracle = Dd_checker.Proportional) ?chunk_size
-    ?tol ?gc_threshold ?deadline ?sink path_a path_b =
+let check ?(core = Dd_core.Boxed) ?(scheme = Dd_scheme.Proportional) ?chunk_size ?tol
+    ?gc_threshold ?deadline ?sink path_a path_b =
   let sa = Qasm_stream.open_file ?chunk_size path_a
   and sb = Qasm_stream.open_file ?chunk_size path_b in
   Fun.protect
@@ -223,8 +243,8 @@ let check ?(core = Dd_core.Boxed) ?(oracle = Dd_checker.Proportional) ?chunk_siz
       let ctx = Engine.Ctx.make ?deadline ?tol ?gc_threshold ?sink () in
       let checker =
         match core with
-        | Dd_core.Boxed -> Boxed.checker ~oracle sa sb
-        | Dd_core.Arena -> Arena.checker ~oracle sa sb
+        | Dd_core.Boxed -> Boxed.checker ~scheme sa sb
+        | Dd_core.Arena -> Arena.checker ~scheme sa sb
       in
       Engine.run ~ctx ~method_used:Equivalence.Alternating_dd checker (Circuit.create 0)
         (Circuit.create 0))

@@ -88,12 +88,16 @@ type t = {
      before the graph is mutated, so recorded phases are the pre-rewrite
      values the independent validator re-checks. *)
   record : (Zx_step.t -> unit) option;
+  (* Snapshot of {!break_hook} taken at {!create}: the hook is read once
+     per engine so concurrent domains racing the portfolio never observe
+     a torn or mid-run flip of the sabotage switch. *)
+  sabotage : string option;
 }
 
 (* Test-only sabotage switch ("identity-phase" drops the phase-0
    precondition of identity removal), used to prove that certificate
    validation catches engine bugs the engine itself cannot see. *)
-let break_hook : string option ref = ref None
+let break_hook : string option Atomic.t = Atomic.make None
 
 let full_mask = (1 lsl num_rules) - 1
 let never_stop () = false
@@ -143,6 +147,7 @@ let create ?record g =
       peak_pending = 0;
       gh = false;
       record;
+      sabotage = Atomic.get break_hook;
     }
   in
   Zx_graph.set_tracer g (Some (dirty t));
@@ -187,7 +192,7 @@ let try_identity t v =
   let g = t.g in
   if
     Zx_graph.mem g v && is_spider g v
-    && (Phase.is_zero (Zx_graph.phase g v) || !break_hook = Some "identity-phase")
+    && (Phase.is_zero (Zx_graph.phase g v) || t.sabotage = Some "identity-phase")
     && Zx_graph.degree g v = 2
   then
     match Zx_graph.neighbours g v with

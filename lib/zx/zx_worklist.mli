@@ -44,8 +44,10 @@ val create : ?record:(Zx_step.t -> unit) -> Zx_graph.t -> t
     drops the phase-0 precondition of identity removal, making the
     engine unsound on purpose.  Used (via [OQEC_CERT_BREAK]) to
     demonstrate that certificate validation catches engine bugs the
-    engine itself cannot detect.  Always [None] in production. *)
-val break_hook : string option ref
+    engine itself cannot detect.  Read once per engine at {!create} (so
+    portfolio domains never race a mid-run flip).  Always [None] in
+    production. *)
+val break_hook : string option Atomic.t
 val release : t -> unit
 val graph : t -> Zx_graph.t
 

@@ -39,7 +39,7 @@ winner and reports one line per worker (jobs + 2 of them); the verdict
 is independent of the shard count:
 
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 2 \
-  >   | grep -cE 'winner|alternating-dd|zx-calculus|simulation-[01]'
+  >   | grep -cE 'winner|dd-proportional|zx-calculus|simulation-[01]'
   5
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --jobs 1 > /dev/null
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --json \
@@ -52,7 +52,7 @@ is independent of the shard count:
 The racers can be restricted with --checkers (dd, zx, sim, stab):
 
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --checkers dd,stab --json \
-  >   | grep -cE '"runs":\[\{"checker":"(alternating-dd|stabilizer)"'
+  >   | grep -cE '"runs":\[\{"checker":"(dd-proportional|stabilizer)"'
   1
   $ oqec check ghz.qasm ghz_lin.qasm -s portfolio --checkers dd,banana
   error: --checkers: unknown checker "banana" (expected dd, zx, sim, stab)
@@ -80,8 +80,31 @@ verdict:
   >   --dd-stats | grep -oE 'gc: [0-9]+ run' | awk '{print ($2 > 0) ? "collected" : "idle"}'
   collected
   $ oqec check ghz.qasm ghz_lin.qasm -s alternating --json \
-  >   | grep -cE '"outcome":"equivalent".*"engine_stats":\[\{"engine":"alternating-dd".*"dd":\{'
+  >   | grep -cE '"outcome":"equivalent".*"engine_stats":\[\{"engine":"dd-proportional".*"dd":\{'
   1
+
+Application schemes: every --dd-scheme agrees on the verdict, the
+engine is named after the scheme, and the resolved scheme (what auto
+picked) is visible as a dd.scheme.* counter in the JSON report:
+
+  $ for s in alternating proportional lookahead cost auto; do
+  >   oqec check ghz.qasm ghz_lin.qasm -s alternating --dd-scheme $s > /dev/null \
+  >     && echo "$s ok"
+  > done
+  alternating ok
+  proportional ok
+  lookahead ok
+  cost ok
+  auto ok
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --dd-scheme lookahead --json \
+  >   | grep -cE '"engine":"dd-lookahead".*"dd\.scheme\.lookahead":1'
+  1
+  $ oqec check ghz.qasm ghz_lin.qasm -s alternating --dd-scheme auto --json \
+  >   | grep -cE '"engine":"dd-auto".*"dd\.scheme\.[a-z]+":1'
+  1
+  $ oqec check ghz.qasm ghz_lin.qasm --dd-scheme banana
+  error: --dd-scheme must be alternating, proportional, lookahead, cost or auto (got "banana")
+  [3]
 
 A corrupted circuit is refuted (exit code 1):
 

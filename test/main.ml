@@ -24,4 +24,5 @@ let () =
       ("compile-fuzz", Test_compile_fuzz.suite);
       ("cert", Test_cert.suite);
       ("dd-arena", Test_dd_arena.suite);
+      ("dd-schemes", Test_dd_schemes.suite);
     ]

@@ -356,9 +356,9 @@ let test_fuzz_agreement () =
    subsystem: validation must not share the engine's bugs. *)
 let test_validator_catches_broken_engine () =
   let t = Circuit.t_gate (Circuit.create ~name:"t" 1) 0 in
-  Oqec_zx.Zx_worklist.break_hook := Some "identity-phase";
+  Atomic.set Oqec_zx.Zx_worklist.break_hook (Some "identity-phase");
   Fun.protect
-    ~finally:(fun () -> Oqec_zx.Zx_worklist.break_hook := None)
+    ~finally:(fun () -> Atomic.set Oqec_zx.Zx_worklist.break_hook None)
     (fun () ->
       let report = Qcec.check ~strategy:Qcec.Zx t empty1 in
       Alcotest.(check bool)

@@ -372,9 +372,9 @@ let test_stream_twin_check () =
       Sys.remove twin)
     (fun () ->
       List.iter
-        (fun (core, oracle) ->
+        (fun (core, scheme) ->
           let r =
-            Stream_checker.check ~core ~oracle ~chunk_size:512 base twin
+            Stream_checker.check ~core ~scheme ~chunk_size:512 base twin
           in
           Alcotest.check outcome_testable "twin pair equivalent" Equivalence.Equivalent
             r.Equivalence.outcome;
@@ -384,9 +384,10 @@ let test_stream_twin_check () =
             | [ run ] -> run.Equivalence.checker
             | _ -> "?"))
         [
-          (Dd_core.Boxed, Dd_checker.Proportional);
-          (Dd_core.Arena, Dd_checker.Proportional);
-          (Dd_core.Arena, Dd_checker.Lookahead);
+          (Dd_core.Boxed, Dd_scheme.Proportional);
+          (Dd_core.Arena, Dd_scheme.Proportional);
+          (Dd_core.Arena, Dd_scheme.Lookahead);
+          (Dd_core.Boxed, Dd_scheme.Alternating);
         ];
       (* A trailing extra gate must flip the verdict on both cores. *)
       let oc = open_out_gen [ Open_append ] 0o644 twin in

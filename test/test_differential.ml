@@ -145,8 +145,8 @@ let gc_case seed =
           (sound strategy truth r.Equivalence.outcome ~clifford_only:false))
       Qcec.[ Reference; Alternating; Simulation; Zx ];
     (* (c) forced vs disabled GC: identical verdicts and final sizes *)
-    let on = Dd_checker.check_alternating ~gc_threshold:gc_forced c1 c2 in
-    let off = Dd_checker.check_alternating ~gc_threshold:gc_disabled c1 c2 in
+    let on = Dd_checker.check_miter ~gc_threshold:gc_forced c1 c2 in
+    let off = Dd_checker.check_miter ~gc_threshold:gc_disabled c1 c2 in
     Alcotest.(check bool)
       (Printf.sprintf "seed %d: alternating verdict gc-invariant" seed)
       true

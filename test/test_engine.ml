@@ -258,7 +258,7 @@ let test_report_json_schema () =
       Alcotest.(check int) "one engine_stats entry per worker" 4 (List.length entries);
       let dd_entry =
         List.find
-          (fun e -> field e "engine" = Str "alternating-dd")
+          (fun e -> field e "engine" = Str "dd-proportional")
           entries
       in
       (match field dd_entry "counters" with
@@ -331,8 +331,8 @@ let test_strategy_counters () =
   let g' = Oqec_compile.Compile.run (Oqec_compile.Architecture.ring 6) g in
   let dd = Qcec.check ~strategy:Qcec.Alternating g g' in
   Alcotest.(check bool)
-    "alternating-dd counts gate applications" true
-    (counter_value (counters_of "alternating-dd" dd) "dd.gates_applied" > 0);
+    "dd-proportional counts gate applications" true
+    (counter_value (counters_of "dd-proportional" dd) "dd.gates_applied" > 0);
   let zx = Qcec.check ~strategy:Qcec.Zx g g' in
   let zxc = counters_of "zx-calculus" zx in
   Alcotest.(check bool)

@@ -10,8 +10,8 @@ module Qasm = Oqec_qasm.Qasm
 module Workloads = Oqec_workloads.Workloads
 
 let with_break name f =
-  Fuzz_oracle.break_hook := Some name;
-  Fun.protect ~finally:(fun () -> Fuzz_oracle.break_hook := None) f
+  Atomic.set Fuzz_oracle.break_hook (Some name);
+  Fun.protect ~finally:(fun () -> Atomic.set Fuzz_oracle.break_hook None) f
 
 let align_equivalent a b =
   let a, b = Oqec_qcec.Flatten.align a b in
@@ -346,7 +346,7 @@ let test_run_break_hook_end_to_end () =
             "replay catches the corrupted checker" true
             (replay.Fuzz.corpus_failures > 0);
           (* ...and passes once the bug is gone. *)
-          Fuzz_oracle.break_hook := None;
+          Atomic.set Fuzz_oracle.break_hook None;
           let fixed = Fuzz.run { config with Fuzz.runs = 0; only = None } in
           Alcotest.(check int) "replay clean after the fix" 0 fixed.Fuzz.corpus_failures))
 

@@ -164,7 +164,7 @@ let test_preset_cancel () =
   let flag = Atomic.make true in
   Alcotest.check_raises "alternating DD aborts on a pre-set stop flag"
     Equivalence.Cancelled (fun () ->
-      ignore (Dd_checker.check_alternating ~cancel:flag c1 c2));
+      ignore (Dd_checker.check_miter ~cancel:flag c1 c2));
   Alcotest.check_raises "reference DD aborts on a pre-set stop flag"
     Equivalence.Cancelled (fun () ->
       ignore (Dd_checker.check_reference ~cancel:flag c1 c2));
@@ -193,7 +193,7 @@ let test_prompt_cancellation () =
       Alcotest.(check string) "simulation wins the race" "simulation" w;
       let dd =
         List.find
-          (fun cr -> cr.Equivalence.checker = "alternating-dd")
+          (fun cr -> cr.Equivalence.checker = "dd-proportional")
           r.Equivalence.runs
       in
       Alcotest.(check string)

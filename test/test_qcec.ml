@@ -241,14 +241,14 @@ let test_approximate_check () =
   Alcotest.check outcome_testable "strict threshold refuses" Equivalence.Not_equivalent
     strict.Equivalence.outcome
 
-let test_lookahead_oracle () =
+let test_lookahead_scheme () =
   let g = qft 5 in
   let g' = Compile.run (Architecture.ring 6) g in
-  let r = Qcec.check ~strategy:Qcec.Alternating ~oracle:Dd_checker.Lookahead g g' in
+  let r = Qcec.check ~strategy:Qcec.Alternating ~scheme:Dd_scheme.Lookahead g g' in
   Alcotest.check outcome_testable "lookahead proves equivalence" Equivalence.Equivalent
     r.Equivalence.outcome;
   let broken = remove_gate ~seed:4 g' in
-  let r2 = Qcec.check ~strategy:Qcec.Alternating ~oracle:Dd_checker.Lookahead g broken in
+  let r2 = Qcec.check ~strategy:Qcec.Alternating ~scheme:Dd_scheme.Lookahead g broken in
   Alcotest.(check bool) "lookahead does not prove broken" true
     (r2.Equivalence.outcome <> Equivalence.Equivalent)
 
@@ -309,7 +309,7 @@ let suite =
     Alcotest.test_case "timeout" `Quick test_timeout;
     Alcotest.test_case "state-preparation equivalence" `Quick test_state_equivalence;
     Alcotest.test_case "approximate equivalence" `Quick test_approximate_check;
-    Alcotest.test_case "lookahead oracle" `Quick test_lookahead_oracle;
+    Alcotest.test_case "lookahead scheme" `Quick test_lookahead_scheme;
     Alcotest.test_case "report fields" `Quick test_report_fields;
     prop_random_equivalent_pairs;
     prop_random_error_detected;
